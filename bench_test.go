@@ -1,0 +1,205 @@
+// Benchmarks regenerating one measurement per table and figure of the
+// paper's evaluation (§4). Each benchmark populates its provenance database
+// once (outside the timer) and times the operation the corresponding
+// table/figure reports. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// BenchmarkTable1Populate measures trace ingestion (the population cost
+// behind Table 1's record counts) for a mid-grid configuration.
+func BenchmarkTable1Populate(b *testing.B) {
+	for _, cfg := range []struct{ l, d int }{{10, 10}, {50, 25}} {
+		b.Run(fmt.Sprintf("l=%d_d=%d", cfg.l, cfg.d), func(b *testing.B) {
+			records := gen.TestbedRecords(cfg.l, cfg.d)
+			b.ReportMetric(float64(records), "records/run")
+			for i := 0; i < b.N; i++ {
+				env, err := bench.PopulateTestbed(cfg.l, cfg.d, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				env.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkFig4MultiRun measures the multi-run query of Fig. 4 on the GK
+// workflow: INDEXPROJ compiles once and probes per run; NI re-traverses
+// every run.
+func BenchmarkFig4MultiRun(b *testing.B) {
+	env, err := bench.PopulateGKPD(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	focus := lineage.NewFocus("get_pathways_by_genes")
+	idx := value.Ix(0, 0)
+
+	b.Run("indexproj", func(b *testing.B) {
+		ip, err := lineage.NewIndexProj(env.Store, env.GK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ip.LineageMultiRun(env.GKRuns, trace.WorkflowProc, "paths_per_gene", idx, focus); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		ni := lineage.NewNaive(env.Store)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ni.LineageMultiRun(env.GKRuns, trace.WorkflowProc, "paths_per_gene", idx, focus); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig6DBSize measures the NI single-run query of Fig. 6 against a
+// database holding 10 accumulated runs (l=75, d=50; ~200k records).
+func BenchmarkFig6DBSize(b *testing.B) {
+	env, err := bench.PopulateTestbed(75, 50, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	total, err := env.Store.TotalRecords("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(total), "records")
+	focus := bench.FocusedSet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.NaiveQuery(env.RunIDs[0], focus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7ListSize measures the NI query of Fig. 7 across list sizes.
+func BenchmarkFig7ListSize(b *testing.B) {
+	for _, d := range []int{10, 75} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			env, err := bench.PopulateTestbed(75, d, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			focus := bench.FocusedSet()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.NaiveQuery(env.RunIDs[0], focus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Preprocess measures t1 of Fig. 8: depth propagation plus plan
+// compilation on the bare specification graph.
+func BenchmarkFig8Preprocess(b *testing.B) {
+	for _, l := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			wf := gen.Testbed(l)
+			focus := bench.FocusedSet()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ip, err := lineage.NewIndexProj(nil, wf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ip.Compile(gen.FinalName, "product", value.Ix(0, 0), focus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Strategies measures the three strategies of Fig. 9 on one
+// configuration (l=75): NI, INDEXPROJ focused, INDEXPROJ unfocused.
+func BenchmarkFig9Strategies(b *testing.B) {
+	for _, d := range []int{10, 150} {
+		env, err := bench.PopulateTestbed(75, d, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runID := env.RunIDs[0]
+		ip, err := lineage.NewIndexProj(env.Store, env.WF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("d=%d/naive", d), func(b *testing.B) {
+			focus := bench.FocusedSet()
+			for i := 0; i < b.N; i++ {
+				if err := env.NaiveQuery(runID, focus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("d=%d/indexproj_focused", d), func(b *testing.B) {
+			focus := bench.FocusedSet()
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.Lineage(runID, gen.FinalName, "product", env.QueryIndex(), focus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("d=%d/indexproj_unfocused", d), func(b *testing.B) {
+			focus := env.UnfocusedSet()
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.Lineage(runID, gen.FinalName, "product", env.QueryIndex(), focus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		env.Close()
+	}
+}
+
+// BenchmarkFig10FocusShare measures INDEXPROJ as the focus set grows towards
+// 50% of the processors (Fig. 10).
+func BenchmarkFig10FocusShare(b *testing.B) {
+	env, err := bench.PopulateTestbed(75, 50, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	ip, err := lineage.NewIndexProj(env.Store, env.WF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := env.WF.NumNodes()
+	runID := env.RunIDs[0]
+	for _, pct := range []int{1, 10, 25, 50} {
+		k := total * pct / 100
+		if k < 1 {
+			k = 1
+		}
+		focus := env.PartialFocus(k)
+		b.Run(fmt.Sprintf("focus=%dpct", pct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.Lineage(runID, gen.FinalName, "product", env.QueryIndex(), focus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command benchrunner regenerates the tables and figures of the paper's
+// experimental evaluation (§4) and prints them as text tables (optionally
+// CSV).
+//
+// Usage:
+//
+//	benchrunner                  # every experiment, paper-scale grids
+//	benchrunner -quick           # shrunken grids for a fast smoke run
+//	benchrunner -exp fig9        # one experiment
+//	benchrunner -csv -out results/  # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+var experiments = map[string]func(bench.Options) (*bench.Report, error){
+	"fig4":   bench.Fig4,
+	"table1": bench.Table1,
+	"fig6":   bench.Fig6,
+	"fig7":   bench.Fig7,
+	"fig8":   bench.Fig8,
+	"fig9":   bench.Fig9,
+	"fig10":  bench.Fig10,
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, fig4, table1, fig6, fig7, fig8, fig9, fig10")
+		quick   = flag.Bool("quick", false, "shrink every grid for a fast smoke run")
+		queries = flag.Int("queries", 5, "identical queries per measurement (best-of)")
+		csv     = flag.Bool("csv", false, "also write CSV files")
+		out     = flag.String("out", ".", "directory for CSV output")
+	)
+	flag.Parse()
+	opts := bench.Options{Quick: *quick, Queries: *queries}
+
+	var reports []*bench.Report
+	if *exp == "all" {
+		var err error
+		reports, err = bench.All(opts)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		fn, ok := experiments[*exp]
+		if !ok {
+			fail(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		rep, err := fn(opts)
+		if err != nil {
+			fail(err)
+		}
+		reports = []*bench.Report{rep}
+	}
+
+	for _, rep := range reports {
+		fmt.Println(rep.String())
+		if *csv {
+			path := filepath.Join(*out, rep.ID+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("   (csv written to %s)\n\n", path)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchrunner:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,429 @@
+// Command provq runs the bundled workflows, stores their provenance traces
+// in a relational store, and answers focused lineage queries with either the
+// naïve traversal (NI) or the INDEXPROJ algorithm.
+//
+// Usage:
+//
+//	provq run   -store file:prov.db -wf testbed -l 10 -d 25
+//	provq run   -store file:prov.db -wf gk -lists 3 -genes 4
+//	provq run   -store file:prov.db -wf pd -query "apoptosis" -max 8
+//	provq runs  -store file:prov.db
+//	provq query -store file:prov.db -run testbed_l10-0001 \
+//	            -binding '2TO1_FINAL:product[3,7]' -focus LISTGEN_1 -method indexproj
+//	provq stats -store file:prov.db -run testbed_l10-0001
+//	provq graph -store file:prov.db -run testbed_l10-0001 -o prov.dot
+//	provq verify -store file:prov.db
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "runs":
+		err = cmdRuns(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "graph":
+		err = cmdGraph(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `provq <run|runs|query|stats> [flags]
+
+  run    execute a bundled workflow (testbed/gk/pd) and store its trace
+  runs   list the stored runs
+  query  answer a lineage query: lin(<proc:port[index]>, focus)
+  stats  report trace record counts
+  graph  export a run's provenance graph in Graphviz DOT
+  verify check a stored run's integrity (values, indices, Prop. 1)
+
+Run "provq <command> -h" for command flags.`)
+}
+
+// newSystem opens a system over the store DSN and registers the bundled
+// workflows and their behaviours, plus any extra definitions loaded from
+// JSON files (comma-separated paths). Extra definitions have no registered
+// behaviours — they cannot be Run, but lineage queries and verification
+// against their stored runs work (both only read the specification).
+func newSystem(dsn string, testbedL int, wfJSON string) (*core.System, error) {
+	sys, err := core.NewSystem(core.WithStoreDSN(dsn))
+	if err != nil {
+		return nil, err
+	}
+	reg := sys.Registry()
+	gen.RegisterTestbed(reg)
+	gen.RegisterGK(reg, gen.DefaultKEGG())
+	gen.RegisterPD(reg, gen.DefaultPubMed())
+	for _, w := range gen.BundledWorkflows(testbedL) {
+		if err := sys.RegisterWorkflow(w); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
+	for _, path := range strings.Split(wfJSON, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		var w workflow.Workflow
+		if err := json.Unmarshal(data, &w); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := sys.RegisterWorkflow(&w); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return sys, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	wf := fs.String("wf", "testbed", "workflow: testbed, gk, pd")
+	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
+	l := fs.Int("l", 10, "testbed chain length")
+	d := fs.Int("d", 10, "testbed list size")
+	lists := fs.Int("lists", 3, "gk: number of gene sub-lists")
+	genes := fs.Int("genes", 4, "gk: genes per sub-list")
+	query := fs.String("query", "protein binding", "pd: search query")
+	maxAbs := fs.Int("max", 8, "pd: abstract budget")
+	save := fs.Bool("save", true, "snapshot file-backed stores after the run")
+	inputsJSON := fs.String("inputs", "", `override inputs as JSON, e.g. '{"list_of_geneIDList": [["mmu:1"],["mmu:2"]]}'`)
+	fs.Parse(args)
+
+	sys, err := newSystem(*dsn, *l, *wfJSON)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	var name string
+	var inputs map[string]value.Value
+	switch *wf {
+	case "testbed":
+		name = fmt.Sprintf("testbed_l%d", *l)
+		inputs = gen.TestbedInputs(*d)
+	case "gk":
+		name = "genes2Kegg"
+		inputs = gen.GKInputs(*lists, *genes)
+	case "pd":
+		name = "protein_discovery"
+		inputs = gen.PDInputs(*query, *maxAbs)
+	default:
+		return fmt.Errorf("unknown workflow %q", *wf)
+	}
+	if *inputsJSON != "" {
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(*inputsJSON), &raw); err != nil {
+			return fmt.Errorf("bad -inputs: %w", err)
+		}
+		for port, jv := range raw {
+			v, err := value.FromJSON(jv)
+			if err != nil {
+				return fmt.Errorf("bad -inputs for port %q: %w", port, err)
+			}
+			inputs[port] = v
+		}
+	}
+	res, err := sys.Run(name, inputs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run %s completed\n", res.RunID)
+	var ports []string
+	for port := range res.Outputs {
+		ports = append(ports, port)
+	}
+	sort.Strings(ports)
+	for _, port := range ports {
+		fmt.Printf("  %s = %s\n", port, truncate(value.Encode(res.Outputs[port]), 160))
+	}
+	total, err := sys.Store().TotalRecords(res.RunID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  trace records: %d\n", total)
+	if *save && strings.HasPrefix(*dsn, "file:") {
+		return sys.Save(strings.TrimPrefix(*dsn, "file:"))
+	}
+	return nil
+}
+
+func cmdRuns(args []string) error {
+	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	fs.Parse(args)
+	sys, err := newSystem(*dsn, 10, "")
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	runs, err := sys.Store().ListRuns()
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		fmt.Println("no runs stored")
+		return nil
+	}
+	for _, r := range runs {
+		total, err := sys.Store().TotalRecords(r.RunID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-30s workflow=%-20s records=%d\n", r.RunID, r.Workflow, total)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	runID := fs.String("run", "", "run ID (see provq runs)")
+	binding := fs.String("binding", "", "query binding, e.g. '2TO1_FINAL:product[3,7]' or 'workflow:out[]'")
+	focusArg := fs.String("focus", "", "comma-separated focus processors")
+	method := fs.String("method", "indexproj", "lineage algorithm: indexproj or naive")
+	direction := fs.String("direction", "back", "back (lineage) or forward (impact)")
+	l := fs.Int("l", 10, "testbed chain length used when the run's workflow is a testbed")
+	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
+	values := fs.Bool("values", true, "print the bound element values")
+	fs.Parse(args)
+
+	if *runID == "" || *binding == "" {
+		return fmt.Errorf("query requires -run and -binding")
+	}
+	m, err := core.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	proc, port, idx, err := parseBinding(*binding)
+	if err != nil {
+		return err
+	}
+	focus := lineage.NewFocus()
+	for _, p := range strings.Split(*focusArg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			focus[p] = true
+		}
+	}
+
+	sys, err := newSystem(*dsn, *l, *wfJSON)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	var res *lineage.Result
+	switch *direction {
+	case "back", "backward":
+		res, err = sys.Lineage(m, *runID, proc, port, idx, focus)
+	case "forward", "fwd":
+		res, err = sys.Affected(*runID, proc, port, idx, focus)
+	default:
+		return fmt.Errorf("unknown direction %q (want back or forward)", *direction)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s(<%s:%s%s>, %v) via %s: %d bindings\n", *direction, displayProc(proc), port, idx, focus.Names(), m, res.Len())
+	for _, e := range res.Entries() {
+		if *values {
+			el, err := e.Element()
+			detail := ""
+			if err == nil {
+				detail = " = " + truncate(value.Encode(el), 100)
+			}
+			fmt.Printf("  %s%s\n", e, detail)
+		} else {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	runID := fs.String("run", "", "run ID ('' for all runs)")
+	fs.Parse(args)
+	sys, err := newSystem(*dsn, 10, "")
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	in, out, xf, err := sys.Store().RecordCounts(*runID)
+	if err != nil {
+		return err
+	}
+	scope := *runID
+	if scope == "" {
+		scope = "(all runs)"
+	}
+	fmt.Printf("scope %s\n  xform input rows:  %d\n  xform output rows: %d\n  xfer rows:         %d\n  total:             %d\n",
+		scope, in, out, xf, in+out+xf)
+	return nil
+}
+
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	runID := fs.String("run", "", "run ID (see provq runs)")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *runID == "" {
+		return fmt.Errorf("graph requires -run")
+	}
+	sys, err := newSystem(*dsn, 10, "")
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	tr, err := sys.Store().LoadTrace(*runID)
+	if err != nil {
+		return err
+	}
+	g := trace.BuildGraph(tr)
+	dot := g.DOT()
+	if *out == "" {
+		fmt.Print(dot)
+		return nil
+	}
+	if err := os.WriteFile(*out, []byte(dot), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d nodes, %d arcs to %s\n", g.NumNodes(), g.NumArcs(), *out)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	runID := fs.String("run", "", "run ID ('' verifies every stored run)")
+	l := fs.Int("l", 10, "testbed chain length for testbed runs")
+	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
+	fs.Parse(args)
+	sys, err := newSystem(*dsn, *l, *wfJSON)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	var ids []string
+	if *runID != "" {
+		ids = []string{*runID}
+	} else {
+		runs, err := sys.Store().ListRuns()
+		if err != nil {
+			return err
+		}
+		for _, r := range runs {
+			ids = append(ids, r.RunID)
+		}
+	}
+	bad := 0
+	for _, id := range ids {
+		runs, err := sys.Store().ListRuns()
+		if err != nil {
+			return err
+		}
+		var wfName string
+		for _, r := range runs {
+			if r.RunID == id {
+				wfName = r.Workflow
+			}
+		}
+		wf, _ := sys.Workflow(wfName) // nil => structural checks only
+		rep, err := sys.Store().Verify(id, wf)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		if !rep.OK() {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d run(s) failed verification", bad)
+	}
+	return nil
+}
+
+// parseBinding splits "proc:port[i,j]" (use proc "workflow" or "" for
+// workflow-level ports).
+func parseBinding(s string) (proc, port string, idx value.Index, err error) {
+	bracket := strings.IndexByte(s, '[')
+	idx = value.EmptyIndex
+	core := s
+	if bracket >= 0 {
+		core = s[:bracket]
+		idx, err = value.ParseIndex(s[bracket:])
+		if err != nil {
+			return "", "", nil, err
+		}
+	}
+	colon := strings.LastIndexByte(core, ':')
+	if colon < 0 {
+		return "", "", nil, fmt.Errorf("binding %q must look like proc:port[index]", s)
+	}
+	proc, port = core[:colon], core[colon+1:]
+	if proc == "workflow" {
+		proc = ""
+	}
+	if port == "" {
+		return "", "", nil, fmt.Errorf("binding %q has an empty port", s)
+	}
+	return proc, port, idx, nil
+}
+
+func displayProc(proc string) string {
+	if proc == "" {
+		return "workflow"
+	}
+	return proc
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,63 @@
+// Command wfgen generates workflow specifications as JSON: the synthetic
+// testbed family of Fig. 5 (parameterized by chain length l) and the GK/PD
+// reconstructions.
+//
+// Usage:
+//
+//	wfgen -wf testbed -l 75 -o testbed75.json
+//	wfgen -wf gk
+//	wfgen -wf pd -o pd.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/workflow"
+)
+
+func main() {
+	var (
+		kind = flag.String("wf", "testbed", "workflow to generate: testbed, gk, pd")
+		l    = flag.Int("l", 10, "testbed chain length")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*kind, *l, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "wfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, l int, out string) error {
+	var w *workflow.Workflow
+	switch kind {
+	case "testbed":
+		if l < 1 {
+			return fmt.Errorf("testbed chain length must be positive, got %d", l)
+		}
+		w = gen.Testbed(l)
+	case "gk":
+		w = gen.GenesToKegg()
+	case "pd":
+		w = gen.ProteinDiscovery()
+	default:
+		return fmt.Errorf("unknown workflow kind %q (want testbed, gk or pd)", kind)
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Fine-grained and
+// efficient lineage querying of collection-based workflow provenance"
+// (Missier, Paton, Belhajjame; EDBT 2010).
+//
+// The library implements the complete stack the paper builds on: the
+// Taverna-style collection dataflow model with implicit iteration
+// (internal/workflow, internal/iter), a data-driven execution engine that
+// emits fine-grained provenance traces (internal/engine, internal/trace), an
+// embedded relational store with B-tree indexes and a SQL subset behind
+// database/sql (internal/reldb, internal/sqlike, internal/store), and the
+// paper's contribution — the INDEXPROJ lineage algorithm alongside the naïve
+// baseline (internal/lineage) — plus the full experimental evaluation
+// (internal/gen, internal/bench, cmd/benchrunner).
+//
+// Start with internal/core for the high-level API, examples/ for runnable
+// scenarios, DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison. The benchmarks in bench_test.go regenerate
+// one measurement per table/figure of the paper's evaluation section.
+package repro

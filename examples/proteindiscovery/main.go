@@ -1,0 +1,86 @@
+// proteindiscovery runs the reconstruction of the BioAID protein-discovery
+// workflow (the paper's long-path "PD" evaluation workflow): a synthetic
+// PubMed search feeds a 20+-processor text-mining pipeline. Lineage traces
+// each per-abstract evidence list back to its abstract, and shows how the
+// final merge collapses granularity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/value"
+)
+
+func main() {
+	sys, err := core.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	gen.RegisterPD(sys.Registry(), gen.DefaultPubMed())
+	wf := gen.ProteinDiscovery()
+	if err := sys.RegisterWorkflow(wf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protein_discovery: %d processors\n", wf.NumNodes())
+
+	run, err := sys.Run("protein_discovery", gen.PDInputs("apoptosis receptor signaling", 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndiscovered proteins:")
+	for _, p := range run.Outputs["discovered_proteins"].Elems() {
+		s, _ := p.StringVal()
+		fmt.Println("  -", s)
+	}
+	records, err := sys.Store().TotalRecords(run.RunID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrace: %d records\n", records)
+
+	// Per-abstract evidence keeps fine-grained lineage through the whole
+	// per-abstract pipeline (12+ processors): evidence[i] <- abstract i.
+	fmt.Println("\nlineage of per-abstract evidence, focus = {fetch_abstract}:")
+	focus := lineage.NewFocus("fetch_abstract")
+	ev := run.Outputs["evidence"]
+	for i := 0; i < ev.Len(); i++ {
+		res, err := sys.Lineage(core.IndexProj, run.RunID, "", "evidence", value.Ix(i, 0), focus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range res.Entries() {
+			el, err := e.Element()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  evidence[%d] <- abstract %s\n", i, value.Encode(el))
+		}
+	}
+
+	// Past the merge, granularity collapses: every final protein depends on
+	// the whole per-abstract hit collection.
+	res, err := sys.Lineage(core.IndexProj, run.RunID, "", "discovered_proteins", value.Ix(0),
+		lineage.NewFocus("merge_abstract_hits"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlineage of discovered_proteins[0], focus = {merge_abstract_hits}:")
+	fmt.Println("  ", res)
+
+	// NI and INDEXPROJ agree, but issue very different numbers of trace
+	// queries on this long workflow — the paper's core efficiency claim.
+	ni, err := sys.Lineage(core.Naive, run.RunID, "", "evidence", value.Ix(2, 0), focus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ip, err := sys.Lineage(core.IndexProj, run.RunID, "", "evidence", value.Ix(2, 0), focus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNI == INDEXPROJ on evidence[2,0]: %v (%d bindings)\n", ni.Equal(ip), ni.Len())
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var quick = Options{Quick: true, Queries: 2}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID:      "x",
+		Title:   "demo",
+		Caption: "line1\nline2",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := r.String()
+	if !strings.Contains(s, "== x: demo ==") || !strings.Contains(s, "line2") {
+		t.Errorf("String = %q", s)
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	calls := 0
+	d, err := bestOf(3, func() error { calls++; time.Sleep(time.Microsecond); return nil })
+	if err != nil || calls != 3 || d <= 0 {
+		t.Errorf("bestOf = %v, calls %d, err %v", d, calls, err)
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	rep, err := Table1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[2] != row[3] {
+			t.Errorf("measured %s != predicted %s for d=%s l=%s", row[2], row[3], row[0], row[1])
+		}
+	}
+	// The (10,10) configuration lines up with the paper's order of magnitude.
+	if rep.Rows[0][4] != "626" {
+		t.Errorf("paper reference = %s", rep.Rows[0][4])
+	}
+	measured, _ := strconv.Atoi(rep.Rows[0][2])
+	if measured < 300 || measured > 1500 {
+		t.Errorf("measured (10,10) = %d, expected same order as paper's 626", measured)
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	rep, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 query configs x 3 run counts.
+	if len(rep.Rows) != 12 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// t1 is constant per config while runs grow.
+	if rep.Rows[0][2] != rep.Rows[1][2] {
+		t.Errorf("t1 varies across run counts: %v vs %v", rep.Rows[0], rep.Rows[1])
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	rep, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Records strictly accumulate.
+	prev := 0
+	for _, row := range rep.Rows {
+		n, _ := strconv.Atoi(row[1])
+		if n <= prev {
+			t.Errorf("records did not grow: %v", rep.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	rep, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	rep, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Graph nodes follow 2l+2.
+	if rep.Rows[0][1] != "12" {
+		t.Errorf("nodes for l=5 = %s, want 12", rep.Rows[0][1])
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	rep, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	rep, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Focus sizes do not shrink along the sweep.
+	prev := 0
+	for _, row := range rep.Rows {
+		k, _ := strconv.Atoi(row[0])
+		if k < prev {
+			t.Errorf("focus sizes shrink: %v", rep.Rows)
+		}
+		prev = k
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	reps, err := All(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 7 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	ids := []string{"fig4", "table1", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	for i, rep := range reps {
+		if rep.ID != ids[i] {
+			t.Errorf("report %d = %s, want %s", i, rep.ID, ids[i])
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("report %s is empty", rep.ID)
+		}
+	}
+}

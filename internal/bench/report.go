@@ -1,0 +1,100 @@
+// Package bench implements the paper's experimental evaluation (§4): one
+// regeneration function per table and figure. Each experiment populates a
+// provenance store with synthetic testbed or GK/PD runs, measures the
+// lineage algorithms under the paper's methodology (best of five identical
+// queries, warm caches), and renders a textual report that mirrors the
+// paper's rows/series. Absolute times differ from the 2009 laptop + MySQL
+// testbed; the comparisons of interest are the shapes (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID      string // "table1", "fig4", ...
+	Title   string
+	Caption string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Caption != "" {
+		for _, line := range strings.Split(r.Caption, "\n") {
+			fmt.Fprintf(&sb, "   %s\n", line)
+		}
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the report as comma-separated values.
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Columns, ","))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ms renders a duration in milliseconds with three decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6)
+}
+
+// bestOf runs fn n times and returns the fastest duration — the paper's
+// methodology: "the best response times over a sequence of five identical
+// queries ... assuming the best case of a warm cache" (§4.2, footnote 10).
+func bestOf(n int, fn func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if el := time.Since(start); i == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// Concurrent execution: one goroutine per processor, values flowing through
+// per-arc channels. This realizes the data-driven model of §2.1 literally —
+// a processor fires as soon as all its connected inputs have received
+// values. Every arc carries exactly one value per run, so channels are
+// buffered with capacity 1 and sends never block; receives are guarded by a
+// cancellation channel so a failed upstream processor cannot deadlock its
+// consumers.
+
+// lockedCollector serializes event emission from concurrent processors.
+type lockedCollector struct {
+	mu sync.Mutex
+	c  trace.Collector
+}
+
+func (l *lockedCollector) Xform(e trace.XformEvent) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Xform(e)
+}
+
+func (l *lockedCollector) Xfer(e trace.XferEvent) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Xfer(e)
+}
+
+func (e *Engine) runConcurrent(wf *workflow.Workflow, d *workflow.Depths, base string, ctx value.Index, inputs map[string]value.Value, col trace.Collector) (map[string]value.Value, error) {
+	if _, ok := col.(*lockedCollector); !ok {
+		col = &lockedCollector{c: col}
+	}
+
+	chans := make(map[workflow.Arc]chan value.Value, len(wf.Arcs))
+	for _, a := range wf.Arcs {
+		chans[a] = make(chan value.Value, 1)
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(done)
+		})
+	}
+
+	// Feed workflow inputs into their outgoing arcs.
+	for _, p := range wf.Inputs {
+		id := workflow.PortID{Proc: workflow.WorkflowPseudoProc, Port: p.Name}
+		for _, a := range wf.OutgoingArcs(id) {
+			chans[a] <- inputs[p.Name]
+		}
+	}
+
+	recv := func(a workflow.Arc) (value.Value, bool) {
+		select {
+		case v := <-chans[a]:
+			return v, true
+		case <-done:
+			return value.Value{}, false
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, p := range wf.Processors {
+		wg.Add(1)
+		go func(p *workflow.Processor) {
+			defer wg.Done()
+			inVals := make([]value.Value, len(p.Inputs))
+			for i, port := range p.Inputs {
+				id := workflow.PortID{Proc: p.Name, Port: port.Name}
+				if arc, ok := wf.IncomingArc(id); ok {
+					v, ok := recv(arc)
+					if !ok {
+						return // cancelled
+					}
+					inVals[i] = v
+					ev := trace.XferEvent{
+						From: trace.Binding{Proc: qualifyPortProc(base, arc.From.Proc), Port: arc.From.Port, Index: ctx.Clone(), Value: v, Ctx: len(ctx)},
+						To:   trace.Binding{Proc: qualify(base, p.Name), Port: port.Name, Index: ctx.Clone(), Value: v, Ctx: len(ctx)},
+					}
+					if err := col.Xfer(ev); err != nil {
+						fail(err)
+						return
+					}
+				} else if port.HasDefault {
+					inVals[i] = port.Default
+				} else {
+					fail(fmt.Errorf("engine: input %s is unconnected and has no default", id))
+					return
+				}
+			}
+			outs, err := e.invoke(d, base, ctx, p, inVals, col)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for j, port := range p.Outputs {
+				id := workflow.PortID{Proc: p.Name, Port: port.Name}
+				for _, a := range wf.OutgoingArcs(id) {
+					chans[a] <- outs[j]
+				}
+			}
+		}(p)
+	}
+
+	// Collect workflow outputs on the main goroutine.
+	outputs := make(map[string]value.Value, len(wf.Outputs))
+	for _, port := range wf.Outputs {
+		id := workflow.PortID{Proc: workflow.WorkflowPseudoProc, Port: port.Name}
+		arc, ok := wf.IncomingArc(id)
+		if !ok {
+			fail(fmt.Errorf("engine: workflow output %q is not connected", port.Name))
+			break
+		}
+		v, ok := recv(arc)
+		if !ok {
+			break // cancelled
+		}
+		outputs[port.Name] = v
+		ev := trace.XferEvent{
+			From: trace.Binding{Proc: qualifyPortProc(base, arc.From.Proc), Port: arc.From.Port, Index: ctx.Clone(), Value: v, Ctx: len(ctx)},
+			To:   trace.Binding{Proc: pseudoProc(base), Port: port.Name, Index: ctx.Clone(), Value: v, Ctx: len(ctx)},
+		}
+		if err := col.Xfer(ev); err != nil {
+			fail(err)
+			break
+		}
+	}
+
+	wg.Wait()
+	select {
+	case <-done:
+		return nil, firstErr
+	default:
+		return outputs, nil
+	}
+}

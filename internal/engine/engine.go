@@ -1,0 +1,408 @@
+// Package engine executes dataflow specifications under the pure data-driven
+// semantics of §2.1 of the paper: a processor fires as soon as all of its
+// connected input ports are bound, implicit iteration over collections
+// follows the eval_l semantics of §3.2 (implemented in internal/iter), and
+// every observable event — one xform per processor activation, one xfer per
+// value transfer along an arc — is reported to a trace collector.
+//
+// Nested dataflows execute recursively. Processor names inside a nested
+// dataflow bound to composite C are path-qualified ("C/Q"), the sub-run's
+// own pseudo-ports appear under the processor name "C/", and all indices
+// recorded inside the sub-run carry the activation index of the composite as
+// a context prefix, so one uniform index space addresses the hierarchy. At
+// the boundary the engine emits fine-grained xfer events that remap parent
+// element indices to sub-run context indices (relation (2) of §2.3 permits
+// p ≠ p′), which lets the naïve lineage algorithm traverse into nested
+// dataflows without any special casing.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/iter"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// Func is the black-box behaviour of a processor type: it consumes one
+// element value per input port (in declaration order, already adapted to the
+// declared depths by the iteration machinery) and produces one value per
+// output port, each of the declared output depth.
+type Func func(args []value.Value) ([]value.Value, error)
+
+// Registry maps processor type names to behaviours.
+type Registry struct {
+	m map[string]Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Func)} }
+
+// Register binds a processor type name to a behaviour, replacing any
+// previous binding.
+func (r *Registry) Register(typ string, fn Func) { r.m[typ] = fn }
+
+// Lookup returns the behaviour bound to a type name.
+func (r *Registry) Lookup(typ string) (Func, bool) {
+	fn, ok := r.m[typ]
+	return fn, ok
+}
+
+// Types returns the registered type names, sorted.
+func (r *Registry) Types() []string {
+	out := make([]string, 0, len(r.m))
+	for t := range r.m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine executes workflows against a registry of processor behaviours.
+type Engine struct {
+	reg            *Registry
+	concurrent     bool
+	maxActivations int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// Concurrent makes Run execute independent processors in parallel goroutines
+// (one per processor, values flowing through channels). The set of emitted
+// events and the computed outputs are identical to sequential execution;
+// only event order differs.
+func Concurrent() Option { return func(e *Engine) { e.concurrent = true } }
+
+// MaxActivations bounds the number of activations any single processor
+// invocation may expand to; cross products over large collections grow
+// multiplicatively, and the bound turns a runaway iteration into a clean
+// error instead of memory exhaustion. Zero (the default) means unlimited.
+func MaxActivations(n int) Option { return func(e *Engine) { e.maxActivations = n } }
+
+// New returns an engine over the given registry.
+func New(reg *Registry, opts ...Option) *Engine {
+	e := &Engine{reg: reg}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Run executes wf on the given workflow-level input bindings, reporting
+// every provenance event to col (use trace.Discard to drop them), and
+// returns the workflow-level output bindings. The workflow must be valid;
+// inputs must bind every workflow input port with a value of its declared
+// depth.
+func (e *Engine) Run(wf *workflow.Workflow, inputs map[string]value.Value, col trace.Collector) (map[string]value.Value, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	d, err := workflow.PropagateDepths(wf)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if err := checkInputs(wf, inputs); err != nil {
+		return nil, err
+	}
+	if e.concurrent {
+		return e.runConcurrent(wf, d, "", value.EmptyIndex, inputs, col)
+	}
+	return e.runSequential(wf, d, "", value.EmptyIndex, inputs, col)
+}
+
+// RunTrace is like Run but also allocates and returns the trace of the run.
+func (e *Engine) RunTrace(wf *workflow.Workflow, runID string, inputs map[string]value.Value) (map[string]value.Value, *trace.Trace, error) {
+	t := &trace.Trace{RunID: runID, Workflow: wf.Name}
+	outs, err := e.Run(wf, inputs, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, t, nil
+}
+
+func checkInputs(wf *workflow.Workflow, inputs map[string]value.Value) error {
+	for _, p := range wf.Inputs {
+		v, ok := inputs[p.Name]
+		if !ok {
+			return fmt.Errorf("engine: workflow input %q not bound", p.Name)
+		}
+		if err := v.CheckUniform(); err != nil {
+			return fmt.Errorf("engine: workflow input %q: %w", p.Name, err)
+		}
+		if dep := v.Depth(); dep != p.DeclaredDepth && !(v.AtomCount() == 0 && dep <= p.DeclaredDepth) {
+			return fmt.Errorf("engine: workflow input %q has depth %d, declared %d", p.Name, dep, p.DeclaredDepth)
+		}
+	}
+	for name := range inputs {
+		if _, ok := wf.Input(name); !ok {
+			return fmt.Errorf("engine: no workflow input port %q", name)
+		}
+	}
+	return nil
+}
+
+// qualify returns the trace name of a processor within a run context.
+func qualify(base, proc string) string {
+	if base == "" {
+		return proc
+	}
+	return base + "/" + proc
+}
+
+// pseudoProc returns the trace name under which the run's own workflow ports
+// appear: trace.WorkflowProc at the root, "C/" inside composite C.
+func pseudoProc(base string) string {
+	if base == "" {
+		return trace.WorkflowProc
+	}
+	return base + "/"
+}
+
+// runSequential executes one (sub-)run in topological order.
+// base is the composite path ("" at the root); ctx is the accumulated
+// activation context prefix for all recorded indices.
+func (e *Engine) runSequential(wf *workflow.Workflow, d *workflow.Depths, base string, ctx value.Index, inputs map[string]value.Value, col trace.Collector) (map[string]value.Value, error) {
+	order, err := wf.Toposort()
+	if err != nil {
+		return nil, err
+	}
+	produced := make(map[workflow.PortID]value.Value, len(wf.Arcs))
+	for _, p := range wf.Inputs {
+		produced[workflow.PortID{Proc: workflow.WorkflowPseudoProc, Port: p.Name}] = inputs[p.Name]
+	}
+
+	resolve := func(id workflow.PortID) (value.Value, bool) {
+		v, ok := produced[id]
+		return v, ok
+	}
+	for _, p := range order {
+		inVals, err := e.gatherInputs(wf, base, ctx, p, resolve, col)
+		if err != nil {
+			return nil, err
+		}
+		outs, err := e.invoke(d, base, ctx, p, inVals, col)
+		if err != nil {
+			return nil, err
+		}
+		for j, port := range p.Outputs {
+			produced[workflow.PortID{Proc: p.Name, Port: port.Name}] = outs[j]
+		}
+	}
+	return e.gatherOutputs(wf, base, ctx, resolve, col)
+}
+
+// gatherInputs resolves the input values of processor p, emitting one xfer
+// event per incoming arc, and falling back to port defaults.
+func (e *Engine) gatherInputs(wf *workflow.Workflow, base string, ctx value.Index, p *workflow.Processor, resolve func(workflow.PortID) (value.Value, bool), col trace.Collector) ([]value.Value, error) {
+	inVals := make([]value.Value, len(p.Inputs))
+	for i, port := range p.Inputs {
+		id := workflow.PortID{Proc: p.Name, Port: port.Name}
+		if arc, ok := wf.IncomingArc(id); ok {
+			v, ok := resolve(arc.From)
+			if !ok {
+				return nil, fmt.Errorf("engine: value for %s unavailable (internal scheduling error)", arc.From)
+			}
+			inVals[i] = v
+			ev := trace.XferEvent{
+				From: trace.Binding{Proc: qualifyPortProc(base, arc.From.Proc), Port: arc.From.Port, Index: ctx.Clone(), Value: v, Ctx: len(ctx)},
+				To:   trace.Binding{Proc: qualify(base, p.Name), Port: port.Name, Index: ctx.Clone(), Value: v, Ctx: len(ctx)},
+			}
+			if err := col.Xfer(ev); err != nil {
+				return nil, err
+			}
+		} else if port.HasDefault {
+			inVals[i] = port.Default
+		} else {
+			return nil, fmt.Errorf("engine: input %s is unconnected and has no default", id)
+		}
+	}
+	return inVals, nil
+}
+
+// qualifyPortProc maps an in-workflow port processor name to its trace name:
+// processor names gain the base path, and the pseudo-processor of the
+// enclosing run maps to pseudoProc(base).
+func qualifyPortProc(base, proc string) string {
+	if proc == workflow.WorkflowPseudoProc {
+		return pseudoProc(base)
+	}
+	return qualify(base, proc)
+}
+
+// gatherOutputs resolves workflow-level outputs, emitting the final xfer
+// events onto the run's pseudo-ports.
+func (e *Engine) gatherOutputs(wf *workflow.Workflow, base string, ctx value.Index, resolve func(workflow.PortID) (value.Value, bool), col trace.Collector) (map[string]value.Value, error) {
+	outputs := make(map[string]value.Value, len(wf.Outputs))
+	for _, port := range wf.Outputs {
+		id := workflow.PortID{Proc: workflow.WorkflowPseudoProc, Port: port.Name}
+		arc, ok := wf.IncomingArc(id)
+		if !ok {
+			return nil, fmt.Errorf("engine: workflow output %q is not connected", port.Name)
+		}
+		v, ok := resolve(arc.From)
+		if !ok {
+			return nil, fmt.Errorf("engine: value for %s unavailable (internal scheduling error)", arc.From)
+		}
+		outputs[port.Name] = v
+		ev := trace.XferEvent{
+			From: trace.Binding{Proc: qualifyPortProc(base, arc.From.Proc), Port: arc.From.Port, Index: ctx.Clone(), Value: v, Ctx: len(ctx)},
+			To:   trace.Binding{Proc: pseudoProc(base), Port: port.Name, Index: ctx.Clone(), Value: v, Ctx: len(ctx)},
+		}
+		if err := col.Xfer(ev); err != nil {
+			return nil, err
+		}
+	}
+	return outputs, nil
+}
+
+// invoke runs one processor on resolved input values: it enumerates the
+// implicit-iteration activations, executes the black box (or the nested
+// dataflow) per activation, assembles the wrapped outputs, and emits one
+// xform event per activation.
+func (e *Engine) invoke(d *workflow.Depths, base string, ctx value.Index, p *workflow.Processor, inVals []value.Value, col trace.Collector) ([]value.Value, error) {
+	plan := d.Plan(p.Name)
+	if plan == nil {
+		return nil, fmt.Errorf("engine: no iteration plan for processor %q", qualify(base, p.Name))
+	}
+	acts, err := plan.Enumerate(inVals)
+	if err != nil {
+		return nil, fmt.Errorf("engine: processor %q: %w", qualify(base, p.Name), err)
+	}
+	if e.maxActivations > 0 && len(acts) > e.maxActivations {
+		return nil, fmt.Errorf("engine: processor %q would run %d activations, limit is %d",
+			qualify(base, p.Name), len(acts), e.maxActivations)
+	}
+
+	results := make([][]value.Value, len(p.Outputs))
+	for j := range results {
+		results[j] = make([]value.Value, len(acts))
+	}
+	for k, act := range acts {
+		var outs []value.Value
+		if p.Sub != nil {
+			outs, err = e.invokeComposite(d, base, ctx, p, act, inVals, col)
+		} else {
+			outs, err = e.invokeBlackBox(base, p, act)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for j := range p.Outputs {
+			results[j][k] = outs[j]
+		}
+	}
+
+	assembled := make([]value.Value, len(p.Outputs))
+	for j := range p.Outputs {
+		v, err := plan.Assemble(inVals, results[j])
+		if err != nil {
+			return nil, fmt.Errorf("engine: processor %q: %w", qualify(base, p.Name), err)
+		}
+		assembled[j] = v
+	}
+
+	name := qualify(base, p.Name)
+	for _, act := range acts {
+		ev := trace.XformEvent{Proc: name}
+		for i, port := range p.Inputs {
+			ev.Inputs = append(ev.Inputs, trace.Binding{
+				Proc: name, Port: port.Name,
+				Index: ctx.Concat(act.InputIndices[i]),
+				Value: inVals[i], Ctx: len(ctx),
+			})
+		}
+		for j, port := range p.Outputs {
+			ev.Outputs = append(ev.Outputs, trace.Binding{
+				Proc: name, Port: port.Name,
+				Index: ctx.Concat(act.OutputIndex),
+				Value: assembled[j], Ctx: len(ctx),
+			})
+		}
+		if err := col.Xform(ev); err != nil {
+			return nil, err
+		}
+	}
+	return assembled, nil
+}
+
+// invokeBlackBox executes one activation of a plain processor and validates
+// the results against the declared output depths (assumption 1 of §3.1).
+func (e *Engine) invokeBlackBox(base string, p *workflow.Processor, act iter.Activation) ([]value.Value, error) {
+	name := qualify(base, p.Name)
+	fn, ok := e.reg.Lookup(p.Type)
+	if !ok {
+		return nil, fmt.Errorf("engine: processor %q has unregistered type %q", name, p.Type)
+	}
+	outs, err := fn(act.Args)
+	if err != nil {
+		return nil, fmt.Errorf("engine: processor %q failed: %w", name, err)
+	}
+	if len(outs) != len(p.Outputs) {
+		return nil, fmt.Errorf("engine: processor %q returned %d values for %d output ports", name, len(outs), len(p.Outputs))
+	}
+	for j, port := range p.Outputs {
+		dep := outs[j].Depth()
+		if dep != port.DeclaredDepth && !(outs[j].AtomCount() == 0 && dep <= port.DeclaredDepth) {
+			return nil, fmt.Errorf("engine: processor %q output %q has depth %d, declared %d",
+				name, port.Name, dep, port.DeclaredDepth)
+		}
+	}
+	return outs, nil
+}
+
+// invokeComposite executes one activation of a nested dataflow. The
+// sub-run's context is the parent context extended with the activation's
+// output index; fine-grained boundary xfer events remap the parent element
+// indices into the sub-run context.
+func (e *Engine) invokeComposite(d *workflow.Depths, base string, ctx value.Index, p *workflow.Processor, act iter.Activation, inVals []value.Value, col trace.Collector) ([]value.Value, error) {
+	name := qualify(base, p.Name)
+	subCtx := ctx.Concat(act.OutputIndex)
+	subInputs := make(map[string]value.Value, len(p.Inputs))
+	for i, port := range p.Inputs {
+		subInputs[port.Name] = act.Args[i]
+		// Boundary-in xfer: the parent element at p_i becomes the sub-run's
+		// whole input, addressed by the sub context.
+		ev := trace.XferEvent{
+			From: trace.Binding{Proc: name, Port: port.Name, Index: ctx.Concat(act.InputIndices[i]), Value: inVals[i], Ctx: len(ctx)},
+			To:   trace.Binding{Proc: name + "/", Port: port.Name, Index: subCtx.Clone(), Value: act.Args[i], Ctx: len(subCtx)},
+		}
+		if err := col.Xfer(ev); err != nil {
+			return nil, err
+		}
+	}
+	subD := d.Sub(p.Name)
+	if subD == nil {
+		return nil, fmt.Errorf("engine: no propagated depths for nested dataflow %q", name)
+	}
+	var subOuts map[string]value.Value
+	var err error
+	if e.concurrent {
+		subOuts, err = e.runConcurrent(p.Sub, subD, name, subCtx, subInputs, col)
+	} else {
+		subOuts, err = e.runSequential(p.Sub, subD, name, subCtx, subInputs, col)
+	}
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]value.Value, len(p.Outputs))
+	for j, port := range p.Outputs {
+		v, ok := subOuts[port.Name]
+		if !ok {
+			return nil, fmt.Errorf("engine: nested dataflow %q produced no output %q", name, port.Name)
+		}
+		outs[j] = v
+		// Boundary-out xfer: the sub-run's output is the parent's output
+		// element at the activation index.
+		ev := trace.XferEvent{
+			From: trace.Binding{Proc: name + "/", Port: port.Name, Index: subCtx.Clone(), Value: v, Ctx: len(subCtx)},
+			To:   trace.Binding{Proc: name, Port: port.Name, Index: subCtx.Clone(), Value: v, Ctx: len(subCtx)},
+		}
+		if err := col.Xfer(ev); err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}

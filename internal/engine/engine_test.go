@@ -1,0 +1,485 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// testRegistry registers the black boxes used across the engine tests.
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Register("upper", func(args []value.Value) ([]value.Value, error) {
+		s, _ := args[0].StringVal()
+		return []value.Value{value.Str(strings.ToUpper(s))}, nil
+	})
+	r.Register("tolist", func(args []value.Value) ([]value.Value, error) {
+		s, _ := args[0].StringVal()
+		return []value.Value{value.Strs(s+"1", s+"2")}, nil
+	})
+	r.Register("combine", func(args []value.Value) ([]value.Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = value.Encode(a)
+		}
+		return []value.Value{value.Str(strings.Join(parts, "+"))}, nil
+	})
+	r.Register("flatten", func(args []value.Value) ([]value.Value, error) {
+		f, err := value.Flatten(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []value.Value{f}, nil
+	})
+	r.Register("id", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{args[0]}, nil
+	})
+	r.Register("fail", func(args []value.Value) ([]value.Value, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	r.Register("badarity", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{value.Str("a"), value.Str("b")}, nil
+	})
+	r.Register("baddepth", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{value.Strs("list", "not", "atom")}, nil
+	})
+	return r
+}
+
+// fig3 rebuilds the abstract workflow of Fig. 3: Q iterates over v, R turns
+// atom w into a list, P combines an element of each with the whole list c.
+func fig3() *workflow.Workflow {
+	w := workflow.New("fig3")
+	w.AddInput("v", 1).AddInput("w", 0).AddInput("c", 1)
+	w.AddOutput("y", 2)
+	w.AddProcessor("Q", "upper", []workflow.Port{workflow.In("X", 0)}, []workflow.Port{workflow.Out("Y", 0)})
+	w.AddProcessor("R", "tolist", []workflow.Port{workflow.In("X", 0)}, []workflow.Port{workflow.Out("Y", 1)})
+	w.AddProcessor("P", "combine",
+		[]workflow.Port{workflow.In("X1", 0), workflow.In("X2", 1), workflow.In("X3", 0)},
+		[]workflow.Port{workflow.Out("Y", 0)})
+	w.Connect("", "v", "Q", "X")
+	w.Connect("", "w", "R", "X")
+	w.Connect("", "c", "P", "X2")
+	w.Connect("Q", "Y", "P", "X1")
+	w.Connect("R", "Y", "P", "X3")
+	w.Connect("P", "Y", "", "y")
+	return w
+}
+
+func fig3Inputs() map[string]value.Value {
+	return map[string]value.Value{
+		"v": value.Strs("a", "b", "c"),
+		"w": value.Str("w"),
+		"c": value.Strs("k"),
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	e := New(testRegistry())
+	outs, tr, err := e.RunTrace(fig3(), "run1", fig3Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := outs["y"]
+	// Q yields [A,B,C]; R yields [w1,w2]; P crosses 3×2 with c passed whole.
+	if y.Depth() != 2 || y.Len() != 3 || y.Elems()[0].Len() != 2 {
+		t.Fatalf("y shape = %s", y)
+	}
+	el := y.MustAt(value.Ix(1, 0))
+	s, _ := el.StringVal()
+	if s != `"B"+["k"]+"w1"` {
+		t.Errorf("y[1,0] = %q", s)
+	}
+
+	// Trace structure: Q has 3 activations, R has 1, P has 6.
+	counts := map[string]int{}
+	for _, ev := range tr.Xforms {
+		counts[ev.Proc]++
+	}
+	if counts["Q"] != 3 || counts["R"] != 1 || counts["P"] != 6 {
+		t.Errorf("activation counts = %v", counts)
+	}
+	// Xfers: 5 internal arcs + 1 output arc = 6.
+	if len(tr.Xfers) != 6 {
+		t.Errorf("xfer count = %d, want 6", len(tr.Xfers))
+	}
+	// Prop. 1 on recorded events: q = p1·p2·p3 for P.
+	for _, ev := range tr.Xforms {
+		if ev.Proc != "P" {
+			continue
+		}
+		q := ev.Outputs[0].Index
+		cat := ev.Inputs[0].Index.Concat(ev.Inputs[1].Index).Concat(ev.Inputs[2].Index)
+		if !q.Equal(cat) {
+			t.Errorf("Prop 1 violated: q=%v, concat=%v", q, cat)
+		}
+		if len(ev.Inputs[1].Index) != 0 {
+			t.Errorf("whole-list input should have empty index, got %v", ev.Inputs[1].Index)
+		}
+	}
+	// The provenance graph of the run is acyclic.
+	if err := trace.BuildGraph(tr).CheckAcyclic(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunTraceBindingValues(t *testing.T) {
+	e := New(testRegistry())
+	_, tr, err := e.RunTrace(fig3(), "run1", fig3Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tr.Xforms {
+		for _, b := range append(append([]trace.Binding{}, ev.Inputs...), ev.Outputs...) {
+			if _, err := b.Element(); err != nil {
+				t.Errorf("binding %s element unresolvable: %v", b, err)
+			}
+		}
+	}
+}
+
+func TestGKStyleFlattenPipeline(t *testing.T) {
+	// Mirrors the right branch of Fig. 1: flatten then per-element mapping.
+	w := workflow.New("gkright")
+	w.AddInput("lists", 2)
+	w.AddOutput("out", 1)
+	w.AddProcessor("merge", "flatten", []workflow.Port{workflow.In("in", 2)}, []workflow.Port{workflow.Out("out", 1)})
+	w.AddProcessor("map", "upper", []workflow.Port{workflow.In("s", 0)}, []workflow.Port{workflow.Out("r", 0)})
+	w.Connect("", "lists", "merge", "in")
+	w.Connect("merge", "out", "map", "s")
+	w.Connect("map", "r", "", "out")
+
+	e := New(testRegistry())
+	outs, tr, err := e.RunTrace(w, "r", map[string]value.Value{
+		"lists": value.List(value.Strs("a", "b"), value.Strs("c")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(outs["out"], value.Strs("A", "B", "C")) {
+		t.Errorf("out = %s", outs["out"])
+	}
+	// merge is a many-to-many black box: its single xform event is coarse.
+	for _, ev := range tr.Xforms {
+		if ev.Proc == "merge" {
+			if len(ev.Inputs[0].Index) != 0 || len(ev.Outputs[0].Index) != 0 {
+				t.Errorf("merge event not coarse: %s", ev)
+			}
+		}
+	}
+}
+
+func TestDefaultsUsed(t *testing.T) {
+	w := workflow.New("defaults")
+	w.AddInput("in", 0)
+	w.AddOutput("out", 0)
+	w.AddProcessor("p", "combine",
+		[]workflow.Port{workflow.In("a", 0), workflow.InDefault("b", 0, value.Str("D"))},
+		[]workflow.Port{workflow.Out("y", 0)})
+	w.Connect("", "in", "p", "a")
+	w.Connect("p", "y", "", "out")
+	e := New(testRegistry())
+	outs, err := e.Run(w, map[string]value.Value{"in": value.Str("x")}, trace.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := outs["out"].StringVal()
+	if s != `"x"+"D"` {
+		t.Errorf("out = %q", s)
+	}
+}
+
+func TestDotProcessor(t *testing.T) {
+	w := workflow.New("dotwf")
+	w.AddInput("a", 1).AddInput("b", 1)
+	w.AddOutput("out", 1)
+	p := w.AddProcessor("zip", "combine",
+		[]workflow.Port{workflow.In("x", 0), workflow.In("y", 0)},
+		[]workflow.Port{workflow.Out("r", 0)})
+	p.Dot = true
+	w.Connect("", "a", "zip", "x")
+	w.Connect("", "b", "zip", "y")
+	w.Connect("zip", "r", "", "out")
+	e := New(testRegistry())
+	outs, tr, err := e.RunTrace(w, "r", map[string]value.Value{
+		"a": value.Strs("a1", "a2"),
+		"b": value.Strs("b1", "b2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := outs["out"]
+	if out.Len() != 2 {
+		t.Fatalf("dot output = %s", out)
+	}
+	s, _ := out.Elems()[0].StringVal()
+	if s != `"a1"+"b1"` {
+		t.Errorf("dot element = %q", s)
+	}
+	n := 0
+	for _, ev := range tr.Xforms {
+		if ev.Proc == "zip" {
+			n++
+			if !ev.Inputs[0].Index.Equal(ev.Inputs[1].Index) {
+				t.Errorf("dot indices differ: %s", ev)
+			}
+		}
+	}
+	if n != 2 {
+		t.Errorf("zip activations = %d, want 2", n)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	e := New(testRegistry())
+	run := func(mutate func(w *workflow.Workflow), inputs map[string]value.Value) error {
+		w := fig3()
+		if mutate != nil {
+			mutate(w)
+		}
+		in := inputs
+		if in == nil {
+			in = fig3Inputs()
+		}
+		_, err := e.Run(w, in, trace.Discard)
+		return err
+	}
+
+	if err := run(nil, map[string]value.Value{"v": value.Strs("a")}); err == nil || !strings.Contains(err.Error(), "not bound") {
+		t.Errorf("missing input: %v", err)
+	}
+	bad := fig3Inputs()
+	bad["extra"] = value.Str("x")
+	if err := run(nil, bad); err == nil || !strings.Contains(err.Error(), "no workflow input port") {
+		t.Errorf("extra input: %v", err)
+	}
+	bad = fig3Inputs()
+	bad["v"] = value.Str("atom")
+	if err := run(nil, bad); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("wrong depth input: %v", err)
+	}
+	bad = fig3Inputs()
+	bad["v"] = value.List(value.Str("a"), value.Strs("nested"))
+	if err := run(nil, bad); err == nil || !strings.Contains(err.Error(), "non-uniform") {
+		t.Errorf("non-uniform input: %v", err)
+	}
+	if err := run(func(w *workflow.Workflow) { w.Processor("Q").Type = "nosuch" }, nil); err == nil || !strings.Contains(err.Error(), "unregistered type") {
+		t.Errorf("unregistered type: %v", err)
+	}
+	if err := run(func(w *workflow.Workflow) { w.Processor("Q").Type = "fail" }, nil); err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Errorf("failing processor: %v", err)
+	}
+	if err := run(func(w *workflow.Workflow) { w.Processor("Q").Type = "badarity" }, nil); err == nil || !strings.Contains(err.Error(), "output ports") {
+		t.Errorf("bad arity: %v", err)
+	}
+	if err := run(func(w *workflow.Workflow) { w.Processor("Q").Type = "baddepth" }, nil); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("bad output depth: %v", err)
+	}
+	// Unconnected input without default.
+	w := workflow.New("unconn")
+	w.AddInput("in", 0)
+	w.AddOutput("out", 0)
+	w.AddProcessor("p", "combine",
+		[]workflow.Port{workflow.In("a", 0), workflow.In("b", 0)},
+		[]workflow.Port{workflow.Out("y", 0)})
+	w.Connect("", "in", "p", "a")
+	w.Connect("p", "y", "", "out")
+	if _, err := e.Run(w, map[string]value.Value{"in": value.Str("x")}, trace.Discard); err == nil || !strings.Contains(err.Error(), "no default") {
+		t.Errorf("unconnected input: %v", err)
+	}
+}
+
+func compositeWorkflow() *workflow.Workflow {
+	sub := workflow.New("inner")
+	sub.AddInput("a", 0)
+	sub.AddOutput("b", 1)
+	sub.AddProcessor("mk", "tolist", []workflow.Port{workflow.In("x", 0)}, []workflow.Port{workflow.Out("y", 1)})
+	sub.AddProcessor("up", "upper", []workflow.Port{workflow.In("s", 0)}, []workflow.Port{workflow.Out("r", 0)})
+	sub.Connect("", "a", "mk", "x")
+	sub.Connect("mk", "y", "up", "s") // δ=1 inside the sub-workflow
+	sub.Connect("up", "r", "", "b")
+
+	w := workflow.New("outer")
+	w.AddInput("in", 1)
+	w.AddOutput("out", 2)
+	w.AddComposite("comp", sub)
+	w.Connect("", "in", "comp", "a")
+	w.Connect("comp", "b", "", "out")
+	return w
+}
+
+func TestCompositeExecution(t *testing.T) {
+	w := compositeWorkflow()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := New(testRegistry())
+	outs, tr, err := e.RunTrace(w, "r", map[string]value.Value{"in": value.Strs("a", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := value.List(value.Strs("A1", "A2"), value.Strs("B1", "B2"))
+	if !value.Equal(outs["out"], want) {
+		t.Fatalf("out = %s, want %s", outs["out"], want)
+	}
+
+	procs := map[string]int{}
+	for _, ev := range tr.Xforms {
+		procs[ev.Proc]++
+	}
+	// comp iterates twice; each sub-run has 1 mk activation and 2 up
+	// activations.
+	if procs["comp"] != 2 || procs["comp/mk"] != 2 || procs["comp/up"] != 4 {
+		t.Errorf("activation counts = %v", procs)
+	}
+
+	// Sub-run events carry the activation context prefix.
+	for _, ev := range tr.Xforms {
+		if ev.Proc == "comp/up" {
+			if len(ev.Outputs[0].Index) != 2 {
+				t.Errorf("comp/up output index = %v, want ctx+local length 2", ev.Outputs[0].Index)
+			}
+			if ev.Outputs[0].Ctx != 1 {
+				t.Errorf("comp/up Ctx = %d, want 1", ev.Outputs[0].Ctx)
+			}
+			if _, err := ev.Outputs[0].Element(); err != nil {
+				t.Errorf("comp/up element: %v", err)
+			}
+		}
+	}
+
+	// Boundary xfers exist: comp:a → comp/:a (index remap) and
+	// comp/:b → comp:b.
+	var sawIn, sawOut bool
+	for _, ev := range tr.Xfers {
+		if ev.From.Proc == "comp" && ev.To.Proc == "comp/" && ev.To.Port == "a" {
+			sawIn = true
+			if len(ev.From.Index) != 1 || len(ev.To.Index) != 1 {
+				t.Errorf("boundary-in indices: %s", ev)
+			}
+		}
+		if ev.From.Proc == "comp/" && ev.To.Proc == "comp" && ev.To.Port == "b" {
+			sawOut = true
+		}
+	}
+	if !sawIn || !sawOut {
+		t.Errorf("boundary xfers missing: in=%v out=%v", sawIn, sawOut)
+	}
+	if err := trace.BuildGraph(tr).CheckAcyclic(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	for _, build := range []func() *workflow.Workflow{fig3, compositeWorkflow} {
+		w := build()
+		var inputs map[string]value.Value
+		if w.Name == "fig3" {
+			inputs = fig3Inputs()
+		} else {
+			inputs = map[string]value.Value{"in": value.Strs("a", "b")}
+		}
+		seq := New(testRegistry())
+		con := New(testRegistry(), Concurrent())
+		outS, trS, err := seq.RunTrace(w, "r", inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outC, trC, err := con.RunTrace(w, "r", inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range outS {
+			if !value.Equal(v, outC[name]) {
+				t.Errorf("%s: output %q differs: %s vs %s", w.Name, name, v, outC[name])
+			}
+		}
+		ss, cs := eventSet(trS), eventSet(trC)
+		if len(ss) != len(cs) {
+			t.Fatalf("%s: event count differs: %d vs %d", w.Name, len(ss), len(cs))
+		}
+		for k := range ss {
+			if !cs[k] {
+				t.Errorf("%s: concurrent trace missing event %s", w.Name, k)
+			}
+		}
+	}
+}
+
+func eventSet(tr *trace.Trace) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range tr.Xforms {
+		out["xform:"+e.String()] = true
+	}
+	for _, e := range tr.Xfers {
+		out["xfer:"+e.String()] = true
+	}
+	return out
+}
+
+func TestConcurrentErrorPropagation(t *testing.T) {
+	w := fig3()
+	w.Processor("P").Type = "fail"
+	e := New(testRegistry(), Concurrent())
+	_, err := e.Run(w, fig3Inputs(), trace.Discard)
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Errorf("concurrent error = %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register("x", func([]value.Value) ([]value.Value, error) { return nil, nil })
+	r.Register("a", func([]value.Value) ([]value.Value, error) { return nil, nil })
+	if _, ok := r.Lookup("x"); !ok {
+		t.Error("Lookup failed")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("Lookup invented a type")
+	}
+	types := r.Types()
+	if len(types) != 2 || types[0] != "a" || types[1] != "x" {
+		t.Errorf("Types = %v", types)
+	}
+}
+
+func TestEmptyListInput(t *testing.T) {
+	e := New(testRegistry())
+	in := fig3Inputs()
+	in["v"] = value.List()
+	outs, tr, err := e.RunTrace(fig3(), "r", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(outs["y"], value.List()) {
+		t.Errorf("y = %s, want []", outs["y"])
+	}
+	for _, ev := range tr.Xforms {
+		if ev.Proc == "Q" || ev.Proc == "P" {
+			t.Errorf("unexpected activation of %s on empty input", ev.Proc)
+		}
+	}
+}
+
+func TestMaxActivations(t *testing.T) {
+	// 3 x 2 activations at P exceed a limit of 5.
+	e := New(testRegistry(), MaxActivations(5))
+	_, err := e.Run(fig3(), fig3Inputs(), trace.Discard)
+	if err == nil || !strings.Contains(err.Error(), "limit is 5") {
+		t.Errorf("activation limit not enforced: %v", err)
+	}
+	// A generous limit passes.
+	e = New(testRegistry(), MaxActivations(100))
+	if _, err := e.Run(fig3(), fig3Inputs(), trace.Discard); err != nil {
+		t.Errorf("generous limit rejected: %v", err)
+	}
+	// The limit also applies under concurrency.
+	e = New(testRegistry(), MaxActivations(5), Concurrent())
+	if _, err := e.Run(fig3(), fig3Inputs(), trace.Discard); err == nil {
+		t.Error("concurrent activation limit not enforced")
+	}
+}

@@ -1,0 +1,9 @@
+package gen
+
+import "repro/internal/workflow"
+
+// BundledWorkflows returns the workload workflows the CLIs register out of
+// the box: the testbed at the given chain length, GK and PD.
+func BundledWorkflows(testbedL int) []*workflow.Workflow {
+	return []*workflow.Workflow{Testbed(testbedL), GenesToKegg(), ProteinDiscovery()}
+}

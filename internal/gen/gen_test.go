@@ -1,0 +1,392 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/lineage"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+func TestTestbedStructure(t *testing.T) {
+	for _, l := range []int{1, 10, 75} {
+		w := Testbed(l)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("Testbed(%d) invalid: %v", l, err)
+		}
+		if got := w.NumNodes(); got != 2*l+2 {
+			t.Errorf("Testbed(%d) has %d nodes, want %d", l, got, 2*l+2)
+		}
+		d, err := workflow.PropagateDepths(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dep, _ := d.Depth(workflow.PortID{Proc: "", Port: "product"}); dep != 2 {
+			t.Errorf("Testbed(%d) product depth = %d, want 2", l, dep)
+		}
+		if m := d.IterationDepth(FinalName); m != 2 {
+			t.Errorf("Testbed(%d) final iteration depth = %d, want 2", l, m)
+		}
+	}
+	if Testbed(0).NumNodes() != 4 {
+		t.Error("Testbed clamps l to at least 1")
+	}
+}
+
+func TestTestbedExecutionAndRecordCount(t *testing.T) {
+	reg := Registry()
+	e := engine.New(reg)
+	for _, cfg := range []struct{ l, d int }{{1, 2}, {5, 4}, {10, 10}} {
+		w := Testbed(cfg.l)
+		outs, tr, err := e.RunTrace(w, "r", TestbedInputs(cfg.d))
+		if err != nil {
+			t.Fatalf("l=%d d=%d: %v", cfg.l, cfg.d, err)
+		}
+		product := outs["product"]
+		if product.Depth() != 2 || product.Len() != cfg.d {
+			t.Fatalf("l=%d d=%d: product shape %s", cfg.l, cfg.d, product)
+		}
+		if product.Elems()[0].Len() != cfg.d {
+			t.Fatalf("product inner size = %d, want %d", product.Elems()[0].Len(), cfg.d)
+		}
+		el := product.MustAt(value.Ix(1, 0))
+		if s, _ := el.StringVal(); s != "item-1*item-0" {
+			t.Errorf("product[1,0] = %q", s)
+		}
+		if got, want := tr.NumRecords(), TestbedRecords(cfg.l, cfg.d); got != want {
+			t.Errorf("l=%d d=%d: records = %d, predicted %d", cfg.l, cfg.d, got, want)
+		}
+	}
+}
+
+func TestTestbedFineGrainedLineage(t *testing.T) {
+	// The paper's testbed query: lin(⟨2TO1_FINAL:product[i,j]⟩, {LISTGEN_1})
+	// must return exactly the two generator inputs — fine-grained through
+	// the full chains.
+	reg := Registry()
+	e := engine.New(reg)
+	w := Testbed(8)
+	_, tr, err := e.RunTrace(w, "r", TestbedInputs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StoreTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	ni := lineage.NewNaive(s)
+	ip, err := lineage.NewIndexProj(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	focus := lineage.NewFocus(ListGenName)
+	a, err := ni.Lineage("r", FinalName, "product", value.Ix(3, 1), focus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ip.Lineage("r", FinalName, "product", value.Ix(3, 1), focus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("NI %v != INDEXPROJ %v", a, b)
+	}
+	// The generator consumes the whole size atom: one coarse binding.
+	want := []string{fmt.Sprintf("<%s:size[]>@r", ListGenName)}
+	if keys := a.Keys(); !equalStrings(keys, want) {
+		t.Errorf("testbed lineage = %v, want %v", keys, want)
+	}
+
+	// Focusing on chain heads shows the fine-grained element split:
+	// product[3,1] depends on element 3 via branch A and element 1 via B.
+	focus = lineage.NewFocus("A_001", "B_001")
+	a, err = ni.Lineage("r", FinalName, "product", value.Ix(3, 1), focus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"<A_001:x[3]>@r", "<B_001:x[1]>@r"}
+	if keys := a.Keys(); !equalStrings(keys, want) {
+		t.Errorf("chain-head lineage = %v, want %v", keys, want)
+	}
+	b, err = ip.Lineage("r", FinalName, "product", value.Ix(3, 1), focus)
+	if err != nil || !a.Equal(b) {
+		t.Errorf("INDEXPROJ chain-head = %v (err %v)", b, err)
+	}
+}
+
+func TestTestbedErrors(t *testing.T) {
+	reg := Registry()
+	e := engine.New(reg)
+	w := Testbed(2)
+	if _, _, err := e.RunTrace(w, "r", map[string]value.Value{"ListSize": value.Str("x")}); err == nil {
+		t.Error("non-integer size accepted")
+	}
+	if _, _, err := e.RunTrace(w, "r", map[string]value.Value{"ListSize": value.Int(-1)}); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestKEGGDeterminismAndOverlap(t *testing.T) {
+	k := DefaultKEGG()
+	a := k.GenePathways("mmu:20816")
+	b := k.GenePathways("mmu:20816")
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Error("GenePathways not deterministic")
+	}
+	if len(a) < 3 {
+		t.Errorf("gene participates in %d pathways", len(a))
+	}
+	// Universal pathways make intersections non-empty.
+	common := k.CommonPathways([]string{"mmu:1", "mmu:2", "mmu:3", "mmu:4"})
+	if len(common) < 2 {
+		t.Errorf("common pathways = %v", common)
+	}
+	union := k.PathwaysByGenes([]string{"mmu:1", "mmu:2"})
+	if len(union) <= len(k.GenePathways("mmu:1")) {
+		t.Errorf("union not larger than a single gene's set")
+	}
+	for i := 1; i < len(union); i++ {
+		if union[i-1] >= union[i] {
+			t.Error("union not sorted")
+		}
+	}
+	if k.CommonPathways(nil) != nil {
+		t.Error("common pathways of no genes should be empty")
+	}
+	if d := k.Description("path:00001"); !strings.Contains(d, "path:00001") {
+		t.Errorf("Description = %q", d)
+	}
+	if d1, d2 := k.Description("path:00001"), k.Description("path:00001"); d1 != d2 {
+		t.Error("Description not deterministic")
+	}
+}
+
+func TestGKExecution(t *testing.T) {
+	w := GenesToKegg()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(Registry())
+	outs, tr, err := e.RunTrace(w, "gk1", GKInputs(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppg := outs["paths_per_gene"]
+	if ppg.Depth() != 2 || ppg.Len() != 2 {
+		t.Fatalf("paths_per_gene shape = %s", ppg)
+	}
+	common := outs["commonPathways"]
+	if common.Depth() != 1 || common.Len() < 2 {
+		t.Fatalf("commonPathways = %s", common)
+	}
+	// Descriptions, not raw IDs.
+	if s, _ := common.Elems()[0].StringVal(); !strings.Contains(s, "pathway") {
+		t.Errorf("commonPathways element = %q", s)
+	}
+	// get_pathways_by_genes iterates once per sub-list.
+	n := 0
+	for _, ev := range tr.Xforms {
+		if ev.Proc == "get_pathways_by_genes" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("get_pathways_by_genes activations = %d, want 2", n)
+	}
+}
+
+func TestGKMotivatingLineageQuery(t *testing.T) {
+	// "Which of the input lists of genes is involved in this pathway?" —
+	// the pathways in sub-list i of paths_per_gene depend only on sub-list i
+	// of the input, while commonPathways depends on all input genes.
+	w := GenesToKegg()
+	e := engine.New(Registry())
+	_, tr, err := e.RunTrace(w, "gk1", GKInputs(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StoreTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := lineage.NewIndexProj(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := lineage.NewNaive(s)
+	focus := lineage.NewFocus("get_pathways_by_genes")
+	for i := 0; i < 3; i++ {
+		res, err := ip.Lineage("gk1", trace.WorkflowProc, "paths_per_gene", value.Ix(i, 0), focus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{fmt.Sprintf("<get_pathways_by_genes:genes_id_list[%d]>@gk1", i)}
+		if keys := res.Keys(); !equalStrings(keys, want) {
+			t.Errorf("lineage of paths_per_gene[%d,0] = %v, want %v", i, keys, want)
+		}
+		niRes, err := ni.Lineage("gk1", trace.WorkflowProc, "paths_per_gene", value.Ix(i, 0), focus)
+		if err != nil || !res.Equal(niRes) {
+			t.Errorf("NI disagrees at sub-list %d: %v vs %v (err %v)", i, niRes, res, err)
+		}
+		// The answer's element is exactly input sub-list i.
+		el, err := res.Entries()[0].Element()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantList := GKInputs(3, 2)["list_of_geneIDList"].Elems()[i]
+		if !value.Equal(el, wantList) {
+			t.Errorf("sub-list %d element = %s, want %s", i, el, wantList)
+		}
+	}
+	// commonPathways goes through the flatten: lineage collapses to the
+	// whole input on the right branch.
+	focus = lineage.NewFocus("merge_gene_lists")
+	res, err := ip.Lineage("gk1", trace.WorkflowProc, "commonPathways", value.Ix(0), focus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<merge_gene_lists:lists[]>@gk1"}
+	if keys := res.Keys(); !equalStrings(keys, want) {
+		t.Errorf("commonPathways lineage = %v, want %v", keys, want)
+	}
+}
+
+func TestPubMedDeterminism(t *testing.T) {
+	pm := DefaultPubMed()
+	ids1 := pm.Search("apoptosis", 5)
+	ids2 := pm.Search("apoptosis", 5)
+	if strings.Join(ids1, ",") != strings.Join(ids2, ",") {
+		t.Error("Search not deterministic")
+	}
+	if len(ids1) != 5 {
+		t.Errorf("Search returned %d ids", len(ids1))
+	}
+	other := pm.Search("kinase", 5)
+	if strings.Join(ids1, ",") == strings.Join(other, ",") {
+		t.Error("different queries return identical results")
+	}
+	text := pm.Abstract(ids1[0])
+	if text != pm.Abstract(ids1[0]) {
+		t.Error("Abstract not deterministic")
+	}
+	if len(strings.Fields(text)) < 10 {
+		t.Errorf("abstract too short: %q", text)
+	}
+	if !pm.IsProtein(pm.dict[0]) || pm.IsProtein("the") {
+		t.Error("IsProtein misclassifies")
+	}
+	if got := pm.Search("q", -3); len(got) != 0 {
+		t.Errorf("negative max = %v", got)
+	}
+}
+
+func TestPDExecution(t *testing.T) {
+	w := ProteinDiscovery()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumNodes() < 20 {
+		t.Errorf("PD has only %d processors; expected a long workflow", w.NumNodes())
+	}
+	e := engine.New(Registry())
+	outs, tr, err := e.RunTrace(w, "pd1", PDInputs("apoptosis signaling", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prots := outs["discovered_proteins"]
+	if prots.Depth() != 1 {
+		t.Fatalf("discovered_proteins = %s", prots)
+	}
+	if prots.Len() == 0 {
+		t.Fatal("no proteins discovered; synthetic corpus must contain dictionary hits")
+	}
+	if s, _ := prots.Elems()[0].StringVal(); !strings.Contains(s, "UP") {
+		t.Errorf("protein entry = %q", s)
+	}
+	ev := outs["evidence"]
+	if ev.Depth() != 2 || ev.Len() != 6 {
+		t.Fatalf("evidence shape = %s (want one sub-list per abstract)", ev)
+	}
+	// Per-abstract steps iterate once per abstract.
+	n := 0
+	for _, e := range tr.Xforms {
+		if e.Proc == "fetch_abstract" {
+			n++
+		}
+	}
+	if n != 6 {
+		t.Errorf("fetch_abstract activations = %d, want 6", n)
+	}
+}
+
+func TestPDLineage(t *testing.T) {
+	// Evidence sub-list i traces back to exactly abstract i.
+	w := ProteinDiscovery()
+	e := engine.New(Registry())
+	_, tr, err := e.RunTrace(w, "pd1", PDInputs("kinase", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StoreTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	ni := lineage.NewNaive(s)
+	ip, err := lineage.NewIndexProj(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	focus := lineage.NewFocus("fetch_abstract")
+	for i := 0; i < 4; i++ {
+		a, err := ni.Lineage("pd1", trace.WorkflowProc, "evidence", value.Ix(i, 0), focus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ip.Lineage("pd1", trace.WorkflowProc, "evidence", value.Ix(i, 0), focus)
+		if err != nil || !a.Equal(b) {
+			t.Fatalf("PD lineage mismatch at %d: NI %v vs IP %v (err %v)", i, a, b, err)
+		}
+		want := []string{fmt.Sprintf("<fetch_abstract:x[%d]>@pd1", i)}
+		if keys := a.Keys(); !equalStrings(keys, want) {
+			t.Errorf("evidence[%d] lineage = %v, want %v", i, keys, want)
+		}
+	}
+	// The merged output depends on all abstracts (granularity collapse).
+	res, err := ip.Lineage("pd1", trace.WorkflowProc, "discovered_proteins", value.Ix(0), lineage.NewFocus("merge_abstract_hits"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<merge_abstract_hits:nested[]>@pd1"}
+	if keys := res.Keys(); !equalStrings(keys, want) {
+		t.Errorf("merged lineage = %v, want %v", keys, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

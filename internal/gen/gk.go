@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// GenesToKegg reconstructs the genes2Kegg (GK) bioinformatics workflow of
+// Fig. 1. The workflow takes a nested list of gene IDs and produces:
+//
+//   - paths_per_gene: one list of pathway descriptions per input gene list
+//     (left branch: get_pathways_by_genes iterates over the sub-lists, so
+//     the implicit iteration keeps per-sub-list lineage);
+//   - commonPathways: one flat list of descriptions of the pathways shared
+//     by *all* input genes (right branch: the input is flattened first, a
+//     many-to-many step that deliberately collapses lineage granularity).
+//
+// The paper's motivating query — "which of the input gene lists is involved
+// in this pathway?" — is lin(⟨workflow:paths_per_gene[i,j]⟩,
+// {get_pathways_by_genes}) and returns exactly sub-list i.
+func GenesToKegg() *workflow.Workflow {
+	w := workflow.New("genes2Kegg")
+	w.AddInput("list_of_geneIDList", 2)
+	w.AddOutput("paths_per_gene", 2)
+	w.AddOutput("commonPathways", 1)
+
+	// Left branch: per-sub-list pathways.
+	w.AddProcessor("get_pathways_by_genes", "gk_pathways_by_genes",
+		[]workflow.Port{workflow.In("genes_id_list", 1)},
+		[]workflow.Port{workflow.Out("return", 1)})
+	w.AddProcessor("getPathwayDescriptions", "gk_pathway_descriptions",
+		[]workflow.Port{workflow.In("string", 1)},
+		[]workflow.Port{workflow.Out("return", 1)})
+	w.Connect("", "list_of_geneIDList", "get_pathways_by_genes", "genes_id_list")
+	w.Connect("get_pathways_by_genes", "return", "getPathwayDescriptions", "string")
+	w.Connect("getPathwayDescriptions", "return", "", "paths_per_gene")
+
+	// Right branch: flatten, then pathways common to every gene.
+	w.AddProcessor("merge_gene_lists", "gk_flatten",
+		[]workflow.Port{workflow.In("lists", 2)},
+		[]workflow.Port{workflow.Out("flat", 1)})
+	w.AddProcessor("get_common_pathways", "gk_common_pathways",
+		[]workflow.Port{workflow.In("genes", 1)},
+		[]workflow.Port{workflow.Out("return", 1)})
+	w.AddProcessor("getCommonDescriptions", "gk_pathway_descriptions",
+		[]workflow.Port{workflow.In("string", 1)},
+		[]workflow.Port{workflow.Out("return", 1)})
+	w.Connect("", "list_of_geneIDList", "merge_gene_lists", "lists")
+	w.Connect("merge_gene_lists", "flat", "get_common_pathways", "genes")
+	w.Connect("get_common_pathways", "return", "getCommonDescriptions", "string")
+	w.Connect("getCommonDescriptions", "return", "", "commonPathways")
+	return w
+}
+
+// GKInputs builds a nested gene-ID list with nLists sub-lists of
+// genesPerList synthetic mouse gene IDs, in the style of the paper's example
+// value [[mmu:20816, mmu:26416], [mmu:328788]].
+func GKInputs(nLists, genesPerList int) map[string]value.Value {
+	lists := make([]value.Value, nLists)
+	id := 20000
+	for i := range lists {
+		genes := make([]value.Value, genesPerList)
+		for j := range genes {
+			genes[j] = value.Str(fmt.Sprintf("mmu:%d", id))
+			id += 137
+		}
+		lists[i] = value.List(genes...)
+	}
+	return map[string]value.Value{"list_of_geneIDList": value.List(lists...)}
+}
+
+// RegisterGK adds the GK service behaviours, backed by a synthetic KEGG, to
+// a registry.
+func RegisterGK(reg *engine.Registry, kegg *KEGG) {
+	reg.Register("gk_pathways_by_genes", func(args []value.Value) ([]value.Value, error) {
+		genes, err := stringList(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("gk_pathways_by_genes: %w", err)
+		}
+		return []value.Value{strs(kegg.PathwaysByGenes(genes))}, nil
+	})
+	reg.Register("gk_common_pathways", func(args []value.Value) ([]value.Value, error) {
+		genes, err := stringList(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("gk_common_pathways: %w", err)
+		}
+		return []value.Value{strs(kegg.CommonPathways(genes))}, nil
+	})
+	reg.Register("gk_pathway_descriptions", func(args []value.Value) ([]value.Value, error) {
+		paths, err := stringList(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("gk_pathway_descriptions: %w", err)
+		}
+		out := make([]string, len(paths))
+		for i, p := range paths {
+			out[i] = kegg.Description(p)
+		}
+		return []value.Value{strs(out)}, nil
+	})
+	reg.Register("gk_flatten", func(args []value.Value) ([]value.Value, error) {
+		flat, err := value.Flatten(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("gk_flatten: %w", err)
+		}
+		return []value.Value{flat}, nil
+	})
+}
+
+// stringList extracts a flat list of string atoms.
+func stringList(v value.Value) ([]string, error) {
+	if !v.IsList() {
+		return nil, fmt.Errorf("expected a list, got %s", v)
+	}
+	out := make([]string, 0, v.Len())
+	for i, e := range v.Elems() {
+		s, ok := e.StringVal()
+		if !ok {
+			return nil, fmt.Errorf("element %d is not a string: %s", i, e)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func strs(ss []string) value.Value { return value.Strs(ss...) }

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// KEGG is a deterministic synthetic stand-in for the KEGG pathway database
+// used by the genes2Kegg workflow (Fig. 1). Each gene participates in a
+// hash-derived subset of a fixed pathway pool plus a small set of universal
+// pathways, so that (i) per-gene pathway sets are stable across runs,
+// (ii) different genes share some pathways (realistic overlap), and
+// (iii) the "common pathways" intersection of the workflow's right branch is
+// never empty. Lineage experiments only depend on the collection structure
+// this produces, not on biological content (DESIGN.md §5).
+type KEGG struct {
+	poolSize  int
+	fanOut    int
+	universal int
+}
+
+// NewKEGG returns a synthetic KEGG with the given pathway pool size, per-gene
+// fan-out and number of universal pathways.
+func NewKEGG(poolSize, fanOut, universal int) *KEGG {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	if fanOut < 0 {
+		fanOut = 0
+	}
+	if universal < 0 {
+		universal = 0
+	}
+	return &KEGG{poolSize: poolSize, fanOut: fanOut, universal: universal}
+}
+
+// DefaultKEGG mirrors the observable behaviour of the paper's example:
+// a handful of pathways per gene with two shared by every gene.
+func DefaultKEGG() *KEGG { return NewKEGG(400, 5, 2) }
+
+func pathwayID(n int) string { return fmt.Sprintf("path:%05d", n) }
+
+// GenePathways returns the sorted pathway IDs a gene participates in.
+func (k *KEGG) GenePathways(gene string) []string {
+	set := make(map[int]bool, k.fanOut+k.universal)
+	for u := 0; u < k.universal; u++ {
+		set[k.poolSize+u] = true
+	}
+	h := fnv.New64a()
+	for i := 0; i < k.fanOut; i++ {
+		h.Reset()
+		fmt.Fprintf(h, "%s#%d", gene, i)
+		set[int(h.Sum64()%uint64(k.poolSize))] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, pathwayID(n))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PathwaysByGenes returns the sorted union of the pathways of a list of
+// genes — the behaviour of the get_pathways_by_genes service.
+func (k *KEGG) PathwaysByGenes(genes []string) []string {
+	set := make(map[string]bool)
+	for _, g := range genes {
+		for _, p := range k.GenePathways(g) {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CommonPathways returns the sorted intersection of the pathways of a list
+// of genes — the pathways in which *all* the genes are involved.
+func (k *KEGG) CommonPathways(genes []string) []string {
+	if len(genes) == 0 {
+		return nil
+	}
+	counts := make(map[string]int)
+	for _, g := range genes {
+		for _, p := range k.GenePathways(g) {
+			counts[p]++
+		}
+	}
+	var out []string
+	for p, n := range counts {
+		if n == len(genes) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Description returns a human-readable pathway description — the behaviour
+// of the getPathwayDescriptions service.
+func (k *KEGG) Description(pathway string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "desc:%s", pathway)
+	kinds := []string{"signaling", "metabolism", "biosynthesis", "degradation", "repair"}
+	return fmt.Sprintf("%s %s pathway", pathway, kinds[h.Sum64()%uint64(len(kinds))])
+}

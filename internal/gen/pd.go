@@ -1,0 +1,311 @@
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// ProteinDiscovery reconstructs the BioAID protein-discovery (PD) workflow
+// used in §4 as the "long-path" real-life example: a PubMed search feeds a
+// long pipeline of per-abstract text-processing steps, a dictionary-based
+// protein-name matcher, per-abstract ranking, and a final merge. The paper
+// uses PD for its path length (its exact processor roster is not given);
+// the reconstruction preserves the traits the experiments depend on: a
+// chain an order of magnitude longer than GK's, per-element granularity
+// along most of it, and a granularity-collapsing merge near the output.
+func ProteinDiscovery() *workflow.Workflow {
+	w := workflow.New("protein_discovery")
+	w.AddInput("query", 0)
+	w.AddInput("max_abstracts", 0)
+	w.AddOutput("discovered_proteins", 1)
+	w.AddOutput("evidence", 2)
+
+	one := func(name, typ string) {
+		w.AddProcessor(name, typ,
+			[]workflow.Port{workflow.In("x", 0)},
+			[]workflow.Port{workflow.Out("y", 0)})
+	}
+
+	w.AddProcessor("search_pubmed", "pd_search",
+		[]workflow.Port{workflow.In("query", 0), workflow.In("max", 0)},
+		[]workflow.Port{workflow.Out("ids", 1)})
+	w.Connect("", "query", "search_pubmed", "query")
+	w.Connect("", "max_abstracts", "search_pubmed", "max")
+
+	// Per-abstract text pipeline: every step is one-to-one, preserving
+	// per-abstract lineage through the implicit iteration.
+	perAbstract := []string{
+		"fetch_abstract", "strip_xml", "decode_entities", "normalize_whitespace",
+		"strip_references", "lowercase", "expand_abbreviations", "remove_punctuation",
+		"normalize_greek", "mask_numbers", "segment_sentences_flat", "trim_boilerplate",
+	}
+	prevProc, prevPort := "search_pubmed", "ids"
+	for _, name := range perAbstract {
+		one(name, "pd_"+name)
+		w.Connect(prevProc, prevPort, name, "x")
+		prevProc, prevPort = name, "y"
+	}
+
+	// Tokenization lifts each abstract to a token list (depth grows by one).
+	w.AddProcessor("tokenize", "pd_tokenize",
+		[]workflow.Port{workflow.In("text", 0)},
+		[]workflow.Port{workflow.Out("tokens", 1)})
+	w.Connect(prevProc, prevPort, "tokenize", "text")
+
+	// Per-abstract collection steps (declared depth 1, iterated once).
+	perTokenList := []string{
+		"filter_stopwords", "stem_tokens", "match_proteins", "dedupe_hits",
+		"score_hits", "rank_hits", "take_top_hits",
+	}
+	prevProc, prevPort = "tokenize", "tokens"
+	for _, name := range perTokenList {
+		w.AddProcessor(name, "pd_"+name,
+			[]workflow.Port{workflow.In("items", 1)},
+			[]workflow.Port{workflow.Out("out", 1)})
+		w.Connect(prevProc, prevPort, name, "items")
+		prevProc, prevPort = name, "out"
+	}
+	// Per-abstract evidence is exposed before the merge.
+	w.Connect(prevProc, prevPort, "", "evidence")
+
+	// Merge across abstracts (granularity-collapsing), then per-protein
+	// formatting.
+	w.AddProcessor("merge_abstract_hits", "pd_flatten",
+		[]workflow.Port{workflow.In("nested", 2)},
+		[]workflow.Port{workflow.Out("flat", 1)})
+	w.Connect(prevProc, prevPort, "merge_abstract_hits", "nested")
+	w.AddProcessor("dedupe_proteins", "pd_dedupe_proteins",
+		[]workflow.Port{workflow.In("items", 1)},
+		[]workflow.Port{workflow.Out("out", 1)})
+	w.Connect("merge_abstract_hits", "flat", "dedupe_proteins", "items")
+	one("format_protein", "pd_format_protein")
+	w.Connect("dedupe_proteins", "out", "format_protein", "x")
+	one("attach_uniprot_id", "pd_attach_uniprot_id")
+	w.Connect("format_protein", "y", "attach_uniprot_id", "x")
+	w.Connect("attach_uniprot_id", "y", "", "discovered_proteins")
+	return w
+}
+
+// PDInputs binds the PD workflow's query and abstract budget.
+func PDInputs(query string, maxAbstracts int) map[string]value.Value {
+	return map[string]value.Value{
+		"query":         value.Str(query),
+		"max_abstracts": value.Int(int64(maxAbstracts)),
+	}
+}
+
+// PubMed is a deterministic synthetic literature corpus: abstract IDs and
+// texts are derived from the query by hashing, and texts mention proteins
+// drawn from a fixed synthetic dictionary so the matcher finds realistic,
+// overlapping hit sets.
+type PubMed struct {
+	dict []string
+}
+
+// NewPubMed builds a corpus whose abstracts mention the given number of
+// distinct synthetic protein names.
+func NewPubMed(dictSize int) *PubMed {
+	if dictSize < 1 {
+		dictSize = 1
+	}
+	dict := make([]string, dictSize)
+	for i := range dict {
+		dict[i] = fmt.Sprintf("prot%c%02d", 'A'+i%26, i)
+	}
+	return &PubMed{dict: dict}
+}
+
+// DefaultPubMed returns the corpus used by the examples and benchmarks.
+func DefaultPubMed() *PubMed { return NewPubMed(40) }
+
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Search returns up to max abstract IDs matching a query.
+func (pm *PubMed) Search(query string, max int) []string {
+	if max < 0 {
+		max = 0
+	}
+	out := make([]string, max)
+	for i := range out {
+		out[i] = fmt.Sprintf("PMID:%07d", hash64(query, fmt.Sprint(i))%9000000+1000000)
+	}
+	return out
+}
+
+// Abstract returns the synthetic text of an abstract: filler words
+// interleaved with protein mentions selected by the ID's hash.
+func (pm *PubMed) Abstract(id string) string {
+	filler := []string{"the", "binding", "of", "receptor", "complex", "in", "cells",
+		"was", "observed", "during", "activation", "and", "signal", "response"}
+	h := hash64(id)
+	var sb strings.Builder
+	nWords := 20 + int(h%20)
+	for i := 0; i < nWords; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		wh := hash64(id, "w", fmt.Sprint(i))
+		if wh%4 == 0 {
+			sb.WriteString(pm.dict[wh%uint64(len(pm.dict))])
+		} else {
+			sb.WriteString(filler[wh%uint64(len(filler))])
+		}
+	}
+	return sb.String()
+}
+
+// IsProtein reports whether a token is in the protein dictionary.
+func (pm *PubMed) IsProtein(token string) bool {
+	for _, p := range pm.dict {
+		if strings.EqualFold(p, token) {
+			return true
+		}
+	}
+	return false
+}
+
+// RegisterPD adds the PD service behaviours, backed by a synthetic PubMed,
+// to a registry.
+func RegisterPD(reg *engine.Registry, pm *PubMed) {
+	str := func(v value.Value) string { s, _ := v.StringVal(); return s }
+
+	reg.Register("pd_search", func(args []value.Value) ([]value.Value, error) {
+		max, ok := args[1].IntVal()
+		if !ok {
+			return nil, fmt.Errorf("pd_search: max must be an integer")
+		}
+		return []value.Value{value.Strs(pm.Search(str(args[0]), int(max))...)}, nil
+	})
+	reg.Register("pd_fetch_abstract", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{value.Str(pm.Abstract(str(args[0])))}, nil
+	})
+
+	// The cleanup chain: cheap deterministic string rewrites. Each one is a
+	// distinct registered behaviour so traces show distinct processor types.
+	identityish := map[string]func(string) string{
+		"pd_strip_xml":              func(s string) string { return strings.ReplaceAll(s, "<", "(") },
+		"pd_decode_entities":        func(s string) string { return strings.ReplaceAll(s, "&amp;", "&") },
+		"pd_normalize_whitespace":   func(s string) string { return strings.Join(strings.Fields(s), " ") },
+		"pd_strip_references":       func(s string) string { return strings.TrimSuffix(s, " [1]") },
+		"pd_lowercase":              strings.ToLower,
+		"pd_expand_abbreviations":   func(s string) string { return strings.ReplaceAll(s, " sig ", " signal ") },
+		"pd_remove_punctuation":     func(s string) string { return strings.Map(stripPunct, s) },
+		"pd_normalize_greek":        func(s string) string { return strings.ReplaceAll(s, "α", "alpha") },
+		"pd_mask_numbers":           func(s string) string { return s },
+		"pd_segment_sentences_flat": func(s string) string { return s },
+		"pd_trim_boilerplate":       strings.TrimSpace,
+	}
+	for typ, fn := range identityish {
+		fn := fn
+		reg.Register(typ, func(args []value.Value) ([]value.Value, error) {
+			return []value.Value{value.Str(fn(str(args[0])))}, nil
+		})
+	}
+
+	reg.Register("pd_tokenize", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{value.Strs(strings.Fields(str(args[0]))...)}, nil
+	})
+
+	listOp := func(fn func([]string) []string) engine.Func {
+		return func(args []value.Value) ([]value.Value, error) {
+			items, err := stringList(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return []value.Value{value.Strs(fn(items)...)}, nil
+		}
+	}
+	stop := map[string]bool{"the": true, "of": true, "in": true, "was": true, "and": true}
+	reg.Register("pd_filter_stopwords", listOp(func(items []string) []string {
+		out := items[:0:0]
+		for _, t := range items {
+			if !stop[t] {
+				out = append(out, t)
+			}
+		}
+		return out
+	}))
+	reg.Register("pd_stem_tokens", listOp(func(items []string) []string {
+		out := make([]string, len(items))
+		for i, t := range items {
+			out[i] = strings.TrimSuffix(t, "s")
+		}
+		return out
+	}))
+	reg.Register("pd_match_proteins", listOp(func(items []string) []string {
+		var out []string
+		for _, t := range items {
+			if pm.IsProtein(t) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}))
+	reg.Register("pd_dedupe_hits", listOp(dedupe))
+	reg.Register("pd_score_hits", listOp(func(items []string) []string {
+		out := make([]string, len(items))
+		for i, t := range items {
+			out[i] = fmt.Sprintf("%s:%d", t, hash64(t)%100)
+		}
+		return out
+	}))
+	reg.Register("pd_rank_hits", listOp(func(items []string) []string {
+		out := append([]string(nil), items...)
+		sort.Strings(out)
+		return out
+	}))
+	reg.Register("pd_take_top_hits", listOp(func(items []string) []string {
+		if len(items) > 5 {
+			items = items[:5]
+		}
+		return items
+	}))
+	reg.Register("pd_flatten", func(args []value.Value) ([]value.Value, error) {
+		flat, err := value.Flatten(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("pd_flatten: %w", err)
+		}
+		return []value.Value{flat}, nil
+	})
+	reg.Register("pd_dedupe_proteins", listOp(dedupe))
+	reg.Register("pd_format_protein", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{value.Str("protein " + str(args[0]))}, nil
+	})
+	reg.Register("pd_attach_uniprot_id", func(args []value.Value) ([]value.Value, error) {
+		s := str(args[0])
+		return []value.Value{value.Str(fmt.Sprintf("%s (UP%06d)", s, hash64(s)%1000000))}, nil
+	})
+}
+
+func stripPunct(r rune) rune {
+	switch r {
+	case '.', ',', ';', '(', ')', '[', ']':
+		return -1
+	}
+	return r
+}
+
+func dedupe(items []string) []string {
+	seen := make(map[string]bool, len(items))
+	var out []string
+	for _, t := range items {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

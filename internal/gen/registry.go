@@ -1,0 +1,16 @@
+package gen
+
+import (
+	"repro/internal/engine"
+)
+
+// Registry returns an engine registry with every workload behaviour
+// registered: the synthetic testbed, GK over a default synthetic KEGG, and
+// PD over a default synthetic PubMed.
+func Registry() *engine.Registry {
+	reg := engine.NewRegistry()
+	RegisterTestbed(reg)
+	RegisterGK(reg, DefaultKEGG())
+	RegisterPD(reg, DefaultPubMed())
+	return reg
+}

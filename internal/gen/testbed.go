@@ -1,0 +1,109 @@
+// Package gen builds the workloads of the paper's evaluation (§4): the
+// synthetic testbed dataflow family of Fig. 5 (parameterized by chain length
+// l and list size d), and reconstructions of the two real-life workflows —
+// genes2Kegg (GK, Fig. 1) and BioAID protein discovery (PD) — with
+// deterministic synthetic services standing in for KEGG and PubMed (see
+// DESIGN.md §5 for the substitution rationale).
+package gen
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// Testbed names used by the benchmark harness and the paper's query:
+// lin(⟨2TO1_FINAL:product[p]⟩, {LISTGEN_1}).
+const (
+	ListGenName = "LISTGEN_1"
+	FinalName   = "2TO1_FINAL"
+)
+
+// Testbed builds the synthetic dataflow of Fig. 5: a list generator feeding
+// two parallel linear chains of l one-to-one processors each, joined by a
+// final binary cross product. All chain processors are one-to-one, so
+// fine-grained lineage is preserved end to end while every query requires a
+// full traversal of a length-l path. The list size d is controlled at run
+// time through the ListSize input port.
+func Testbed(l int) *workflow.Workflow {
+	if l < 1 {
+		l = 1
+	}
+	w := workflow.New(fmt.Sprintf("testbed_l%d", l))
+	w.AddInput("ListSize", 0)
+	w.AddOutput("product", 2)
+
+	w.AddProcessor(ListGenName, "tb_listgen",
+		[]workflow.Port{workflow.In("size", 0)},
+		[]workflow.Port{workflow.Out("list", 1)})
+	w.Connect("", "ListSize", ListGenName, "size")
+
+	prev := map[string]workflow.PortID{
+		"A": {Proc: ListGenName, Port: "list"},
+		"B": {Proc: ListGenName, Port: "list"},
+	}
+	for _, branch := range []string{"A", "B"} {
+		for i := 1; i <= l; i++ {
+			name := fmt.Sprintf("%s_%03d", branch, i)
+			w.AddProcessor(name, "tb_step",
+				[]workflow.Port{workflow.In("x", 0)},
+				[]workflow.Port{workflow.Out("y", 0)})
+			w.Connect(prev[branch].Proc, prev[branch].Port, name, "x")
+			prev[branch] = workflow.PortID{Proc: name, Port: "y"}
+		}
+	}
+
+	w.AddProcessor(FinalName, "tb_cross",
+		[]workflow.Port{workflow.In("left", 0), workflow.In("right", 0)},
+		[]workflow.Port{workflow.Out("product", 0)})
+	w.Connect(prev["A"].Proc, prev["A"].Port, FinalName, "left")
+	w.Connect(prev["B"].Proc, prev["B"].Port, FinalName, "right")
+	w.Connect(FinalName, "product", "", "product")
+	return w
+}
+
+// TestbedInputs binds the ListSize port for a run with list size d.
+func TestbedInputs(d int) map[string]value.Value {
+	return map[string]value.Value{"ListSize": value.Int(int64(d))}
+}
+
+// TestbedRecords predicts the number of trace-database records one run of
+// Testbed(l) with list size d produces: 2l+4 xfer rows, 2 rows for the list
+// generator's single activation, 2d rows per chain processor (d one-to-one
+// activations), and 3d² rows for the final cross product (d² activations of
+// a 2-in/1-out processor). This closed form is validated by tests and
+// regenerates the structure of Table 1.
+func TestbedRecords(l, d int) int {
+	return (2*l + 4) + 2 + 4*l*d + 3*d*d
+}
+
+// RegisterTestbed adds the testbed's processor behaviours to a registry.
+func RegisterTestbed(reg *engine.Registry) {
+	reg.Register("tb_listgen", func(args []value.Value) ([]value.Value, error) {
+		n, ok := args[0].IntVal()
+		if !ok {
+			return nil, fmt.Errorf("tb_listgen: size must be an integer, got %s", args[0])
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("tb_listgen: negative size %d", n)
+		}
+		elems := make([]value.Value, n)
+		for i := range elems {
+			elems[i] = value.Str("item-" + strconv.Itoa(i))
+		}
+		return []value.Value{value.List(elems...)}, nil
+	})
+	// One-to-one step: a cheap, structure-preserving transformation (the
+	// paper's chains simply propagate list copies).
+	reg.Register("tb_step", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{args[0]}, nil
+	})
+	reg.Register("tb_cross", func(args []value.Value) ([]value.Value, error) {
+		a, _ := args[0].StringVal()
+		b, _ := args[1].StringVal()
+		return []value.Value{value.Str(a + "*" + b)}, nil
+	})
+}

@@ -1,0 +1,135 @@
+package iter
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// This file is a literal transcription of the paper's Def. 2 (generalized
+// cross product ⊗) and Def. 3 (eval_l). It builds the nested tuple structure
+// first and then maps the black-box function over it at depth l, exactly as
+// the functional formulation prescribes. It is deliberately independent of
+// Plan.Enumerate/Assemble and serves as the reference implementation in
+// property tests.
+
+// Pair is one (value, depth-mismatch) operand of the generalized cross
+// product, written (v, d) in Def. 2.
+type Pair struct {
+	V value.Value
+	D int
+}
+
+// CrossDef2 computes the n-ary generalized cross product ⊗_{i:1..n}(v_i, d_i)
+// of Def. 2. The result is a nested list of depth Σ max(d_i, 0) whose
+// elements at exactly that depth are argument tuples, represented as flat
+// lists of the n component values (atomic components included). Iteration
+// expands the operands left to right, each through d_i levels, which yields
+// the index correspondence of Prop. 1.
+func CrossDef2(pairs []Pair) (value.Value, error) {
+	n := len(pairs)
+	picks := make([]value.Value, n)
+	var rec func(i int, sub value.Value, remaining int) (value.Value, error)
+	rec = func(i int, sub value.Value, remaining int) (value.Value, error) {
+		if i == n {
+			return value.List(append([]value.Value(nil), picks...)...), nil
+		}
+		if remaining <= 0 {
+			picks[i] = sub
+			next := i + 1
+			var nextVal value.Value
+			nextRem := 0
+			if next < n {
+				nextVal = pairs[next].V
+				nextRem = pairs[next].D
+			}
+			return rec(next, nextVal, nextRem)
+		}
+		if !sub.IsList() {
+			return value.Value{}, fmt.Errorf("iter: cross product operand %d too shallow", i)
+		}
+		elems := make([]value.Value, sub.Len())
+		for j, e := range sub.Elems() {
+			v, err := rec(i, e, remaining-1)
+			if err != nil {
+				return value.Value{}, err
+			}
+			elems[j] = v
+		}
+		return value.List(elems...), nil
+	}
+	var first value.Value
+	firstRem := 0
+	if n > 0 {
+		first = pairs[0].V
+		firstRem = pairs[0].D
+	}
+	return rec(0, first, firstRem)
+}
+
+// EvalDef3 evaluates a black-box function under the implicit iteration
+// semantics of Def. 3: wrap negative mismatches into singletons, build the
+// generalized cross product of the iterated inputs, then map the function
+// over the structure at depth l = Σ max(δ_i, 0).
+func EvalDef3(fn func(args []value.Value) (value.Value, error), inputs []value.Value, deltas []int) (value.Value, error) {
+	if len(inputs) != len(deltas) {
+		return value.Value{}, fmt.Errorf("iter: %d inputs for %d deltas", len(inputs), len(deltas))
+	}
+	pairs := make([]Pair, len(inputs))
+	l := 0
+	for i, v := range inputs {
+		d := deltas[i]
+		if d < 0 {
+			v = value.Wrap(v, -d)
+			d = 0
+		}
+		pairs[i] = Pair{V: v, D: d}
+		l += d
+	}
+	cross, err := CrossDef2(pairs)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return mapAtDepth(cross, l, fn)
+}
+
+// mapAtDepth applies fn to the argument tuples sitting at exactly depth l in
+// the cross-product structure, preserving the wrapper nesting above them —
+// the "(map (eval_{l-1} P) ...)" cascade of Def. 3.
+func mapAtDepth(v value.Value, l int, fn func(args []value.Value) (value.Value, error)) (value.Value, error) {
+	if l == 0 {
+		return fn(v.Elems())
+	}
+	if !v.IsList() {
+		return value.Value{}, fmt.Errorf("iter: structure too shallow while mapping at depth %d", l)
+	}
+	elems := make([]value.Value, v.Len())
+	for j, e := range v.Elems() {
+		r, err := mapAtDepth(e, l-1, fn)
+		if err != nil {
+			return value.Value{}, err
+		}
+		elems[j] = r
+	}
+	return value.List(elems...), nil
+}
+
+// Eval runs a black-box function through a Plan: it enumerates the
+// activations, applies fn to each, and assembles the wrapped output. This is
+// the engine-facing counterpart of EvalDef3 and must agree with it on every
+// input (verified by property tests).
+func (p *Plan) Eval(fn func(args []value.Value) (value.Value, error), inputs []value.Value) (value.Value, error) {
+	acts, err := p.Enumerate(inputs)
+	if err != nil {
+		return value.Value{}, err
+	}
+	results := make([]value.Value, len(acts))
+	for i, act := range acts {
+		r, err := fn(act.Args)
+		if err != nil {
+			return value.Value{}, err
+		}
+		results[i] = r
+	}
+	return p.Assemble(inputs, results)
+}

@@ -1,0 +1,433 @@
+package iter
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// concatArgs is a simple black box joining atom renderings with "+".
+func concatArgs(args []value.Value) (value.Value, error) {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = value.Encode(a)
+	}
+	return value.Str(strings.Join(parts, "+")), nil
+}
+
+func TestEvalSingleInputPaperExample(t *testing.T) {
+	// §3.2: v = [[a, b]], δs(X) = 2, P x = "x isNice".
+	isNice := func(args []value.Value) (value.Value, error) {
+		s, _ := args[0].StringVal()
+		return value.Str(s + " isNice"), nil
+	}
+	v := value.List(value.Strs("a", "b"))
+	plan := NewPlan([]int{2}, Cross)
+	got, err := plan.Eval(isNice, []value.Value{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := value.List(value.Strs("a isNice", "b isNice"))
+	if !value.Equal(got, want) {
+		t.Errorf("eval_2 = %s, want %s", got, want)
+	}
+}
+
+func TestEvalFig3Example(t *testing.T) {
+	// §3.2 worked example: P with inputs a (δ=1), c (δ=0), b (δ=1):
+	// result is [[y_11..y_1m]..[y_n1..y_nm]] with y_ij = P(a_i, c, b_j).
+	a := value.Strs("a1", "a2", "a3")
+	c := value.Strs("c")
+	b := value.Strs("b1", "b2")
+	plan := NewPlan([]int{1, 0, 1}, Cross)
+	got, err := plan.Eval(concatArgs, []value.Value{a, c, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth() != 2 || got.Len() != 3 {
+		t.Fatalf("shape = %s", got)
+	}
+	y11 := got.MustAt(value.Ix(0, 0))
+	s, _ := y11.StringVal()
+	if s != `"a1"+["c"]+"b1"` {
+		t.Errorf("y11 = %q", s)
+	}
+	y32 := got.MustAt(value.Ix(2, 1))
+	s, _ = y32.StringVal()
+	if s != `"a3"+["c"]+"b2"` {
+		t.Errorf("y32 = %q", s)
+	}
+}
+
+func TestEnumerateIndicesProp1(t *testing.T) {
+	// Prop. 1: q = p1···pn with |pi| = max(δs(Xi), 0).
+	a := value.Strs("a1", "a2")
+	c := value.Str("c")
+	b := value.List(value.Strs("x", "y"), value.Strs("z"))
+	plan := NewPlan([]int{1, 0, 2}, Cross)
+	acts, err := plan.Enumerate([]value.Value{a, c, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 2*3 {
+		t.Fatalf("got %d activations, want 6", len(acts))
+	}
+	for _, act := range acts {
+		if len(act.InputIndices[0]) != 1 || len(act.InputIndices[1]) != 0 || len(act.InputIndices[2]) != 2 {
+			t.Errorf("index lengths: %v", act.InputIndices)
+		}
+		want := act.InputIndices[0].Concat(act.InputIndices[1]).Concat(act.InputIndices[2])
+		if !act.OutputIndex.Equal(want) {
+			t.Errorf("q = %v, want concat %v", act.OutputIndex, want)
+		}
+		// Args must equal the addressed elements.
+		for i, in := range []value.Value{a, c, b} {
+			el, err := in.At(act.InputIndices[i])
+			if err != nil {
+				t.Fatalf("activation index unresolvable: %v", err)
+			}
+			if !value.Equal(el, act.Args[i]) {
+				t.Errorf("arg %d = %s, want %s", i, act.Args[i], el)
+			}
+		}
+	}
+	// Lexicographic q order.
+	for i := 1; i < len(acts); i++ {
+		if acts[i-1].OutputIndex.Compare(acts[i].OutputIndex) >= 0 {
+			t.Errorf("activations out of order: %v then %v", acts[i-1].OutputIndex, acts[i].OutputIndex)
+		}
+	}
+}
+
+func TestNegativeMismatchWrapping(t *testing.T) {
+	// δ = -2: the atom is promoted to a 2-deep singleton; no iteration.
+	plan := NewPlan([]int{-2}, Cross)
+	acts, err := plan.Enumerate([]value.Value{value.Str("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 {
+		t.Fatalf("got %d activations", len(acts))
+	}
+	if !value.Equal(acts[0].Args[0], value.List(value.List(value.Str("x")))) {
+		t.Errorf("arg = %s", acts[0].Args[0])
+	}
+	if !acts[0].OutputIndex.Equal(value.EmptyIndex) || !acts[0].InputIndices[0].Equal(value.EmptyIndex) {
+		t.Errorf("indices = %v / %v", acts[0].OutputIndex, acts[0].InputIndices[0])
+	}
+}
+
+func TestEmptyListIteration(t *testing.T) {
+	plan := NewPlan([]int{1}, Cross)
+	acts, err := plan.Enumerate([]value.Value{value.List()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 0 {
+		t.Fatalf("got %d activations for empty list", len(acts))
+	}
+	out, err := plan.Assemble([]value.Value{value.List()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(out, value.List()) {
+		t.Errorf("assembled = %s, want []", out)
+	}
+
+	// Two iterated inputs, second empty: shape is [[],[]].
+	plan2 := NewPlan([]int{1, 1}, Cross)
+	out2, err := plan2.Eval(concatArgs, []value.Value{value.Strs("a", "b"), value.List()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(out2, value.List(value.List(), value.List())) {
+		t.Errorf("assembled = %s, want [[],[]]", out2)
+	}
+}
+
+func TestRaggedIteration(t *testing.T) {
+	// Ragged nested input: index spaces follow the actual shape.
+	v := value.List(value.Strs("a"), value.Strs("b", "c"), value.List())
+	plan := NewPlan([]int{2}, Cross)
+	acts, err := plan.Enumerate([]value.Value{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 3 {
+		t.Fatalf("got %d activations, want 3", len(acts))
+	}
+	out, err := plan.Eval(concatArgs, []value.Value{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Depth() != 2 || out.Len() != 3 || out.Elems()[2].Len() != 0 {
+		t.Errorf("ragged output shape = %s", out)
+	}
+}
+
+func TestTooShallowInput(t *testing.T) {
+	plan := NewPlan([]int{2}, Cross)
+	if _, err := plan.Enumerate([]value.Value{value.Strs("a")}); err == nil {
+		t.Error("too-shallow input accepted")
+	}
+	if _, err := plan.Enumerate([]value.Value{value.Str("x")}); err == nil {
+		t.Error("atom accepted for mismatch 2")
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	plan := NewPlan([]int{1}, Cross)
+	if _, err := plan.Enumerate([]value.Value{value.Strs("a"), value.Strs("b")}); err == nil {
+		t.Error("wrong arity accepted by Enumerate")
+	}
+	if _, err := plan.Assemble([]value.Value{value.Strs("a"), value.Strs("b")}, nil); err == nil {
+		t.Error("wrong arity accepted by Assemble")
+	}
+}
+
+func TestAssembleResultCountChecks(t *testing.T) {
+	plan := NewPlan([]int{1}, Cross)
+	in := []value.Value{value.Strs("a", "b")}
+	if _, err := plan.Assemble(in, []value.Value{value.Str("r")}); err == nil {
+		t.Error("missing results accepted")
+	}
+	if _, err := plan.Assemble(in, []value.Value{value.Str("r"), value.Str("s"), value.Str("t")}); err == nil {
+		t.Error("excess results accepted")
+	}
+}
+
+func TestDotStrategy(t *testing.T) {
+	a := value.Strs("a1", "a2", "a3")
+	b := value.Strs("b1", "b2", "b3")
+	plan := NewPlan([]int{1, 1}, Dot)
+	if plan.IterationDepth() != 1 {
+		t.Fatalf("dot iteration depth = %d, want 1", plan.IterationDepth())
+	}
+	acts, err := plan.Enumerate([]value.Value{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 3 {
+		t.Fatalf("dot produced %d activations, want 3", len(acts))
+	}
+	for i, act := range acts {
+		if !act.OutputIndex.Equal(value.Ix(i)) {
+			t.Errorf("q = %v, want [%d]", act.OutputIndex, i)
+		}
+		if !act.InputIndices[0].Equal(value.Ix(i)) || !act.InputIndices[1].Equal(value.Ix(i)) {
+			t.Errorf("shared indices = %v", act.InputIndices)
+		}
+	}
+	out, err := plan.Eval(concatArgs, []value.Value{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Depth() != 1 || out.Len() != 3 {
+		t.Errorf("dot output = %s", out)
+	}
+	s, _ := out.Elems()[1].StringVal()
+	if s != `"a2"+"b2"` {
+		t.Errorf("dot element = %q", s)
+	}
+}
+
+func TestDotStrategyMixedDepths(t *testing.T) {
+	// One input iterated, one passed whole: dot behaves like a map.
+	a := value.Strs("a1", "a2")
+	c := value.Str("c")
+	plan := NewPlan([]int{1, 0}, Dot)
+	out, err := plan.Eval(concatArgs, []value.Value{a, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("dot map output = %s", out)
+	}
+}
+
+func TestDotStrategyShapeMismatch(t *testing.T) {
+	plan := NewPlan([]int{1, 1}, Dot)
+	_, err := plan.Enumerate([]value.Value{value.Strs("a", "b"), value.Strs("x")})
+	if err == nil {
+		t.Error("dot accepted mismatched lengths")
+	}
+}
+
+func TestProject(t *testing.T) {
+	plan := NewPlan([]int{1, 0, 2}, Cross)
+	q := value.Ix(3, 7, 9)
+	p0, exact := plan.Project(q, 0)
+	if !p0.Equal(value.Ix(3)) || !exact {
+		t.Errorf("Project 0 = %v, %v", p0, exact)
+	}
+	p1, exact := plan.Project(q, 1)
+	if !p1.Equal(value.EmptyIndex) || !exact {
+		t.Errorf("Project 1 = %v, %v", p1, exact)
+	}
+	p2, exact := plan.Project(q, 2)
+	if !p2.Equal(value.Ix(7, 9)) || !exact {
+		t.Errorf("Project 2 = %v, %v", p2, exact)
+	}
+	// Short (coarse) query index: fragments truncate, exactness reported.
+	p2, exact = plan.Project(value.Ix(3, 7), 2)
+	if !p2.Equal(value.Ix(7)) || exact {
+		t.Errorf("Project short = %v, exact=%v", p2, exact)
+	}
+	p2, exact = plan.Project(value.Ix(3), 2)
+	if len(p2) != 0 || exact {
+		t.Errorf("Project beyond = %v, exact=%v", p2, exact)
+	}
+	// Dot: every iterated input shares the index.
+	dot := NewPlan([]int{1, 1}, Dot)
+	d0, _ := dot.Project(value.Ix(5), 0)
+	d1, _ := dot.Project(value.Ix(5), 1)
+	if !d0.Equal(value.Ix(5)) || !d1.Equal(value.Ix(5)) {
+		t.Errorf("dot projections = %v, %v", d0, d1)
+	}
+}
+
+func TestCrossDef2Binary(t *testing.T) {
+	// Def. 2, top case: both operands iterated.
+	v := value.Strs("v1", "v2")
+	w := value.Strs("w1", "w2", "w3")
+	got, err := CrossDef2([]Pair{{v, 1}, {w, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth() != 3 || got.Len() != 2 || got.Elems()[0].Len() != 3 {
+		t.Fatalf("cross shape = %s", got)
+	}
+	tup := got.MustAt(value.Ix(1, 2))
+	if tup.Len() != 2 {
+		t.Fatalf("tuple = %s", tup)
+	}
+	s0, _ := tup.Elems()[0].StringVal()
+	s1, _ := tup.Elems()[1].StringVal()
+	if s0 != "v2" || s1 != "w3" {
+		t.Errorf("tuple = (%s,%s)", s0, s1)
+	}
+
+	// Second case: only the first operand iterated.
+	got, err = CrossDef2([]Pair{{v, 1}, {w, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("shape = %s", got)
+	}
+	tup = got.MustAt(value.Ix(0))
+	if !value.Equal(tup.Elems()[1], w) {
+		t.Errorf("whole list not passed: %s", tup)
+	}
+
+	// Fourth case: no iteration, a bare tuple.
+	got, err = CrossDef2([]Pair{{v, 0}, {w, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || !value.Equal(got.Elems()[0], v) {
+		t.Errorf("bare tuple = %s", got)
+	}
+}
+
+func TestEvalAgainstDef3Random(t *testing.T) {
+	// Property: the engine-facing Plan.Eval agrees with the literal Def. 2/3
+	// transcription on random shapes and mismatches.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(3)
+		deltas := make([]int, n)
+		inputs := make([]value.Value, n)
+		for i := range deltas {
+			deltas[i] = rng.Intn(4) - 1 // -1..2
+			depth := deltas[i]
+			if depth < 0 {
+				depth = 0
+			}
+			depth += rng.Intn(2) // value may be deeper than the mismatch
+			inputs[i] = randomNested(rng, depth)
+		}
+		plan := NewPlan(deltas, Cross)
+		got, errA := plan.Eval(concatArgs, inputs)
+		want, errB := EvalDef3(concatArgs, inputs, deltas)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v (deltas %v inputs %v)", trial, errA, errB, deltas, inputs)
+		}
+		if errA != nil {
+			continue
+		}
+		if !value.Equal(got, want) {
+			t.Fatalf("trial %d: Eval=%s Def3=%s (deltas %v inputs %v)", trial, got, want, deltas, inputs)
+		}
+	}
+}
+
+func TestEvalOutputDepthInvariant(t *testing.T) {
+	// depth(output) = Σ max(δ,0) when the black box returns atoms.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(3)
+		deltas := make([]int, n)
+		inputs := make([]value.Value, n)
+		m := 0
+		for i := range deltas {
+			deltas[i] = rng.Intn(3)
+			inputs[i] = randomNonEmptyNested(rng, deltas[i]+rng.Intn(2))
+			m += deltas[i]
+		}
+		plan := NewPlan(deltas, Cross)
+		out, err := plan.Eval(concatArgs, inputs)
+		if err != nil {
+			t.Fatalf("trial %d: %v (deltas %v inputs %v)", trial, err, deltas, inputs)
+		}
+		if m == 0 {
+			if out.IsList() && out.Depth() != 0 {
+				t.Fatalf("trial %d: expected atom, got %s", trial, out)
+			}
+			continue
+		}
+		if out.Depth() != m {
+			t.Fatalf("trial %d: output depth %d, want %d (out %s)", trial, out.Depth(), m, out)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Cross.String() != "cross" || Dot.String() != "dot" {
+		t.Error("Strategy.String mismatch")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Error("unknown strategy rendering")
+	}
+}
+
+// randomNested builds a random value of exactly the given depth (possibly
+// with empty sublists).
+func randomNested(rng *rand.Rand, depth int) value.Value {
+	if depth == 0 {
+		return value.Str(fmt.Sprintf("x%d", rng.Intn(100)))
+	}
+	n := rng.Intn(4)
+	elems := make([]value.Value, n)
+	for i := range elems {
+		elems[i] = randomNested(rng, depth-1)
+	}
+	return value.List(elems...)
+}
+
+// randomNonEmptyNested is like randomNested but every list is non-empty, so
+// iteration spaces are non-trivial and depth is well-defined throughout.
+func randomNonEmptyNested(rng *rand.Rand, depth int) value.Value {
+	if depth == 0 {
+		return value.Str(fmt.Sprintf("x%d", rng.Intn(100)))
+	}
+	n := 1 + rng.Intn(3)
+	elems := make([]value.Value, n)
+	for i := range elems {
+		elems[i] = randomNonEmptyNested(rng, depth-1)
+	}
+	return value.List(elems...)
+}

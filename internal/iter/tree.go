@@ -1,0 +1,293 @@
+package iter
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Node is a combinator-expression tree over a processor's input ports —
+// the "complex expressions" of the paper's footnote 7. Leaves name input
+// ports by position; internal nodes combine their children with the cross
+// product (iterate independently, indices concatenate) or the dot product
+// (iterate in lockstep, indices shared). The flat plans built by NewPlan are
+// the two degenerate trees: one cross (or dot) node over all ports.
+//
+// Tree semantics generalize Prop. 1: the output index q is structured by the
+// tree — a cross node contributes the concatenation of its children's
+// segments, a dot node one shared segment — so every leaf's fragment is
+// still a statically-known slice q[o_i : o_i+δ_i], with offsets accumulating
+// only through cross nodes. INDEXPROJ therefore inverts combinator
+// expressions exactly as it inverts the flat cross product.
+type Node struct {
+	Leaf int // input port position; valid when Kids is nil
+	Dot  bool
+	Kids []*Node
+}
+
+// LeafNode builds a leaf for input port position i.
+func LeafNode(i int) *Node { return &Node{Leaf: i} }
+
+// CrossNode combines children with the cross product.
+func CrossNode(kids ...*Node) *Node { return &Node{Kids: kids} }
+
+// DotNode combines children with the dot ("zip") product.
+func DotNode(kids ...*Node) *Node { return &Node{Dot: true, Kids: kids} }
+
+func (n *Node) isLeaf() bool { return n.Kids == nil }
+
+// validateTree checks the tree's leaves cover exactly positions 0..arity-1,
+// each once, and internal nodes are non-empty.
+func validateTree(n *Node, arity int) error {
+	seen := make([]bool, arity)
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n == nil {
+			return fmt.Errorf("iter: nil combinator node")
+		}
+		if n.isLeaf() {
+			if n.Leaf < 0 || n.Leaf >= arity {
+				return fmt.Errorf("iter: combinator leaf %d out of range [0,%d)", n.Leaf, arity)
+			}
+			if seen[n.Leaf] {
+				return fmt.Errorf("iter: combinator uses input %d twice", n.Leaf)
+			}
+			seen[n.Leaf] = true
+			return nil
+		}
+		if len(n.Kids) == 0 {
+			return fmt.Errorf("iter: combinator node with no children")
+		}
+		for _, k := range n.Kids {
+			if err := walk(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n); err != nil {
+		return err
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("iter: combinator does not cover input %d", i)
+		}
+	}
+	return nil
+}
+
+// treeDepth computes m(node): leaves contribute their effective mismatch,
+// cross nodes the sum, dot nodes the maximum of their children.
+func treeDepth(n *Node, eff []int) int {
+	if n.isLeaf() {
+		return eff[n.Leaf]
+	}
+	total := 0
+	for _, k := range n.Kids {
+		d := treeDepth(k, eff)
+		if n.Dot {
+			if d > total {
+				total = d
+			}
+		} else {
+			total += d
+		}
+	}
+	return total
+}
+
+// treeOffsets fills, per leaf position, the offset of that leaf's fragment
+// within the output index q: offsets advance through cross children; all
+// children of a dot node share their parent's offset.
+func treeOffsets(n *Node, eff []int, base int, out []int) {
+	if n.isLeaf() {
+		out[n.Leaf] = base
+		return
+	}
+	if n.Dot {
+		for _, k := range n.Kids {
+			treeOffsets(k, eff, base, out)
+		}
+		return
+	}
+	off := base
+	for _, k := range n.Kids {
+		treeOffsets(k, eff, off, out)
+		off += treeDepth(k, eff)
+	}
+}
+
+// ispace is the materialized iteration space of a (sub)tree on concrete
+// inputs: a nested structure mirroring the output wrapper shape, whose
+// leaves carry the per-input index assignments of one activation.
+type ispace struct {
+	kids   []*ispace
+	isLeaf bool
+	// assign holds, for every input port of the plan, the index fragment
+	// selected at this activation (nil = not constrained by this subtree).
+	assign []value.Index
+}
+
+// leafSpace mirrors the structure of v down to the given depth; each leaf
+// records the path as input i's assignment.
+func leafSpace(i, arity int, v value.Value, depth int, path value.Index) (*ispace, error) {
+	if depth == 0 {
+		s := &ispace{isLeaf: true, assign: make([]value.Index, arity)}
+		s.assign[i] = path.Clone()
+		return s, nil
+	}
+	if !v.IsList() {
+		return nil, fmt.Errorf("iter: input %d too shallow (need %d more levels)", i, depth)
+	}
+	s := &ispace{kids: make([]*ispace, v.Len())}
+	for j, e := range v.Elems() {
+		k, err := leafSpace(i, arity, e, depth-1, append(path, j))
+		if err != nil {
+			return nil, err
+		}
+		s.kids[j] = k
+	}
+	return s, nil
+}
+
+// graft replaces every leaf of a with a copy of b whose assignments are
+// merged with the leaf's — the cross product of two spaces.
+func graft(a, b *ispace) *ispace {
+	if a.isLeaf {
+		return mergeAssign(a.assign, b)
+	}
+	out := &ispace{kids: make([]*ispace, len(a.kids))}
+	for j, k := range a.kids {
+		out.kids[j] = graft(k, b)
+	}
+	return out
+}
+
+// mergeAssign deep-copies space b, merging the given assignments into every
+// leaf.
+func mergeAssign(assign []value.Index, b *ispace) *ispace {
+	if b.isLeaf {
+		merged := make([]value.Index, len(b.assign))
+		for i := range merged {
+			switch {
+			case b.assign[i] != nil:
+				merged[i] = b.assign[i]
+			case assign[i] != nil:
+				merged[i] = assign[i]
+			}
+		}
+		return &ispace{isLeaf: true, assign: merged}
+	}
+	out := &ispace{kids: make([]*ispace, len(b.kids))}
+	for j, k := range b.kids {
+		out.kids[j] = mergeAssign(assign, k)
+	}
+	return out
+}
+
+// at returns the sub-space at index q (nil if out of range).
+func (s *ispace) at(q value.Index) *ispace {
+	cur := s
+	for _, step := range q {
+		if cur.isLeaf || step < 0 || step >= len(cur.kids) {
+			return nil
+		}
+		cur = cur.kids[step]
+	}
+	return cur
+}
+
+// depth returns the uniform depth of the space (0 for a bare leaf).
+func (s *ispace) depth() int {
+	d := 0
+	for !s.isLeaf {
+		if len(s.kids) == 0 {
+			return d + 1
+		}
+		s = s.kids[0]
+		d++
+	}
+	return d
+}
+
+// buildSpace materializes the iteration space of a subtree.
+func (p *Plan) buildSpace(n *Node, inputs []value.Value) (*ispace, error) {
+	if n.isLeaf() {
+		return leafSpace(n.Leaf, len(p.deltas), inputs[n.Leaf], p.eff[n.Leaf], nil)
+	}
+	if !n.Dot {
+		// Cross: left-to-right grafting.
+		out, err := p.buildSpace(n.Kids[0], inputs)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range n.Kids[1:] {
+			next, err := p.buildSpace(k, inputs)
+			if err != nil {
+				return nil, err
+			}
+			out = graft(out, next)
+		}
+		return out, nil
+	}
+	// Dot: the deepest child provides the shared structure; every other
+	// child must expose a matching (truncated) index space.
+	spaces := make([]*ispace, len(n.Kids))
+	depths := make([]int, len(n.Kids))
+	maxDepth, shared := -1, -1
+	for i, k := range n.Kids {
+		s, err := p.buildSpace(k, inputs)
+		if err != nil {
+			return nil, err
+		}
+		spaces[i] = s
+		depths[i] = treeDepth(k, p.eff)
+		if depths[i] > maxDepth {
+			maxDepth, shared = depths[i], i
+		}
+	}
+	// Walk the shared structure; at each of its leaves (paths of length
+	// maxDepth), merge every child's assignments at the truncated path.
+	var walk func(s *ispace, path value.Index) (*ispace, error)
+	walk = func(s *ispace, path value.Index) (*ispace, error) {
+		if s.isLeaf {
+			merged := &ispace{isLeaf: true, assign: append([]value.Index(nil), s.assign...)}
+			for i, other := range spaces {
+				if i == shared {
+					continue
+				}
+				sub := other.at(path.Truncate(depths[i]))
+				if sub == nil {
+					return nil, fmt.Errorf("iter: dot combinator: child %d lacks index %s", i, path.Truncate(depths[i]))
+				}
+				// The child contributes exactly one activation at this
+				// index: descend through any leaf-only structure.
+				for !sub.isLeaf {
+					if len(sub.kids) != 1 {
+						return nil, fmt.Errorf("iter: dot combinator: child %d ambiguous at %s", i, path)
+					}
+					sub = sub.kids[0]
+				}
+				for j, a := range sub.assign {
+					if a != nil {
+						if merged.assign[j] != nil && !merged.assign[j].Equal(a) {
+							return nil, fmt.Errorf("iter: dot combinator: conflicting assignment for input %d", j)
+						}
+						merged.assign[j] = a
+					}
+				}
+			}
+			return merged, nil
+		}
+		out := &ispace{kids: make([]*ispace, len(s.kids))}
+		for j, k := range s.kids {
+			merged, err := walk(k, append(path, j))
+			if err != nil {
+				return nil, err
+			}
+			out.kids[j] = merged
+		}
+		return out, nil
+	}
+	return walk(spaces[shared], nil)
+}

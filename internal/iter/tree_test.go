@@ -1,0 +1,219 @@
+package iter
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestTreeMixedExpression checks the (X0 ⊗ X1) ⊙ X2 combinator: inputs 0
+// and 1 cross (producing a 2-deep structure), and input 2 zips against that
+// structure's index space at its own depth.
+func TestTreeMixedExpression(t *testing.T) {
+	// a, b iterate (δ=1 each); c zips with the cross structure at depth 2.
+	a := value.Strs("a0", "a1")
+	b := value.Strs("b0", "b1", "b2")
+	c := value.List(value.Strs("c00", "c01", "c02"), value.Strs("c10", "c11", "c12"))
+
+	tree := DotNode(CrossNode(LeafNode(0), LeafNode(1)), LeafNode(2))
+	plan, err := NewPlanTree([]int{1, 1, 2}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IterationDepth() != 2 {
+		t.Fatalf("m = %d, want 2", plan.IterationDepth())
+	}
+	// Offsets: a at 0, b at 1 (cross), c shares the dot segment at 0.
+	offs := plan.Offsets()
+	if offs[0] != 0 || offs[1] != 1 || offs[2] != 0 {
+		t.Fatalf("offsets = %v", offs)
+	}
+
+	acts, err := plan.Enumerate([]value.Value{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 6 {
+		t.Fatalf("activations = %d, want 6", len(acts))
+	}
+	for _, act := range acts {
+		q := act.OutputIndex
+		if !act.InputIndices[0].Equal(value.Ix(q[0])) {
+			t.Errorf("a index = %v at q=%v", act.InputIndices[0], q)
+		}
+		if !act.InputIndices[1].Equal(value.Ix(q[1])) {
+			t.Errorf("b index = %v at q=%v", act.InputIndices[1], q)
+		}
+		if !act.InputIndices[2].Equal(q) {
+			t.Errorf("c index = %v, want shared %v", act.InputIndices[2], q)
+		}
+		// The zipped argument is the matching element of c.
+		cs, _ := act.Args[2].StringVal()
+		want := "c" + itoa(q[0]) + itoa(q[1])
+		if cs != want {
+			t.Errorf("c arg = %q at q=%v, want %q", cs, q, want)
+		}
+	}
+
+	out, err := plan.Eval(func(args []value.Value) (value.Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i], _ = a.StringVal()
+		}
+		return value.Str(strings.Join(parts, "+")), nil
+	}, []value.Value{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Depth() != 2 || out.Len() != 2 || out.Elems()[0].Len() != 3 {
+		t.Fatalf("output shape = %s", out)
+	}
+	s, _ := out.MustAt(value.Ix(1, 2)).StringVal()
+	if s != "a1+b2+c12" {
+		t.Errorf("out[1,2] = %q", s)
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }
+
+// TestTreeDotShapeMismatch: the zipped side must expose every shared index.
+func TestTreeDotShapeMismatch(t *testing.T) {
+	tree := DotNode(CrossNode(LeafNode(0), LeafNode(1)), LeafNode(2))
+	plan, err := NewPlanTree([]int{1, 1, 2}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = plan.Enumerate([]value.Value{
+		value.Strs("a0", "a1"),
+		value.Strs("b0"),
+		value.List(value.Strs("c00")), // missing [1,0]
+	})
+	if err == nil {
+		t.Error("mismatched dot operand accepted")
+	}
+}
+
+// TestTreeCrossOfDots: (X0 ⊙ X1) ⊗ X2 — zip two lists, cross the result
+// with a third.
+func TestTreeCrossOfDots(t *testing.T) {
+	tree := CrossNode(DotNode(LeafNode(0), LeafNode(1)), LeafNode(2))
+	plan, err := NewPlanTree([]int{1, 1, 1}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IterationDepth() != 2 {
+		t.Fatalf("m = %d, want 2", plan.IterationDepth())
+	}
+	offs := plan.Offsets()
+	if offs[0] != 0 || offs[1] != 0 || offs[2] != 1 {
+		t.Fatalf("offsets = %v", offs)
+	}
+	acts, err := plan.Enumerate([]value.Value{
+		value.Strs("x0", "x1"),
+		value.Strs("y0", "y1"),
+		value.Strs("z0", "z1", "z2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 6 {
+		t.Fatalf("activations = %d, want 6", len(acts))
+	}
+	for _, act := range acts {
+		q := act.OutputIndex
+		if !act.InputIndices[0].Equal(value.Ix(q[0])) || !act.InputIndices[1].Equal(value.Ix(q[0])) {
+			t.Errorf("zip pair indices = %v %v at q=%v", act.InputIndices[0], act.InputIndices[1], q)
+		}
+		if !act.InputIndices[2].Equal(value.Ix(q[1])) {
+			t.Errorf("crossed index = %v at q=%v", act.InputIndices[2], q)
+		}
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	cases := []struct {
+		tree  *Node
+		arity int
+	}{
+		{CrossNode(LeafNode(0)), 2},                           // missing leaf 1
+		{CrossNode(LeafNode(0), LeafNode(0)), 1},              // duplicate leaf
+		{CrossNode(LeafNode(0), LeafNode(5)), 2},              // out of range
+		{CrossNode(LeafNode(0), CrossNode()), 1},              // empty inner node
+		{CrossNode(LeafNode(0), nil), 2},                      // nil child
+		{DotNode(LeafNode(-1)), 1},                            // negative leaf
+		{CrossNode(LeafNode(0), LeafNode(1), LeafNode(1)), 2}, // dup again
+	}
+	for i, c := range cases {
+		if _, err := NewPlanTree(make([]int, c.arity), c.tree); err == nil {
+			t.Errorf("case %d: invalid tree accepted", i)
+		}
+	}
+	// Valid nested tree.
+	if _, err := NewPlanTree([]int{1, 0, 2}, CrossNode(DotNode(LeafNode(1), LeafNode(2)), LeafNode(0))); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+}
+
+func TestTreeProjectMatchesEnumeration(t *testing.T) {
+	// Property: for every activation, Project recovers exactly the recorded
+	// per-input fragments from q — the generalized Prop. 1.
+	trees := []struct {
+		deltas []int
+		tree   *Node
+	}{
+		{[]int{1, 1, 2}, DotNode(CrossNode(LeafNode(0), LeafNode(1)), LeafNode(2))},
+		{[]int{1, 1, 1}, CrossNode(DotNode(LeafNode(0), LeafNode(1)), LeafNode(2))},
+		{[]int{2, 1}, CrossNode(LeafNode(0), LeafNode(1))},
+		{[]int{1, 1}, DotNode(LeafNode(0), LeafNode(1))},
+		{[]int{0, 1, -1}, CrossNode(LeafNode(2), DotNode(LeafNode(0), LeafNode(1)))},
+	}
+	inputsFor := func(deltas []int) []value.Value {
+		out := make([]value.Value, len(deltas))
+		for i, d := range deltas {
+			depth := d
+			if depth < 0 {
+				depth = 0
+			}
+			out[i] = nested(depth, 2)
+		}
+		return out
+	}
+	for ti, cfg := range trees {
+		plan, err := NewPlanTree(cfg.deltas, cfg.tree)
+		if err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+		acts, err := plan.Enumerate(inputsFor(cfg.deltas))
+		if err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+		if len(acts) == 0 {
+			t.Fatalf("tree %d: no activations", ti)
+		}
+		for _, act := range acts {
+			for i := range cfg.deltas {
+				frag, exact := plan.Project(act.OutputIndex, i)
+				if !exact {
+					t.Errorf("tree %d input %d: inexact projection of full q", ti, i)
+				}
+				if !frag.Equal(act.InputIndices[i]) {
+					t.Errorf("tree %d input %d: Project(%v) = %v, recorded %v",
+						ti, i, act.OutputIndex, frag, act.InputIndices[i])
+				}
+			}
+		}
+	}
+}
+
+// nested builds a uniform value of the given depth and fan-out.
+func nested(depth, fan int) value.Value {
+	if depth == 0 {
+		return value.Str("x")
+	}
+	elems := make([]value.Value, fan)
+	for i := range elems {
+		elems[i] = nested(depth-1, fan)
+	}
+	return value.List(elems...)
+}

@@ -1,0 +1,131 @@
+package lineage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// Ablation: plan caching. All queries over traces of one workflow share the
+// same compiled structure (§3); these benchmarks separate the cost of a
+// cached-plan query from compile-every-time, quantifying the design choice
+// DESIGN.md calls out.
+
+func benchChain(b *testing.B, l, d int) (*store.Store, *workflow.Workflow, string) {
+	b.Helper()
+	w := workflow.New(fmt.Sprintf("chain%d", l))
+	w.AddInput("in", 1)
+	w.AddOutput("out", 1)
+	prev, prevPort := "", "in"
+	for i := 0; i < l; i++ {
+		name := fmt.Sprintf("s%03d", i)
+		w.AddProcessor(name, "id", []workflow.Port{workflow.In("x", 0)}, []workflow.Port{workflow.Out("y", 0)})
+		w.Connect(prev, prevPort, name, "x")
+		prev, prevPort = name, "y"
+	}
+	w.Connect(prev, prevPort, "", "out")
+	reg := engine.NewRegistry()
+	reg.Register("id", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{args[0]}, nil
+	})
+	items := make([]string, d)
+	for i := range items {
+		items[i] = fmt.Sprintf("item%d", i)
+	}
+	_, tr, err := engine.New(reg).RunTrace(w, "r", map[string]value.Value{"in": value.Strs(items...)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := store.OpenMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	if err := s.StoreTrace(tr); err != nil {
+		b.Fatal(err)
+	}
+	return s, w, "r"
+}
+
+func BenchmarkIndexProjCachedPlan(b *testing.B) {
+	s, w, run := benchChain(b, 50, 20)
+	ip, err := NewIndexProj(s, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	focus := NewFocus("s000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Lineage(run, "s049", "y", value.Ix(7), focus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexProjCompileEveryQuery(b *testing.B) {
+	s, w, run := benchChain(b, 50, 20)
+	focus := NewFocus("s000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip, err := NewIndexProj(s, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ip.Lineage(run, "s049", "y", value.Ix(7), focus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveChain(b *testing.B) {
+	for _, l := range []int{10, 50, 100} {
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			s, _, run := benchChain(b, l, 20)
+			ni := NewNaive(s)
+			focus := NewFocus("s000")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ni.Lineage(run, fmt.Sprintf("s%03d", l-1), "y", value.Ix(7), focus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNaiveMemChain(b *testing.B) {
+	// The in-memory reference, for comparison with the store-backed NI: the
+	// gap is the SQL round-trip cost NI pays per traversal hop.
+	w := workflow.New("chain")
+	w.AddInput("in", 1)
+	w.AddOutput("out", 1)
+	prev, prevPort := "", "in"
+	const l = 50
+	for i := 0; i < l; i++ {
+		name := fmt.Sprintf("s%03d", i)
+		w.AddProcessor(name, "id", []workflow.Port{workflow.In("x", 0)}, []workflow.Port{workflow.Out("y", 0)})
+		w.Connect(prev, prevPort, name, "x")
+		prev, prevPort = name, "y"
+	}
+	w.Connect(prev, prevPort, "", "out")
+	reg := engine.NewRegistry()
+	reg.Register("id", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{args[0]}, nil
+	})
+	_, tr, err := engine.New(reg).RunTrace(w, "r", map[string]value.Value{"in": value.Strs("a", "b", "c")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := NewNaiveMem(tr)
+	focus := NewFocus("s000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mem.Lineage("s049", "y", value.Ix(1), focus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

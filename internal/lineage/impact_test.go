@@ -1,0 +1,127 @@
+package lineage
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+func TestImpactFig3(t *testing.T) {
+	s, _, _, _ := setup(t, fig3(), "r1", fig3Inputs())
+	im := NewImpact(s)
+
+	// Which P outputs depend on v's element 1? All of P:Y[1,*].
+	res, err := im.Affected("r1", "Q", "X", value.Ix(1), NewFocus("P"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<P:Y[1,0]>@r1", "<P:Y[1,1]>@r1"}
+	if keys := res.Keys(); !equalStrings(keys, want) {
+		t.Errorf("impact = %v, want %v", keys, want)
+	}
+
+	// The whole-list input c affects every product element.
+	res, err = im.Affected("r1", "P", "X2", value.EmptyIndex, NewFocus("P"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 6 {
+		t.Errorf("whole-list impact = %d entries, want 6", res.Len())
+	}
+
+	// Workflow outputs are collectable by focusing the pseudo-processor.
+	// R:X feeds every P activation, so all six product elements of the
+	// workflow output are affected — at fine granularity.
+	res, err = im.Affected("r1", "R", "X", value.EmptyIndex, NewFocus(trace.WorkflowProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 6 {
+		t.Fatalf("workflow-output impact = %v", res)
+	}
+	for _, e := range res.Entries() {
+		if e.Proc != trace.WorkflowProc || e.Port != "y" || len(e.Index) != 2 {
+			t.Errorf("impact entry = %+v", e)
+		}
+	}
+}
+
+func TestImpactDualOfLineage(t *testing.T) {
+	// Duality: b' ∈ affected(b) at P iff b ∈ lin(b') with the matching
+	// focus, for fine-grained bindings.
+	s, _, ni, _ := setup(t, fig3(), "r1", fig3Inputs())
+	im := NewImpact(s)
+
+	fwd, err := im.Affected("r1", "Q", "X", value.Ix(2), NewFocus("P"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Len() == 0 {
+		t.Fatal("empty forward closure")
+	}
+	for _, out := range fwd.Entries() {
+		back, err := ni.Lineage("r1", out.Proc, out.Port, out.Index, NewFocus("Q"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, e := range back.Entries() {
+			if e.Proc == "Q" && e.Port == "X" && e.Index.Equal(value.Ix(2)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("lineage of %s does not contain Q:X[2]; duality violated", out)
+		}
+	}
+}
+
+func TestImpactEmptyFocus(t *testing.T) {
+	s, _, _, _ := setup(t, fig3(), "r1", fig3Inputs())
+	res, err := NewImpact(s).Affected("r1", "Q", "X", value.Ix(0), NewFocus())
+	if err != nil || res.Len() != 0 {
+		t.Errorf("empty focus impact = %v, %v", res, err)
+	}
+}
+
+// impactCompositeWF builds pre -> comp(mk -> up) with iteration over comp.
+func impactCompositeWF() *workflow.Workflow {
+	sub := workflow.New("inner")
+	sub.AddInput("a", 0)
+	sub.AddOutput("b", 1)
+	sub.AddProcessor("mk", "tolist", []workflow.Port{workflow.In("x", 0)}, []workflow.Port{workflow.Out("y", 1)})
+	sub.AddProcessor("up", "upper", []workflow.Port{workflow.In("s", 0)}, []workflow.Port{workflow.Out("r", 0)})
+	sub.Connect("", "a", "mk", "x")
+	sub.Connect("mk", "y", "up", "s")
+	sub.Connect("up", "r", "", "b")
+	w := workflow.New("outer")
+	w.AddInput("in", 1)
+	w.AddOutput("out", 2)
+	w.AddComposite("comp", sub)
+	w.AddProcessor("pre", "upper", []workflow.Port{workflow.In("x", 0)}, []workflow.Port{workflow.Out("y", 0)})
+	w.Connect("", "in", "pre", "x")
+	w.Connect("pre", "y", "comp", "a")
+	w.Connect("comp", "b", "", "out")
+	return w
+}
+
+func TestImpactThroughComposite(t *testing.T) {
+	s, _, _, _ := setup(t, impactCompositeWF(), "r1", map[string]value.Value{"in": value.Strs("a", "b")})
+	im := NewImpact(s)
+	// The element in[1] flows through the composite; the final outputs that
+	// depend on it sit under out[1,*].
+	res, err := im.Affected("r1", "pre", "x", value.Ix(1), NewFocus(trace.WorkflowProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("no workflow outputs affected")
+	}
+	for _, e := range res.Entries() {
+		if len(e.Index) > 0 && e.Index[0] != 1 {
+			t.Errorf("unrelated output affected: %s", e)
+		}
+	}
+}

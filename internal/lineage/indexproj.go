@@ -1,0 +1,397 @@
+package lineage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/iter"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// IndexProj implements the paper's intensional lineage algorithm (Alg. 2,
+// §3.3). A query lin(⟨P:Y[q]⟩, 𝒫) is answered in two steps:
+//
+//	(s1) Compile: traverse the *workflow specification graph* upwards from
+//	     P:Y, applying the index projection rule (Def. 4 / Prop. 1) at each
+//	     processor to rewrite the query index intensionally — without
+//	     touching the trace. The output is a plan: the list of trace probes
+//	     Q(P', X_i, p_i), one per input port of each focus processor on the
+//	     traversed paths.
+//	(s2) Execute: run each probe as one indexed lookup against the store.
+//
+// Plans are cached per (binding, focus) — all queries over traces of the
+// same workflow share the same structure — and a single plan is executed
+// once per run for multi-run queries (§3.4), which is what makes INDEXPROJ's
+// multi-run cost proportional to t2 only (Fig. 4).
+type IndexProj struct {
+	s  *store.Store
+	wf *workflow.Workflow
+	d  *workflow.Depths
+
+	mu        sync.Mutex
+	planCache map[string]*CompiledPlan
+}
+
+// Probe is one trace query Q(P, X, p) of a compiled plan.
+type Probe struct {
+	Proc  string
+	Port  string
+	Index value.Index
+}
+
+func (p Probe) String() string { return p.Proc + ":" + p.Port + p.Index.String() }
+
+// CompiledPlan is the result of the specification-graph traversal: the exact
+// set of trace probes a query needs, independent of any particular run.
+type CompiledPlan struct {
+	Probes []Probe
+}
+
+// NewIndexProj prepares the evaluator for one workflow: it validates the
+// specification and runs PROPAGATEDEPTHS (Alg. 1) once. This is the offline
+// part of the pre-processing cost t1 reported in Fig. 8.
+func NewIndexProj(s *store.Store, wf *workflow.Workflow) (*IndexProj, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, fmt.Errorf("lineage: %w", err)
+	}
+	d, err := workflow.PropagateDepths(wf)
+	if err != nil {
+		return nil, fmt.Errorf("lineage: %w", err)
+	}
+	return &IndexProj{
+		s:         s,
+		wf:        wf,
+		d:         d,
+		planCache: make(map[string]*CompiledPlan),
+	}, nil
+}
+
+// Lineage evaluates lin(⟨proc:port[idx]⟩, focus) within one run.
+func (ip *IndexProj) Lineage(runID, proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	plan, err := ip.Compile(proc, port, idx, focus)
+	if err != nil {
+		return nil, err
+	}
+	result := NewResult()
+	if err := ip.executeInto(result, plan, runID); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// LineageMultiRun evaluates the query over a set of runs: the specification
+// graph is traversed once (one Compile), and only the probes are re-executed
+// per run (§3.4).
+func (ip *IndexProj) LineageMultiRun(runIDs []string, proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	plan, err := ip.Compile(proc, port, idx, focus)
+	if err != nil {
+		return nil, err
+	}
+	result := NewResult()
+	for _, runID := range runIDs {
+		if err := ip.executeInto(result, plan, runID); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// Execute runs a compiled plan against one run.
+func (ip *IndexProj) Execute(plan *CompiledPlan, runID string) (*Result, error) {
+	result := NewResult()
+	if err := ip.executeInto(result, plan, runID); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+func (ip *IndexProj) executeInto(result *Result, plan *CompiledPlan, runID string) error {
+	for _, pr := range plan.Probes {
+		bs, err := ip.s.InputBindings(runID, pr.Proc, pr.Port, pr.Index)
+		if err != nil {
+			return err
+		}
+		for _, b := range bs {
+			v, err := ip.s.Value(b.RunID, b.ValID)
+			if err != nil {
+				return err
+			}
+			result.Add(Entry{RunID: b.RunID, Proc: b.Proc, Port: b.Port, Index: b.Index, Ctx: b.Ctx, Value: v})
+		}
+	}
+	return nil
+}
+
+// CacheSize returns the number of cached compiled plans.
+func (ip *IndexProj) CacheSize() int {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	return len(ip.planCache)
+}
+
+// Compile traverses the workflow specification graph and produces (or
+// retrieves from cache) the probe plan for a query binding and focus set.
+func (ip *IndexProj) Compile(proc, port string, idx value.Index, focus Focus) (*CompiledPlan, error) {
+	key := proc + "\x01" + port + "\x01" + idx.String() + "\x01" + focus.Key()
+	ip.mu.Lock()
+	if plan, ok := ip.planCache[key]; ok {
+		ip.mu.Unlock()
+		return plan, nil
+	}
+	ip.mu.Unlock()
+
+	c := &compiler{
+		ip:        ip,
+		focus:     focus,
+		probeSeen: make(map[string]bool),
+		visited:   make(map[string]bool),
+	}
+	if err := c.start(proc, port, idx); err != nil {
+		return nil, err
+	}
+	plan := &CompiledPlan{Probes: c.probes}
+
+	ip.mu.Lock()
+	ip.planCache[key] = plan
+	ip.mu.Unlock()
+	return plan, nil
+}
+
+// scope is one (sub-)workflow frame of the compilation traversal.
+type scope struct {
+	wf     *workflow.Workflow
+	d      *workflow.Depths
+	base   string // path of the enclosing composite ("" at the root)
+	ctxLen int    // total context-prefix length of indices in this frame
+
+	// parent/compProc link a sub-workflow frame to the composite processor
+	// that hosts it. coveredByParent is true when the frame was entered by
+	// descending from the parent's visitOutput, whose black-box continuation
+	// already covers everything upstream of the composite at equal or
+	// coarser granularity; frames a query *starts* in are not covered and
+	// must exit explicitly through the boundary.
+	parent          *scope
+	compProc        *workflow.Processor
+	coveredByParent bool
+}
+
+// qualifyName returns the trace name of a processor in this frame.
+func (sc *scope) qualifyName(proc string) string {
+	if sc.base == "" {
+		return proc
+	}
+	return sc.base + "/" + proc
+}
+
+type compiler struct {
+	ip        *IndexProj
+	focus     Focus
+	probes    []Probe
+	probeSeen map[string]bool
+	visited   map[string]bool
+}
+
+// start resolves the query binding's frame (descending through composite
+// path segments) and begins the traversal.
+func (c *compiler) start(proc, port string, idx value.Index) error {
+	sc := &scope{wf: c.ip.wf, d: c.ip.d, base: "", ctxLen: 0}
+	if proc == trace.WorkflowProc {
+		if _, ok := sc.wf.Output(port); ok {
+			return c.visitWorkflowOutput(sc, port, idx)
+		}
+		if _, ok := sc.wf.Input(port); ok {
+			return nil // a workflow input is its own (empty) lineage
+		}
+		return fmt.Errorf("lineage: workflow has no port %q", port)
+	}
+	segments := strings.Split(proc, "/")
+	for len(segments) > 1 {
+		comp := sc.wf.Processor(segments[0])
+		if comp == nil || !comp.IsComposite() {
+			return fmt.Errorf("lineage: no nested dataflow %q in %q", segments[0], sc.wf.Name)
+		}
+		sub := sc.d.Sub(comp.Name)
+		if sub == nil {
+			return fmt.Errorf("lineage: no depths for nested dataflow %q", comp.Name)
+		}
+		sc = &scope{
+			wf:       comp.Sub,
+			d:        sub,
+			base:     sc.qualifyName(comp.Name),
+			ctxLen:   sc.ctxLen + sc.d.IterationDepth(comp.Name),
+			parent:   sc,
+			compProc: comp,
+		}
+		segments = segments[1:]
+	}
+	p := sc.wf.Processor(segments[0])
+	if p == nil {
+		return fmt.Errorf("lineage: no processor %q in workflow %q", proc, sc.wf.Name)
+	}
+	if _, _, ok := p.Output(port); ok {
+		return c.visitOutput(sc, p, port, idx)
+	}
+	if _, _, ok := p.Input(port); ok {
+		return c.visitInput(sc, p, port, idx)
+	}
+	return fmt.Errorf("lineage: processor %q has no port %q", proc, port)
+}
+
+func (c *compiler) seen(kind, name, port string, idx value.Index) bool {
+	key := kind + "\x01" + name + "\x01" + port + "\x01" + idx.String()
+	if c.visited[key] {
+		return true
+	}
+	c.visited[key] = true
+	return false
+}
+
+func (c *compiler) addProbe(proc, port string, idx value.Index) {
+	pr := Probe{Proc: proc, Port: port, Index: idx}
+	key := pr.String()
+	if !c.probeSeen[key] {
+		c.probeSeen[key] = true
+		c.probes = append(c.probes, pr)
+	}
+}
+
+// anyFocusInside reports whether the focus set names a processor inside the
+// composite with the given qualified name.
+func (c *compiler) anyFocusInside(qualified string) bool {
+	prefix := qualified + "/"
+	for name := range c.focus {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// iterPlanFor returns the statically-computed iteration plan of a processor
+// within a frame (built once by PROPAGATEDEPTHS).
+func (c *compiler) iterPlanFor(sc *scope, p *workflow.Processor) *iter.Plan {
+	return sc.d.Plan(p.Name)
+}
+
+// visitOutput handles one traversal step through a processor: the index
+// projection rule apportions fragments of the output index to each input
+// port (Alg. 2, first branch). For a nested dataflow containing focus
+// processors, the traversal additionally descends into the sub-workflow.
+func (c *compiler) visitOutput(sc *scope, p *workflow.Processor, port string, idx value.Index) error {
+	if c.seen("out", sc.qualifyName(p.Name), port, idx) {
+		return nil
+	}
+	qualified := sc.qualifyName(p.Name)
+
+	if p.IsComposite() && c.anyFocusInside(qualified) {
+		sub := sc.d.Sub(p.Name)
+		if sub == nil {
+			return fmt.Errorf("lineage: no depths for nested dataflow %q", qualified)
+		}
+		subScope := &scope{
+			wf:              p.Sub,
+			d:               sub,
+			base:            qualified,
+			ctxLen:          sc.ctxLen + sc.d.IterationDepth(p.Name),
+			parent:          sc,
+			compProc:        p,
+			coveredByParent: true,
+		}
+		if err := c.visitWorkflowOutput(subScope, port, idx); err != nil {
+			return err
+		}
+	}
+
+	// Black-box continuation: invert the iteration intensionally. Positions
+	// of the local output index beyond the iteration depth m(P) address
+	// structure inside the processor's declared output and are dropped —
+	// the graceful granularity degradation of §2.3.
+	plan := c.iterPlanFor(sc, p)
+	ctx := idx.Truncate(sc.ctxLen)
+	local := idx.Slice(sc.ctxLen, len(idx))
+	for i, in := range p.Inputs {
+		frag, _ := plan.Project(local, i)
+		full := ctx.Concat(frag)
+		if c.focus[qualified] {
+			c.addProbe(qualified, in.Name, full)
+		}
+		if err := c.visitInput(sc, p, in.Name, full); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// visitInput follows the (unique) arc into an input port upstream (Alg. 2,
+// second branch). Unconnected ports and workflow inputs terminate the path;
+// reaching the enclosing sub-workflow's own input also terminates, because
+// the parent-level black-box continuation already covers everything
+// upstream of the composite at equal or coarser granularity.
+func (c *compiler) visitInput(sc *scope, p *workflow.Processor, port string, idx value.Index) error {
+	if c.seen("in", sc.qualifyName(p.Name), port, idx) {
+		return nil
+	}
+	arc, ok := sc.wf.IncomingArc(workflow.PortID{Proc: p.Name, Port: port})
+	if !ok {
+		return nil // default value: a source
+	}
+	if arc.From.Proc == workflow.WorkflowPseudoProc {
+		return c.reachedFrameInput(sc, arc.From.Port, idx)
+	}
+	src := sc.wf.Processor(arc.From.Proc)
+	if src == nil {
+		return fmt.Errorf("lineage: arc references unknown processor %q", arc.From.Proc)
+	}
+	return c.visitOutput(sc, src, arc.From.Port, idx)
+}
+
+// reachedFrameInput handles a traversal path arriving at the current frame's
+// own input port. At the root this is a source. In a sub-workflow frame
+// entered by descent it is also terminal (the parent black-box continuation
+// subsumes the upstream exploration). In a frame the query started in, the
+// traversal exits through the boundary: the activation fragment of the
+// context is apportioned to the composite's input by the index projection
+// rule and the residual (finer-than-boundary) part carries across, exactly
+// as the engine's boundary xfer events record extensionally.
+func (c *compiler) reachedFrameInput(sc *scope, port string, idx value.Index) error {
+	if sc.parent == nil || sc.coveredByParent {
+		return nil
+	}
+	comp := sc.compProc
+	_, i, ok := comp.Input(port)
+	if !ok {
+		return fmt.Errorf("lineage: composite %q has no input %q", comp.Name, port)
+	}
+	plan := c.iterPlanFor(sc.parent, comp)
+	q := idx.Slice(sc.parent.ctxLen, sc.ctxLen)
+	r := idx.Slice(sc.ctxLen, len(idx))
+	frag, _ := plan.Project(q, i)
+	full := idx.Truncate(sc.parent.ctxLen).Concat(frag).Concat(r)
+	return c.visitInput(sc.parent, comp, port, full)
+}
+
+// visitWorkflowOutput follows the arc feeding a workflow-level (or
+// sub-workflow-level) output port.
+func (c *compiler) visitWorkflowOutput(sc *scope, port string, idx value.Index) error {
+	if c.seen("wfout", sc.base, port, idx) {
+		return nil
+	}
+	arc, ok := sc.wf.IncomingArc(workflow.PortID{Proc: workflow.WorkflowPseudoProc, Port: port})
+	if !ok {
+		return nil // unconnected output (rejected by the engine, legal in a spec)
+	}
+	if arc.From.Proc == workflow.WorkflowPseudoProc {
+		// Input wired straight to output: the path ends at this frame's own
+		// input port.
+		return c.reachedFrameInput(sc, arc.From.Port, idx)
+	}
+	src := sc.wf.Processor(arc.From.Proc)
+	if src == nil {
+		return fmt.Errorf("lineage: arc references unknown processor %q", arc.From.Proc)
+	}
+	return c.visitOutput(sc, src, arc.From.Port, idx)
+}

@@ -1,0 +1,138 @@
+package lineage
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Naive is the NI baseline of §2.4/§4: it computes lin(⟨P:Y[p], v⟩, 𝒫) by
+// an extensional traversal of the stored provenance graph, issuing one or
+// more trace queries per visited node. Its cost therefore grows with the
+// length of the provenance paths and, for multi-run queries, linearly with
+// the number of runs.
+type Naive struct {
+	s *store.Store
+}
+
+// NewNaive returns an NI evaluator over a provenance store.
+func NewNaive(s *store.Store) *Naive { return &Naive{s: s} }
+
+// node is one traversal state: a binding identified by processor, port and
+// full index.
+type node struct {
+	proc string
+	port string
+	idx  value.Index
+}
+
+func (n node) key() entryKey {
+	return entryKey{proc: n.proc, port: n.port, idx: n.idx.String()}
+}
+
+// Lineage evaluates lin(⟨proc:port[idx]⟩, focus) within one run. proc may be
+// trace.WorkflowProc ("") to start from a workflow output port.
+func (n *Naive) Lineage(runID, proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	result := NewResult()
+	if err := n.lineageInto(result, runID, proc, port, idx, focus); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// LineageMultiRun evaluates the same query over a set of runs, unioning the
+// per-run answers. NI has no shared work between runs: each run costs a full
+// traversal (this is the behaviour Fig. 4 of the paper contrasts with
+// INDEXPROJ).
+func (n *Naive) LineageMultiRun(runIDs []string, proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	result := NewResult()
+	for _, runID := range runIDs {
+		if err := n.lineageInto(result, runID, proc, port, idx, focus); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+func (n *Naive) lineageInto(result *Result, runID, proc, port string, idx value.Index, focus Focus) error {
+	start := node{proc: proc, port: port, idx: idx.Clone()}
+	visited := map[entryKey]bool{start.key(): true}
+	stack := []node{start}
+
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		push := func(next node) {
+			k := next.key()
+			if !visited[k] {
+				visited[k] = true
+				stack = append(stack, next)
+			}
+		}
+
+		// Case 1 of Def. 1: the binding is an output of some xform events.
+		// The store applies the granularity rules (exact-or-finer first,
+		// else the longest coarser prefix).
+		events, err := n.s.XformsByOutput(runID, cur.proc, cur.port, cur.idx)
+		if err != nil {
+			return err
+		}
+		for _, ev := range events {
+			collect := focus[ev.Proc]
+			for _, in := range ev.Inputs {
+				if collect {
+					if err := n.addEntry(result, in); err != nil {
+						return err
+					}
+				}
+				push(node{proc: in.Proc, port: in.Port, idx: in.Index})
+			}
+		}
+
+		// Case 2 of Def. 1: the binding was transferred along arcs; follow
+		// each overlapping xfer upstream, translating the index.
+		xfers, err := n.s.XfersTo(runID, cur.proc, cur.port)
+		if err != nil {
+			return err
+		}
+		for _, xf := range xfers {
+			up, ok := translateAcrossXfer(cur.idx, xf.To.Index, xf.From.Index)
+			if !ok {
+				continue
+			}
+			push(node{proc: xf.From.Proc, port: xf.From.Port, idx: up})
+		}
+	}
+	return nil
+}
+
+// translateAcrossXfer maps a query index at the sink of an xfer event to the
+// corresponding index at its source. Ordinary xfers record the whole-value
+// transfer (To.Index == From.Index == the run context), so indices propagate
+// verbatim; nested-dataflow boundary xfers remap a parent element index to a
+// sub-run context, and the residual carries across. An event whose sink
+// index does not overlap the query index (a different activation) does not
+// match.
+func translateAcrossXfer(queryIdx, toIdx, fromIdx value.Index) (value.Index, bool) {
+	switch {
+	case queryIdx.HasPrefix(toIdx):
+		residual := queryIdx.Slice(len(toIdx), len(queryIdx))
+		return fromIdx.Concat(residual), true
+	case toIdx.HasPrefix(queryIdx):
+		// The event is finer than the query: take its whole source index.
+		return fromIdx.Clone(), true
+	default:
+		return nil, false
+	}
+}
+
+func (n *Naive) addEntry(result *Result, b store.Binding) error {
+	v, err := n.s.Value(b.RunID, b.ValID)
+	if err != nil {
+		return fmt.Errorf("lineage: %w", err)
+	}
+	result.Add(Entry{RunID: b.RunID, Proc: b.Proc, Port: b.Port, Index: b.Index, Ctx: b.Ctx, Value: v})
+	return nil
+}

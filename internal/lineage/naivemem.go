@@ -1,0 +1,110 @@
+package lineage
+
+import (
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// NaiveMem is an independent reference implementation of Def. 1 evaluated
+// directly over an in-memory trace, with the same granularity semantics as
+// the store-backed algorithms. It exists to cross-check NI and INDEXPROJ in
+// property tests and to answer queries on traces that were never persisted.
+type NaiveMem struct {
+	runID string
+	// xformsByOut indexes events by (proc, port) of each output binding.
+	xformsByOut map[[2]string][]memXform
+	xfersTo     map[[2]string][]trace.XferEvent
+}
+
+type memXform struct {
+	event  trace.XformEvent
+	outIdx value.Index // index of the particular output binding
+}
+
+// NewNaiveMem indexes a trace for repeated queries.
+func NewNaiveMem(t *trace.Trace) *NaiveMem {
+	m := &NaiveMem{
+		runID:       t.RunID,
+		xformsByOut: make(map[[2]string][]memXform),
+		xfersTo:     make(map[[2]string][]trace.XferEvent),
+	}
+	for _, ev := range t.Xforms {
+		for _, out := range ev.Outputs {
+			k := [2]string{out.Proc, out.Port}
+			m.xformsByOut[k] = append(m.xformsByOut[k], memXform{event: ev, outIdx: out.Index})
+		}
+	}
+	for _, ev := range t.Xfers {
+		k := [2]string{ev.To.Proc, ev.To.Port}
+		m.xfersTo[k] = append(m.xfersTo[k], ev)
+	}
+	return m
+}
+
+// Lineage evaluates lin(⟨proc:port[idx]⟩, focus) on the indexed trace.
+func (m *NaiveMem) Lineage(proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	result := NewResult()
+	start := node{proc: proc, port: port, idx: idx.Clone()}
+	visited := map[entryKey]bool{start.key(): true}
+	stack := []node{start}
+
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		push := func(next node) {
+			k := next.key()
+			if !visited[k] {
+				visited[k] = true
+				stack = append(stack, next)
+			}
+		}
+
+		for _, ev := range m.matchXforms(cur) {
+			collect := focus[ev.Proc]
+			for _, in := range ev.Inputs {
+				if collect {
+					result.Add(Entry{RunID: m.runID, Proc: in.Proc, Port: in.Port, Index: in.Index, Ctx: in.Ctx, Value: in.Value})
+				}
+				push(node{proc: in.Proc, port: in.Port, idx: in.Index})
+			}
+		}
+		for _, xf := range m.xfersTo[[2]string{cur.proc, cur.port}] {
+			up, ok := translateAcrossXfer(cur.idx, xf.To.Index, xf.From.Index)
+			if !ok {
+				continue
+			}
+			push(node{proc: xf.From.Proc, port: xf.From.Port, idx: up})
+		}
+	}
+	return result, nil
+}
+
+// matchXforms applies the granularity rules of §2.3: events whose output
+// index extends the query index match directly; otherwise the events at the
+// longest strictly-coarser prefix match.
+func (m *NaiveMem) matchXforms(cur node) []trace.XformEvent {
+	candidates := m.xformsByOut[[2]string{cur.proc, cur.port}]
+	var out []trace.XformEvent
+	for _, c := range candidates {
+		if c.outIdx.HasPrefix(cur.idx) {
+			out = append(out, c.event)
+		}
+	}
+	if out != nil {
+		return out
+	}
+	// Coarser fallback: longest proper prefix of the query with events.
+	for n := len(cur.idx) - 1; n >= 0; n-- {
+		want := cur.idx.Truncate(n)
+		for _, c := range candidates {
+			if c.outIdx.Equal(want) {
+				out = append(out, c.event)
+			}
+		}
+		if out != nil {
+			return out
+		}
+	}
+	return nil
+}

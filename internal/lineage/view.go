@@ -1,0 +1,216 @@
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/workflow"
+)
+
+// View implements the combination the paper's conclusion proposes: layering
+// Zoom*UserViews-style abstractions [Biton et al., VLDB'07] on top of the
+// lineage algorithms. A view partitions (a subset of) a workflow's
+// processors into named groups; each group behaves like a virtual composite
+// processor, and a group-focused lineage query returns the bindings entering
+// the group from outside — its "virtual input ports" — labelled with the
+// group name instead of the member internals.
+//
+// The view layer is pure post-processing over either algorithm: the focus
+// set is expanded to the member processors, and the answer is filtered to
+// the group's external input ports. It therefore inherits INDEXPROJ's
+// efficiency unchanged.
+type View struct {
+	Name   string
+	groups map[string][]string
+	byProc map[string]string
+}
+
+// NewView returns an empty view definition.
+func NewView(name string) *View {
+	return &View{Name: name, groups: make(map[string][]string), byProc: make(map[string]string)}
+}
+
+// AddGroup adds a named group of processors. Groups must be disjoint.
+func (v *View) AddGroup(group string, procs ...string) error {
+	if group == "" {
+		return fmt.Errorf("lineage: view group with empty name")
+	}
+	if _, ok := v.groups[group]; ok {
+		return fmt.Errorf("lineage: view group %q already defined", group)
+	}
+	if len(procs) == 0 {
+		return fmt.Errorf("lineage: view group %q has no members", group)
+	}
+	for _, p := range procs {
+		if prev, ok := v.byProc[p]; ok {
+			return fmt.Errorf("lineage: processor %q already in group %q", p, prev)
+		}
+	}
+	v.groups[group] = append([]string(nil), procs...)
+	for _, p := range procs {
+		v.byProc[p] = group
+	}
+	return nil
+}
+
+// Groups returns the group names, sorted.
+func (v *View) Groups() []string {
+	out := make([]string, 0, len(v.groups))
+	for g := range v.groups {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupOf returns the group containing a processor, if any.
+func (v *View) GroupOf(proc string) (string, bool) {
+	g, ok := v.byProc[proc]
+	return g, ok
+}
+
+// Validate checks the view against a workflow: every member processor must
+// exist (path-qualified names address processors inside nested dataflows).
+func (v *View) Validate(wf *workflow.Workflow) error {
+	for group, procs := range v.groups {
+		for _, p := range procs {
+			if !processorExists(wf, p) {
+				return fmt.Errorf("lineage: view group %q references unknown processor %q", group, p)
+			}
+		}
+	}
+	return nil
+}
+
+func processorExists(wf *workflow.Workflow, path string) bool {
+	segments := strings.Split(path, "/")
+	cur := wf
+	for len(segments) > 1 {
+		p := cur.Processor(segments[0])
+		if p == nil || p.Sub == nil {
+			return false
+		}
+		cur = p.Sub
+		segments = segments[1:]
+	}
+	return cur.Processor(segments[0]) != nil
+}
+
+// ExternalInputs computes, per group, the input ports of member processors
+// whose producing arc originates outside the group (including workflow
+// inputs and defaults) — the group's virtual input ports.
+func (v *View) ExternalInputs(wf *workflow.Workflow) map[string]map[workflow.PortID]bool {
+	out := make(map[string]map[workflow.PortID]bool, len(v.groups))
+	for group := range v.groups {
+		out[group] = make(map[workflow.PortID]bool)
+	}
+	v.collectExternal(wf, "", out)
+	return out
+}
+
+func (v *View) collectExternal(wf *workflow.Workflow, base string, out map[string]map[workflow.PortID]bool) {
+	for _, p := range wf.Processors {
+		qualified := p.Name
+		if base != "" {
+			qualified = base + "/" + p.Name
+		}
+		if p.Sub != nil {
+			v.collectExternal(p.Sub, qualified, out)
+		}
+		group, ok := v.byProc[qualified]
+		if !ok {
+			continue
+		}
+		for _, port := range p.Inputs {
+			id := workflow.PortID{Proc: p.Name, Port: port.Name}
+			arc, connected := wf.IncomingArc(id)
+			external := true
+			if connected && arc.From.Proc != workflow.WorkflowPseudoProc {
+				srcQualified := arc.From.Proc
+				if base != "" {
+					srcQualified = base + "/" + arc.From.Proc
+				}
+				if srcGroup, ok := v.byProc[srcQualified]; ok && srcGroup == group {
+					external = false
+				}
+			}
+			if external {
+				out[group][workflow.PortID{Proc: qualified, Port: port.Name}] = true
+			}
+		}
+	}
+}
+
+// ViewEntry is a lineage entry lifted to the view level: the binding enters
+// the named group from outside.
+type ViewEntry struct {
+	Group string
+	Entry
+}
+
+func (e ViewEntry) String() string { return e.Group + "::" + e.Entry.String() }
+
+// ViewResult is a view-level lineage answer.
+type ViewResult struct {
+	Entries []ViewEntry
+}
+
+func (r *ViewResult) String() string {
+	parts := make([]string, len(r.Entries))
+	for i, e := range r.Entries {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// FocusFor expands a set of group names into the processor-level focus set
+// the underlying algorithms consume.
+func (v *View) FocusFor(groups ...string) (Focus, error) {
+	f := NewFocus()
+	for _, g := range groups {
+		procs, ok := v.groups[g]
+		if !ok {
+			return nil, fmt.Errorf("lineage: view has no group %q", g)
+		}
+		for _, p := range procs {
+			f[p] = true
+		}
+	}
+	return f, nil
+}
+
+// Lift filters a processor-level result to each group's external input ports
+// and labels the survivors with their group, producing the view-level
+// answer. Entries at ports internal to a group are abstraction details and
+// are dropped, exactly as a Zoom user view hides them.
+func (v *View) Lift(wf *workflow.Workflow, res *Result) *ViewResult {
+	external := v.ExternalInputs(wf)
+	out := &ViewResult{}
+	for _, e := range res.Entries() {
+		group, ok := v.byProc[e.Proc]
+		if !ok {
+			continue
+		}
+		if external[group][workflow.PortID{Proc: e.Proc, Port: e.Port}] {
+			out.Entries = append(out.Entries, ViewEntry{Group: group, Entry: e})
+		}
+	}
+	return out
+}
+
+// LineageThroughView answers a group-focused lineage query end to end: the
+// group names are expanded to a processor focus, the query runs through the
+// given evaluator function, and the answer is lifted to the view level.
+func (v *View) LineageThroughView(wf *workflow.Workflow,
+	eval func(focus Focus) (*Result, error), groups ...string) (*ViewResult, error) {
+	focus, err := v.FocusFor(groups...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eval(focus)
+	if err != nil {
+		return nil, err
+	}
+	return v.Lift(wf, res), nil
+}

@@ -1,0 +1,279 @@
+package reldb
+
+import (
+	"bytes"
+)
+
+// btree is an in-memory B-tree mapping byte-string keys to row IDs. Index
+// entries are made unique by suffixing the encoded column key with the row
+// ID (see index.go), so the tree never stores duplicate keys. The tree is
+// not internally synchronized; the owning DB's lock guards it.
+
+const btreeDegree = 32 // max children per node = 2*degree
+
+type btreeItem struct {
+	key []byte
+	rid int64
+}
+
+type btreeNode struct {
+	items    []btreeItem
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// find returns the position of the first item with key >= k, and whether an
+// exact match sits there.
+func (n *btreeNode) find(k []byte) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.items[mid].key, k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.items) && bytes.Equal(n.items[lo].key, k)
+}
+
+type btree struct {
+	root *btreeNode
+	size int
+}
+
+func newBTree() *btree { return &btree{root: &btreeNode{}} }
+
+// Len returns the number of stored entries.
+func (t *btree) Len() int { return t.size }
+
+// Insert adds an entry; inserting an existing key replaces its row ID and
+// returns false.
+func (t *btree) Insert(key []byte, rid int64) bool {
+	if len(t.root.items) >= 2*btreeDegree-1 {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	added := t.root.insert(btreeItem{key: key, rid: rid})
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// splitChild splits the full child at position i, lifting its median item.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeDegree - 1
+	median := child.items[mid]
+	right := &btreeNode{
+		items: append([]btreeItem(nil), child.items[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, btreeItem{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insert(it btreeItem) bool {
+	i, found := n.find(it.key)
+	if found {
+		n.items[i].rid = it.rid
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, btreeItem{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = it
+		return true
+	}
+	if len(n.children[i].items) >= 2*btreeDegree-1 {
+		n.splitChild(i)
+		switch c := bytes.Compare(it.key, n.items[i].key); {
+		case c == 0:
+			n.items[i].rid = it.rid
+			return false
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].insert(it)
+}
+
+// Get returns the row ID stored under an exact key.
+func (t *btree) Get(key []byte) (int64, bool) {
+	n := t.root
+	for {
+		i, found := n.find(key)
+		if found {
+			return n.items[i].rid, true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes the entry with the exact key, reporting whether it existed.
+func (t *btree) Delete(key []byte) bool {
+	if !t.root.delete(key) {
+		return false
+	}
+	t.size--
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	return true
+}
+
+const minItems = btreeDegree - 1
+
+// delete removes key from the subtree rooted at n, following the classic
+// CLRS structure. Invariant: when delete is called on a non-root node, the
+// node has at least minItems+1 items, so removing one cannot underflow it.
+func (n *btreeNode) delete(key []byte) bool {
+	i, found := n.find(key)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		switch {
+		case len(n.children[i].items) > minItems:
+			// Replace with the in-order predecessor and delete it below.
+			pred := n.children[i].max()
+			n.items[i] = pred
+			return n.children[i].delete(pred.key)
+		case len(n.children[i+1].items) > minItems:
+			// Replace with the in-order successor and delete it below.
+			succ := n.children[i+1].min()
+			n.items[i] = succ
+			return n.children[i+1].delete(succ.key)
+		default:
+			// Both neighbours are minimal: merge them around the key and
+			// delete from the merged child.
+			n.mergeChildren(i)
+			return n.children[i].delete(key)
+		}
+	}
+	// Not here: ensure the child we descend into has room, then recurse.
+	i = n.growChild(i)
+	return n.children[i].delete(key)
+}
+
+// max returns the rightmost item of the subtree rooted at n.
+func (n *btreeNode) max() btreeItem {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// min returns the leftmost item of the subtree rooted at n.
+func (n *btreeNode) min() btreeItem {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// mergeChildren merges child i, item i and child i+1 into a single child at
+// position i.
+func (n *btreeNode) mergeChildren(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// growChild ensures the child at position i has more than minItems items so
+// a delete can recurse into it, borrowing from a sibling or merging with
+// one. It returns the (possibly shifted) child position to descend into.
+func (n *btreeNode) growChild(i int) int {
+	if len(n.children[i].items) > minItems {
+		return i
+	}
+	switch {
+	case i > 0 && len(n.children[i-1].items) > minItems:
+		// Borrow through the parent from the left sibling.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, btreeItem{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = moved
+		}
+	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
+		// Borrow through the parent from the right sibling.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			moved := right.children[0]
+			right.children = append(right.children[:0], right.children[1:]...)
+			child.children = append(child.children, moved)
+		}
+	default:
+		// Merge with a neighbour; descending position may shift left.
+		if i >= len(n.children)-1 {
+			i--
+		}
+		n.mergeChildren(i)
+	}
+	return i
+}
+
+// AscendRange visits entries with from <= key < to in key order. A nil to
+// means unbounded. The callback returns false to stop early.
+func (t *btree) AscendRange(from, to []byte, fn func(key []byte, rid int64) bool) {
+	t.root.ascend(from, to, fn)
+}
+
+func (n *btreeNode) ascend(from, to []byte, fn func(key []byte, rid int64) bool) bool {
+	i := 0
+	if from != nil {
+		i, _ = n.find(from)
+	}
+	for ; i < len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(from, to, fn) {
+				return false
+			}
+		}
+		if to != nil && bytes.Compare(n.items[i].key, to) >= 0 {
+			return false
+		}
+		if from == nil || bytes.Compare(n.items[i].key, from) >= 0 {
+			if !fn(n.items[i].key, n.items[i].rid) {
+				return false
+			}
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(from, to, fn)
+	}
+	return true
+}

@@ -1,0 +1,251 @@
+package reldb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+
+func TestBTreeInsertGet(t *testing.T) {
+	tr := newBTree()
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if !tr.Insert(key(i), int64(i)) {
+			t.Fatalf("Insert(%d) reported duplicate", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		rid, ok := tr.Get(key(i))
+		if !ok || rid != int64(i) {
+			t.Fatalf("Get(%d) = %d, %v", i, rid, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Error("Get found a missing key")
+	}
+	// Replacing an existing key is not an insertion.
+	if tr.Insert(key(7), 999) {
+		t.Error("duplicate insert reported as new")
+	}
+	if rid, _ := tr.Get(key(7)); rid != 999 {
+		t.Errorf("replacement not applied: %d", rid)
+	}
+	if tr.Len() != n {
+		t.Errorf("Len changed on replacement: %d", tr.Len())
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	tr := newBTree()
+	const n = 1000
+	for _, i := range rand.New(rand.NewSource(2)).Perm(n) {
+		tr.Insert(key(i), int64(i))
+	}
+	var got []int64
+	tr.AscendRange(key(100), key(200), func(k []byte, rid int64) bool {
+		got = append(got, rid)
+		return true
+	})
+	if len(got) != 100 {
+		t.Fatalf("range size = %d, want 100", len(got))
+	}
+	for i, rid := range got {
+		if rid != int64(100+i) {
+			t.Fatalf("range[%d] = %d", i, rid)
+		}
+	}
+	// Unbounded scan returns everything in order.
+	var all []int64
+	tr.AscendRange(nil, nil, func(k []byte, rid int64) bool {
+		all = append(all, rid)
+		return true
+	})
+	if len(all) != n || !sort.SliceIsSorted(all, func(i, j int) bool { return all[i] < all[j] }) {
+		t.Fatalf("full scan wrong: len=%d", len(all))
+	}
+	// Early stop.
+	count := 0
+	tr.AscendRange(nil, nil, func([]byte, int64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := newBTree()
+	const n = 3000
+	rng := rand.New(rand.NewSource(3))
+	for _, i := range rng.Perm(n) {
+		tr.Insert(key(i), int64(i))
+	}
+	// Delete a random half.
+	deleted := map[int]bool{}
+	for _, i := range rng.Perm(n)[:n/2] {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		deleted[i] = true
+	}
+	if tr.Delete([]byte("missing")) {
+		t.Error("Delete of missing key succeeded")
+	}
+	if tr.Len() != n-n/2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(key(i))
+		if ok == deleted[i] {
+			t.Fatalf("Get(%d) = %v after deletion=%v", i, ok, deleted[i])
+		}
+	}
+	// Remaining keys still come out sorted and complete.
+	var rest []int64
+	tr.AscendRange(nil, nil, func(k []byte, rid int64) bool {
+		rest = append(rest, rid)
+		return true
+	})
+	if len(rest) != n-n/2 {
+		t.Fatalf("scan after delete = %d items", len(rest))
+	}
+	for i := 1; i < len(rest); i++ {
+		if rest[i-1] >= rest[i] {
+			t.Fatal("scan after delete out of order")
+		}
+	}
+}
+
+func TestBTreeDeleteAll(t *testing.T) {
+	tr := newBTree()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), int64(i))
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	tr.AscendRange(nil, nil, func([]byte, int64) bool {
+		t.Fatal("scan found items in empty tree")
+		return false
+	})
+	// Tree remains usable.
+	tr.Insert(key(1), 1)
+	if rid, ok := tr.Get(key(1)); !ok || rid != 1 {
+		t.Error("tree unusable after full drain")
+	}
+}
+
+// TestBTreeRandomOpsAgainstMap drives the tree with a random operation mix
+// and checks it against a reference map plus invariant checks.
+func TestBTreeRandomOpsAgainstMap(t *testing.T) {
+	tr := newBTree()
+	ref := map[string]int64{}
+	rng := rand.New(rand.NewSource(4))
+	for op := 0; op < 40000; op++ {
+		k := key(rng.Intn(800))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int63()
+			tr.Insert(k, v)
+			ref[string(k)] = v
+		case 1:
+			got := tr.Delete(k)
+			_, want := ref[string(k)]
+			if got != want {
+				t.Fatalf("op %d: Delete(%s) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, string(k))
+		case 2:
+			rid, ok := tr.Get(k)
+			want, wok := ref[string(k)]
+			if ok != wok || (ok && rid != want) {
+				t.Fatalf("op %d: Get(%s) = %d,%v want %d,%v", op, k, rid, ok, want, wok)
+			}
+		}
+		if op%5000 == 0 {
+			checkBTreeInvariants(t, tr)
+		}
+	}
+	checkBTreeInvariants(t, tr)
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	var keys []string
+	tr.AscendRange(nil, nil, func(k []byte, _ int64) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if len(keys) != len(ref) {
+		t.Fatalf("scan = %d keys, ref = %d", len(keys), len(ref))
+	}
+	for _, k := range keys {
+		if _, ok := ref[k]; !ok {
+			t.Fatalf("scan produced unknown key %q", k)
+		}
+	}
+}
+
+// checkBTreeInvariants verifies sortedness, key separation, node occupancy
+// and uniform leaf depth.
+func checkBTreeInvariants(t *testing.T, tr *btree) {
+	t.Helper()
+	leafDepth := -1
+	var walk func(n *btreeNode, depth int, lo, hi []byte)
+	walk = func(n *btreeNode, depth int, lo, hi []byte) {
+		if n != tr.root && len(n.items) < minItems {
+			t.Fatalf("node underflow: %d items", len(n.items))
+		}
+		if len(n.items) > 2*btreeDegree-1 {
+			t.Fatalf("node overflow: %d items", len(n.items))
+		}
+		for i := 0; i < len(n.items); i++ {
+			k := n.items[i].key
+			if i > 0 && bytes.Compare(n.items[i-1].key, k) >= 0 {
+				t.Fatal("items out of order within node")
+			}
+			if lo != nil && bytes.Compare(k, lo) <= 0 {
+				t.Fatal("item violates lower separator")
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				t.Fatal("item violates upper separator")
+			}
+		}
+		if n.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaves at depths %d and %d", leafDepth, depth)
+			}
+			return
+		}
+		if len(n.children) != len(n.items)+1 {
+			t.Fatalf("node has %d items but %d children", len(n.items), len(n.children))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.items[i-1].key
+			}
+			if i < len(n.items) {
+				chi = n.items[i].key
+			}
+			walk(c, depth+1, clo, chi)
+		}
+	}
+	walk(tr.root, 0, nil, nil)
+}

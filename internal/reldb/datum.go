@@ -1,0 +1,192 @@
+// Package reldb is an embedded relational storage engine: heap-organized
+// tables with typed columns, B-tree secondary indexes over order-preserving
+// composite key encodings, and whole-database snapshot persistence. It is
+// the storage substrate standing in for the MySQL instance used by the
+// paper's implementation (§4); the SQL layer in internal/sqlike builds on
+// it. The engine is safe for concurrent use: a reader/writer mutex guards
+// each database.
+package reldb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ColType is the type of a column.
+type ColType uint8
+
+const (
+	TInt ColType = iota + 1 // 64-bit signed integer
+	TFloat
+	TString
+	TBytes
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "TEXT"
+	case TBytes:
+		return "BLOB"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(t))
+	}
+}
+
+// ParseColType maps a SQL type name to a ColType.
+func ParseColType(s string) (ColType, bool) {
+	switch s {
+	case "INT", "INTEGER", "BIGINT":
+		return TInt, true
+	case "FLOAT", "DOUBLE", "REAL":
+		return TFloat, true
+	case "TEXT", "VARCHAR", "STRING", "CHAR":
+		return TString, true
+	case "BLOB", "BYTES":
+		return TBytes, true
+	default:
+		return 0, false
+	}
+}
+
+// Datum is one column value. The zero Datum is NULL.
+type Datum struct {
+	t ColType // 0 means NULL
+	i int64
+	f float64
+	s string
+	b []byte
+}
+
+// Null is the NULL datum.
+var Null = Datum{}
+
+// I returns an integer datum.
+func I(v int64) Datum { return Datum{t: TInt, i: v} }
+
+// F returns a float datum.
+func F(v float64) Datum { return Datum{t: TFloat, f: v} }
+
+// S returns a string datum.
+func S(v string) Datum { return Datum{t: TString, s: v} }
+
+// B returns a bytes datum. The slice is retained.
+func B(v []byte) Datum { return Datum{t: TBytes, b: v} }
+
+// IsNull reports whether the datum is NULL.
+func (d Datum) IsNull() bool { return d.t == 0 }
+
+// Type returns the datum's type (0 for NULL).
+func (d Datum) Type() ColType { return d.t }
+
+// Int returns the integer payload (0 if not an integer).
+func (d Datum) Int() int64 { return d.i }
+
+// Float returns the float payload (0 if not a float).
+func (d Datum) Float() float64 { return d.f }
+
+// Str returns the string payload ("" if not a string).
+func (d Datum) Str() string { return d.s }
+
+// Bytes returns the bytes payload (nil if not bytes).
+func (d Datum) Bytes() []byte { return d.b }
+
+// Equal reports whether two datums have the same type and payload.
+func (d Datum) Equal(o Datum) bool {
+	if d.t != o.t {
+		return false
+	}
+	switch d.t {
+	case 0:
+		return true
+	case TInt:
+		return d.i == o.i
+	case TFloat:
+		return d.f == o.f
+	case TString:
+		return d.s == o.s
+	case TBytes:
+		return string(d.b) == string(o.b)
+	}
+	return false
+}
+
+// Compare orders datums: NULL sorts before everything; mixed types order by
+// type tag (matching the key encoding); same types order naturally.
+func (d Datum) Compare(o Datum) int {
+	if d.t != o.t {
+		if d.t < o.t {
+			return -1
+		}
+		return 1
+	}
+	switch d.t {
+	case 0:
+		return 0
+	case TInt:
+		switch {
+		case d.i < o.i:
+			return -1
+		case d.i > o.i:
+			return 1
+		}
+		return 0
+	case TFloat:
+		switch {
+		case d.f < o.f:
+			return -1
+		case d.f > o.f:
+			return 1
+		}
+		return 0
+	case TString:
+		switch {
+		case d.s < o.s:
+			return -1
+		case d.s > o.s:
+			return 1
+		}
+		return 0
+	case TBytes:
+		switch {
+		case string(d.b) < string(o.b):
+			return -1
+		case string(d.b) > string(o.b):
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// String renders the datum for diagnostics.
+func (d Datum) String() string {
+	switch d.t {
+	case 0:
+		return "NULL"
+	case TInt:
+		return strconv.FormatInt(d.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(d.f, 'g', -1, 64)
+	case TString:
+		return strconv.Quote(d.s)
+	case TBytes:
+		return fmt.Sprintf("x'%x'", d.b)
+	}
+	return "?"
+}
+
+// Row is one table row: one datum per column in schema order.
+type Row []Datum
+
+// Clone returns an independent copy of the row (bytes payloads are shared;
+// they are treated as immutable throughout the engine).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

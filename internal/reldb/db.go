@@ -1,0 +1,445 @@
+package reldb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DB is an embedded relational database: a set of named tables guarded by a
+// reader/writer lock.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	// Durability (optional, see OpenDurable): the write-ahead log every
+	// mutation is appended to, and the directory holding log + snapshot.
+	wal    *walWriter
+	walDir string
+	// stats counters, exported for benchmark instrumentation; atomic
+	// because read paths (which increment them) run under the read lock.
+	statIndexScans atomic.Int64
+	statFullScans  atomic.Int64
+	statRowsRead   atomic.Int64
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table with the given schema.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("reldb: table %q already exists", name)
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("reldb: table %q: empty schema", name)
+	}
+	seen := make(map[string]bool, len(schema))
+	for _, c := range schema {
+		if c.Name == "" {
+			return nil, fmt.Errorf("reldb: table %q: column with empty name", name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("reldb: table %q: duplicate column %q", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	t := &Table{Name: name, Schema: append(Schema(nil), schema...)}
+	db.tables[name] = t
+	if err := db.logCreateTable(name, t.Schema); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DropTable removes a table and its indexes.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("reldb: no table %q", name)
+	}
+	delete(db.tables, name)
+	return db.logDropTable(name)
+}
+
+// Table returns the table with the given name.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// TableNames returns the names of all tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateIndex creates and backfills a secondary index.
+func (db *DB) CreateIndex(indexName, tableName string, cols ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: no table %q", tableName)
+	}
+	if _, err := t.buildIndex(indexName, cols); err != nil {
+		return err
+	}
+	return db.logCreateIndex(indexName, tableName, cols)
+}
+
+// Insert adds a row to a table and returns its row ID.
+func (db *DB) Insert(tableName string, row Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("reldb: no table %q", tableName)
+	}
+	rid, err := t.insert(row)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.logInsert(tableName, []Row{row}); err != nil {
+		return 0, err
+	}
+	return rid, nil
+}
+
+// InsertBatch adds many rows under one lock acquisition.
+func (db *DB) InsertBatch(tableName string, rows []Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: no table %q", tableName)
+	}
+	for _, r := range rows {
+		if _, err := t.insert(r); err != nil {
+			return err
+		}
+	}
+	return db.logInsert(tableName, rows)
+}
+
+// PredOp is the comparison operator of a predicate.
+type PredOp uint8
+
+const (
+	// OpEq matches rows whose column equals the value.
+	OpEq PredOp = iota
+	// OpPrefix matches string rows whose column starts with the value
+	// (SQL: col LIKE 'prefix%'). Prefix predicates are index-accelerated
+	// when the column directly follows the equality columns in an index.
+	OpPrefix
+	// OpLt, OpLe, OpGt, OpGe are range comparisons against non-NULL values
+	// of the column's type. A single range-bounded column directly following
+	// the equality columns in an index turns into a bounded index scan.
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// Pred is a predicate on a named column.
+type Pred struct {
+	Col string
+	Val Datum
+	Op  PredOp
+}
+
+// Eq builds an equality predicate.
+func Eq(col string, val Datum) Pred { return Pred{Col: col, Val: val, Op: OpEq} }
+
+// Prefix builds a string-prefix predicate.
+func Prefix(col string, prefix string) Pred {
+	return Pred{Col: col, Val: S(prefix), Op: OpPrefix}
+}
+
+// Lt builds a "column < value" predicate.
+func Lt(col string, val Datum) Pred { return Pred{Col: col, Val: val, Op: OpLt} }
+
+// Le builds a "column <= value" predicate.
+func Le(col string, val Datum) Pred { return Pred{Col: col, Val: val, Op: OpLe} }
+
+// Gt builds a "column > value" predicate.
+func Gt(col string, val Datum) Pred { return Pred{Col: col, Val: val, Op: OpGt} }
+
+// Ge builds a "column >= value" predicate.
+func Ge(col string, val Datum) Pred { return Pred{Col: col, Val: val, Op: OpGe} }
+
+// Select returns the rows of a table matching every equality predicate. It
+// uses the index covering the longest prefix of the predicate columns when
+// one exists, falling back to a heap scan. Rows are returned in index order
+// (or row-ID order for heap scans); limit < 0 means no limit.
+func (db *DB) Select(tableName string, preds []Pred, limit int) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("reldb: no table %q", tableName)
+	}
+	var out []Row
+	err := db.selectLocked(t, preds, func(_ int64, row Row) bool {
+		out = append(out, row.Clone())
+		return limit < 0 || len(out) < limit
+	})
+	return out, err
+}
+
+// Count returns the number of rows matching the predicates.
+func (db *DB) Count(tableName string, preds []Pred) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("reldb: no table %q", tableName)
+	}
+	n := 0
+	err := db.selectLocked(t, preds, func(int64, Row) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// Delete removes every row matching the predicates, returning the count.
+func (db *DB) Delete(tableName string, preds []Pred) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("reldb: no table %q", tableName)
+	}
+	var rids []int64
+	if err := db.selectLocked(t, preds, func(rid int64, _ Row) bool {
+		rids = append(rids, rid)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	for _, rid := range rids {
+		if err := t.delete(rid); err != nil {
+			return 0, err
+		}
+	}
+	if err := db.logDelete(tableName, rids); err != nil {
+		return 0, err
+	}
+	return len(rids), nil
+}
+
+// selectLocked runs the planned scan under the caller's lock.
+func (db *DB) selectLocked(t *Table, preds []Pred, fn func(rid int64, row Row) bool) error {
+	cols := make([]int, len(preds))
+	eqCols := make(map[int]bool, len(preds))
+	prefixCols := make(map[int]string, 1)
+	rangeCols := make(map[int][]Pred, 1)
+	for i, p := range preds {
+		pos, ok := t.Schema.ColIndex(p.Col)
+		if !ok {
+			return fmt.Errorf("reldb: table %q has no column %q", t.Name, p.Col)
+		}
+		cols[i] = pos
+		switch p.Op {
+		case OpEq:
+			if !p.Val.IsNull() && p.Val.Type() != t.Schema[pos].Type {
+				return fmt.Errorf("reldb: table %q: predicate on %q expects %v, got %v",
+					t.Name, p.Col, t.Schema[pos].Type, p.Val.Type())
+			}
+			eqCols[pos] = true
+		case OpPrefix:
+			if t.Schema[pos].Type != TString || p.Val.Type() != TString {
+				return fmt.Errorf("reldb: table %q: prefix predicate on %q requires TEXT", t.Name, p.Col)
+			}
+			prefixCols[pos] = p.Val.Str()
+		case OpLt, OpLe, OpGt, OpGe:
+			if p.Val.IsNull() || p.Val.Type() != t.Schema[pos].Type {
+				return fmt.Errorf("reldb: table %q: range predicate on %q requires a non-NULL %v",
+					t.Name, p.Col, t.Schema[pos].Type)
+			}
+			rangeCols[pos] = append(rangeCols[pos], p)
+		default:
+			return fmt.Errorf("reldb: unknown predicate op %d", p.Op)
+		}
+	}
+
+	matches := func(row Row) bool {
+		for i, p := range preds {
+			d := row[cols[i]]
+			switch p.Op {
+			case OpEq:
+				if !d.Equal(p.Val) {
+					return false
+				}
+			case OpPrefix:
+				if d.Type() != TString || len(d.Str()) < len(p.Val.Str()) || d.Str()[:len(p.Val.Str())] != p.Val.Str() {
+					return false
+				}
+			case OpLt, OpLe, OpGt, OpGe:
+				if d.IsNull() || d.Type() != p.Val.Type() {
+					return false
+				}
+				c := d.Compare(p.Val)
+				switch p.Op {
+				case OpLt:
+					if c >= 0 {
+						return false
+					}
+				case OpLe:
+					if c > 0 {
+						return false
+					}
+				case OpGt:
+					if c <= 0 {
+						return false
+					}
+				case OpGe:
+					if c < 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	// Plan: choose the index covering the longest run of equality columns,
+	// counting a prefix or range predicate on the following index column as
+	// half a column of selectivity.
+	var ix *Index
+	covered, bestScore := 0, 0
+	for _, cand := range t.indexes {
+		n := 0
+		for _, c := range cand.Cols {
+			if !eqCols[c] {
+				break
+			}
+			n++
+		}
+		score := 2 * n
+		if n < len(cand.Cols) {
+			if _, ok := prefixCols[cand.Cols[n]]; ok {
+				score++
+			} else if _, ok := rangeCols[cand.Cols[n]]; ok {
+				score++
+			}
+		}
+		if score > bestScore {
+			ix, covered, bestScore = cand, n, score
+		}
+	}
+	if ix != nil && bestScore > 0 {
+		db.statIndexScans.Add(1)
+		// Build the scan bounds: the covered equality columns form the base
+		// prefix; a prefix predicate on the next index column extends it
+		// with the partial (unterminated) string encoding; range predicates
+		// tighten one or both bounds.
+		base := make([]byte, 0, 16*(covered+1))
+		for i := 0; i < covered; i++ {
+			for j, c := range cols {
+				if c == ix.Cols[i] && preds[j].Op == OpEq {
+					base = encodeDatum(base, preds[j].Val)
+					break
+				}
+			}
+		}
+		from, to := base, PrefixSuccessor(base)
+		if covered < len(ix.Cols) {
+			next := ix.Cols[covered]
+			if pfx, ok := prefixCols[next]; ok {
+				key := append([]byte(nil), base...)
+				key = append(key, 0x03) // string tag
+				for _, c := range []byte(pfx) {
+					if c == 0x00 {
+						key = append(key, 0x00, 0xFF)
+					} else {
+						key = append(key, c)
+					}
+				}
+				from, to = key, PrefixSuccessor(key)
+			} else if bounds, ok := rangeCols[next]; ok {
+				for _, p := range bounds {
+					bound := encodeDatum(append([]byte(nil), base...), p.Val)
+					switch p.Op {
+					case OpGe:
+						if bytes.Compare(bound, from) > 0 {
+							from = bound
+						}
+					case OpGt:
+						if succ := PrefixSuccessor(bound); succ != nil && bytes.Compare(succ, from) > 0 {
+							from = succ
+						}
+					case OpLt:
+						if to == nil || bytes.Compare(bound, to) < 0 {
+							to = bound
+						}
+					case OpLe:
+						if succ := PrefixSuccessor(bound); succ != nil && (to == nil || bytes.Compare(succ, to) < 0) {
+							to = succ
+						}
+					}
+				}
+			}
+		}
+		ix.tree.AscendRange(from, to, func(_ []byte, rid int64) bool {
+			row, ok := t.row(rid)
+			if !ok {
+				return true
+			}
+			db.statRowsRead.Add(1)
+			if matches(row) {
+				return fn(rid, row)
+			}
+			return true
+		})
+		return nil
+	}
+
+	db.statFullScans.Add(1)
+	t.scanAll(func(rid int64, row Row) bool {
+		db.statRowsRead.Add(1)
+		if matches(row) {
+			return fn(rid, row)
+		}
+		return true
+	})
+	return nil
+}
+
+// Adopt replaces the contents of db with those of other (used to restore a
+// snapshot into an already-shared handle). The other database must not be
+// used afterwards. Adopt is not a logged operation: a durable database
+// stops logging when adopted into (checkpoint to re-establish durability).
+func (db *DB) Adopt(other *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	db.tables = other.tables
+	if db.wal != nil {
+		db.wal.close()
+		db.wal = nil
+	}
+}
+
+// Stats reports cumulative access-path counters (index scans, full scans,
+// rows read) since the database was created; used by the benchmark harness
+// to verify that hot paths are index-backed.
+func (db *DB) Stats() (indexScans, fullScans, rowsRead int64) {
+	return db.statIndexScans.Load(), db.statFullScans.Load(), db.statRowsRead.Load()
+}

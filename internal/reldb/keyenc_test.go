@@ -1,0 +1,201 @@
+package reldb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyEncodingRoundTrip(t *testing.T) {
+	rows := []Row{
+		{I(0), S(""), F(0), B(nil)},
+		{I(-1), S("hello"), F(-1.5), B([]byte{0, 1, 2})},
+		{I(math.MaxInt64), S("a\x00b"), F(math.MaxFloat64), B([]byte{0xFF, 0x00})},
+		{I(math.MinInt64), S("\x00\x00"), F(-math.MaxFloat64), B([]byte{})},
+		{Null, Null, Null, Null},
+	}
+	for _, row := range rows {
+		key := EncodeKey(nil, row...)
+		back, rest, err := DecodeKey(key, len(row))
+		if err != nil {
+			t.Fatalf("DecodeKey(%x): %v", key, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("DecodeKey left %d bytes", len(rest))
+		}
+		for i := range row {
+			if !back[i].Equal(row[i]) {
+				t.Errorf("column %d: %v -> %v", i, row[i], back[i])
+			}
+		}
+	}
+}
+
+func TestKeyEncodingOrderInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKey(nil, I(a))
+		kb := EncodeKey(nil, I(b))
+		return sign(bytes.Compare(ka, kb)) == sign(I(a).Compare(I(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyEncodingOrderString(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := EncodeKey(nil, S(a))
+		kb := EncodeKey(nil, S(b))
+		return sign(bytes.Compare(ka, kb)) == sign(S(a).Compare(S(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyEncodingOrderStringWithNuls(t *testing.T) {
+	// Adversarial cases around the 0x00 escape.
+	cases := []string{"", "\x00", "\x00\x00", "a", "a\x00", "a\x00b", "a\x01", "ab", "\xff"}
+	for _, a := range cases {
+		for _, b := range cases {
+			ka := EncodeKey(nil, S(a))
+			kb := EncodeKey(nil, S(b))
+			if sign(bytes.Compare(ka, kb)) != sign(S(a).Compare(S(b))) {
+				t.Errorf("order mismatch for %q vs %q", a, b)
+			}
+		}
+	}
+}
+
+func TestKeyEncodingOrderFloat(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := EncodeKey(nil, F(a))
+		kb := EncodeKey(nil, F(b))
+		return sign(bytes.Compare(ka, kb)) == sign(F(a).Compare(F(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Explicit sign boundary cases.
+	ordered := []float64{math.Inf(-1), -1e300, -1, -0.5, 0, 0.5, 1, 1e300, math.Inf(1)}
+	for i := 1; i < len(ordered); i++ {
+		ka := EncodeKey(nil, F(ordered[i-1]))
+		kb := EncodeKey(nil, F(ordered[i]))
+		if bytes.Compare(ka, kb) >= 0 {
+			t.Errorf("float order violated at %v < %v", ordered[i-1], ordered[i])
+		}
+	}
+}
+
+func TestKeyEncodingCompositeOrder(t *testing.T) {
+	// Composite ordering is column-major: the first column dominates.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		a := Row{I(rng.Int63n(5)), S(randKeyStr(rng)), I(rng.Int63n(5))}
+		b := Row{I(rng.Int63n(5)), S(randKeyStr(rng)), I(rng.Int63n(5))}
+		want := 0
+		for i := range a {
+			if c := a[i].Compare(b[i]); c != 0 {
+				want = c
+				break
+			}
+		}
+		got := bytes.Compare(EncodeKey(nil, a...), EncodeKey(nil, b...))
+		if sign(got) != want {
+			t.Fatalf("composite order: %v vs %v: got %d want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestKeyEncodingPrefixProperty(t *testing.T) {
+	// encode(a) must be a byte prefix of encode(a, b).
+	f := func(a string, b int64) bool {
+		short := EncodeKey(nil, S(a))
+		long := EncodeKey(nil, S(a), I(b))
+		return bytes.HasPrefix(long, short)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNullSortsFirst(t *testing.T) {
+	for _, d := range []Datum{I(math.MinInt64), F(math.Inf(-1)), S(""), B(nil)} {
+		kn := EncodeKey(nil, Null)
+		kd := EncodeKey(nil, d)
+		if bytes.Compare(kn, kd) >= 0 {
+			t.Errorf("NULL does not sort before %v", d)
+		}
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	bad := [][]byte{
+		{},               // empty
+		{0x01, 0x00},     // truncated int
+		{0x03, 'a'},      // unterminated string
+		{0x03, 0x00, 7},  // bad escape
+		{0x09},           // unknown tag
+		{0x02, 1, 2, 3},  // truncated float
+		{0x04, 'x', 0x0}, // truncated bytes terminator
+	}
+	for _, key := range bad {
+		if _, _, err := DecodeKey(key, 1); err == nil {
+			t.Errorf("DecodeKey(%x) accepted", key)
+		}
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{0x00}, []byte{0x01}},
+	}
+	for _, c := range cases {
+		got := PrefixSuccessor(c.in)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixSuccessor(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+	// Property: prefix <= any extension < successor.
+	f := func(prefix, ext []byte) bool {
+		succ := PrefixSuccessor(prefix)
+		if succ == nil {
+			return true
+		}
+		full := append(append([]byte(nil), prefix...), ext...)
+		return bytes.Compare(full, prefix) >= 0 && bytes.Compare(full, succ) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+func randKeyStr(rng *rand.Rand) string {
+	n := rng.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(4)) // includes 0x00 to stress escaping
+	}
+	return string(b)
+}

@@ -1,0 +1,7 @@
+package reldb
+
+import "os"
+
+// Thin wrappers so test helpers read naturally at call sites.
+func osReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+func osWriteFile(p string, b []byte) error   { return os.WriteFile(p, b, 0o644) }

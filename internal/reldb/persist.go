@@ -1,0 +1,352 @@
+package reldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Snapshot persistence: the whole database is written as a single binary
+// file with a magic header, length-prefixed records and a trailing CRC32.
+// Indexes are stored as definitions only and rebuilt on load (they are fully
+// derivable, and rebuilding keeps the format simple and corruption-safe).
+
+const persistMagic = "RELDBSNAPSHOT\x01"
+
+// Save writes a snapshot of the database to path, atomically (write to a
+// temporary file, then rename).
+func (db *DB) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("reldb: save: %w", err)
+	}
+	err = db.writeSnapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("reldb: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("reldb: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and returns the database.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: load: %w", err)
+	}
+	defer f.Close()
+	db, err := readSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: load %s: %w", path, err)
+	}
+	return db, nil
+}
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+func (db *DB) writeSnapshot(f *os.File) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	bw := bufio.NewWriter(f)
+	w := &crcWriter{w: bw}
+	if _, err := io.WriteString(w, persistMagic); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	writeUvarint(w, uint64(len(names)))
+	for _, name := range names {
+		t := db.tables[name]
+		writeString(w, t.Name)
+		writeUvarint(w, uint64(len(t.Schema)))
+		for _, c := range t.Schema {
+			writeString(w, c.Name)
+			writeUvarint(w, uint64(c.Type))
+		}
+		writeUvarint(w, uint64(len(t.indexes)))
+		for _, ix := range t.indexes {
+			writeString(w, ix.Name)
+			writeUvarint(w, uint64(len(ix.Cols)))
+			for _, c := range ix.Cols {
+				writeUvarint(w, uint64(c))
+			}
+		}
+		writeUvarint(w, uint64(len(t.rows)))
+		for _, row := range t.rows {
+			if row == nil {
+				writeUvarint(w, 0)
+				continue
+			}
+			writeUvarint(w, 1)
+			for _, d := range row {
+				writeDatum(w, d)
+			}
+		}
+	}
+
+	// Trailing CRC over everything before it.
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], w.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func readSnapshot(f *os.File) (*DB, error) {
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(persistMagic)+4 {
+		return nil, fmt.Errorf("snapshot truncated")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if string(body[:len(persistMagic)]) != persistMagic {
+		return nil, fmt.Errorf("bad snapshot magic")
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("snapshot checksum mismatch")
+	}
+
+	r := &byteReader{data: body[len(persistMagic):]}
+	db := NewDB()
+	nTables, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for ti := uint64(0); ti < nTables; ti++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		nCols, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		schema := make(Schema, nCols)
+		for i := range schema {
+			cname, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			ctype, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			schema[i] = Column{Name: cname, Type: ColType(ctype)}
+		}
+		t, err := db.CreateTable(name, schema)
+		if err != nil {
+			return nil, err
+		}
+
+		nIdx, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		type idxDef struct {
+			name string
+			cols []int
+		}
+		defs := make([]idxDef, nIdx)
+		for i := range defs {
+			iname, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			nc, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			cols := make([]int, nc)
+			for j := range cols {
+				c, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if c >= uint64(len(schema)) {
+					return nil, fmt.Errorf("index %q references column %d of %d", iname, c, len(schema))
+				}
+				cols[j] = int(c)
+			}
+			defs[i] = idxDef{name: iname, cols: cols}
+		}
+
+		nRows, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		t.rows = make([]Row, 0, nRows)
+		for i := uint64(0); i < nRows; i++ {
+			present, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if present == 0 {
+				t.rows = append(t.rows, nil)
+				continue
+			}
+			row := make(Row, len(schema))
+			for j := range row {
+				d, err := r.datum()
+				if err != nil {
+					return nil, err
+				}
+				row[j] = d
+			}
+			t.rows = append(t.rows, row)
+			t.live++
+		}
+		for _, def := range defs {
+			colNames := make([]string, len(def.cols))
+			for j, c := range def.cols {
+				colNames[j] = schema[c].Name
+			}
+			if _, err := t.buildIndex(def.name, colNames); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("snapshot has %d trailing bytes", len(r.data)-r.pos)
+	}
+	return db, nil
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w io.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+func writeDatum(w io.Writer, d Datum) {
+	writeUvarint(w, uint64(d.t))
+	switch d.t {
+	case 0:
+	case TInt:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(d.i))
+		w.Write(buf[:])
+	case TFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(d.f))
+		w.Write(buf[:])
+	case TString:
+		writeString(w, d.s)
+	case TBytes:
+		writeUvarint(w, uint64(len(d.b)))
+		w.Write(d.b)
+	}
+}
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("snapshot: bad varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("snapshot: truncated at offset %d", r.pos)
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *byteReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *byteReader) datum() (Datum, error) {
+	tag, err := r.uvarint()
+	if err != nil {
+		return Null, err
+	}
+	switch ColType(tag) {
+	case 0:
+		return Null, nil
+	case TInt:
+		b, err := r.bytes(8)
+		if err != nil {
+			return Null, err
+		}
+		return I(int64(binary.LittleEndian.Uint64(b))), nil
+	case TFloat:
+		b, err := r.bytes(8)
+		if err != nil {
+			return Null, err
+		}
+		return F(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case TString:
+		s, err := r.str()
+		if err != nil {
+			return Null, err
+		}
+		return S(s), nil
+	case TBytes:
+		n, err := r.uvarint()
+		if err != nil {
+			return Null, err
+		}
+		b, err := r.bytes(int(n))
+		if err != nil {
+			return Null, err
+		}
+		return B(append([]byte(nil), b...)), nil
+	default:
+		return Null, fmt.Errorf("snapshot: bad datum tag %d", tag)
+	}
+}

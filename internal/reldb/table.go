@@ -1,0 +1,181 @@
+package reldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColIndex returns the position of a column by name.
+func (s Schema) ColIndex(name string) (int, bool) {
+	for i, c := range s {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Index is a secondary index over one or more columns of a table. Entries
+// are stored in a B-tree under the order-preserving encoding of the indexed
+// columns followed by the row ID (making every entry unique and scans
+// stable).
+type Index struct {
+	Name string
+	Cols []int // column positions in the table schema
+	tree *btree
+}
+
+// entryKey builds the stored key for a row.
+func (ix *Index) entryKey(row Row, rid int64) []byte {
+	key := make([]byte, 0, 16*len(ix.Cols)+8)
+	for _, c := range ix.Cols {
+		key = encodeDatum(key, row[c])
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(rid))
+	return append(key, buf[:]...)
+}
+
+// prefixKey builds the scan prefix for leading column values.
+func (ix *Index) prefixKey(vals []Datum) []byte {
+	key := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		key = encodeDatum(key, v)
+	}
+	return key
+}
+
+// Table is a heap-organized table: rows live in a slice addressed by row ID,
+// with tombstones marking deleted rows.
+type Table struct {
+	Name    string
+	Schema  Schema
+	rows    []Row // nil entries are tombstones
+	live    int
+	indexes []*Index
+}
+
+// NumRows returns the number of live rows.
+func (t *Table) NumRows() int { return t.live }
+
+// Indexes returns the table's indexes.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// FindIndex returns the index with the given name.
+func (t *Table) FindIndex(name string) (*Index, bool) {
+	for _, ix := range t.indexes {
+		if ix.Name == name {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// checkRow validates a row against the schema (NULLs are allowed in any
+// column).
+func (t *Table) checkRow(row Row) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("reldb: table %q: row has %d values, schema has %d columns", t.Name, len(row), len(t.Schema))
+	}
+	for i, d := range row {
+		if !d.IsNull() && d.Type() != t.Schema[i].Type {
+			return fmt.Errorf("reldb: table %q: column %q expects %v, got %v",
+				t.Name, t.Schema[i].Name, t.Schema[i].Type, d.Type())
+		}
+	}
+	return nil
+}
+
+// insert appends a row and maintains all indexes, returning the row ID.
+func (t *Table) insert(row Row) (int64, error) {
+	if err := t.checkRow(row); err != nil {
+		return 0, err
+	}
+	rid := int64(len(t.rows))
+	t.rows = append(t.rows, row.Clone())
+	t.live++
+	for _, ix := range t.indexes {
+		ix.tree.Insert(ix.entryKey(row, rid), rid)
+	}
+	return rid, nil
+}
+
+// delete removes the row with the given ID, maintaining indexes.
+func (t *Table) delete(rid int64) error {
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
+		return fmt.Errorf("reldb: table %q: no row %d", t.Name, rid)
+	}
+	row := t.rows[rid]
+	for _, ix := range t.indexes {
+		ix.tree.Delete(ix.entryKey(row, rid))
+	}
+	t.rows[rid] = nil
+	t.live--
+	return nil
+}
+
+// row returns the live row with the given ID.
+func (t *Table) row(rid int64) (Row, bool) {
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
+		return nil, false
+	}
+	return t.rows[rid], true
+}
+
+// scanAll visits every live row in row-ID order.
+func (t *Table) scanAll(fn func(rid int64, row Row) bool) {
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(int64(rid), row) {
+			return
+		}
+	}
+}
+
+// scanIndexPrefix visits, in index order, every live row whose leading
+// indexed columns equal vals (vals may cover a prefix of the index columns).
+func (t *Table) scanIndexPrefix(ix *Index, vals []Datum, fn func(rid int64, row Row) bool) {
+	prefix := ix.prefixKey(vals)
+	ix.tree.AscendRange(prefix, PrefixSuccessor(prefix), func(_ []byte, rid int64) bool {
+		row, ok := t.row(rid)
+		if !ok {
+			return true // tombstoned between index and heap: skip
+		}
+		return fn(rid, row)
+	})
+}
+
+// buildIndex creates and backfills an index over the named columns.
+func (t *Table) buildIndex(name string, cols []string) (*Index, error) {
+	if _, ok := t.FindIndex(name); ok {
+		return nil, fmt.Errorf("reldb: table %q already has index %q", t.Name, name)
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		pos, ok := t.Schema.ColIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("reldb: table %q has no column %q", t.Name, c)
+		}
+		positions[i] = pos
+	}
+	ix := &Index{Name: name, Cols: positions, tree: newBTree()}
+	t.scanAll(func(rid int64, row Row) bool {
+		ix.tree.Insert(ix.entryKey(row, rid), rid)
+		return true
+	})
+	t.indexes = append(t.indexes, ix)
+	sort.Slice(t.indexes, func(i, j int) bool { return t.indexes[i].Name < t.indexes[j].Name })
+	return ix, nil
+}

@@ -1,0 +1,399 @@
+package reldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write-ahead logging: a durable database pairs a snapshot file with an
+// append-only log of mutations. Every mutating operation is applied to the
+// in-memory state and appended to the log (synchronously flushed); recovery
+// loads the snapshot and replays the log, tolerating a torn final record.
+// Checkpoint writes a fresh snapshot and truncates the log.
+//
+// Record layout: u32 length | u32 crc of payload | payload. The payload
+// starts with a one-byte record type followed by type-specific fields using
+// the snapshot encoding helpers.
+
+const (
+	recCreateTable byte = 1
+	recCreateIndex byte = 2
+	recDropTable   byte = 3
+	recInsert      byte = 4
+	recDelete      byte = 5
+)
+
+const (
+	snapshotFile = "snapshot.db"
+	walFile      = "wal.log"
+)
+
+type walWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func (w *walWriter) append(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error {
+	if w == nil {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// OpenDurable opens (creating if necessary) a durable database in a
+// directory: the state is the snapshot plus the replayed write-ahead log.
+func OpenDurable(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reldb: durable open: %w", err)
+	}
+	snapPath := filepath.Join(dir, snapshotFile)
+	var db *DB
+	if _, err := os.Stat(snapPath); err == nil {
+		db, err = Load(snapPath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = NewDB()
+	}
+	walPath := filepath.Join(dir, walFile)
+	if err := db.replayWAL(walPath); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: durable open: %w", err)
+	}
+	db.mu.Lock()
+	db.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	db.walDir = dir
+	db.mu.Unlock()
+	return db, nil
+}
+
+// CloseDurable flushes and closes the write-ahead log. The database remains
+// usable in memory but stops logging.
+func (db *DB) CloseDurable() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	err := db.wal.close()
+	db.wal = nil
+	return err
+}
+
+// Checkpoint writes a snapshot of the current state and truncates the
+// write-ahead log, bounding recovery time.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	dir := db.walDir
+	db.mu.Unlock()
+	if dir == "" {
+		return fmt.Errorf("reldb: Checkpoint on a non-durable database")
+	}
+	if err := db.Save(filepath.Join(dir, snapshotFile)); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	walPath := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	db.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	return nil
+}
+
+// replayWAL applies the log records at path (if any). A torn or corrupt
+// tail — the expected shape of a crash — stops replay at the last intact
+// record and truncates the file there; corruption before the tail is an
+// error.
+func (db *DB) replayWAL(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("reldb: wal replay: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		if off+8 > len(data) {
+			break // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if off+8+n > len(data) {
+			break // torn payload
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != want {
+			break // torn/corrupt record: stop at the last intact one
+		}
+		if err := db.applyRecord(payload); err != nil {
+			return fmt.Errorf("reldb: wal replay at offset %d: %w", off, err)
+		}
+		off += 8 + n
+	}
+	if off < len(data) {
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("reldb: wal truncate: %w", err)
+		}
+	}
+	return nil
+}
+
+func (db *DB) applyRecord(payload []byte) error {
+	r := &byteReader{data: payload}
+	kind, err := r.bytes(1)
+	if err != nil {
+		return err
+	}
+	switch kind[0] {
+	case recCreateTable:
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		nCols, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		schema := make(Schema, nCols)
+		for i := range schema {
+			cname, err := r.str()
+			if err != nil {
+				return err
+			}
+			ctype, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			schema[i] = Column{Name: cname, Type: ColType(ctype)}
+		}
+		_, err = db.createTableLockedFree(name, schema)
+		return err
+	case recCreateIndex:
+		iname, err := r.str()
+		if err != nil {
+			return err
+		}
+		tname, err := r.str()
+		if err != nil {
+			return err
+		}
+		nCols, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		cols := make([]string, nCols)
+		for i := range cols {
+			if cols[i], err = r.str(); err != nil {
+				return err
+			}
+		}
+		return db.createIndexNoLog(iname, tname, cols...)
+	case recDropTable:
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		return db.dropTableNoLog(name)
+	case recInsert:
+		tname, err := r.str()
+		if err != nil {
+			return err
+		}
+		nRows, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		t, ok := db.tables[tname]
+		if !ok {
+			return fmt.Errorf("insert into missing table %q", tname)
+		}
+		for i := uint64(0); i < nRows; i++ {
+			row := make(Row, len(t.Schema))
+			for j := range row {
+				if row[j], err = r.datum(); err != nil {
+					return err
+				}
+			}
+			if _, err := t.insert(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	case recDelete:
+		tname, err := r.str()
+		if err != nil {
+			return err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		t, ok := db.tables[tname]
+		if !ok {
+			return fmt.Errorf("delete from missing table %q", tname)
+		}
+		for i := uint64(0); i < n; i++ {
+			rid, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if err := t.delete(int64(rid)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown wal record type %d", kind[0])
+	}
+}
+
+// createTableLockedFree and friends apply schema mutations without logging
+// and without taking the lock (replay runs before the database is shared).
+func (db *DB) createTableLockedFree(name string, schema Schema) (*Table, error) {
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("reldb: table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: append(Schema(nil), schema...)}
+	db.tables[name] = t
+	return t, nil
+}
+
+func (db *DB) createIndexNoLog(indexName, tableName string, cols ...string) error {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: no table %q", tableName)
+	}
+	_, err := t.buildIndex(indexName, cols)
+	return err
+}
+
+func (db *DB) dropTableNoLog(name string) error {
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("reldb: no table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// Log-record builders, called with db.mu held after the in-memory mutation
+// succeeded.
+
+func (db *DB) logCreateTable(name string, schema Schema) error {
+	if db.wal == nil {
+		return nil
+	}
+	var buf walBuf
+	buf.byte(recCreateTable)
+	buf.str(name)
+	buf.uvarint(uint64(len(schema)))
+	for _, c := range schema {
+		buf.str(c.Name)
+		buf.uvarint(uint64(c.Type))
+	}
+	return db.wal.append(buf.b)
+}
+
+func (db *DB) logCreateIndex(indexName, tableName string, cols []string) error {
+	if db.wal == nil {
+		return nil
+	}
+	var buf walBuf
+	buf.byte(recCreateIndex)
+	buf.str(indexName)
+	buf.str(tableName)
+	buf.uvarint(uint64(len(cols)))
+	for _, c := range cols {
+		buf.str(c)
+	}
+	return db.wal.append(buf.b)
+}
+
+func (db *DB) logDropTable(name string) error {
+	if db.wal == nil {
+		return nil
+	}
+	var buf walBuf
+	buf.byte(recDropTable)
+	buf.str(name)
+	return db.wal.append(buf.b)
+}
+
+func (db *DB) logInsert(tableName string, rows []Row) error {
+	if db.wal == nil {
+		return nil
+	}
+	var buf walBuf
+	buf.byte(recInsert)
+	buf.str(tableName)
+	buf.uvarint(uint64(len(rows)))
+	for _, row := range rows {
+		for _, d := range row {
+			buf.datum(d)
+		}
+	}
+	return db.wal.append(buf.b)
+}
+
+func (db *DB) logDelete(tableName string, rids []int64) error {
+	if db.wal == nil {
+		return nil
+	}
+	var buf walBuf
+	buf.byte(recDelete)
+	buf.str(tableName)
+	buf.uvarint(uint64(len(rids)))
+	for _, rid := range rids {
+		buf.uvarint(uint64(rid))
+	}
+	return db.wal.append(buf.b)
+}
+
+// walBuf accumulates a record payload using the snapshot field encodings.
+type walBuf struct {
+	b []byte
+}
+
+func (w *walBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *walBuf) byte(c byte)      { w.b = append(w.b, c) }
+func (w *walBuf) uvarint(v uint64) { writeUvarint(w, v) }
+func (w *walBuf) str(s string)     { writeString(w, s) }
+func (w *walBuf) datum(d Datum)    { writeDatum(w, d) }
+
+var _ io.Writer = (*walBuf)(nil)

@@ -1,0 +1,127 @@
+package sqlike
+
+import "repro/internal/reldb"
+
+// Stmt is a parsed statement.
+type Stmt interface{ isStmt() }
+
+// Expr is a literal or a placeholder in a statement.
+type Expr struct {
+	Placeholder bool
+	Ordinal     int // placeholder position, 0-based
+	Lit         reldb.Datum
+}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Table  string
+	Schema reldb.Schema
+}
+
+// CreateIndexStmt is CREATE INDEX.
+type CreateIndexStmt struct {
+	Index string
+	Table string
+	Cols  []string
+}
+
+// DropTableStmt is DROP TABLE.
+type DropTableStmt struct {
+	Table string
+}
+
+// InsertStmt is INSERT INTO ... VALUES.
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// Cond is one WHERE conjunct: col <op> expr, where Op is one of
+// "=", "<", "<=", ">", ">="; or col LIKE 'prefix%' when IsPrefix is set
+// (the pattern's trailing % is stripped into the expr).
+type Cond struct {
+	Col      string
+	Op       string
+	Val      Expr
+	IsPrefix bool
+	// RawPattern marks a LIKE ? condition: the bound argument is the full
+	// pattern, validated and stripped of its trailing % at execution time.
+	RawPattern bool
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// Aggregate is a SELECT aggregate: FN(col) or COUNT(*).
+type Aggregate struct {
+	Fn   string // COUNT, MIN, MAX, SUM, AVG
+	Col  string // "" for COUNT(*)
+	Star bool
+}
+
+// SelectStmt is SELECT.
+type SelectStmt struct {
+	Table    string
+	Cols     []string // nil means * (unless aggregates are present)
+	CountAll bool     // SELECT COUNT(*) (legacy shorthand; also in Aggs)
+	Aggs     []Aggregate
+	Where    []Cond
+	OrderBy  []OrderKey
+	Limit    int // -1 means no limit
+}
+
+// DeleteStmt is DELETE FROM.
+type DeleteStmt struct {
+	Table string
+	Where []Cond
+}
+
+// SaveStmt snapshots the database to a file.
+type SaveStmt struct {
+	Path string
+}
+
+// LoadStmt replaces the database content from a snapshot file.
+type LoadStmt struct {
+	Path string
+}
+
+func (*CreateTableStmt) isStmt() {}
+func (*CreateIndexStmt) isStmt() {}
+func (*DropTableStmt) isStmt()   {}
+func (*InsertStmt) isStmt()      {}
+func (*SelectStmt) isStmt()      {}
+func (*DeleteStmt) isStmt()      {}
+func (*SaveStmt) isStmt()        {}
+func (*LoadStmt) isStmt()        {}
+
+// NumPlaceholders returns the number of ? placeholders in the statement.
+func NumPlaceholders(s Stmt) int {
+	n := 0
+	count := func(e Expr) {
+		if e.Placeholder {
+			n++
+		}
+	}
+	switch st := s.(type) {
+	case *InsertStmt:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				count(e)
+			}
+		}
+	case *SelectStmt:
+		for _, c := range st.Where {
+			count(c.Val)
+		}
+	case *DeleteStmt:
+		for _, c := range st.Where {
+			count(c.Val)
+		}
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+package sqlike
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/reldb"
+)
+
+// DriverName is the name the sqlike driver registers under with database/sql.
+const DriverName = "provsql"
+
+// Driver is the database/sql driver. DSN forms:
+//
+//	memory:<name>   — a named in-memory database; connections with the same
+//	                  DSN share one database (the connection-pool contract).
+//	file:<path>     — loaded from the snapshot at <path> if it exists,
+//	                  created empty otherwise; persist with SAVE TO.
+//	durable:<dir>   — write-ahead-logged database in <dir>: every mutation
+//	                  is synchronously logged and replayed on open.
+type Driver struct{}
+
+var (
+	registryMu sync.Mutex
+	registry   = make(map[string]*reldb.DB)
+	memCounter atomic.Int64
+)
+
+// MemoryDSN returns a DSN naming a fresh, private in-memory database.
+func MemoryDSN() string {
+	return fmt.Sprintf("memory:anon-%d", memCounter.Add(1))
+}
+
+// DBFor returns the underlying reldb database for a DSN, creating it the
+// same way Open would. It gives harness code direct access for statistics
+// and snapshots without a SQL round trip.
+func DBFor(dsn string) (*reldb.DB, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	return dbForLocked(dsn)
+}
+
+func dbForLocked(dsn string) (*reldb.DB, error) {
+	if db, ok := registry[dsn]; ok {
+		return db, nil
+	}
+	switch {
+	case strings.HasPrefix(dsn, "memory:") || dsn == "memory":
+		db := reldb.NewDB()
+		registry[dsn] = db
+		return db, nil
+	case strings.HasPrefix(dsn, "durable:"):
+		db, err := reldb.OpenDurable(strings.TrimPrefix(dsn, "durable:"))
+		if err != nil {
+			return nil, err
+		}
+		registry[dsn] = db
+		return db, nil
+	case strings.HasPrefix(dsn, "file:"):
+		path := strings.TrimPrefix(dsn, "file:")
+		if _, err := os.Stat(path); err == nil {
+			db, err := reldb.Load(path)
+			if err != nil {
+				return nil, err
+			}
+			registry[dsn] = db
+			return db, nil
+		}
+		db := reldb.NewDB()
+		registry[dsn] = db
+		return db, nil
+	default:
+		return nil, fmt.Errorf("sqlike: bad DSN %q (want memory:<name>, file:<path> or durable:<dir>)", dsn)
+	}
+}
+
+// Forget drops a DSN from the driver registry, releasing the in-memory
+// database once all open handles are gone. Harness code uses it to bound
+// memory across many benchmark databases.
+func Forget(dsn string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if db, ok := registry[dsn]; ok && strings.HasPrefix(dsn, "durable:") {
+		db.CloseDurable()
+	}
+	delete(registry, dsn)
+}
+
+// Open implements driver.Driver.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	db, err := dbForLocked(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{db: db}, nil
+}
+
+func init() { sql.Register(DriverName, Driver{}) }
+
+type conn struct {
+	db *reldb.DB
+}
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{db: c.db, st: st, numInput: NumPlaceholders(st)}, nil
+}
+
+// Close implements driver.Conn. The shared database outlives connections.
+func (c *conn) Close() error { return nil }
+
+// Begin implements driver.Conn. The engine serializes statements internally;
+// transactions are accepted for interface compatibility and commit/rollback
+// are no-ops (the provenance workload is append-only).
+func (c *conn) Begin() (driver.Tx, error) { return noopTx{}, nil }
+
+type noopTx struct{}
+
+func (noopTx) Commit() error   { return nil }
+func (noopTx) Rollback() error { return nil }
+
+type stmt struct {
+	db       *reldb.DB
+	st       Stmt
+	numInput int
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	res, err := s.run(args)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{affected: res.Affected}, nil
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	res, err := s.run(args)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{cols: res.Cols, data: res.Rows}, nil
+}
+
+func (s *stmt) run(args []driver.Value) (*Result, error) {
+	datums := make([]reldb.Datum, len(args))
+	for i, a := range args {
+		d, err := toDatum(a)
+		if err != nil {
+			return nil, err
+		}
+		datums[i] = d
+	}
+	return Exec(s.db, s.st, datums)
+}
+
+func toDatum(v driver.Value) (reldb.Datum, error) {
+	switch x := v.(type) {
+	case nil:
+		return reldb.Null, nil
+	case int64:
+		return reldb.I(x), nil
+	case float64:
+		return reldb.F(x), nil
+	case bool:
+		if x {
+			return reldb.I(1), nil
+		}
+		return reldb.I(0), nil
+	case string:
+		return reldb.S(x), nil
+	case []byte:
+		return reldb.B(append([]byte(nil), x...)), nil
+	default:
+		return reldb.Null, fmt.Errorf("sqlike: unsupported argument type %T", v)
+	}
+}
+
+type execResult struct {
+	affected int64
+}
+
+func (r execResult) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("sqlike: LastInsertId is not supported")
+}
+
+func (r execResult) RowsAffected() (int64, error) { return r.affected, nil }
+
+type rows struct {
+	cols []string
+	data [][]reldb.Datum
+	pos  int
+}
+
+func (r *rows) Columns() []string { return r.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.data) {
+		return io.EOF
+	}
+	row := r.data[r.pos]
+	r.pos++
+	for i, d := range row {
+		switch d.Type() {
+		case 0:
+			dest[i] = nil
+		case reldb.TInt:
+			dest[i] = d.Int()
+		case reldb.TFloat:
+			dest[i] = d.Float()
+		case reldb.TString:
+			dest[i] = d.Str()
+		case reldb.TBytes:
+			dest[i] = d.Bytes()
+		}
+	}
+	return nil
+}

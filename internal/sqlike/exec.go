@@ -1,0 +1,328 @@
+package sqlike
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/reldb"
+)
+
+// Result is the outcome of executing a statement: a row set for SELECT, an
+// affected-row count for everything else.
+type Result struct {
+	Cols     []string
+	Rows     [][]reldb.Datum
+	Affected int64
+}
+
+// Exec runs a parsed statement against a database with the given placeholder
+// bindings.
+func Exec(db *reldb.DB, st Stmt, args []reldb.Datum) (*Result, error) {
+	if want := NumPlaceholders(st); want != len(args) {
+		return nil, fmt.Errorf("sqlike: statement has %d placeholders, got %d arguments", want, len(args))
+	}
+	bind := func(e Expr) reldb.Datum {
+		if e.Placeholder {
+			return args[e.Ordinal]
+		}
+		return e.Lit
+	}
+
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		if _, err := db.CreateTable(s.Table, s.Schema); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *CreateIndexStmt:
+		if err := db.CreateIndex(s.Index, s.Table, s.Cols...); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *DropTableStmt:
+		if err := db.DropTable(s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *InsertStmt:
+		tab, ok := db.Table(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("sqlike: no table %q", s.Table)
+		}
+		positions := make([]int, len(s.Cols))
+		for i, c := range s.Cols {
+			pos, ok := tab.Schema.ColIndex(c)
+			if !ok {
+				return nil, fmt.Errorf("sqlike: table %q has no column %q", s.Table, c)
+			}
+			positions[i] = pos
+		}
+		rows := make([]reldb.Row, 0, len(s.Rows))
+		for _, exprRow := range s.Rows {
+			row := make(reldb.Row, len(tab.Schema))
+			for i, e := range exprRow {
+				row[positions[i]] = bind(e)
+			}
+			rows = append(rows, row)
+		}
+		if err := db.InsertBatch(s.Table, rows); err != nil {
+			return nil, err
+		}
+		return &Result{Affected: int64(len(rows))}, nil
+
+	case *SelectStmt:
+		return execSelect(db, s, bind)
+
+	case *DeleteStmt:
+		preds, err := conds(s.Where, bind)
+		if err != nil {
+			return nil, err
+		}
+		n, err := db.Delete(s.Table, preds)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: int64(n)}, nil
+
+	case *SaveStmt:
+		if err := db.Save(s.Path); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *LoadStmt:
+		loaded, err := reldb.Load(s.Path)
+		if err != nil {
+			return nil, err
+		}
+		db.Adopt(loaded)
+		return &Result{}, nil
+
+	default:
+		return nil, fmt.Errorf("sqlike: unsupported statement %T", st)
+	}
+}
+
+func conds(ws []Cond, bind func(Expr) reldb.Datum) ([]reldb.Pred, error) {
+	out := make([]reldb.Pred, len(ws))
+	for i, c := range ws {
+		v := bind(c.Val)
+		if c.IsPrefix {
+			if v.Type() != reldb.TString {
+				return nil, fmt.Errorf("sqlike: LIKE on column %q requires a string", c.Col)
+			}
+			pfx := v.Str()
+			if c.RawPattern {
+				var err error
+				if pfx, err = likePrefix(pfx); err != nil {
+					return nil, err
+				}
+			}
+			out[i] = reldb.Prefix(c.Col, pfx)
+		} else {
+			switch c.Op {
+			case "", "=":
+				out[i] = reldb.Eq(c.Col, v)
+			case "<":
+				out[i] = reldb.Lt(c.Col, v)
+			case "<=":
+				out[i] = reldb.Le(c.Col, v)
+			case ">":
+				out[i] = reldb.Gt(c.Col, v)
+			case ">=":
+				out[i] = reldb.Ge(c.Col, v)
+			default:
+				return nil, fmt.Errorf("sqlike: unsupported comparison %q", c.Op)
+			}
+		}
+	}
+	return out, nil
+}
+
+func execSelect(db *reldb.DB, s *SelectStmt, bind func(Expr) reldb.Datum) (*Result, error) {
+	preds, err := conds(s.Where, bind)
+	if err != nil {
+		return nil, err
+	}
+	if s.CountAll {
+		n, err := db.Count(s.Table, preds)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cols: []string{"count"}, Rows: [][]reldb.Datum{{reldb.I(int64(n))}}}, nil
+	}
+	if len(s.Aggs) > 0 {
+		return execAggregates(db, s, preds)
+	}
+
+	tab, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqlike: no table %q", s.Table)
+	}
+	// When ordering, the limit must be applied after the sort.
+	fetchLimit := s.Limit
+	if len(s.OrderBy) > 0 {
+		fetchLimit = -1
+	}
+	rows, err := db.Select(s.Table, preds, fetchLimit)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(s.OrderBy) > 0 {
+		keys := make([]int, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			pos, ok := tab.Schema.ColIndex(k.Col)
+			if !ok {
+				return nil, fmt.Errorf("sqlike: table %q has no column %q", s.Table, k.Col)
+			}
+			keys[i] = pos
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			for i, pos := range keys {
+				c := rows[a][pos].Compare(rows[b][pos])
+				if c == 0 {
+					continue
+				}
+				if s.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if s.Limit >= 0 && len(rows) > s.Limit {
+			rows = rows[:s.Limit]
+		}
+	}
+
+	// Projection.
+	var colNames []string
+	var positions []int
+	if s.Cols == nil {
+		colNames = make([]string, len(tab.Schema))
+		positions = make([]int, len(tab.Schema))
+		for i, c := range tab.Schema {
+			colNames[i] = c.Name
+			positions[i] = i
+		}
+	} else {
+		colNames = s.Cols
+		positions = make([]int, len(s.Cols))
+		for i, c := range s.Cols {
+			pos, ok := tab.Schema.ColIndex(c)
+			if !ok {
+				return nil, fmt.Errorf("sqlike: table %q has no column %q", s.Table, c)
+			}
+			positions[i] = pos
+		}
+	}
+	out := make([][]reldb.Datum, len(rows))
+	for i, row := range rows {
+		proj := make([]reldb.Datum, len(positions))
+		for j, pos := range positions {
+			proj[j] = row[pos]
+		}
+		out[i] = proj
+	}
+	return &Result{Cols: colNames, Rows: out}, nil
+}
+
+// execAggregates evaluates a SELECT of aggregate functions in one scan.
+func execAggregates(db *reldb.DB, s *SelectStmt, preds []reldb.Pred) (*Result, error) {
+	tab, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqlike: no table %q", s.Table)
+	}
+	type accum struct {
+		count int64
+		sum   float64
+		min   reldb.Datum
+		max   reldb.Datum
+		isInt bool
+	}
+	positions := make([]int, len(s.Aggs))
+	accums := make([]accum, len(s.Aggs))
+	cols := make([]string, len(s.Aggs))
+	for i, a := range s.Aggs {
+		if a.Star {
+			positions[i] = -1
+			cols[i] = "count"
+			continue
+		}
+		pos, ok := tab.Schema.ColIndex(a.Col)
+		if !ok {
+			return nil, fmt.Errorf("sqlike: table %q has no column %q", s.Table, a.Col)
+		}
+		ct := tab.Schema[pos].Type
+		if (a.Fn == "SUM" || a.Fn == "AVG") && ct != reldb.TInt && ct != reldb.TFloat {
+			return nil, fmt.Errorf("sqlike: %s(%s) requires a numeric column", a.Fn, a.Col)
+		}
+		positions[i] = pos
+		accums[i].isInt = ct == reldb.TInt
+		cols[i] = strings.ToLower(a.Fn) + "_" + a.Col
+	}
+	rows, err := db.Select(s.Table, preds, -1)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		for i, a := range s.Aggs {
+			if a.Star {
+				accums[i].count++
+				continue
+			}
+			d := row[positions[i]]
+			if d.IsNull() {
+				continue // SQL semantics: aggregates ignore NULLs
+			}
+			acc := &accums[i]
+			acc.count++
+			switch d.Type() {
+			case reldb.TInt:
+				acc.sum += float64(d.Int())
+			case reldb.TFloat:
+				acc.sum += d.Float()
+			}
+			if acc.min.IsNull() || d.Compare(acc.min) < 0 {
+				acc.min = d
+			}
+			if acc.max.IsNull() || d.Compare(acc.max) > 0 {
+				acc.max = d
+			}
+		}
+	}
+	out := make([]reldb.Datum, len(s.Aggs))
+	for i, a := range s.Aggs {
+		acc := accums[i]
+		switch a.Fn {
+		case "COUNT":
+			out[i] = reldb.I(acc.count)
+		case "MIN":
+			out[i] = acc.min
+		case "MAX":
+			out[i] = acc.max
+		case "SUM":
+			if acc.count == 0 {
+				out[i] = reldb.Null
+			} else if acc.isInt {
+				out[i] = reldb.I(int64(acc.sum))
+			} else {
+				out[i] = reldb.F(acc.sum)
+			}
+		case "AVG":
+			if acc.count == 0 {
+				out[i] = reldb.Null
+			} else {
+				out[i] = reldb.F(acc.sum / float64(acc.count))
+			}
+		default:
+			return nil, fmt.Errorf("sqlike: unknown aggregate %q", a.Fn)
+		}
+	}
+	return &Result{Cols: cols, Rows: [][]reldb.Datum{out}}, nil
+}

@@ -1,0 +1,471 @@
+package sqlike
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/reldb"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.peek().kind == tokPunct && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlike: trailing input at %s", p.peek())
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks         []token
+	pos          int
+	placeholders int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sqlike: expected %s, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("sqlike: expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peek().kind == tokPunct && p.peek().text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlike: expected identifier, got %s", t)
+	}
+	return t.text, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.next()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("sqlike: expected statement keyword, got %s", t)
+	}
+	switch t.text {
+	case "CREATE":
+		switch {
+		case p.acceptKeyword("TABLE"):
+			return p.createTable()
+		case p.acceptKeyword("INDEX"):
+			return p.createIndex()
+		default:
+			return nil, fmt.Errorf("sqlike: expected TABLE or INDEX after CREATE, got %s", p.peek())
+		}
+	case "DROP":
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Table: name}, nil
+	case "INSERT":
+		return p.insert()
+	case "SELECT":
+		return p.sel()
+	case "DELETE":
+		return p.del()
+	case "SAVE":
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		path := p.next()
+		if path.kind != tokString {
+			return nil, fmt.Errorf("sqlike: expected path string, got %s", path)
+		}
+		return &SaveStmt{Path: path.text}, nil
+	case "LOAD":
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+		path := p.next()
+		if path.kind != tokString {
+			return nil, fmt.Errorf("sqlike: expected path string, got %s", path)
+		}
+		return &LoadStmt{Path: path.text}, nil
+	default:
+		return nil, fmt.Errorf("sqlike: unsupported statement %s", t)
+	}
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var schema reldb.Schema
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tname := p.next()
+		if tname.kind != tokIdent && tname.kind != tokKeyword {
+			return nil, fmt.Errorf("sqlike: expected column type, got %s", tname)
+		}
+		ctype, ok := reldb.ParseColType(strings.ToUpper(tname.text))
+		if !ok {
+			return nil, fmt.Errorf("sqlike: unknown column type %q", tname.text)
+		}
+		schema = append(schema, reldb.Column{Name: col, Type: ctype})
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return &CreateTableStmt{Table: name, Schema: schema}, nil
+}
+
+func (p *parser) createIndex() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Index: name, Table: table, Cols: cols}, nil
+}
+
+// identList parses "( ident [, ident ...] )".
+func (p *parser) identList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return cols, nil
+	}
+}
+
+func (p *parser) insert() (Stmt, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]Expr
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptPunct(",") {
+				continue
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("sqlike: INSERT row has %d values for %d columns", len(row), len(cols))
+		}
+		rows = append(rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return &InsertStmt{Table: table, Cols: cols, Rows: rows}, nil
+}
+
+func (p *parser) sel() (Stmt, error) {
+	st := &SelectStmt{Limit: -1}
+	isAgg := func() bool {
+		t := p.peek()
+		if t.kind != tokKeyword {
+			return false
+		}
+		switch t.text {
+		case "COUNT", "MIN", "MAX", "SUM", "AVG":
+			return true
+		}
+		return false
+	}
+	switch {
+	case p.acceptPunct("*"):
+	case isAgg():
+		for {
+			fn := p.next().text
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			agg := Aggregate{Fn: fn}
+			if p.acceptPunct("*") {
+				if fn != "COUNT" {
+					return nil, fmt.Errorf("sqlike: %s(*) is not supported", fn)
+				}
+				agg.Star = true
+			} else {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				agg.Col = col
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			st.Aggs = append(st.Aggs, agg)
+			if !p.acceptPunct(",") {
+				break
+			}
+			if !isAgg() {
+				return nil, fmt.Errorf("sqlike: cannot mix aggregates and plain columns")
+			}
+		}
+		if len(st.Aggs) == 1 && st.Aggs[0].Fn == "COUNT" && st.Aggs[0].Star {
+			st.CountAll = true
+		}
+	default:
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	if p.acceptKeyword("WHERE") {
+		st.Where, err = p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: col}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sqlike: expected LIMIT count, got %s", t)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlike: bad LIMIT %q", t.text)
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+func (p *parser) del() (Stmt, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		st.Where, err = p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) whereClause() ([]Cond, error) {
+	var out []Cond
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case p.acceptPunct("="), p.acceptPunct("<"), p.acceptPunct("<="), p.acceptPunct(">"), p.acceptPunct(">="):
+			op := p.toks[p.pos-1].text
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Cond{Col: col, Op: op, Val: e})
+		case p.acceptKeyword("LIKE"):
+			t := p.peek()
+			switch t.kind {
+			case tokString:
+				p.next()
+				pfx, err := likePrefix(t.text)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Cond{Col: col, Val: Expr{Lit: reldb.S(pfx)}, IsPrefix: true})
+			case tokPlaceholder:
+				// The pattern arrives as a bound argument; it is validated
+				// and its trailing % stripped at execution time.
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Cond{Col: col, Val: e, IsPrefix: true, RawPattern: true})
+			default:
+				return nil, fmt.Errorf("sqlike: LIKE requires a string pattern or placeholder, got %s", t)
+			}
+		default:
+			return nil, fmt.Errorf("sqlike: expected = or LIKE after column %q, got %s", col, p.peek())
+		}
+		if !p.acceptKeyword("AND") {
+			return out, nil
+		}
+	}
+}
+
+// likePrefix validates a LIKE pattern (only trailing-% prefix patterns are
+// supported) and returns the prefix with the wildcard stripped.
+func likePrefix(pat string) (string, error) {
+	if !strings.HasSuffix(pat, "%") || strings.ContainsAny(pat[:len(pat)-1], "%_") {
+		return "", fmt.Errorf("sqlike: only prefix patterns 'text%%' are supported, got %q", pat)
+	}
+	return pat[:len(pat)-1], nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokPlaceholder:
+		e := Expr{Placeholder: true, Ordinal: p.placeholders}
+		p.placeholders++
+		return e, nil
+	case tokString:
+		return Expr{Lit: reldb.S(t.text)}, nil
+	case tokNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Expr{}, fmt.Errorf("sqlike: bad float literal %q", t.text)
+			}
+			return Expr{Lit: reldb.F(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Expr{}, fmt.Errorf("sqlike: bad integer literal %q", t.text)
+		}
+		return Expr{Lit: reldb.I(n)}, nil
+	case tokKeyword:
+		if t.text == "NULL" {
+			return Expr{Lit: reldb.Null}, nil
+		}
+	}
+	return Expr{}, fmt.Errorf("sqlike: expected literal or placeholder, got %s", t)
+}

@@ -1,0 +1,546 @@
+package sqlike
+
+import (
+	"database/sql"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/reldb"
+)
+
+func TestLexer(t *testing.T) {
+	toks, err := lex(`SELECT a, b FROM t WHERE x = 'it''s' AND n = -3 LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	if texts[0] != "SELECT" || kinds[0] != tokKeyword {
+		t.Errorf("first token = %v", toks[0])
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.kind == tokString && tok.text == "it's" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped string literal not lexed")
+	}
+	if _, err := lex("SELECT @"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	cases := []string{
+		`CREATE TABLE t (a TEXT, b INT, c FLOAT, d BLOB)`,
+		`CREATE INDEX i ON t (a, b)`,
+		`DROP TABLE t`,
+		`INSERT INTO t (a, b) VALUES (?, ?), ('x', 3)`,
+		`SELECT * FROM t`,
+		`SELECT COUNT(*) FROM t WHERE a = ?`,
+		`SELECT a, b FROM t WHERE a = 'v' AND b = 2 ORDER BY b DESC, a LIMIT 5`,
+		`SELECT a FROM t WHERE a LIKE 'pfx%'`,
+		`SELECT a, b FROM t WHERE a = 'v' AND b > 2 AND b <= 9`,
+		`DELETE FROM t WHERE b >= 5`,
+		`DELETE FROM t WHERE b = 1`,
+		`SAVE TO '/tmp/x.db'`,
+		`LOAD FROM '/tmp/x.db'`,
+		`SELECT * FROM t;`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELEC * FROM t`,
+		`CREATE VIEW v`,
+		`CREATE TABLE t (a JSONB)`,
+		`CREATE TABLE t (a TEXT`,
+		`INSERT INTO t (a, b) VALUES (1)`,
+		`INSERT t (a) VALUES (1)`,
+		`SELECT a FROM t WHERE a LIKE '%suffix'`,
+		`SELECT a FROM t WHERE a LIKE 'a%b%'`,
+		`SELECT a FROM t WHERE a !! 3`,
+		`SELECT * FROM t LIMIT -1`,
+		`SELECT * FROM t LIMIT x`,
+		`SELECT * FROM t extra`,
+		`DELETE t`,
+		`SAVE '/x'`,
+		`LOAD FROM 3`,
+	}
+	for _, src := range cases {
+		if st, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted as %T", src, st)
+		}
+	}
+}
+
+func TestPlaceholderOrdinals(t *testing.T) {
+	st, err := Parse(`INSERT INTO t (a, b, c) VALUES (?, 'lit', ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if !ins.Rows[0][0].Placeholder || ins.Rows[0][0].Ordinal != 0 {
+		t.Errorf("first placeholder = %+v", ins.Rows[0][0])
+	}
+	if ins.Rows[0][1].Placeholder {
+		t.Error("literal marked as placeholder")
+	}
+	if !ins.Rows[0][2].Placeholder || ins.Rows[0][2].Ordinal != 1 {
+		t.Errorf("second placeholder = %+v", ins.Rows[0][2])
+	}
+	if NumPlaceholders(st) != 2 {
+		t.Errorf("NumPlaceholders = %d", NumPlaceholders(st))
+	}
+}
+
+func mustExec(t *testing.T, db *sql.DB, query string, args ...any) sql.Result {
+	t.Helper()
+	res, err := db.Exec(query, args...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", query, err)
+	}
+	return res
+}
+
+func openTestDB(t *testing.T) *sql.DB {
+	t.Helper()
+	db, err := sql.Open(DriverName, MemoryDSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestEndToEndSQL(t *testing.T) {
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE events (run TEXT, proc TEXT, idx TEXT, val INT)`)
+	mustExec(t, db, `CREATE INDEX ev_ix ON events (run, proc, idx)`)
+
+	stmt, err := db.Prepare(`INSERT INTO events (run, proc, idx, val) VALUES (?, ?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 50; i++ {
+		run := "r1"
+		if i%2 == 0 {
+			run = "r0"
+		}
+		if _, err := stmt.Exec(run, "P", "["+strings.Repeat("9", i%3+1)+"]", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM events WHERE run = ?`, "r0").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Errorf("count = %d, want 25", n)
+	}
+
+	rows, err := db.Query(`SELECT idx, val FROM events WHERE run = ? AND proc = ? ORDER BY val DESC LIMIT 3`, "r1", "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var vals []int
+	for rows.Next() {
+		var idx string
+		var val int
+		if err := rows.Scan(&idx, &val); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, val)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vals, []int{49, 47, 45}) {
+		t.Errorf("ordered vals = %v", vals)
+	}
+
+	// LIKE prefix query.
+	if err := db.QueryRow(`SELECT COUNT(*) FROM events WHERE run = 'r0' AND proc = 'P' AND idx LIKE '[99%'`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("LIKE query returned nothing")
+	}
+
+	// DELETE with affected rows.
+	res := mustExec(t, db, `DELETE FROM events WHERE run = ?`, "r0")
+	if aff, _ := res.RowsAffected(); aff != 25 {
+		t.Errorf("affected = %d", aff)
+	}
+	if err := db.QueryRow(`SELECT COUNT(*) FROM events`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Errorf("count after delete = %d", n)
+	}
+}
+
+func TestSQLNullsAndTypes(t *testing.T) {
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE t (s TEXT, i INT, f FLOAT, b BLOB)`)
+	mustExec(t, db, `INSERT INTO t (s, i, f, b) VALUES (?, ?, ?, ?)`, nil, int64(7), 2.5, []byte{1, 2})
+	mustExec(t, db, `INSERT INTO t (s, i, f, b) VALUES ('x', NULL, NULL, NULL)`)
+
+	rows, err := db.Query(`SELECT s, i, f, b FROM t ORDER BY i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []string
+	for rows.Next() {
+		var s sql.NullString
+		var i sql.NullInt64
+		var f sql.NullFloat64
+		var b []byte
+		if err := rows.Scan(&s, &i, &f, &b); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s.String)
+		_ = i
+		_ = f
+		_ = b
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %v", got)
+	}
+	// Booleans arrive as integers.
+	mustExec(t, db, `INSERT INTO t (s, i, f, b) VALUES ('bool', ?, 0.0, ?)`, true, []byte{})
+	var i int
+	if err := db.QueryRow(`SELECT i FROM t WHERE s = 'bool'`).Scan(&i); err != nil {
+		t.Fatal(err)
+	}
+	if i != 1 {
+		t.Errorf("bool stored as %d", i)
+	}
+}
+
+func TestMultiRowInsert(t *testing.T) {
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE t (a TEXT, n INT)`)
+	res := mustExec(t, db, `INSERT INTO t (a, n) VALUES ('x', 1), ('y', 2), (?, ?)`, "z", 3)
+	if aff, _ := res.RowsAffected(); aff != 3 {
+		t.Errorf("affected = %d", aff)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM t`).Scan(&n); err != nil || n != 3 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+func TestSharedDSN(t *testing.T) {
+	dsn := MemoryDSN()
+	a, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	mustExec(t, a, `CREATE TABLE t (a INT)`)
+	mustExec(t, a, `INSERT INTO t (a) VALUES (1)`)
+	var n int
+	if err := b.QueryRow(`SELECT COUNT(*) FROM t`).Scan(&n); err != nil || n != 1 {
+		t.Fatalf("shared DSN invisible: %d, %v", n, err)
+	}
+	// Distinct DSNs are isolated.
+	c, err := sql.Open(DriverName, MemoryDSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.QueryRow(`SELECT COUNT(*) FROM t`).Scan(&n); err == nil {
+		t.Error("fresh DSN sees another database's table")
+	}
+}
+
+func TestSaveLoadSQL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE t (a TEXT)`)
+	mustExec(t, db, `INSERT INTO t (a) VALUES ('persisted')`)
+	mustExec(t, db, `SAVE TO '`+path+`'`)
+
+	// A fresh database loads the snapshot.
+	other := openTestDB(t)
+	mustExec(t, other, `LOAD FROM '`+path+`'`)
+	var a string
+	if err := other.QueryRow(`SELECT a FROM t`).Scan(&a); err != nil || a != "persisted" {
+		t.Fatalf("loaded value = %q, %v", a, err)
+	}
+
+	// file: DSN loads the snapshot on open.
+	fdb, err := sql.Open(DriverName, "file:"+path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	if err := fdb.QueryRow(`SELECT a FROM t`).Scan(&a); err != nil || a != "persisted" {
+		t.Fatalf("file DSN value = %q, %v", a, err)
+	}
+	Forget("file:" + path)
+}
+
+func TestFileDSNNewFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.db")
+	db, err := sql.Open(DriverName, "file:"+path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE t (a INT)`)
+	Forget("file:" + path)
+}
+
+func TestBadDSN(t *testing.T) {
+	db, err := sql.Open(DriverName, "bogus://x")
+	if err != nil {
+		t.Fatal(err) // Open is lazy; the error surfaces on first use.
+	}
+	defer db.Close()
+	if err := db.Ping(); err == nil {
+		t.Error("bad DSN accepted")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE t (a TEXT, n INT)`)
+	if _, err := db.Exec(`INSERT INTO nosuch (a) VALUES (1)`); err == nil {
+		t.Error("insert into missing table accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO t (nosuch) VALUES (1)`); err == nil {
+		t.Error("insert into missing column accepted")
+	}
+	if _, err := db.Query(`SELECT nosuch FROM t`); err == nil {
+		t.Error("projection of missing column accepted")
+	}
+	if _, err := db.Query(`SELECT * FROM t ORDER BY nosuch`); err == nil {
+		t.Error("order by missing column accepted")
+	}
+	if _, err := db.Query(`SELECT * FROM nosuch`); err == nil {
+		t.Error("select from missing table accepted")
+	}
+	if _, err := db.Exec(`CREATE TABLE t (a TEXT)`); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	if _, err := db.Exec(`LOAD FROM '/nonexistent/path.db'`); err == nil {
+		t.Error("load from missing file accepted")
+	}
+	// Transactions are accepted as no-ops.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t (a, n) VALUES ('x', 1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBFor(t *testing.T) {
+	dsn := MemoryDSN()
+	db := openSQL(t, dsn)
+	mustExec(t, db, `CREATE TABLE t (a INT)`)
+	raw, err := DBFor(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw.Table("t"); !ok {
+		t.Error("DBFor returned a different database")
+	}
+	if _, err := DBFor("bogus"); err == nil {
+		t.Error("DBFor accepted a bad DSN")
+	}
+}
+
+func openSQL(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestExecDirect(t *testing.T) {
+	// Exercise Exec without the database/sql machinery.
+	rdb := reldb.NewDB()
+	st, err := Parse(`CREATE TABLE t (a TEXT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(rdb, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = Parse(`INSERT INTO t (a) VALUES (?)`)
+	if _, err := Exec(rdb, st, nil); err == nil {
+		t.Error("missing placeholder args accepted")
+	}
+	if _, err := Exec(rdb, st, []reldb.Datum{reldb.S("v")}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = Parse(`SELECT * FROM t`)
+	res, err := Exec(rdb, st, nil)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Str() != "v" {
+		t.Fatalf("select = %+v, %v", res, err)
+	}
+}
+
+func TestRangeQueries(t *testing.T) {
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE t (grp TEXT, n INT)`)
+	mustExec(t, db, `CREATE INDEX t_gn ON t (grp, n)`)
+	for i := 0; i < 20; i++ {
+		grp := "a"
+		if i%2 == 1 {
+			grp = "b"
+		}
+		mustExec(t, db, `INSERT INTO t (grp, n) VALUES (?, ?)`, grp, i)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM t WHERE grp = 'a' AND n >= 4 AND n < 10`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // a holds evens: 4, 6, 8
+		t.Errorf("range count = %d, want 3", n)
+	}
+	if err := db.QueryRow(`SELECT COUNT(*) FROM t WHERE n <= 5`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("unindexed range count = %d, want 6", n)
+	}
+	rows, err := db.Query(`SELECT n FROM t WHERE grp = ? AND n > ? ORDER BY n LIMIT 2`, "b", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []int
+	for rows.Next() {
+		var v int
+		if err := rows.Scan(&v); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 11 || got[1] != 13 {
+		t.Errorf("range rows = %v", got)
+	}
+	// Type errors surface.
+	if _, err := db.Query(`SELECT * FROM t WHERE n > 'x'`); err == nil {
+		t.Error("type-mismatched range accepted")
+	}
+	if _, err := db.Query(`SELECT * FROM t WHERE n > ?`, nil); err == nil {
+		t.Error("NULL range accepted")
+	}
+}
+
+func TestDurableDSN(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dur")
+	dsn := "durable:" + dir
+	db := openSQL(t, dsn)
+	mustExec(t, db, `CREATE TABLE t (a TEXT)`)
+	mustExec(t, db, `INSERT INTO t (a) VALUES ('logged')`)
+	db.Close()
+	Forget(dsn)
+
+	// A fresh handle recovers the state from the write-ahead log.
+	db2 := openSQL(t, dsn)
+	var a string
+	if err := db2.QueryRow(`SELECT a FROM t`).Scan(&a); err != nil || a != "logged" {
+		t.Fatalf("recovered value = %q, %v", a, err)
+	}
+	db2.Close()
+	Forget(dsn)
+}
+
+func TestAggregates(t *testing.T) {
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE t (grp TEXT, n INT, f FLOAT)`)
+	for i := 1; i <= 6; i++ {
+		grp := "a"
+		if i > 4 {
+			grp = "b"
+		}
+		mustExec(t, db, `INSERT INTO t (grp, n, f) VALUES (?, ?, ?)`, grp, i, float64(i)/2)
+	}
+	mustExec(t, db, `INSERT INTO t (grp, n, f) VALUES ('a', NULL, NULL)`)
+
+	var mn, mx, sum int
+	var avg float64
+	if err := db.QueryRow(`SELECT MIN(n), MAX(n), SUM(n), AVG(n) FROM t WHERE grp = 'a'`).Scan(&mn, &mx, &sum, &avg); err != nil {
+		t.Fatal(err)
+	}
+	if mn != 1 || mx != 4 || sum != 10 || avg != 2.5 {
+		t.Errorf("aggregates = %d %d %d %g", mn, mx, sum, avg)
+	}
+	// COUNT(col) ignores NULLs; COUNT(*) does not.
+	var cCol, cStar int
+	if err := db.QueryRow(`SELECT COUNT(n), COUNT(*) FROM t WHERE grp = 'a'`).Scan(&cCol, &cStar); err != nil {
+		t.Fatal(err)
+	}
+	if cCol != 4 || cStar != 5 {
+		t.Errorf("counts = %d %d", cCol, cStar)
+	}
+	// SUM over floats.
+	var fs float64
+	if err := db.QueryRow(`SELECT SUM(f) FROM t WHERE grp = 'b'`).Scan(&fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs != 5.5 {
+		t.Errorf("float sum = %g", fs)
+	}
+	// Empty group: SUM/AVG are NULL, COUNT is 0.
+	var nsum sql.NullFloat64
+	var zero int
+	if err := db.QueryRow(`SELECT SUM(n), COUNT(n) FROM t WHERE grp = 'z'`).Scan(&nsum, &zero); err != nil {
+		t.Fatal(err)
+	}
+	if nsum.Valid || zero != 0 {
+		t.Errorf("empty aggregates = %v %d", nsum, zero)
+	}
+	// Errors.
+	if _, err := db.Query(`SELECT SUM(grp) FROM t`); err == nil {
+		t.Error("SUM over TEXT accepted")
+	}
+	if _, err := db.Query(`SELECT MIN(*) FROM t`); err == nil {
+		t.Error("MIN(*) accepted")
+	}
+	if _, err := db.Query(`SELECT MIN(n), grp FROM t`); err == nil {
+		t.Error("mixed aggregate and column accepted")
+	}
+	if _, err := db.Query(`SELECT MAX(nosuch) FROM t`); err == nil {
+		t.Error("aggregate over missing column accepted")
+	}
+}

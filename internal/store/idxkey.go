@@ -1,0 +1,78 @@
+// Package store implements the relational provenance store of the paper
+// (§2.3, §4): xform and xfer events are persisted through database/sql
+// (backed by the sqlike driver) in indexed tables keyed by
+// (run, processor, port, index), so that both the naïve traversal and the
+// INDEXPROJ algorithm issue only index-backed point and prefix lookups.
+package store
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Index keys: list indices are stored as strings in a fixed-width dotted
+// encoding ("000001.000002." for [1,2], "" for []) chosen so that string
+// prefix relationships coincide exactly with index prefix relationships.
+// This is what lets a single `idx LIKE '<key>%'` retrieve every event at
+// equal or finer granularity than a query index, with no false positives
+// (every component is terminated by '.', so "[1]" can never match "[10]").
+
+const idxComponentWidth = 6
+
+// maxIdxComponent is the largest list position representable in a key.
+const maxIdxComponent = 999999
+
+// IdxKey renders an index as its stored key.
+func IdxKey(p value.Index) (string, error) {
+	if len(p) == 0 {
+		return "", nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(p) * (idxComponentWidth + 1))
+	for _, c := range p {
+		if c < 0 || c > maxIdxComponent {
+			return "", fmt.Errorf("store: index component %d out of range [0, %d]", c, maxIdxComponent)
+		}
+		fmt.Fprintf(&sb, "%0*d.", idxComponentWidth, c)
+	}
+	return sb.String(), nil
+}
+
+// MustIdxKey is IdxKey for indices already validated by construction.
+func MustIdxKey(p value.Index) string {
+	k, err := IdxKey(p)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// ParseIdxKey decodes a stored key back into an index.
+func ParseIdxKey(key string) (value.Index, error) {
+	if key == "" {
+		return value.Index{}, nil
+	}
+	if len(key)%(idxComponentWidth+1) != 0 {
+		return nil, fmt.Errorf("store: malformed index key %q", key)
+	}
+	n := len(key) / (idxComponentWidth + 1)
+	out := make(value.Index, n)
+	for i := 0; i < n; i++ {
+		seg := key[i*(idxComponentWidth+1) : (i+1)*(idxComponentWidth+1)]
+		if seg[idxComponentWidth] != '.' {
+			return nil, fmt.Errorf("store: malformed index key %q: missing separator", key)
+		}
+		v := 0
+		for j := 0; j < idxComponentWidth; j++ {
+			c := seg[j]
+			if c < '0' || c > '9' {
+				return nil, fmt.Errorf("store: malformed index key %q: bad digit", key)
+			}
+			v = v*10 + int(c-'0')
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// LoadTrace reconstructs the full in-memory trace of a stored run — the
+// inverse of StoreTrace. It is used to export provenance graphs of stored
+// runs and to run the in-memory reference algorithms over persisted data.
+// Event grouping is recovered from the stored event IDs; xform inputs come
+// back in port-declaration order.
+func (s *Store) LoadTrace(runID string) (*trace.Trace, error) {
+	var wfName string
+	found := false
+	runs, err := s.ListRuns()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		if r.RunID == runID {
+			wfName, found = r.Workflow, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("store: no run %q", runID)
+	}
+	t := &trace.Trace{RunID: runID, Workflow: wfName}
+
+	// Values, interned by ID.
+	vals := make(map[int64]value.Value)
+	rows, err := s.db.Query(`SELECT val_id, payload FROM vals WHERE run_id = ?`, runID)
+	if err != nil {
+		return nil, err
+	}
+	for rows.Next() {
+		var id int64
+		var payload string
+		if err := rows.Scan(&id, &payload); err != nil {
+			rows.Close()
+			return nil, err
+		}
+		v, err := value.Decode(payload)
+		if err != nil {
+			rows.Close()
+			return nil, fmt.Errorf("store: value %d of run %q: %w", id, runID, err)
+		}
+		vals[id] = v
+	}
+	if err := closeRows(rows); err != nil {
+		return nil, err
+	}
+	lookup := func(id int64) (value.Value, error) {
+		v, ok := vals[id]
+		if !ok {
+			return value.Value{}, fmt.Errorf("store: run %q references missing value %d", runID, id)
+		}
+		return v, nil
+	}
+
+	// Xform events, rebuilt by event ID.
+	events := make(map[int64]*trace.XformEvent)
+	order := []int64{}
+	rows, err = s.db.Query(
+		`SELECT event_id, proc, port, idx, ctx, val_id FROM xform_in WHERE run_id = ? ORDER BY event_id, pos`, runID)
+	if err != nil {
+		return nil, err
+	}
+	for rows.Next() {
+		var eventID, ctx, valID int64
+		var proc, port, key string
+		if err := rows.Scan(&eventID, &proc, &port, &key, &ctx, &valID); err != nil {
+			rows.Close()
+			return nil, err
+		}
+		b, err := rebuildBinding(proc, port, key, ctx, valID, lookup)
+		if err != nil {
+			rows.Close()
+			return nil, err
+		}
+		ev, ok := events[eventID]
+		if !ok {
+			ev = &trace.XformEvent{Proc: proc}
+			events[eventID] = ev
+			order = append(order, eventID)
+		}
+		ev.Inputs = append(ev.Inputs, b)
+	}
+	if err := closeRows(rows); err != nil {
+		return nil, err
+	}
+	rows, err = s.db.Query(
+		`SELECT event_id, proc, port, idx, ctx, val_id FROM xform_out WHERE run_id = ? ORDER BY event_id`, runID)
+	if err != nil {
+		return nil, err
+	}
+	for rows.Next() {
+		var eventID, ctx, valID int64
+		var proc, port, key string
+		if err := rows.Scan(&eventID, &proc, &port, &key, &ctx, &valID); err != nil {
+			rows.Close()
+			return nil, err
+		}
+		b, err := rebuildBinding(proc, port, key, ctx, valID, lookup)
+		if err != nil {
+			rows.Close()
+			return nil, err
+		}
+		ev, ok := events[eventID]
+		if !ok {
+			// An event may have no inputs (a source processor with only
+			// defaults); create it from its first output.
+			ev = &trace.XformEvent{Proc: proc}
+			events[eventID] = ev
+			order = append(order, eventID)
+		}
+		ev.Outputs = append(ev.Outputs, b)
+	}
+	if err := closeRows(rows); err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		t.Xforms = append(t.Xforms, *events[id])
+	}
+
+	// Xfer events.
+	rows, err = s.db.Query(
+		`SELECT from_proc, from_port, from_idx, from_ctx, to_proc, to_port, to_idx, to_ctx, val_id FROM xfer WHERE run_id = ?`, runID)
+	if err != nil {
+		return nil, err
+	}
+	for rows.Next() {
+		var fromProc, fromPort, fromKey, toProc, toPort, toKey string
+		var fromCtx, toCtx, valID int64
+		if err := rows.Scan(&fromProc, &fromPort, &fromKey, &fromCtx, &toProc, &toPort, &toKey, &toCtx, &valID); err != nil {
+			rows.Close()
+			return nil, err
+		}
+		from, err := rebuildBinding(fromProc, fromPort, fromKey, fromCtx, valID, lookup)
+		if err != nil {
+			rows.Close()
+			return nil, err
+		}
+		to, err := rebuildBinding(toProc, toPort, toKey, toCtx, valID, lookup)
+		if err != nil {
+			rows.Close()
+			return nil, err
+		}
+		t.Xfers = append(t.Xfers, trace.XferEvent{From: from, To: to})
+	}
+	if err := closeRows(rows); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func rebuildBinding(proc, port, key string, ctx, valID int64, lookup func(int64) (value.Value, error)) (trace.Binding, error) {
+	idx, err := ParseIdxKey(key)
+	if err != nil {
+		return trace.Binding{}, err
+	}
+	v, err := lookup(valID)
+	if err != nil {
+		return trace.Binding{}, err
+	}
+	return trace.Binding{Proc: proc, Port: port, Index: idx, Ctx: int(ctx), Value: v}, nil
+}
+
+// closeRows closes a row set and surfaces both iteration and close errors.
+type rowsCloser interface {
+	Close() error
+	Err() error
+}
+
+func closeRows(rows rowsCloser) error {
+	if err := rows.Err(); err != nil {
+		rows.Close()
+		return err
+	}
+	return rows.Close()
+}

@@ -1,0 +1,386 @@
+package store
+
+import (
+	"database/sql"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// Binding is a stored fine-grained binding ⟨P:X[p], v⟩; the value is carried
+// by reference (ValID) and materialized on demand with Store.Value.
+type Binding struct {
+	RunID string
+	Proc  string
+	Port  string
+	Index value.Index
+	Ctx   int
+	ValID int64
+}
+
+func (b Binding) String() string {
+	proc := b.Proc
+	if proc == "" {
+		proc = "workflow"
+	}
+	return fmt.Sprintf("%s:%s%s@%s", proc, b.Port, b.Index, b.RunID)
+}
+
+// Xform is a stored xform event matched through one of its output bindings.
+type Xform struct {
+	RunID   string
+	EventID int64
+	Proc    string
+	Inputs  []Binding // in port-declaration order
+	Output  Binding   // the matched output binding
+}
+
+// Xfer is a stored xfer event.
+type Xfer struct {
+	From Binding
+	To   Binding
+}
+
+// queryCount counts the SQL queries issued by the lineage-facing accessors;
+// the benchmark harness uses it to verify the per-algorithm query-complexity
+// claims (NI issues O(path length) queries, INDEXPROJ O(|focus|)).
+var queryCount atomic.Int64
+
+// QueryCount returns the cumulative number of lineage-facing SQL queries
+// issued through this package.
+func QueryCount() int64 { return queryCount.Load() }
+
+// ResetQueryCount zeroes the counter and returns the previous value.
+func ResetQueryCount() int64 { return queryCount.Swap(0) }
+
+// XformsByOutput returns the xform events of processor proc (in one run)
+// with an output binding on the given port matching idx under the
+// granularity rules of §2.3/§2.4:
+//
+//   - events recorded at the same or finer granularity (their index extends
+//     idx) match directly — one prefix query retrieves them;
+//   - otherwise the event granularity is coarser: the longest proper prefix
+//     of idx with recorded events matches (the answer degrades gracefully,
+//     as for many-to-many processors).
+//
+// Each returned event carries its full ordered input bindings.
+func (s *Store) XformsByOutput(runID, proc, port string, idx value.Index) ([]Xform, error) {
+	key, err := IdxKey(idx)
+	if err != nil {
+		return nil, err
+	}
+	events, err := s.outsByPrefix(runID, proc, port, key)
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		// Coarser events: probe successively shorter exact prefixes.
+		for n := len(idx) - 1; n >= 0 && len(events) == 0; n-- {
+			events, err = s.outsExact(runID, proc, port, MustIdxKey(idx.Truncate(n)))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]Xform, 0, len(events))
+	for _, ev := range events {
+		inputs, err := s.eventInputs(runID, ev.eventID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Xform{RunID: runID, EventID: ev.eventID, Proc: proc, Inputs: inputs, Output: ev.Binding})
+	}
+	return out, nil
+}
+
+// outRow is a row of xform_out plus its event id.
+type outRow struct {
+	Binding
+	eventID int64
+}
+
+func (s *Store) outsByPrefix(runID, proc, port, keyPrefix string) ([]outRow, error) {
+	queryCount.Add(1)
+	rows, err := s.qOutsPrefix.Query(runID, proc, port, keyPrefix+"%")
+	if err != nil {
+		return nil, err
+	}
+	return s.scanOuts(rows, runID, proc, port)
+}
+
+func (s *Store) outsExact(runID, proc, port, key string) ([]outRow, error) {
+	queryCount.Add(1)
+	rows, err := s.qOutsExact.Query(runID, proc, port, key)
+	if err != nil {
+		return nil, err
+	}
+	return s.scanOuts(rows, runID, proc, port)
+}
+
+func (s *Store) scanOuts(rows *sql.Rows, runID, proc, port string) ([]outRow, error) {
+	defer rows.Close()
+	var out []outRow
+	for rows.Next() {
+		var eventID, ctx, valID int64
+		var key string
+		if err := rows.Scan(&eventID, &key, &ctx, &valID); err != nil {
+			return nil, err
+		}
+		idx, err := ParseIdxKey(key)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, outRow{
+			Binding: Binding{RunID: runID, Proc: proc, Port: port, Index: idx, Ctx: int(ctx), ValID: valID},
+			eventID: eventID,
+		})
+	}
+	return out, rows.Err()
+}
+
+func (s *Store) eventInputs(runID string, eventID int64) ([]Binding, error) {
+	queryCount.Add(1)
+	rows, err := s.qEventIns.Query(runID, eventID)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []Binding
+	for rows.Next() {
+		var pos, ctx, valID int64
+		var proc, port, key string
+		if err := rows.Scan(&pos, &proc, &port, &key, &ctx, &valID); err != nil {
+			return nil, err
+		}
+		idx, err := ParseIdxKey(key)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Binding{RunID: runID, Proc: proc, Port: port, Index: idx, Ctx: int(ctx), ValID: valID})
+	}
+	return out, rows.Err()
+}
+
+// InputBindings is the trace query Q(P, X_i, p_i) of Alg. 2: it returns the
+// stored input bindings of processor proc on the given port matching idx,
+// applying the same granularity rules as XformsByOutput (exact or finer
+// first, else the longest coarser prefix).
+func (s *Store) InputBindings(runID, proc, port string, idx value.Index) ([]Binding, error) {
+	key, err := IdxKey(idx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.insByPrefix(runID, proc, port, key)
+	if err != nil {
+		return nil, err
+	}
+	for n := len(idx) - 1; n >= 0 && len(out) == 0; n-- {
+		out, err = s.insExact(runID, proc, port, MustIdxKey(idx.Truncate(n)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (s *Store) insByPrefix(runID, proc, port, keyPrefix string) ([]Binding, error) {
+	queryCount.Add(1)
+	rows, err := s.qInsPrefix.Query(runID, proc, port, keyPrefix+"%")
+	if err != nil {
+		return nil, err
+	}
+	return s.scanIns(rows, runID, proc, port)
+}
+
+func (s *Store) insExact(runID, proc, port, key string) ([]Binding, error) {
+	queryCount.Add(1)
+	rows, err := s.qInsExact.Query(runID, proc, port, key)
+	if err != nil {
+		return nil, err
+	}
+	return s.scanIns(rows, runID, proc, port)
+}
+
+func (s *Store) scanIns(rows *sql.Rows, runID, proc, port string) ([]Binding, error) {
+	defer rows.Close()
+	var out []Binding
+	for rows.Next() {
+		var ctx, valID int64
+		var key string
+		if err := rows.Scan(&key, &ctx, &valID); err != nil {
+			return nil, err
+		}
+		idx, err := ParseIdxKey(key)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Binding{RunID: runID, Proc: proc, Port: port, Index: idx, Ctx: int(ctx), ValID: valID})
+	}
+	return out, rows.Err()
+}
+
+// XfersTo returns the xfer events whose sink is the given port.
+func (s *Store) XfersTo(runID, proc, port string) ([]Xfer, error) {
+	queryCount.Add(1)
+	rows, err := s.qXfersTo.Query(runID, proc, port)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []Xfer
+	for rows.Next() {
+		var fromProc, fromPort, fromKey, toKey string
+		var fromCtx, toCtx, valID int64
+		if err := rows.Scan(&fromProc, &fromPort, &fromKey, &fromCtx, &toKey, &toCtx, &valID); err != nil {
+			return nil, err
+		}
+		fromIdx, err := ParseIdxKey(fromKey)
+		if err != nil {
+			return nil, err
+		}
+		toIdx, err := ParseIdxKey(toKey)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Xfer{
+			From: Binding{RunID: runID, Proc: fromProc, Port: fromPort, Index: fromIdx, Ctx: int(fromCtx), ValID: valID},
+			To:   Binding{RunID: runID, Proc: proc, Port: port, Index: toIdx, Ctx: int(toCtx), ValID: valID},
+		})
+	}
+	return out, rows.Err()
+}
+
+// Value materializes a stored port value.
+func (s *Store) Value(runID string, valID int64) (value.Value, error) {
+	queryCount.Add(1)
+	var payload string
+	err := s.qValue.QueryRow(runID, valID).Scan(&payload)
+	if err == sql.ErrNoRows {
+		return value.Value{}, fmt.Errorf("store: no value %d in run %q", valID, runID)
+	}
+	if err != nil {
+		return value.Value{}, err
+	}
+	return value.Decode(payload)
+}
+
+// Forward-direction accessors, used by impact (descendant) queries: the dual
+// of the lineage direction.
+
+// XformsByInput returns the xform events of proc with an input binding on
+// the given port matching idx (same granularity rules as XformsByOutput),
+// each carrying its full output bindings.
+func (s *Store) XformsByInput(runID, proc, port string, idx value.Index) ([]ForwardXform, error) {
+	key, err := IdxKey(idx)
+	if err != nil {
+		return nil, err
+	}
+	queryCount.Add(1)
+	rows, err := s.db.Query(
+		`SELECT event_id, idx, ctx, val_id FROM xform_in WHERE run_id = ? AND proc = ? AND port = ? AND idx LIKE ?`,
+		runID, proc, port, key+"%")
+	if err != nil {
+		return nil, err
+	}
+	matched, err := s.scanOuts(rows, runID, proc, port) // same row shape
+	if err != nil {
+		return nil, err
+	}
+	if len(matched) == 0 {
+		for n := len(idx) - 1; n >= 0 && len(matched) == 0; n-- {
+			queryCount.Add(1)
+			rows, err := s.db.Query(
+				`SELECT event_id, idx, ctx, val_id FROM xform_in WHERE run_id = ? AND proc = ? AND port = ? AND idx = ?`,
+				runID, proc, port, MustIdxKey(idx.Truncate(n)))
+			if err != nil {
+				return nil, err
+			}
+			matched, err = s.scanOuts(rows, runID, proc, port)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]ForwardXform, 0, len(matched))
+	seen := make(map[int64]bool, len(matched))
+	for _, m := range matched {
+		if seen[m.eventID] {
+			continue
+		}
+		seen[m.eventID] = true
+		outs, err := s.eventOutputs(runID, m.eventID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ForwardXform{RunID: runID, EventID: m.eventID, Proc: proc, Input: m.Binding, Outputs: outs})
+	}
+	return out, nil
+}
+
+// ForwardXform is a stored xform event matched through one of its inputs.
+type ForwardXform struct {
+	RunID   string
+	EventID int64
+	Proc    string
+	Input   Binding
+	Outputs []Binding
+}
+
+func (s *Store) eventOutputs(runID string, eventID int64) ([]Binding, error) {
+	queryCount.Add(1)
+	rows, err := s.db.Query(
+		`SELECT proc, port, idx, ctx, val_id FROM xform_out WHERE run_id = ? AND event_id = ?`,
+		runID, eventID)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []Binding
+	for rows.Next() {
+		var ctx, valID int64
+		var proc, port, key string
+		if err := rows.Scan(&proc, &port, &key, &ctx, &valID); err != nil {
+			return nil, err
+		}
+		idx, err := ParseIdxKey(key)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Binding{RunID: runID, Proc: proc, Port: port, Index: idx, Ctx: int(ctx), ValID: valID})
+	}
+	return out, rows.Err()
+}
+
+// XfersFrom returns the xfer events whose source is the given port.
+func (s *Store) XfersFrom(runID, proc, port string) ([]Xfer, error) {
+	queryCount.Add(1)
+	rows, err := s.db.Query(
+		`SELECT from_idx, from_ctx, to_proc, to_port, to_idx, to_ctx, val_id FROM xfer WHERE run_id = ? AND from_proc = ? AND from_port = ?`,
+		runID, proc, port)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []Xfer
+	for rows.Next() {
+		var fromKey, toProc, toPort, toKey string
+		var fromCtx, toCtx, valID int64
+		if err := rows.Scan(&fromKey, &fromCtx, &toProc, &toPort, &toKey, &toCtx, &valID); err != nil {
+			return nil, err
+		}
+		fromIdx, err := ParseIdxKey(fromKey)
+		if err != nil {
+			return nil, err
+		}
+		toIdx, err := ParseIdxKey(toKey)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Xfer{
+			From: Binding{RunID: runID, Proc: proc, Port: port, Index: fromIdx, Ctx: int(fromCtx), ValID: valID},
+			To:   Binding{RunID: runID, Proc: toProc, Port: toPort, Index: toIdx, Ctx: int(toCtx), ValID: valID},
+		})
+	}
+	return out, rows.Err()
+}

@@ -1,0 +1,259 @@
+package store
+
+import (
+	"database/sql"
+	"fmt"
+
+	"repro/internal/sqlike"
+)
+
+// Store is a handle on a provenance database. It is safe for concurrent use
+// (the underlying engine serializes statements). The lineage-facing queries
+// are prepared once per store, as the paper's JDBC implementation did.
+type Store struct {
+	db  *sql.DB
+	dsn string
+
+	qOutsPrefix *sql.Stmt
+	qOutsExact  *sql.Stmt
+	qEventIns   *sql.Stmt
+	qInsPrefix  *sql.Stmt
+	qInsExact   *sql.Stmt
+	qXfersTo    *sql.Stmt
+	qValue      *sql.Stmt
+}
+
+// schema is the DDL of the provenance database, mirroring the relational
+// implementation described in §4 of the paper: one row per xform input
+// binding, one per xform output binding, one per xfer event, plus runs and
+// deduplicated port values. Every query issued by the lineage algorithms is
+// covered by one of the composite indexes.
+var schema = []string{
+	`CREATE TABLE runs (run_id TEXT, workflow TEXT)`,
+	`CREATE INDEX runs_id ON runs (run_id)`,
+
+	`CREATE TABLE vals (run_id TEXT, val_id INT, payload TEXT)`,
+	`CREATE INDEX vals_id ON vals (run_id, val_id)`,
+
+	`CREATE TABLE xform_in (run_id TEXT, event_id INT, pos INT, proc TEXT, port TEXT, idx TEXT, ctx INT, val_id INT)`,
+	`CREATE INDEX xin_evt ON xform_in (run_id, event_id, pos)`,
+	`CREATE INDEX xin_port ON xform_in (run_id, proc, port, idx)`,
+
+	`CREATE TABLE xform_out (run_id TEXT, event_id INT, proc TEXT, port TEXT, idx TEXT, ctx INT, val_id INT)`,
+	`CREATE INDEX xout_port ON xform_out (run_id, proc, port, idx)`,
+	`CREATE INDEX xout_evt ON xform_out (run_id, event_id)`,
+
+	`CREATE TABLE xfer (run_id TEXT, from_proc TEXT, from_port TEXT, from_idx TEXT, from_ctx INT,
+	                    to_proc TEXT, to_port TEXT, to_idx TEXT, to_ctx INT, val_id INT)`,
+	`CREATE INDEX xfer_to ON xfer (run_id, to_proc, to_port)`,
+	`CREATE INDEX xfer_from ON xfer (run_id, from_proc, from_port)`,
+}
+
+// Open opens (and if necessary initializes) a provenance store at the given
+// sqlike DSN ("memory:<name>" or "file:<path>").
+func Open(dsn string) (*Store, error) {
+	db, err := sql.Open(sqlike.DriverName, dsn)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{db: db, dsn: dsn}
+	if err := s.ensureSchema(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := s.prepareQueries(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) prepareQueries() error {
+	prep := func(dst **sql.Stmt, query string) error {
+		st, err := s.db.Prepare(query)
+		if err != nil {
+			return fmt.Errorf("store: preparing %q: %w", query, err)
+		}
+		*dst = st
+		return nil
+	}
+	if err := prep(&s.qOutsPrefix,
+		`SELECT event_id, idx, ctx, val_id FROM xform_out WHERE run_id = ? AND proc = ? AND port = ? AND idx LIKE ?`); err != nil {
+		return err
+	}
+	if err := prep(&s.qOutsExact,
+		`SELECT event_id, idx, ctx, val_id FROM xform_out WHERE run_id = ? AND proc = ? AND port = ? AND idx = ?`); err != nil {
+		return err
+	}
+	if err := prep(&s.qEventIns,
+		`SELECT pos, proc, port, idx, ctx, val_id FROM xform_in WHERE run_id = ? AND event_id = ? ORDER BY pos`); err != nil {
+		return err
+	}
+	if err := prep(&s.qInsPrefix,
+		`SELECT idx, ctx, val_id FROM xform_in WHERE run_id = ? AND proc = ? AND port = ? AND idx LIKE ?`); err != nil {
+		return err
+	}
+	if err := prep(&s.qInsExact,
+		`SELECT idx, ctx, val_id FROM xform_in WHERE run_id = ? AND proc = ? AND port = ? AND idx = ?`); err != nil {
+		return err
+	}
+	if err := prep(&s.qXfersTo,
+		`SELECT from_proc, from_port, from_idx, from_ctx, to_idx, to_ctx, val_id FROM xfer WHERE run_id = ? AND to_proc = ? AND to_port = ?`); err != nil {
+		return err
+	}
+	return prep(&s.qValue, `SELECT payload FROM vals WHERE run_id = ? AND val_id = ?`)
+}
+
+// OpenMemory opens a fresh, private in-memory provenance store.
+func OpenMemory() (*Store, error) { return Open(sqlike.MemoryDSN()) }
+
+func (s *Store) ensureSchema() error {
+	// The runs table existing means the schema is already in place.
+	var n int
+	if err := s.db.QueryRow(`SELECT COUNT(*) FROM runs`).Scan(&n); err == nil {
+		return nil
+	}
+	for _, stmt := range schema {
+		if _, err := s.db.Exec(stmt); err != nil {
+			return fmt.Errorf("store: initializing schema: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close releases the database handle. In-memory stores also release their
+// contents.
+func (s *Store) Close() error {
+	for _, st := range []*sql.Stmt{s.qOutsPrefix, s.qOutsExact, s.qEventIns, s.qInsPrefix, s.qInsExact, s.qXfersTo, s.qValue} {
+		if st != nil {
+			st.Close()
+		}
+	}
+	err := s.db.Close()
+	sqlike.Forget(s.dsn)
+	return err
+}
+
+// DB exposes the database/sql handle for ad-hoc queries (used by the CLIs
+// and the benchmark harness).
+func (s *Store) DB() *sql.DB { return s.db }
+
+// DSN returns the store's data source name.
+func (s *Store) DSN() string { return s.dsn }
+
+// Save snapshots the store to a file; a store opened later with DSN
+// "file:<path>" sees the saved state.
+func (s *Store) Save(path string) error {
+	_, err := s.db.Exec(`SAVE TO '` + sqlEscape(path) + `'`)
+	return err
+}
+
+func sqlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'', '\'')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// RunInfo describes one stored run.
+type RunInfo struct {
+	RunID    string
+	Workflow string
+}
+
+// ListRuns returns all stored runs.
+func (s *Store) ListRuns() ([]RunInfo, error) {
+	rows, err := s.db.Query(`SELECT run_id, workflow FROM runs`)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []RunInfo
+	for rows.Next() {
+		var ri RunInfo
+		if err := rows.Scan(&ri.RunID, &ri.Workflow); err != nil {
+			return nil, err
+		}
+		out = append(out, ri)
+	}
+	return out, rows.Err()
+}
+
+// RunsOf returns the IDs of all runs of the named workflow.
+func (s *Store) RunsOf(workflow string) ([]string, error) {
+	runs, err := s.ListRuns()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range runs {
+		if r.Workflow == workflow {
+			out = append(out, r.RunID)
+		}
+	}
+	return out, nil
+}
+
+// RecordCounts reports the number of rows each event table holds for a run
+// (pass "" for all runs). This is the metric of Table 1 of the paper: xform
+// input rows + xform output rows + xfer rows.
+func (s *Store) RecordCounts(runID string) (xformIn, xformOut, xfers int, err error) {
+	count := func(table string) (int, error) {
+		var n int
+		var err error
+		if runID == "" {
+			err = s.db.QueryRow(`SELECT COUNT(*) FROM ` + table).Scan(&n)
+		} else {
+			err = s.db.QueryRow(`SELECT COUNT(*) FROM `+table+` WHERE run_id = ?`, runID).Scan(&n)
+		}
+		return n, err
+	}
+	if xformIn, err = count("xform_in"); err != nil {
+		return
+	}
+	if xformOut, err = count("xform_out"); err != nil {
+		return
+	}
+	xfers, err = count("xfer")
+	return
+}
+
+// TotalRecords returns the Table 1 record count for a run ("" for all runs).
+func (s *Store) TotalRecords(runID string) (int, error) {
+	in, out, xf, err := s.RecordCounts(runID)
+	return in + out + xf, err
+}
+
+// DeleteRun removes every record of a run (events, transfers, values and
+// the run row itself), returning the number of event rows removed.
+func (s *Store) DeleteRun(runID string) (int, error) {
+	var n int
+	if err := s.db.QueryRow(`SELECT COUNT(*) FROM runs WHERE run_id = ?`, runID).Scan(&n); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("store: no run %q", runID)
+	}
+	removed := 0
+	for _, table := range []string{"xform_in", "xform_out", "xfer"} {
+		res, err := s.db.Exec(`DELETE FROM `+table+` WHERE run_id = ?`, runID)
+		if err != nil {
+			return removed, err
+		}
+		if aff, err := res.RowsAffected(); err == nil {
+			removed += int(aff)
+		}
+	}
+	if _, err := s.db.Exec(`DELETE FROM vals WHERE run_id = ?`, runID); err != nil {
+		return removed, err
+	}
+	if _, err := s.db.Exec(`DELETE FROM runs WHERE run_id = ?`, runID); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// VerifyReport is the outcome of an integrity check of one stored run — the
+// provenance analogue of a filesystem fsck.
+type VerifyReport struct {
+	RunID    string
+	Workflow string
+	Events   int
+	Xfers    int
+	Problems []string
+}
+
+// OK reports whether the run passed every check.
+func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r *VerifyReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "run %s (workflow %s): %d xform events, %d xfers: ", r.RunID, r.Workflow, r.Events, r.Xfers)
+	if r.OK() {
+		sb.WriteString("OK")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%d problem(s)", len(r.Problems))
+	for _, p := range r.Problems {
+		sb.WriteString("\n  - ")
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
+
+// Verify checks the integrity of one stored run:
+//
+//   - every stored value payload decodes and is depth-uniform;
+//   - every binding's index addresses an element of its value (net of the
+//     nested-dataflow context prefix);
+//   - every event's bindings reference existing values;
+//   - if the workflow definition is supplied (non-nil), every xform event
+//     satisfies the index projection property (Prop. 1 / its combinator
+//     generalization): the recorded input fragments equal the projection of
+//     the recorded output index through the processor's statically-computed
+//     iteration plan.
+//
+// Problems are accumulated (capped) rather than failing fast, so one report
+// describes the run's overall health.
+func (s *Store) Verify(runID string, wf *workflow.Workflow) (*VerifyReport, error) {
+	t, err := s.LoadTrace(runID)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{RunID: runID, Workflow: t.Workflow, Events: len(t.Xforms), Xfers: len(t.Xfers)}
+	const maxProblems = 20
+	problem := func(format string, args ...any) {
+		if len(rep.Problems) < maxProblems {
+			rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+		}
+	}
+
+	checkBinding := func(where string, b trace.Binding) {
+		if err := b.Value.CheckUniform(); err != nil {
+			problem("%s: %s: non-uniform value: %v", where, b, err)
+			return
+		}
+		if _, err := b.Element(); err != nil {
+			problem("%s: %s: index does not address the value: %v", where, b, err)
+		}
+	}
+
+	var depths *workflow.Depths
+	if wf != nil {
+		if err := wf.Validate(); err != nil {
+			return nil, fmt.Errorf("store: verify: %w", err)
+		}
+		if wf.Name != t.Workflow {
+			problem("run was recorded for workflow %q, verification requested against %q", t.Workflow, wf.Name)
+		}
+		depths, err = workflow.PropagateDepths(wf)
+		if err != nil {
+			return nil, fmt.Errorf("store: verify: %w", err)
+		}
+	}
+
+	for i, ev := range t.Xforms {
+		where := fmt.Sprintf("xform %d (%s)", i, ev.Proc)
+		for _, b := range ev.Inputs {
+			checkBinding(where, b)
+		}
+		for _, b := range ev.Outputs {
+			checkBinding(where, b)
+		}
+		if depths == nil || strings.Contains(ev.Proc, "/") {
+			// Nested-dataflow events would need the sub-workflow's depths;
+			// structural checks above still apply.
+			continue
+		}
+		p := wf.Processor(ev.Proc)
+		if p == nil {
+			problem("%s: processor not in the workflow definition", where)
+			continue
+		}
+		plan := depths.Plan(ev.Proc)
+		if plan == nil {
+			problem("%s: no iteration plan", where)
+			continue
+		}
+		if len(ev.Inputs) != len(p.Inputs) {
+			problem("%s: %d input bindings for %d ports", where, len(ev.Inputs), len(p.Inputs))
+			continue
+		}
+		for _, out := range ev.Outputs {
+			q := out.Index.Slice(out.Ctx, len(out.Index))
+			if len(q) != plan.IterationDepth() {
+				problem("%s: output index %s has length %d, iteration depth is %d",
+					where, out.Index, len(q), plan.IterationDepth())
+				continue
+			}
+			for j, in := range ev.Inputs {
+				frag, _ := plan.Project(q, j)
+				got := in.Index.Slice(in.Ctx, len(in.Index))
+				if !got.Equal(frag) {
+					problem("%s: Prop. 1 violated on input %d: recorded %s, projected %s",
+						where, j, value.Index(got), frag)
+				}
+			}
+		}
+	}
+
+	// Xfer endpoints must be addressable, and sinks must carry the value
+	// their source transferred.
+	for i, ev := range t.Xfers {
+		where := fmt.Sprintf("xfer %d", i)
+		checkBinding(where, ev.From)
+		checkBinding(where, ev.To)
+	}
+	sort.Strings(rep.Problems)
+	return rep, nil
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"database/sql"
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// RunWriter persists the provenance events of one run. It implements
+// trace.Collector, so it can be handed directly to the engine. Port values
+// are deduplicated within the run (bindings reference value IDs), mirroring
+// the paper's relational trace layout.
+type RunWriter struct {
+	s        *Store
+	runID    string
+	eventSeq int64
+	valIDs   map[string]int64
+
+	insVal  *sql.Stmt
+	insIn   *sql.Stmt
+	insOut  *sql.Stmt
+	insXfer *sql.Stmt
+}
+
+// NewRunWriter registers a run and returns a collector that persists its
+// events. The run ID must be unique within the store.
+func (s *Store) NewRunWriter(runID, workflowName string) (*RunWriter, error) {
+	var n int
+	if err := s.db.QueryRow(`SELECT COUNT(*) FROM runs WHERE run_id = ?`, runID).Scan(&n); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if n > 0 {
+		return nil, fmt.Errorf("store: run %q already exists", runID)
+	}
+	if _, err := s.db.Exec(`INSERT INTO runs (run_id, workflow) VALUES (?, ?)`, runID, workflowName); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &RunWriter{s: s, runID: runID, valIDs: make(map[string]int64)}
+	var err error
+	if w.insVal, err = s.db.Prepare(`INSERT INTO vals (run_id, val_id, payload) VALUES (?, ?, ?)`); err != nil {
+		return nil, err
+	}
+	if w.insIn, err = s.db.Prepare(`INSERT INTO xform_in (run_id, event_id, pos, proc, port, idx, ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?)`); err != nil {
+		return nil, err
+	}
+	if w.insOut, err = s.db.Prepare(`INSERT INTO xform_out (run_id, event_id, proc, port, idx, ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?)`); err != nil {
+		return nil, err
+	}
+	if w.insXfer, err = s.db.Prepare(`INSERT INTO xfer (run_id, from_proc, from_port, from_idx, from_ctx, to_proc, to_port, to_idx, to_ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// RunID returns the run this writer persists.
+func (w *RunWriter) RunID() string { return w.runID }
+
+// Close releases the writer's prepared statements.
+func (w *RunWriter) Close() error {
+	for _, st := range []*sql.Stmt{w.insVal, w.insIn, w.insOut, w.insXfer} {
+		if st != nil {
+			st.Close()
+		}
+	}
+	return nil
+}
+
+// valID interns a port value within the run and returns its ID.
+func (w *RunWriter) valID(v value.Value) (int64, error) {
+	payload := value.Encode(v)
+	if id, ok := w.valIDs[payload]; ok {
+		return id, nil
+	}
+	id := int64(len(w.valIDs))
+	if _, err := w.insVal.Exec(w.runID, id, payload); err != nil {
+		return 0, err
+	}
+	w.valIDs[payload] = id
+	return id, nil
+}
+
+// Xform implements trace.Collector.
+func (w *RunWriter) Xform(e trace.XformEvent) error {
+	eventID := w.eventSeq
+	w.eventSeq++
+	for pos, b := range e.Inputs {
+		vid, err := w.valID(b.Value)
+		if err != nil {
+			return err
+		}
+		key, err := IdxKey(b.Index)
+		if err != nil {
+			return err
+		}
+		if _, err := w.insIn.Exec(w.runID, eventID, int64(pos), b.Proc, b.Port, key, int64(b.Ctx), vid); err != nil {
+			return err
+		}
+	}
+	for _, b := range e.Outputs {
+		vid, err := w.valID(b.Value)
+		if err != nil {
+			return err
+		}
+		key, err := IdxKey(b.Index)
+		if err != nil {
+			return err
+		}
+		if _, err := w.insOut.Exec(w.runID, eventID, b.Proc, b.Port, key, int64(b.Ctx), vid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Xfer implements trace.Collector.
+func (w *RunWriter) Xfer(e trace.XferEvent) error {
+	vid, err := w.valID(e.To.Value)
+	if err != nil {
+		return err
+	}
+	fromKey, err := IdxKey(e.From.Index)
+	if err != nil {
+		return err
+	}
+	toKey, err := IdxKey(e.To.Index)
+	if err != nil {
+		return err
+	}
+	_, err = w.insXfer.Exec(w.runID,
+		e.From.Proc, e.From.Port, fromKey, int64(e.From.Ctx),
+		e.To.Proc, e.To.Port, toKey, int64(e.To.Ctx), vid)
+	return err
+}
+
+// StoreTrace persists a complete in-memory trace in one call.
+func (s *Store) StoreTrace(t *trace.Trace) error {
+	w, err := s.NewRunWriter(t.RunID, t.Workflow)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	for _, e := range t.Xforms {
+		if err := w.Xform(e); err != nil {
+			return err
+		}
+	}
+	for _, e := range t.Xfers {
+		if err := w.Xfer(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is the provenance graph of a trace (§2.4): nodes are the distinct
+// bindings appearing in the trace, and there is an arc b_i → b_j iff some
+// xform event has b_i among its inputs and b_j among its outputs, or some
+// xfer event transfers b_i to b_j. The graph stores, for each node, its
+// *parents* (the bindings it was derived from), because lineage queries
+// traverse upwards.
+type Graph struct {
+	nodes   map[BindingKey]Binding
+	parents map[BindingKey][]BindingKey
+}
+
+// BuildGraph materializes the provenance graph of a trace.
+func BuildGraph(t *Trace) *Graph {
+	g := &Graph{
+		nodes:   make(map[BindingKey]Binding),
+		parents: make(map[BindingKey][]BindingKey),
+	}
+	addNode := func(b Binding) BindingKey {
+		k := b.Key()
+		if _, ok := g.nodes[k]; !ok {
+			g.nodes[k] = b
+		}
+		return k
+	}
+	for _, e := range t.Xforms {
+		outKeys := make([]BindingKey, len(e.Outputs))
+		for i, ob := range e.Outputs {
+			outKeys[i] = addNode(ob)
+		}
+		for _, ib := range e.Inputs {
+			ik := addNode(ib)
+			for _, ok := range outKeys {
+				g.parents[ok] = append(g.parents[ok], ik)
+			}
+		}
+	}
+	for _, e := range t.Xfers {
+		fk := addNode(e.From)
+		tk := addNode(e.To)
+		g.parents[tk] = append(g.parents[tk], fk)
+	}
+	return g
+}
+
+// NumNodes returns the number of binding nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumArcs returns the number of derivation arcs.
+func (g *Graph) NumArcs() int {
+	n := 0
+	for _, ps := range g.parents {
+		n += len(ps)
+	}
+	return n
+}
+
+// Node returns the binding stored under the given key.
+func (g *Graph) Node(k BindingKey) (Binding, bool) {
+	b, ok := g.nodes[k]
+	return b, ok
+}
+
+// Parents returns the keys of the bindings the given node was derived from.
+func (g *Graph) Parents(k BindingKey) []BindingKey { return g.parents[k] }
+
+// Ancestors returns every binding reachable by traversing parent arcs from
+// the given node (excluding the node itself), in no particular order.
+func (g *Graph) Ancestors(k BindingKey) []Binding {
+	seen := map[BindingKey]bool{k: true}
+	var out []Binding
+	stack := append([]BindingKey(nil), g.parents[k]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		out = append(out, g.nodes[cur])
+		stack = append(stack, g.parents[cur]...)
+	}
+	return out
+}
+
+// CheckAcyclic verifies the provenance graph is a DAG, which every trace of
+// a terminating dataflow run must be. It returns an error naming a node on a
+// cycle if one exists.
+func (g *Graph) CheckAcyclic() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[BindingKey]int, len(g.nodes))
+	var visit func(k BindingKey) error
+	visit = func(k BindingKey) error {
+		switch color[k] {
+		case grey:
+			return fmt.Errorf("trace: provenance graph cycle through %s", k)
+		case black:
+			return nil
+		}
+		color[k] = grey
+		for _, p := range g.parents[k] {
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		color[k] = black
+		return nil
+	}
+	for k := range g.nodes {
+		if err := visit(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DOT renders the provenance graph in Graphviz DOT syntax with derivation
+// arcs pointing from parents to children (the direction of dataflow).
+func (g *Graph) DOT() string {
+	keys := make([]BindingKey, 0, len(g.nodes))
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+
+	var sb strings.Builder
+	sb.WriteString("digraph provenance {\n  rankdir=TB;\n  node [shape=box,fontsize=10];\n")
+	id := make(map[BindingKey]int, len(keys))
+	for i, k := range keys {
+		id[k] = i
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", i, k.String())
+	}
+	for _, k := range keys {
+		ps := append([]BindingKey(nil), g.parents[k]...)
+		sort.Slice(ps, func(i, j int) bool { return ps[i].String() < ps[j].String() })
+		for _, p := range ps {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", id[p], id[k])
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,221 @@
+// Package trace implements the provenance trace model of §2.3 of the paper.
+// A trace is the collection of the observable events of one workflow run:
+// xform events (one per processor activation, mapping a tuple of fine-grained
+// input bindings to the corresponding output bindings) and xfer events (the
+// transfer of a value along an arc). Bindings carry list indices, so traces
+// are fine-grained whenever the iteration semantics provides element-level
+// dependencies.
+//
+// Processor names in a trace are path-qualified: a processor Q inside a
+// nested dataflow bound to composite processor C appears as "C/Q". Indices
+// of events inside a nested dataflow are prefixed with the activation index
+// of the composite (the context), so a single index space addresses the
+// whole hierarchy uniformly.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// WorkflowProc is the processor name under which the (root) workflow's own
+// input and output ports appear in bindings.
+const WorkflowProc = ""
+
+// Binding is ⟨P:X[p], v⟩: the element of the value v bound to port X of
+// processor P addressed by index p ([] denotes the whole value). Value holds
+// the whole port value, not the addressed element; the element is recovered
+// with Element.
+type Binding struct {
+	Proc  string
+	Port  string
+	Index value.Index
+	Value value.Value
+	// Ctx is the length of the context prefix of Index contributed by
+	// enclosing nested-dataflow activations; only Index[Ctx:] addresses into
+	// Value. It is 0 for all bindings outside nested dataflows.
+	Ctx int
+}
+
+// Element returns the element of the binding's value addressed by its index
+// (net of the nested-dataflow context prefix).
+func (b Binding) Element() (value.Value, error) {
+	local := b.Index
+	if b.Ctx > 0 {
+		local = local.Slice(b.Ctx, len(local))
+	}
+	return b.Value.At(local)
+}
+
+// Key identifies the binding node in the provenance graph (§2.4): bindings
+// with the same processor, port and index are the same node.
+func (b Binding) Key() BindingKey {
+	return BindingKey{Proc: b.Proc, Port: b.Port, Index: b.Index.String()}
+}
+
+func (b Binding) String() string {
+	proc := b.Proc
+	if proc == WorkflowProc {
+		proc = "workflow"
+	}
+	return fmt.Sprintf("<%s:%s%s>", proc, b.Port, b.Index)
+}
+
+// BindingKey is the comparable node identity of a binding.
+type BindingKey struct {
+	Proc  string
+	Port  string
+	Index string
+}
+
+func (k BindingKey) String() string {
+	proc := k.Proc
+	if proc == WorkflowProc {
+		proc = "workflow"
+	}
+	return fmt.Sprintf("%s:%s%s", proc, k.Port, k.Index)
+}
+
+// XformEvent records one elementary execution (activation) of a processor:
+// InB_P → OutB_P in the paper's shorthand (relation (1), §2.3).
+type XformEvent struct {
+	Proc    string
+	Inputs  []Binding
+	Outputs []Binding
+}
+
+func (e XformEvent) String() string {
+	ins := make([]string, len(e.Inputs))
+	for i, b := range e.Inputs {
+		ins[i] = b.String()
+	}
+	outs := make([]string, len(e.Outputs))
+	for i, b := range e.Outputs {
+		outs[i] = b.String()
+	}
+	return strings.Join(ins, ", ") + " -> " + strings.Join(outs, ", ")
+}
+
+// XferEvent records the transfer of a value along an arc (relation (2),
+// §2.3). Values travel arcs unchanged, so fine-grained indices propagate
+// across xfer events verbatim.
+type XferEvent struct {
+	From Binding
+	To   Binding
+}
+
+func (e XferEvent) String() string { return e.From.String() + " -> " + e.To.String() }
+
+// Trace is T_{E_D}: all observable events of one run of a dataflow.
+type Trace struct {
+	RunID    string
+	Workflow string
+	Xforms   []XformEvent
+	Xfers    []XferEvent
+}
+
+// Collector receives provenance events as the engine produces them.
+// Implementations include the in-memory Trace and the relational store.
+type Collector interface {
+	Xform(e XformEvent) error
+	Xfer(e XferEvent) error
+}
+
+// Xform appends an xform event; Trace implements Collector.
+func (t *Trace) Xform(e XformEvent) error {
+	t.Xforms = append(t.Xforms, e)
+	return nil
+}
+
+// Xfer appends an xfer event.
+func (t *Trace) Xfer(e XferEvent) error {
+	t.Xfers = append(t.Xfers, e)
+	return nil
+}
+
+// NumEvents returns the total number of recorded events.
+func (t *Trace) NumEvents() int { return len(t.Xforms) + len(t.Xfers) }
+
+// NumRecords returns the number of rows the trace occupies in the relational
+// encoding: one per xform input binding, one per xform output binding, and
+// one per xfer event (this is the record count reported in Table 1).
+func (t *Trace) NumRecords() int {
+	n := len(t.Xfers)
+	for _, e := range t.Xforms {
+		n += len(e.Inputs) + len(e.Outputs)
+	}
+	return n
+}
+
+// MultiCollector fans events out to several collectors.
+type MultiCollector []Collector
+
+// Xform forwards the event to every collector, stopping at the first error.
+func (m MultiCollector) Xform(e XformEvent) error {
+	for _, c := range m {
+		if err := c.Xform(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Xfer forwards the event to every collector, stopping at the first error.
+func (m MultiCollector) Xfer(e XferEvent) error {
+	for _, c := range m {
+		if err := c.Xfer(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Discard is a Collector that drops all events (for pure-execution runs).
+var Discard Collector = discard{}
+
+type discard struct{}
+
+func (discard) Xform(XformEvent) error { return nil }
+func (discard) Xfer(XferEvent) error   { return nil }
+
+// SortedXforms returns the xform events sorted by (proc, first output port,
+// first output index); useful for deterministic comparison of traces
+// produced by concurrent executions.
+func (t *Trace) SortedXforms() []XformEvent {
+	out := append([]XformEvent(nil), t.Xforms...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		ak, bk := eventOutputKey(a), eventOutputKey(b)
+		return ak < bk
+	})
+	return out
+}
+
+// SortedXfers returns the xfer events in a deterministic order.
+func (t *Trace) SortedXfers() []XferEvent {
+	out := append([]XferEvent(nil), t.Xfers...)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+func eventOutputKey(e XformEvent) string {
+	if len(e.Outputs) == 0 {
+		return ""
+	}
+	b := e.Outputs[0]
+	// Render the index with fixed-width components so string order matches
+	// numeric order for the sizes we deal with.
+	parts := make([]string, len(b.Index))
+	for i, n := range b.Index {
+		parts[i] = fmt.Sprintf("%08d", n)
+	}
+	return b.Port + "/" + strings.Join(parts, ",")
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func b(proc, port string, idx value.Index, v value.Value) Binding {
+	return Binding{Proc: proc, Port: port, Index: idx, Value: v}
+}
+
+func sampleTrace() *Trace {
+	v := value.Strs("a", "b")
+	va := value.Strs("A", "B")
+	t := &Trace{RunID: "r1", Workflow: "w"}
+	_ = t.Xfer(XferEvent{From: b(WorkflowProc, "in", value.EmptyIndex, v), To: b("Q", "X", value.EmptyIndex, v)})
+	_ = t.Xform(XformEvent{Proc: "Q",
+		Inputs:  []Binding{b("Q", "X", value.Ix(0), v)},
+		Outputs: []Binding{b("Q", "Y", value.Ix(0), va)}})
+	_ = t.Xform(XformEvent{Proc: "Q",
+		Inputs:  []Binding{b("Q", "X", value.Ix(1), v)},
+		Outputs: []Binding{b("Q", "Y", value.Ix(1), va)}})
+	_ = t.Xfer(XferEvent{From: b("Q", "Y", value.EmptyIndex, va), To: b(WorkflowProc, "out", value.EmptyIndex, va)})
+	return t
+}
+
+func TestCounts(t *testing.T) {
+	tr := sampleTrace()
+	if tr.NumEvents() != 4 {
+		t.Errorf("NumEvents = %d, want 4", tr.NumEvents())
+	}
+	// 2 xfers + 2 xforms × (1 in + 1 out) = 6 records.
+	if tr.NumRecords() != 6 {
+		t.Errorf("NumRecords = %d, want 6", tr.NumRecords())
+	}
+}
+
+func TestBindingElement(t *testing.T) {
+	v := value.List(value.Strs("a", "b"), value.Strs("c"))
+	bd := Binding{Proc: "P", Port: "X", Index: value.Ix(0, 1), Value: v}
+	el, err := bd.Element()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := el.StringVal(); s != "b" {
+		t.Errorf("Element = %s", el)
+	}
+	// With a context prefix, only the local part indexes into the value.
+	sub := value.Strs("x", "y")
+	bd = Binding{Proc: "C/Q", Port: "X", Index: value.Ix(3, 1), Value: sub, Ctx: 1}
+	el, err = bd.Element()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := el.StringVal(); s != "y" {
+		t.Errorf("Element with ctx = %s", el)
+	}
+}
+
+func TestBindingStringAndKey(t *testing.T) {
+	bd := b(WorkflowProc, "in", value.Ix(2), value.Strs("a"))
+	if got := bd.String(); got != "<workflow:in[2]>" {
+		t.Errorf("String = %q", got)
+	}
+	k := bd.Key()
+	if k.Proc != WorkflowProc || k.Port != "in" || k.Index != "[2]" {
+		t.Errorf("Key = %+v", k)
+	}
+	if k.String() != "workflow:in[2]" {
+		t.Errorf("Key.String = %q", k.String())
+	}
+}
+
+func TestMultiCollector(t *testing.T) {
+	a, c := &Trace{}, &Trace{}
+	m := MultiCollector{a, c}
+	ev := sampleTrace().Xforms[0]
+	if err := m.Xform(ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Xforms) != 1 || len(c.Xforms) != 1 {
+		t.Error("MultiCollector did not fan out xform")
+	}
+	xe := sampleTrace().Xfers[0]
+	if err := m.Xfer(xe); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Xfers) != 1 || len(c.Xfers) != 1 {
+		t.Error("MultiCollector did not fan out xfer")
+	}
+	if err := Discard.Xform(ev); err != nil {
+		t.Error(err)
+	}
+	if err := Discard.Xfer(xe); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraph(t *testing.T) {
+	tr := sampleTrace()
+	g := BuildGraph(tr)
+	// Nodes: workflow:in[], Q:X[], Q:X[0], Q:X[1], Q:Y[0], Q:Y[1], Q:Y[],
+	// workflow:out[] = 8.
+	if g.NumNodes() != 8 {
+		t.Errorf("NumNodes = %d, want 8", g.NumNodes())
+	}
+	if err := g.CheckAcyclic(); err != nil {
+		t.Errorf("acyclic check failed: %v", err)
+	}
+	outKey := BindingKey{Proc: WorkflowProc, Port: "out", Index: "[]"}
+	parents := g.Parents(outKey)
+	if len(parents) != 1 || parents[0].Port != "Y" {
+		t.Errorf("Parents(out) = %v", parents)
+	}
+	anc := g.Ancestors(BindingKey{Proc: "Q", Port: "Y", Index: "[0]"})
+	if len(anc) != 1 || anc[0].Port != "X" || anc[0].Index.String() != "[0]" {
+		t.Errorf("Ancestors = %v", anc)
+	}
+	if _, ok := g.Node(outKey); !ok {
+		t.Error("Node lookup failed")
+	}
+	if g.NumArcs() != 4 {
+		t.Errorf("NumArcs = %d, want 4", g.NumArcs())
+	}
+}
+
+func TestGraphCycleDetection(t *testing.T) {
+	tr := &Trace{}
+	v := value.Str("x")
+	_ = tr.Xfer(XferEvent{From: b("A", "y", value.EmptyIndex, v), To: b("B", "x", value.EmptyIndex, v)})
+	_ = tr.Xfer(XferEvent{From: b("B", "x", value.EmptyIndex, v), To: b("A", "y", value.EmptyIndex, v)})
+	g := BuildGraph(tr)
+	if err := g.CheckAcyclic(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := BuildGraph(sampleTrace())
+	dot := g.DOT()
+	if !strings.HasPrefix(dot, "digraph provenance {") {
+		t.Errorf("DOT prefix: %q", dot[:30])
+	}
+	if !strings.Contains(dot, `"Q:Y[0]"`) || !strings.Contains(dot, "->") {
+		t.Error("DOT missing expected nodes or arcs")
+	}
+	// Deterministic output.
+	if g.DOT() != dot {
+		t.Error("DOT not deterministic")
+	}
+}
+
+func TestSortedEvents(t *testing.T) {
+	tr := sampleTrace()
+	// Reverse the xforms; sorting must normalize.
+	tr.Xforms[0], tr.Xforms[1] = tr.Xforms[1], tr.Xforms[0]
+	sorted := tr.SortedXforms()
+	if sorted[0].Outputs[0].Index.String() != "[0]" {
+		t.Errorf("SortedXforms order wrong: %v", sorted[0])
+	}
+	xf := tr.SortedXfers()
+	if len(xf) != 2 || xf[0].String() > xf[1].String() {
+		t.Errorf("SortedXfers order wrong")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.Xforms[0].String()
+	if !strings.Contains(s, "<Q:X[0]>") || !strings.Contains(s, "->") {
+		t.Errorf("XformEvent.String = %q", s)
+	}
+	s = tr.Xfers[0].String()
+	if !strings.Contains(s, "<workflow:in[]>") {
+		t.Errorf("XferEvent.String = %q", s)
+	}
+}

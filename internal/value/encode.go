@@ -1,0 +1,222 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the canonical textual encoding of values used by the
+// provenance store (values are persisted as a single encoded column, exactly
+// as the paper's relational implementation stores opaque port values).
+//
+// Grammar:
+//
+//	value  = list | string | int | float | bool
+//	list   = "[" [ value { "," value } ] "]"
+//	string = Go-quoted string literal
+//	int    = [ "-" ] digits
+//	float  = decimal containing "." or exponent (always printed with one)
+//	bool   = "true" | "false"
+//
+// The encoding is canonical: Encode(Decode(s)) == s for every valid s, and
+// Decode(Encode(v)) == v for every value v.
+
+// Encode renders v in the canonical textual encoding.
+func Encode(v Value) string { return v.String() }
+
+func encode(sb *strings.Builder, v Value) {
+	switch v.k {
+	case kindList:
+		sb.WriteByte('[')
+		for i, e := range v.elems {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			encode(sb, e)
+		}
+		sb.WriteByte(']')
+	case kindString:
+		sb.WriteString(strconv.Quote(v.s))
+	case kindInt:
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case kindFloat:
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		// Guarantee the float is syntactically distinguishable from an int.
+		if !strings.ContainsAny(s, ".eE") || strings.HasPrefix(s, "Inf") ||
+			strings.HasPrefix(s, "-Inf") || s == "NaN" {
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+		}
+		sb.WriteString(s)
+	case kindBool:
+		sb.WriteString(strconv.FormatBool(v.b))
+	}
+}
+
+// Decode parses the canonical textual encoding back into a value.
+func Decode(s string) (Value, error) {
+	p := &decoder{src: s}
+	v, err := p.value()
+	if err != nil {
+		return Value{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Value{}, fmt.Errorf("value: trailing garbage at offset %d in %q", p.pos, s)
+	}
+	return v, nil
+}
+
+// MustDecode is like Decode but panics on error; for use with literals.
+func MustDecode(s string) Value {
+	v, err := Decode(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+type decoder struct {
+	src string
+	pos int
+}
+
+func (p *decoder) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *decoder) value() (Value, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return Value{}, fmt.Errorf("value: unexpected end of input")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '[':
+		return p.list()
+	case c == '"':
+		return p.quoted()
+	case c == 't' || c == 'f':
+		return p.boolean()
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	default:
+		return Value{}, fmt.Errorf("value: unexpected character %q at offset %d", c, p.pos)
+	}
+}
+
+func (p *decoder) list() (Value, error) {
+	p.pos++ // consume '['
+	var elems []Value
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ']' {
+		p.pos++
+		return List(), nil
+	}
+	for {
+		e, err := p.value()
+		if err != nil {
+			return Value{}, err
+		}
+		elems = append(elems, e)
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return Value{}, fmt.Errorf("value: unterminated list")
+		}
+		switch p.src[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return List(elems...), nil
+		default:
+			return Value{}, fmt.Errorf("value: expected ',' or ']' at offset %d", p.pos)
+		}
+	}
+}
+
+func (p *decoder) quoted() (Value, error) {
+	// Find the end of the Go-quoted literal, honouring escapes.
+	start := p.pos
+	i := p.pos + 1
+	for i < len(p.src) {
+		switch p.src[i] {
+		case '\\':
+			i += 2
+		case '"':
+			i++
+			s, err := strconv.Unquote(p.src[start:i])
+			if err != nil {
+				return Value{}, fmt.Errorf("value: bad string literal at offset %d: %v", start, err)
+			}
+			p.pos = i
+			return Str(s), nil
+		default:
+			i++
+		}
+	}
+	return Value{}, fmt.Errorf("value: unterminated string literal at offset %d", start)
+}
+
+func (p *decoder) boolean() (Value, error) {
+	if strings.HasPrefix(p.src[p.pos:], "true") {
+		p.pos += 4
+		return Bool(true), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "false") {
+		p.pos += 5
+		return Bool(false), nil
+	}
+	return Value{}, fmt.Errorf("value: bad literal at offset %d", p.pos)
+}
+
+func (p *decoder) number() (Value, error) {
+	start := p.pos
+	i := p.pos
+	if i < len(p.src) && p.src[i] == '-' {
+		i++
+	}
+	isFloat := false
+	for i < len(p.src) {
+		c := p.src[i]
+		switch {
+		case c >= '0' && c <= '9':
+			i++
+		case c == '.' || c == 'e' || c == 'E':
+			isFloat = true
+			i++
+		case c == '+' || c == '-':
+			// Sign inside a number is only valid right after an exponent.
+			if i > start && (p.src[i-1] == 'e' || p.src[i-1] == 'E') {
+				i++
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	lit := p.src[start:i]
+	p.pos = i
+	if isFloat {
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: bad float literal %q: %v", lit, err)
+		}
+		return Float(f), nil
+	}
+	n, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("value: bad int literal %q: %v", lit, err)
+	}
+	return Int(n), nil
+}

@@ -1,0 +1,163 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Index is a path addressing an element within a nested list value, written
+// [p1,...,pk] in the paper. The empty index addresses the whole value.
+// Indices are 0-based in this implementation (the paper's examples are
+// 1-based; the translation is uniform and does not affect any result).
+type Index []int
+
+// EmptyIndex is the index addressing a whole value.
+var EmptyIndex = Index{}
+
+// Ix is a convenience constructor for index literals.
+func Ix(steps ...int) Index { return Index(steps) }
+
+// Concat returns the concatenation p·q as a fresh index. Neither operand is
+// modified. Concatenation of indices is the core of the index projection
+// rule (Prop. 1: q = p1···pn).
+func (p Index) Concat(q Index) Index {
+	out := make(Index, 0, len(p)+len(q))
+	out = append(out, p...)
+	out = append(out, q...)
+	return out
+}
+
+// Equal reports whether p and q are the same path.
+func (p Index) Equal(q Index) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether q is a prefix of p (including q == p and the
+// empty index). Prefix relationships express granularity: an event recorded
+// at index q covers every finer index p with prefix q.
+func (p Index) HasPrefix(q Index) bool {
+	if len(q) > len(p) {
+		return false
+	}
+	for i := range q {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Truncate returns the first n positions of p (all of p if n >= len(p)).
+// The result shares no storage with p.
+func (p Index) Truncate(n int) Index {
+	if n > len(p) {
+		n = len(p)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make(Index, n)
+	copy(out, p[:n])
+	return out
+}
+
+// Slice returns the sub-index p[from:to), clamped to the bounds of p. It is
+// used by the index projection rule to carve per-port fragments out of an
+// output index.
+func (p Index) Slice(from, to int) Index {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(p) {
+		to = len(p)
+	}
+	if from >= to {
+		return Index{}
+	}
+	out := make(Index, to-from)
+	copy(out, p[from:to])
+	return out
+}
+
+// Clone returns an independent copy of p.
+func (p Index) Clone() Index {
+	out := make(Index, len(p))
+	copy(out, p)
+	return out
+}
+
+// IsEmpty reports whether p addresses the whole value.
+func (p Index) IsEmpty() bool { return len(p) == 0 }
+
+// Compare orders indices lexicographically, with a shorter index ordering
+// before any extension of it. It returns -1, 0, or +1.
+func (p Index) Compare(q Index) int {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case p[i] < q[i]:
+			return -1
+		case p[i] > q[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(p) < len(q):
+		return -1
+	case len(p) > len(q):
+		return 1
+	}
+	return 0
+}
+
+// String renders p as "[p1,p2,...]"; the empty index renders as "[]".
+func (p Index) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, step := range p {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(step))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// ParseIndex parses the textual form produced by String. It accepts
+// surrounding whitespace around each component.
+func ParseIndex(s string) (Index, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return nil, fmt.Errorf("value: malformed index %q: missing brackets", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		return Index{}, nil
+	}
+	parts := strings.Split(body, ",")
+	out := make(Index, len(parts))
+	for i, part := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("value: malformed index %q: component %d: %v", s, i, err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("value: malformed index %q: negative component %d", s, i)
+		}
+		out[i] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,477 @@
+package value
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDepth(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int
+	}{
+		{Str("a"), 0},
+		{Int(7), 0},
+		{Float(1.5), 0},
+		{Bool(true), 0},
+		{List(), 1},
+		{Strs("a", "b"), 1},
+		{List(Strs("a", "b"), Strs("c")), 2},
+		{List(List(List(Str("x")))), 3},
+	}
+	for _, c := range cases {
+		if got := c.v.Depth(); got != c.want {
+			t.Errorf("Depth(%s) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCheckUniform(t *testing.T) {
+	ok := List(Strs("a"), Strs("b", "c"))
+	if err := ok.CheckUniform(); err != nil {
+		t.Errorf("uniform value rejected: %v", err)
+	}
+	bad := List(Str("a"), Strs("b"))
+	if err := bad.CheckUniform(); err == nil {
+		t.Error("non-uniform value accepted")
+	}
+	if err := Str("atom").CheckUniform(); err != nil {
+		t.Errorf("atom rejected: %v", err)
+	}
+	if err := List().CheckUniform(); err != nil {
+		t.Errorf("empty list rejected: %v", err)
+	}
+}
+
+func TestAt(t *testing.T) {
+	v := List(Strs("foo", "bar"), Strs("red", "fox"))
+	got, err := v.At(Ix(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := got.StringVal(); s != "bar" {
+		t.Errorf("At([0,1]) = %s, want bar", got)
+	}
+	if whole, err := v.At(EmptyIndex); err != nil || !Equal(whole, v) {
+		t.Errorf("At([]) should return the whole value, got %v err %v", whole, err)
+	}
+	if _, err := v.At(Ix(2)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := v.At(Ix(0, 0, 0)); err == nil {
+		t.Error("index descending into atom accepted")
+	}
+	if _, err := v.At(Ix(-1)); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestIndices(t *testing.T) {
+	v := List(Strs("a", "b"), Strs("c"))
+	if got := v.Indices(0); len(got) != 1 || !got[0].Equal(EmptyIndex) {
+		t.Errorf("Indices(0) = %v", got)
+	}
+	got1 := v.Indices(1)
+	want1 := []Index{Ix(0), Ix(1)}
+	if len(got1) != len(want1) {
+		t.Fatalf("Indices(1) = %v", got1)
+	}
+	for i := range got1 {
+		if !got1[i].Equal(want1[i]) {
+			t.Errorf("Indices(1)[%d] = %v, want %v", i, got1[i], want1[i])
+		}
+	}
+	got2 := v.Indices(2)
+	want2 := []Index{Ix(0, 0), Ix(0, 1), Ix(1, 0)}
+	if len(got2) != len(want2) {
+		t.Fatalf("Indices(2) = %v, want %v", got2, want2)
+	}
+	for i := range got2 {
+		if !got2[i].Equal(want2[i]) {
+			t.Errorf("Indices(2)[%d] = %v, want %v", i, got2[i], want2[i])
+		}
+	}
+	// Below the atoms there is nothing to enumerate.
+	if got := v.Indices(3); len(got) != 0 {
+		t.Errorf("Indices(3) = %v, want empty", got)
+	}
+}
+
+func TestIndicesAtConsistency(t *testing.T) {
+	// Every index produced by Indices must be resolvable by At.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		v := randomValue(rng, rng.Intn(4))
+		for depth := 0; depth <= 4; depth++ {
+			for _, p := range v.Indices(depth) {
+				if _, err := v.At(p); err != nil {
+					t.Fatalf("Indices produced unresolvable index %v for %s: %v", p, v, err)
+				}
+			}
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	v := Str("x")
+	w := Wrap(v, 2)
+	if w.Depth() != 2 {
+		t.Errorf("Wrap depth = %d, want 2", w.Depth())
+	}
+	inner, err := w.At(Ix(0, 0))
+	if err != nil || !Equal(inner, v) {
+		t.Errorf("Wrap inner = %v, err %v", inner, err)
+	}
+	if !Equal(Wrap(v, 0), v) {
+		t.Error("Wrap(v, 0) != v")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	v := List(Strs("a", "b"), Strs("c"))
+	flat, err := Flatten(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(flat, Strs("a", "b", "c")) {
+		t.Errorf("Flatten = %s", flat)
+	}
+	if _, err := Flatten(Str("x")); err == nil {
+		t.Error("Flatten of atom accepted")
+	}
+	if _, err := Flatten(Strs("a")); err == nil {
+		t.Error("Flatten of flat list accepted")
+	}
+	empty, err := Flatten(List())
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("Flatten([]) = %v, err %v", empty, err)
+	}
+}
+
+func TestAtomCount(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int
+	}{
+		{Str("a"), 1},
+		{List(), 0},
+		{Strs("a", "b", "c"), 3},
+		{List(Strs("a", "b"), Strs("c")), 3},
+	}
+	for _, c := range cases {
+		if got := c.v.AtomCount(); got != c.want {
+			t.Errorf("AtomCount(%s) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Strs("a", "b"), Strs("a", "b")) {
+		t.Error("equal lists reported unequal")
+	}
+	if Equal(Strs("a"), Strs("a", "b")) {
+		t.Error("lists of different length reported equal")
+	}
+	if Equal(Str("1"), Int(1)) {
+		t.Error("string and int atoms reported equal")
+	}
+	if Equal(Int(1), Float(1)) {
+		t.Error("int and float atoms reported equal")
+	}
+	if !Equal(List(), List()) {
+		t.Error("empty lists reported unequal")
+	}
+	if Equal(List(), Str("")) {
+		t.Error("empty list equal to empty string atom")
+	}
+}
+
+// randomValue builds a random value of exactly the given depth with small
+// fan-out, for use in property tests across the repository.
+func randomValue(rng *rand.Rand, depth int) Value {
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Str(randomString(rng))
+		case 1:
+			return Int(rng.Int63n(1000) - 500)
+		case 2:
+			return Float(float64(rng.Intn(2000)-1000) / 16)
+		default:
+			return Bool(rng.Intn(2) == 0)
+		}
+	}
+	n := 1 + rng.Intn(3)
+	elems := make([]Value, n)
+	for i := range elems {
+		elems[i] = randomValue(rng, depth-1)
+	}
+	return List(elems...)
+}
+
+func randomString(rng *rand.Rand) string {
+	const alphabet = `abcXYZ 0,"\[]` + "\t\n日本"
+	runes := []rune(alphabet)
+	n := rng.Intn(8)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = runes[rng.Intn(len(runes))]
+	}
+	return string(out)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		v := randomValue(rng, rng.Intn(4))
+		enc := Encode(v)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q) failed: %v", enc, err)
+		}
+		if !Equal(v, dec) {
+			t.Fatalf("round trip mismatch: %s -> %q -> %s", v, enc, dec)
+		}
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	// Decoding and re-encoding a canonical string must be the identity.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		v := randomValue(rng, rng.Intn(4))
+		enc := Encode(v)
+		dec := MustDecode(enc)
+		if got := Encode(dec); got != enc {
+			t.Fatalf("non-canonical encoding: %q re-encodes to %q", enc, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"", "[", "]", "[1,", `"unterminated`, "tru", "1.2.3x", "[1]extra",
+		"[1,]", "nope", "--3", "[1 2]",
+	}
+	for _, s := range bad {
+		if v, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q) accepted as %s", s, v)
+		}
+	}
+}
+
+func TestDecodeExamples(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{`[["foo","bar"],["red","fox"]]`, List(Strs("foo", "bar"), Strs("red", "fox"))},
+		{`[ 1 , 2 ]`, Ints(1, 2)},
+		{`-3`, Int(-3)},
+		{`1.5`, Float(1.5)},
+		{`2e3`, Float(2000)},
+		{`true`, Bool(true)},
+		{`[]`, List()},
+		{`"\"quoted\""`, Str(`"quoted"`)},
+	}
+	for _, c := range cases {
+		got, err := Decode(c.in)
+		if err != nil {
+			t.Errorf("Decode(%q): %v", c.in, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("Decode(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloatEncodingDistinguishable(t *testing.T) {
+	// Whole-number floats must not decode back as ints.
+	f := quick.Check(func(n int16) bool {
+		v := Float(float64(n))
+		dec, err := Decode(Encode(v))
+		if err != nil {
+			return false
+		}
+		_, isFloat := dec.FloatVal()
+		return isFloat && Equal(v, dec)
+	}, nil)
+	if f != nil {
+		t.Error(f)
+	}
+}
+
+func TestIndexString(t *testing.T) {
+	cases := []struct {
+		p    Index
+		want string
+	}{
+		{EmptyIndex, "[]"},
+		{Ix(1), "[1]"},
+		{Ix(1, 2, 3), "[1,2,3]"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", []int(c.p), got, c.want)
+		}
+		back, err := ParseIndex(c.want)
+		if err != nil || !back.Equal(c.p) {
+			t.Errorf("ParseIndex(%q) = %v, err %v", c.want, back, err)
+		}
+	}
+}
+
+func TestParseIndexErrors(t *testing.T) {
+	for _, s := range []string{"", "[", "1,2", "[a]", "[1,]", "[-1]", "[1]x"} {
+		if p, err := ParseIndex(s); err == nil {
+			t.Errorf("ParseIndex(%q) accepted as %v", s, p)
+		}
+	}
+}
+
+func TestIndexRoundTripQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		p := make(Index, len(raw))
+		for i, b := range raw {
+			p[i] = int(b)
+		}
+		back, err := ParseIndex(p.String())
+		return err == nil && back.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexOps(t *testing.T) {
+	p := Ix(1, 2)
+	q := Ix(3)
+	cat := p.Concat(q)
+	if !cat.Equal(Ix(1, 2, 3)) {
+		t.Errorf("Concat = %v", cat)
+	}
+	// Concat must not alias its operands.
+	cat[0] = 99
+	if p[0] != 1 {
+		t.Error("Concat aliased operand storage")
+	}
+	if !Ix(1, 2, 3).HasPrefix(Ix(1, 2)) {
+		t.Error("HasPrefix failed on true prefix")
+	}
+	if Ix(1, 2).HasPrefix(Ix(1, 2, 3)) {
+		t.Error("HasPrefix accepted longer prefix")
+	}
+	if !Ix(1).HasPrefix(EmptyIndex) {
+		t.Error("empty index must prefix everything")
+	}
+	if got := Ix(1, 2, 3).Truncate(2); !got.Equal(Ix(1, 2)) {
+		t.Errorf("Truncate = %v", got)
+	}
+	if got := Ix(1).Truncate(5); !got.Equal(Ix(1)) {
+		t.Errorf("Truncate beyond length = %v", got)
+	}
+	if got := Ix(1, 2, 3, 4).Slice(1, 3); !got.Equal(Ix(2, 3)) {
+		t.Errorf("Slice = %v", got)
+	}
+	if got := Ix(1).Slice(3, 5); len(got) != 0 {
+		t.Errorf("Slice out of bounds = %v", got)
+	}
+}
+
+func TestIndexCompare(t *testing.T) {
+	ordered := []Index{EmptyIndex, Ix(0), Ix(0, 0), Ix(0, 1), Ix(1), Ix(1, 0), Ix(2)}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueTypeAccessors(t *testing.T) {
+	if s, ok := Str("hi").StringVal(); !ok || s != "hi" {
+		t.Error("StringVal failed")
+	}
+	if _, ok := Int(1).StringVal(); ok {
+		t.Error("StringVal on int succeeded")
+	}
+	if n, ok := Int(-4).IntVal(); !ok || n != -4 {
+		t.Error("IntVal failed")
+	}
+	if f, ok := Float(2.5).FloatVal(); !ok || f != 2.5 {
+		t.Error("FloatVal failed")
+	}
+	if b, ok := Bool(true).BoolVal(); !ok || !b {
+		t.Error("BoolVal failed")
+	}
+	if Str("x").AtomString() != "x" || Int(3).AtomString() != "3" ||
+		Bool(false).AtomString() != "false" || Float(0.5).AtomString() != "0.5" {
+		t.Error("AtomString mismatch")
+	}
+	if List().AtomString() != "" {
+		t.Error("AtomString on list should be empty")
+	}
+}
+
+func TestReflectIndependence(t *testing.T) {
+	// Clone must produce storage-independent indices.
+	p := Ix(1, 2, 3)
+	c := p.Clone()
+	c[0] = 9
+	if p[0] != 1 {
+		t.Error("Clone aliased storage")
+	}
+	if !reflect.DeepEqual([]int(p), []int{1, 2, 3}) {
+		t.Error("source index mutated")
+	}
+}
+
+func TestJSONInterop(t *testing.T) {
+	var decoded any
+	if err := json.Unmarshal([]byte(`[["a","b"],[1,2.5,true]]`), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	v, err := FromJSON(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := List(Strs("a", "b"), List(Int(1), Float(2.5), Bool(true)))
+	if !Equal(v, want) {
+		t.Errorf("FromJSON = %s, want %s", v, want)
+	}
+	// Round trip through ToJSON.
+	data, err := json.Marshal(ToJSON(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again any
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(again)
+	if err != nil || !Equal(back, v) {
+		t.Errorf("JSON round trip = %s (err %v)", back, err)
+	}
+	// Objects and nulls are rejected.
+	if err := json.Unmarshal([]byte(`{"k":1}`), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromJSON(decoded); err == nil {
+		t.Error("JSON object accepted")
+	}
+	if _, err := FromJSON(nil); err == nil {
+		t.Error("JSON null accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package workflow
+
+import (
+	"fmt"
+
+	"repro/internal/iter"
+)
+
+// Depths holds the result of the PROPAGATEDEPTHS static analysis (Alg. 1,
+// §3.1): the actual depth of every port, and the depth mismatch
+// δs(X) = depth(X) − dd(X) of every input port, computed from the workflow
+// specification alone. Both the execution engine (to drive implicit
+// iteration) and the INDEXPROJ lineage algorithm (to invert it) consume this.
+type Depths struct {
+	wf       *Workflow
+	depth    map[PortID]int
+	mismatch map[PortID]int
+	iterDep  map[string]int        // per-processor iteration depth m(P)
+	offsets  map[string][]int      // per-processor index-projection offsets o_i
+	plans    map[string]*iter.Plan // per-processor iteration plans
+	subs     map[string]*Depths    // depths of nested dataflows, by composite name
+}
+
+// PropagateDepths runs Alg. 1 on w. Per the paper's assumptions (§3.1),
+// top-level workflow inputs carry values of their declared depth, and every
+// processor produces values of its declared output depth per activation, so
+// all actual depths are statically determined. The workflow must be valid.
+func PropagateDepths(w *Workflow) (*Depths, error) {
+	order, err := w.Toposort()
+	if err != nil {
+		return nil, err
+	}
+	d := &Depths{
+		wf:       w,
+		depth:    make(map[PortID]int),
+		mismatch: make(map[PortID]int),
+		iterDep:  make(map[string]int, len(w.Processors)),
+		offsets:  make(map[string][]int, len(w.Processors)),
+		plans:    make(map[string]*iter.Plan, len(w.Processors)),
+		subs:     make(map[string]*Depths),
+	}
+
+	// Assumption 2: top-level inputs are bound to values of declared depth.
+	for _, p := range w.Inputs {
+		d.depth[PortID{Proc: WorkflowPseudoProc, Port: p.Name}] = p.DeclaredDepth
+	}
+
+	for _, proc := range order {
+		deltas := make([]int, len(proc.Inputs))
+		for i, port := range proc.Inputs {
+			id := PortID{Proc: proc.Name, Port: port.Name}
+			var dep int
+			if arc, ok := w.IncomingArc(id); ok {
+				srcDep, ok := d.depth[arc.From]
+				if !ok {
+					return nil, fmt.Errorf("workflow %q: depth of %s unavailable when processing %s (graph not topologically consistent)",
+						w.Name, arc.From, id)
+				}
+				dep = srcDep
+			} else {
+				// Rule 1: unconnected ports are bound to defaults of
+				// declared depth.
+				dep = port.DeclaredDepth
+			}
+			d.depth[id] = dep
+			deltas[i] = dep - port.DeclaredDepth
+			d.mismatch[id] = deltas[i]
+		}
+		// The iteration depth m(P) and the per-port index-projection
+		// offsets follow from the processor's combinator expression over
+		// the mismatches (flat cross by default; Rule 2's plain sum is the
+		// flat-cross case).
+		tree, err := proc.IterTree()
+		if err != nil {
+			return nil, fmt.Errorf("workflow %q: %w", w.Name, err)
+		}
+		plan, err := iter.NewPlanTree(deltas, tree)
+		if err != nil {
+			return nil, fmt.Errorf("workflow %q: processor %q: %w", w.Name, proc.Name, err)
+		}
+		total := plan.IterationDepth()
+		d.iterDep[proc.Name] = total
+		d.offsets[proc.Name] = plan.Offsets()
+		d.plans[proc.Name] = plan
+
+		// A nested dataflow may produce values deeper than its declared
+		// output depth (its internal iterations add nesting): use its own
+		// propagated output depths as the effective declared depths.
+		effDD := func(port Port) (int, error) { return port.DeclaredDepth, nil }
+		if proc.Sub != nil {
+			sub, err := PropagateDepths(proc.Sub)
+			if err != nil {
+				return nil, fmt.Errorf("nested dataflow %q: %w", proc.Sub.Name, err)
+			}
+			d.subs[proc.Name] = sub
+			effDD = func(port Port) (int, error) {
+				dep, ok := sub.Depth(PortID{Proc: WorkflowPseudoProc, Port: port.Name})
+				if !ok {
+					return 0, fmt.Errorf("nested dataflow %q has no output %q", proc.Sub.Name, port.Name)
+				}
+				return dep, nil
+			}
+		}
+		// Rule 2: depth(P:Y) = dd(Y) + Σ max(δs(Xi), 0). The paper writes
+		// the plain sum; negative mismatches cause singleton wrapping rather
+		// than iteration and contribute no nesting (see DESIGN.md §3).
+		for _, port := range proc.Outputs {
+			dd, err := effDD(port)
+			if err != nil {
+				return nil, err
+			}
+			d.depth[PortID{Proc: proc.Name, Port: port.Name}] = dd + total
+		}
+	}
+
+	// Workflow outputs take the depth of their producing port.
+	for _, p := range w.Outputs {
+		id := PortID{Proc: WorkflowPseudoProc, Port: p.Name}
+		if arc, ok := w.IncomingArc(id); ok {
+			srcDep, ok := d.depth[arc.From]
+			if !ok {
+				return nil, fmt.Errorf("workflow %q: depth of %s unavailable for output %s", w.Name, arc.From, id)
+			}
+			d.depth[id] = srcDep
+			d.mismatch[id] = srcDep - p.DeclaredDepth
+		} else {
+			d.depth[id] = p.DeclaredDepth
+			d.mismatch[id] = 0
+		}
+	}
+	return d, nil
+}
+
+// Workflow returns the workflow these depths were computed for.
+func (d *Depths) Workflow() *Workflow { return d.wf }
+
+// Depth returns the statically computed actual depth of the given port.
+func (d *Depths) Depth(id PortID) (int, bool) {
+	dep, ok := d.depth[id]
+	return dep, ok
+}
+
+// Mismatch returns δs(X) for an input port (or a workflow output port). It
+// is 0 for ports it has no record of.
+func (d *Depths) Mismatch(id PortID) int { return d.mismatch[id] }
+
+// IterationDepth returns m(P) = Σ_i max(δs(Xi), 0), the number of implicit
+// iteration levels the engine wraps around processor P's declared outputs.
+// This equals the length of the per-activation output index q (Prop. 1).
+func (d *Depths) IterationDepth(proc string) int { return d.iterDep[proc] }
+
+// InputOffsets returns, for each input port of P in declaration order, the
+// offset o_i = Σ_{j<i} max(δs(Xj), 0) at which that port's fragment of an
+// output index q begins (index projection rule, Def. 4 / Prop. 1).
+func (d *Depths) InputOffsets(proc string) []int { return d.offsets[proc] }
+
+// InputMismatches returns max(δs(Xi), 0) for each input port of P in
+// declaration order: the length of each port's fragment of q.
+func (d *Depths) InputMismatches(p *Processor) []int {
+	out := make([]int, len(p.Inputs))
+	for i, port := range p.Inputs {
+		if delta := d.mismatch[PortID{Proc: p.Name, Port: port.Name}]; delta > 0 {
+			out[i] = delta
+		}
+	}
+	return out
+}
+
+// Sub returns the depths of the nested dataflow bound to the named composite
+// processor, or nil if the processor is not a composite.
+func (d *Depths) Sub(proc string) *Depths { return d.subs[proc] }
+
+// Plan returns the statically-computed iteration plan of a processor: its
+// combinator expression instantiated with the propagated depth mismatches.
+func (d *Depths) Plan(proc string) *iter.Plan { return d.plans[proc] }
+
+// RawMismatches returns the signed δs(Xi) for each input port of P in
+// declaration order (negative values indicate singleton wrapping).
+func (d *Depths) RawMismatches(p *Processor) []int {
+	out := make([]int, len(p.Inputs))
+	for i, port := range p.Inputs {
+		out[i] = d.mismatch[PortID{Proc: p.Name, Port: port.Name}]
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// JSON serialization of workflow specifications, used by the CLIs to store
+// and exchange definitions. Default values are carried in the canonical
+// textual value encoding.
+
+type portJSON struct {
+	Name    string `json:"name"`
+	Depth   int    `json:"depth"`
+	Default string `json:"default,omitempty"`
+}
+
+type processorJSON struct {
+	Name    string        `json:"name"`
+	Type    string        `json:"type"`
+	Inputs  []portJSON    `json:"inputs,omitempty"`
+	Outputs []portJSON    `json:"outputs,omitempty"`
+	Sub     *workflowJSON `json:"sub,omitempty"`
+	Dot     bool          `json:"dot,omitempty"`
+	Iter    *iterJSON     `json:"iter,omitempty"`
+}
+
+type iterJSON struct {
+	Port string      `json:"port,omitempty"`
+	Dot  bool        `json:"dot,omitempty"`
+	Kids []*iterJSON `json:"kids,omitempty"`
+}
+
+func iterToJSON(s *IterSpec) *iterJSON {
+	if s == nil {
+		return nil
+	}
+	out := &iterJSON{Port: s.Port, Dot: s.Dot}
+	for _, k := range s.Kids {
+		out.Kids = append(out.Kids, iterToJSON(k))
+	}
+	return out
+}
+
+func iterFromJSON(s *iterJSON) *IterSpec {
+	if s == nil {
+		return nil
+	}
+	out := &IterSpec{Port: s.Port, Dot: s.Dot}
+	for _, k := range s.Kids {
+		out.Kids = append(out.Kids, iterFromJSON(k))
+	}
+	return out
+}
+
+type arcJSON struct {
+	From string `json:"from"` // "proc:port" or ":port" for workflow ports
+	To   string `json:"to"`
+}
+
+type workflowJSON struct {
+	Name       string          `json:"name"`
+	Inputs     []portJSON      `json:"inputs,omitempty"`
+	Outputs    []portJSON      `json:"outputs,omitempty"`
+	Processors []processorJSON `json:"processors,omitempty"`
+	Arcs       []arcJSON       `json:"arcs,omitempty"`
+}
+
+func portsToJSON(ports []Port) []portJSON {
+	out := make([]portJSON, len(ports))
+	for i, p := range ports {
+		out[i] = portJSON{Name: p.Name, Depth: p.DeclaredDepth}
+		if p.HasDefault {
+			out[i].Default = value.Encode(p.Default)
+		}
+	}
+	return out
+}
+
+func portsFromJSON(ports []portJSON) ([]Port, error) {
+	out := make([]Port, len(ports))
+	for i, p := range ports {
+		out[i] = Port{Name: p.Name, DeclaredDepth: p.Depth}
+		if p.Default != "" {
+			v, err := value.Decode(p.Default)
+			if err != nil {
+				return nil, fmt.Errorf("port %q: bad default: %w", p.Name, err)
+			}
+			out[i].Default = v
+			out[i].HasDefault = true
+		}
+	}
+	return out, nil
+}
+
+func portIDString(id PortID) string { return id.Proc + ":" + id.Port }
+
+func parsePortID(s string) (PortID, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return PortID{Proc: s[:i], Port: s[i+1:]}, nil
+		}
+	}
+	return PortID{}, fmt.Errorf("malformed port reference %q (want \"proc:port\")", s)
+}
+
+func toJSON(w *Workflow) *workflowJSON {
+	out := &workflowJSON{
+		Name:    w.Name,
+		Inputs:  portsToJSON(w.Inputs),
+		Outputs: portsToJSON(w.Outputs),
+	}
+	for _, p := range w.Processors {
+		pj := processorJSON{
+			Name:    p.Name,
+			Type:    p.Type,
+			Inputs:  portsToJSON(p.Inputs),
+			Outputs: portsToJSON(p.Outputs),
+			Dot:     p.Dot,
+			Iter:    iterToJSON(p.Iter),
+		}
+		if p.Sub != nil {
+			pj.Sub = toJSON(p.Sub)
+		}
+		out.Processors = append(out.Processors, pj)
+	}
+	for _, a := range w.Arcs {
+		out.Arcs = append(out.Arcs, arcJSON{From: portIDString(a.From), To: portIDString(a.To)})
+	}
+	return out
+}
+
+func fromJSON(wj *workflowJSON) (*Workflow, error) {
+	w := New(wj.Name)
+	var err error
+	if w.Inputs, err = portsFromJSON(wj.Inputs); err != nil {
+		return nil, fmt.Errorf("workflow %q: %w", wj.Name, err)
+	}
+	if w.Outputs, err = portsFromJSON(wj.Outputs); err != nil {
+		return nil, fmt.Errorf("workflow %q: %w", wj.Name, err)
+	}
+	for _, pj := range wj.Processors {
+		inputs, err := portsFromJSON(pj.Inputs)
+		if err != nil {
+			return nil, fmt.Errorf("processor %q: %w", pj.Name, err)
+		}
+		outputs, err := portsFromJSON(pj.Outputs)
+		if err != nil {
+			return nil, fmt.Errorf("processor %q: %w", pj.Name, err)
+		}
+		p := w.AddProcessor(pj.Name, pj.Type, inputs, outputs)
+		p.Dot = pj.Dot
+		p.Iter = iterFromJSON(pj.Iter)
+		if pj.Sub != nil {
+			sub, err := fromJSON(pj.Sub)
+			if err != nil {
+				return nil, err
+			}
+			p.Sub = sub
+		}
+	}
+	for _, aj := range wj.Arcs {
+		from, err := parsePortID(aj.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := parsePortID(aj.To)
+		if err != nil {
+			return nil, err
+		}
+		w.Arcs = append(w.Arcs, Arc{From: from, To: to})
+	}
+	w.rebuildIndex()
+	return w, nil
+}
+
+// MarshalJSON encodes the workflow specification.
+func (w *Workflow) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(toJSON(w), "", "  ")
+}
+
+// UnmarshalJSON decodes a workflow specification. The result is not
+// automatically validated; call Validate.
+func (w *Workflow) UnmarshalJSON(data []byte) error {
+	var wj workflowJSON
+	if err := json.Unmarshal(data, &wj); err != nil {
+		return err
+	}
+	dec, err := fromJSON(&wj)
+	if err != nil {
+		return err
+	}
+	*w = *dec
+	return nil
+}

@@ -1,0 +1,98 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Toposort returns the processors of w in a topological order of the
+// data-dependency graph (arcs between processor ports induce edges between
+// processors; workflow-level ports do not participate). Ties are broken by
+// processor name so the order is deterministic. It returns an error if the
+// graph contains a cycle, naming one processor on it.
+//
+// Alg. 1 (PROPAGATEDEPTHS) requires this order so that the depths of a
+// processor's input ports are known before its output depths are computed.
+func (w *Workflow) Toposort() ([]*Processor, error) {
+	indegree := make(map[string]int, len(w.Processors))
+	succ := make(map[string]map[string]bool, len(w.Processors))
+	for _, p := range w.Processors {
+		indegree[p.Name] = 0
+	}
+	for _, a := range w.Arcs {
+		if a.From.Proc == WorkflowPseudoProc || a.To.Proc == WorkflowPseudoProc {
+			continue
+		}
+		if a.From.Proc == a.To.Proc {
+			return nil, fmt.Errorf("workflow %q: self-loop on processor %q", w.Name, a.From.Proc)
+		}
+		set := succ[a.From.Proc]
+		if set == nil {
+			set = make(map[string]bool)
+			succ[a.From.Proc] = set
+		}
+		if !set[a.To.Proc] {
+			set[a.To.Proc] = true
+			indegree[a.To.Proc]++
+		}
+	}
+
+	// Kahn's algorithm with a deterministic (sorted) ready queue.
+	var ready []string
+	for name, deg := range indegree {
+		if deg == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sort.Strings(ready)
+
+	out := make([]*Processor, 0, len(w.Processors))
+	for len(ready) > 0 {
+		name := ready[0]
+		ready = ready[1:]
+		out = append(out, w.Processor(name))
+		next := make([]string, 0, len(succ[name]))
+		for s := range succ[name] {
+			indegree[s]--
+			if indegree[s] == 0 {
+				next = append(next, s)
+			}
+		}
+		sort.Strings(next)
+		ready = mergeSorted(ready, next)
+	}
+
+	if len(out) != len(w.Processors) {
+		for name, deg := range indegree {
+			if deg > 0 {
+				return nil, fmt.Errorf("workflow %q: dependency cycle involving processor %q", w.Name, name)
+			}
+		}
+		return nil, fmt.Errorf("workflow %q: dependency cycle", w.Name)
+	}
+	return out, nil
+}
+
+// mergeSorted merges two sorted string slices into one sorted slice.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

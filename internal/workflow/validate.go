@@ -1,0 +1,158 @@
+package workflow
+
+import (
+	"fmt"
+
+	"repro/internal/iter"
+)
+
+// Validate checks the structural well-formedness of the workflow:
+//
+//   - processor names are unique and non-empty, port names unique per side;
+//   - workflow-level input/output port names are unique;
+//   - every arc references existing ports with correct directionality
+//     (sources are processor outputs or workflow inputs; sinks are processor
+//     inputs or workflow outputs);
+//   - every input port and every workflow output is the sink of at most one
+//     arc (Taverna input ports have a single producer);
+//   - the processor graph is acyclic;
+//   - declared depths are non-negative;
+//   - default values on unconnected inputs match the declared depth;
+//   - nested dataflows are themselves valid, and composite processors' ports
+//     match their sub-workflow's ports by name and depth.
+//
+// It returns the first problem found.
+func (w *Workflow) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workflow has no name")
+	}
+	if err := uniquePortNames("workflow input", w.Inputs); err != nil {
+		return err
+	}
+	if err := uniquePortNames("workflow output", w.Outputs); err != nil {
+		return err
+	}
+	for _, in := range w.Inputs {
+		if _, ok := w.Output(in.Name); ok {
+			return fmt.Errorf("workflow %q uses %q as both input and output port", w.Name, in.Name)
+		}
+	}
+	for _, p := range w.Inputs {
+		if p.DeclaredDepth < 0 {
+			return fmt.Errorf("workflow input %q: negative declared depth", p.Name)
+		}
+	}
+	for _, p := range w.Outputs {
+		if p.DeclaredDepth < 0 {
+			return fmt.Errorf("workflow output %q: negative declared depth", p.Name)
+		}
+	}
+
+	seen := make(map[string]bool, len(w.Processors))
+	for _, p := range w.Processors {
+		if p.Name == "" {
+			return fmt.Errorf("workflow %q: processor with empty name", w.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("workflow %q: duplicate processor %q", w.Name, p.Name)
+		}
+		seen[p.Name] = true
+		if err := uniquePortNames("input of "+p.Name, p.Inputs); err != nil {
+			return err
+		}
+		if err := uniquePortNames("output of "+p.Name, p.Outputs); err != nil {
+			return err
+		}
+		// Input and output port names must be disjoint: trace bindings
+		// identify ports by (processor, port) alone.
+		for _, in := range p.Inputs {
+			if _, _, ok := p.Output(in.Name); ok {
+				return fmt.Errorf("processor %q uses %q as both input and output port", p.Name, in.Name)
+			}
+		}
+		for _, port := range p.Inputs {
+			if port.DeclaredDepth < 0 {
+				return fmt.Errorf("processor %q input %q: negative declared depth", p.Name, port.Name)
+			}
+			if port.HasDefault && port.Default.Depth() != port.DeclaredDepth {
+				return fmt.Errorf("processor %q input %q: default value depth %d != declared depth %d",
+					p.Name, port.Name, port.Default.Depth(), port.DeclaredDepth)
+			}
+		}
+		for _, port := range p.Outputs {
+			if port.DeclaredDepth < 0 {
+				return fmt.Errorf("processor %q output %q: negative declared depth", p.Name, port.Name)
+			}
+		}
+		tree, err := p.IterTree()
+		if err != nil {
+			return err
+		}
+		// The combinator's leaves must cover every input port exactly once.
+		if _, err := iter.NewPlanTree(make([]int, len(p.Inputs)), tree); err != nil {
+			return fmt.Errorf("processor %q: %w", p.Name, err)
+		}
+		if p.Sub != nil {
+			if err := p.Sub.Validate(); err != nil {
+				return fmt.Errorf("nested dataflow %q (processor %q): %w", p.Sub.Name, p.Name, err)
+			}
+			if err := compositePortsMatch(p); err != nil {
+				return err
+			}
+		}
+	}
+
+	sinks := make(map[PortID]bool, len(w.Arcs))
+	for _, a := range w.Arcs {
+		if err := w.portExists(a.From, true); err != nil {
+			return fmt.Errorf("arc %s: %w", a, err)
+		}
+		if err := w.portExists(a.To, false); err != nil {
+			return fmt.Errorf("arc %s: %w", a, err)
+		}
+		if sinks[a.To] {
+			return fmt.Errorf("port %s is the sink of more than one arc", a.To)
+		}
+		sinks[a.To] = true
+	}
+
+	if _, err := w.Toposort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func uniquePortNames(context string, ports []Port) error {
+	seen := make(map[string]bool, len(ports))
+	for _, p := range ports {
+		if p.Name == "" {
+			return fmt.Errorf("%s: port with empty name", context)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("%s: duplicate port %q", context, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+func compositePortsMatch(p *Processor) error {
+	if len(p.Inputs) != len(p.Sub.Inputs) || len(p.Outputs) != len(p.Sub.Outputs) {
+		return fmt.Errorf("composite %q: port count differs from sub-workflow %q", p.Name, p.Sub.Name)
+	}
+	for i, port := range p.Inputs {
+		sp := p.Sub.Inputs[i]
+		if port.Name != sp.Name || port.DeclaredDepth != sp.DeclaredDepth {
+			return fmt.Errorf("composite %q input %d (%q depth %d) does not match sub-workflow port (%q depth %d)",
+				p.Name, i, port.Name, port.DeclaredDepth, sp.Name, sp.DeclaredDepth)
+		}
+	}
+	for i, port := range p.Outputs {
+		sp := p.Sub.Outputs[i]
+		if port.Name != sp.Name || port.DeclaredDepth != sp.DeclaredDepth {
+			return fmt.Errorf("composite %q output %d (%q depth %d) does not match sub-workflow port (%q depth %d)",
+				p.Name, i, port.Name, port.DeclaredDepth, sp.Name, sp.DeclaredDepth)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+// Package workflow implements the Taverna-style dataflow specification model
+// of §2.1 of the paper: a directed acyclic graph of black-box processors with
+// ordered, depth-typed input and output ports, connected by arcs. A processor
+// may itself be a nested dataflow. The package also implements the static
+// analyses the lineage algorithms rely on: topological sorting and the
+// PROPAGATEDEPTHS algorithm (Alg. 1, §3.1) which computes the actual depth
+// and the depth mismatch δs(X) of every port from the specification alone.
+package workflow
+
+import (
+	"fmt"
+
+	"repro/internal/iter"
+	"repro/internal/value"
+)
+
+// WorkflowPseudoProc is the processor name under which a workflow's own
+// input and output ports appear in arcs, traces and lineage queries,
+// mirroring the paper's notation "workflow:paths_per_gene".
+const WorkflowPseudoProc = ""
+
+// PortID names a port of a processor within one workflow. Proc is the
+// processor name, or WorkflowPseudoProc for the workflow's own ports.
+type PortID struct {
+	Proc string
+	Port string
+}
+
+func (id PortID) String() string {
+	if id.Proc == WorkflowPseudoProc {
+		return "workflow:" + id.Port
+	}
+	return id.Proc + ":" + id.Port
+}
+
+// Port is an input or output port with a declared depth dd(X): 0 for an
+// atomic type, k for a k-nested list type. Input ports may carry a default
+// value, used when the port is not the destination of any arc (§2.1).
+type Port struct {
+	Name          string
+	DeclaredDepth int
+	Default       value.Value
+	HasDefault    bool
+}
+
+// In constructs an input port declaration.
+func In(name string, declaredDepth int) Port {
+	return Port{Name: name, DeclaredDepth: declaredDepth}
+}
+
+// InDefault constructs an input port declaration with a default value.
+func InDefault(name string, declaredDepth int, def value.Value) Port {
+	return Port{Name: name, DeclaredDepth: declaredDepth, Default: def, HasDefault: true}
+}
+
+// Out constructs an output port declaration.
+func Out(name string, declaredDepth int) Port {
+	return Port{Name: name, DeclaredDepth: declaredDepth}
+}
+
+// Processor is a node of the dataflow graph: a black-box software component
+// with ordered input and output ports. Type names the behaviour (resolved by
+// the engine's registry at run time); Name identifies this instance within
+// its workflow. If Sub is non-nil the processor is a nested dataflow whose
+// own input/output ports must match Inputs/Outputs by name.
+type Processor struct {
+	Name    string
+	Type    string
+	Inputs  []Port
+	Outputs []Port
+	Sub     *Workflow
+	// Dot selects the flat dot ("zip") iteration combinator of footnote 7
+	// for this processor instead of the default cross product: iterated
+	// inputs are combined pairwise and share one output index.
+	Dot bool
+	// Iter, when set, gives the full combinator expression over the input
+	// ports (footnote 7's "complex expressions"), overriding Dot. Leaves
+	// name input ports; internal nodes combine children with cross or dot.
+	Iter *IterSpec
+}
+
+// IterSpec is a combinator expression over a processor's input ports: a
+// leaf (Port set) or an internal node combining Kids with the cross product
+// (Dot false) or the dot product (Dot true).
+type IterSpec struct {
+	Port string
+	Dot  bool
+	Kids []*IterSpec
+}
+
+// IterLeaf builds a leaf referencing an input port by name.
+func IterLeaf(port string) *IterSpec { return &IterSpec{Port: port} }
+
+// IterCross combines sub-expressions with the cross product.
+func IterCross(kids ...*IterSpec) *IterSpec { return &IterSpec{Kids: kids} }
+
+// IterDot combines sub-expressions with the dot product.
+func IterDot(kids ...*IterSpec) *IterSpec { return &IterSpec{Dot: true, Kids: kids} }
+
+// IterTree normalizes the processor's iteration combinator to a
+// position-based tree: the explicit Iter expression if present, else the
+// flat cross (or, with Dot set, flat dot) over all inputs in order.
+func (p *Processor) IterTree() (*iter.Node, error) {
+	if p.Iter == nil {
+		kids := make([]*iter.Node, len(p.Inputs))
+		for i := range p.Inputs {
+			kids[i] = iter.LeafNode(i)
+		}
+		if p.Dot {
+			return iter.DotNode(kids...), nil
+		}
+		return iter.CrossNode(kids...), nil
+	}
+	var convert func(s *IterSpec) (*iter.Node, error)
+	convert = func(s *IterSpec) (*iter.Node, error) {
+		if s == nil {
+			return nil, fmt.Errorf("processor %q: nil iteration node", p.Name)
+		}
+		if len(s.Kids) == 0 {
+			if s.Port == "" {
+				return nil, fmt.Errorf("processor %q: iteration leaf without a port", p.Name)
+			}
+			_, pos, ok := p.Input(s.Port)
+			if !ok {
+				return nil, fmt.Errorf("processor %q: iteration leaf references unknown input %q", p.Name, s.Port)
+			}
+			return iter.LeafNode(pos), nil
+		}
+		if s.Port != "" {
+			return nil, fmt.Errorf("processor %q: iteration node has both a port and children", p.Name)
+		}
+		kids := make([]*iter.Node, len(s.Kids))
+		for i, k := range s.Kids {
+			n, err := convert(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = n
+		}
+		if s.Dot {
+			return iter.DotNode(kids...), nil
+		}
+		return iter.CrossNode(kids...), nil
+	}
+	return convert(p.Iter)
+}
+
+// Input returns the input port with the given name and its position, or
+// ok=false if absent.
+func (p *Processor) Input(name string) (Port, int, bool) {
+	for i, port := range p.Inputs {
+		if port.Name == name {
+			return port, i, true
+		}
+	}
+	return Port{}, -1, false
+}
+
+// Output returns the output port with the given name and its position, or
+// ok=false if absent.
+func (p *Processor) Output(name string) (Port, int, bool) {
+	for i, port := range p.Outputs {
+		if port.Name == name {
+			return port, i, true
+		}
+	}
+	return Port{}, -1, false
+}
+
+// IsComposite reports whether the processor is a nested dataflow.
+func (p *Processor) IsComposite() bool { return p.Sub != nil }
+
+// Arc is a data dependency from an output port (or a workflow input) to an
+// input port (or a workflow output).
+type Arc struct {
+	From PortID
+	To   PortID
+}
+
+func (a Arc) String() string { return a.From.String() + " -> " + a.To.String() }
+
+// Workflow is a dataflow specification D = (N, E).
+type Workflow struct {
+	Name       string
+	Inputs     []Port
+	Outputs    []Port
+	Processors []*Processor
+	Arcs       []Arc
+
+	byName map[string]*Processor
+}
+
+// New returns an empty workflow with the given name.
+func New(name string) *Workflow {
+	return &Workflow{Name: name, byName: make(map[string]*Processor)}
+}
+
+// AddInput declares a workflow-level input port and returns the workflow for
+// chaining.
+func (w *Workflow) AddInput(name string, declaredDepth int) *Workflow {
+	w.Inputs = append(w.Inputs, Port{Name: name, DeclaredDepth: declaredDepth})
+	return w
+}
+
+// AddOutput declares a workflow-level output port.
+func (w *Workflow) AddOutput(name string, declaredDepth int) *Workflow {
+	w.Outputs = append(w.Outputs, Port{Name: name, DeclaredDepth: declaredDepth})
+	return w
+}
+
+// AddProcessor adds a processor node. Ports are given in order: all inputs,
+// then all outputs, distinguished by the constructors In/Out at call sites.
+func (w *Workflow) AddProcessor(name, typ string, inputs []Port, outputs []Port) *Processor {
+	p := &Processor{Name: name, Type: typ, Inputs: inputs, Outputs: outputs}
+	w.Processors = append(w.Processors, p)
+	if w.byName == nil {
+		w.byName = make(map[string]*Processor)
+	}
+	w.byName[name] = p
+	return p
+}
+
+// AddComposite adds a nested-dataflow processor whose ports are derived from
+// the sub-workflow's own input and output ports.
+func (w *Workflow) AddComposite(name string, sub *Workflow) *Processor {
+	inputs := make([]Port, len(sub.Inputs))
+	copy(inputs, sub.Inputs)
+	outputs := make([]Port, len(sub.Outputs))
+	copy(outputs, sub.Outputs)
+	p := &Processor{Name: name, Type: "dataflow:" + sub.Name, Inputs: inputs, Outputs: outputs, Sub: sub}
+	w.Processors = append(w.Processors, p)
+	if w.byName == nil {
+		w.byName = make(map[string]*Processor)
+	}
+	w.byName[name] = p
+	return p
+}
+
+// Connect adds an arc fromProc:fromPort -> toProc:toPort. Use
+// WorkflowPseudoProc ("") as the processor name for workflow-level ports.
+func (w *Workflow) Connect(fromProc, fromPort, toProc, toPort string) *Workflow {
+	w.Arcs = append(w.Arcs, Arc{
+		From: PortID{Proc: fromProc, Port: fromPort},
+		To:   PortID{Proc: toProc, Port: toPort},
+	})
+	return w
+}
+
+// Processor returns the processor with the given name, or nil.
+func (w *Workflow) Processor(name string) *Processor {
+	if w.byName != nil {
+		if p, ok := w.byName[name]; ok {
+			return p
+		}
+	}
+	for _, p := range w.Processors {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Input returns the workflow-level input port with the given name.
+func (w *Workflow) Input(name string) (Port, bool) {
+	for _, p := range w.Inputs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// Output returns the workflow-level output port with the given name.
+func (w *Workflow) Output(name string) (Port, bool) {
+	for _, p := range w.Outputs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// IncomingArc returns the (unique, by validation) arc whose sink is the given
+// port, or ok=false if the port is unconnected.
+func (w *Workflow) IncomingArc(to PortID) (Arc, bool) {
+	for _, a := range w.Arcs {
+		if a.To == to {
+			return a, true
+		}
+	}
+	return Arc{}, false
+}
+
+// OutgoingArcs returns every arc whose source is the given port.
+func (w *Workflow) OutgoingArcs(from PortID) []Arc {
+	var out []Arc
+	for _, a := range w.Arcs {
+		if a.From == from {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// NumNodes returns the number of processor nodes, counting nested dataflows
+// recursively (the "total number of nodes in the graph" parameter of §4.1).
+func (w *Workflow) NumNodes() int {
+	n := 0
+	for _, p := range w.Processors {
+		n++
+		if p.Sub != nil {
+			n += p.Sub.NumNodes()
+		}
+	}
+	return n
+}
+
+// rebuildIndex recomputes the name index; used after JSON decoding.
+func (w *Workflow) rebuildIndex() {
+	w.byName = make(map[string]*Processor, len(w.Processors))
+	for _, p := range w.Processors {
+		w.byName[p.Name] = p
+		if p.Sub != nil {
+			p.Sub.rebuildIndex()
+		}
+	}
+}
+
+// portExists checks that id names a real port, in the direction implied by
+// asSource (true: the id must be an output port or a workflow input).
+func (w *Workflow) portExists(id PortID, asSource bool) error {
+	if id.Proc == WorkflowPseudoProc {
+		if asSource {
+			if _, ok := w.Input(id.Port); !ok {
+				return fmt.Errorf("workflow %q has no input port %q", w.Name, id.Port)
+			}
+		} else {
+			if _, ok := w.Output(id.Port); !ok {
+				return fmt.Errorf("workflow %q has no output port %q", w.Name, id.Port)
+			}
+		}
+		return nil
+	}
+	p := w.Processor(id.Proc)
+	if p == nil {
+		return fmt.Errorf("workflow %q has no processor %q", w.Name, id.Proc)
+	}
+	if asSource {
+		if _, _, ok := p.Output(id.Port); !ok {
+			return fmt.Errorf("processor %q has no output port %q", id.Proc, id.Port)
+		}
+	} else {
+		if _, _, ok := p.Input(id.Port); !ok {
+			return fmt.Errorf("processor %q has no input port %q", id.Proc, id.Port)
+		}
+	}
+	return nil
+}

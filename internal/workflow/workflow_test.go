@@ -1,0 +1,508 @@
+package workflow
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// fig3 builds the abstract workflow of Fig. 3 of the paper: Q maps elements
+// of input list v, R maps atom w to a list, and P consumes one element of a
+// (from Q), the whole list c, and one element of b (from R) per activation.
+func fig3() *Workflow {
+	w := New("fig3")
+	w.AddInput("v", 1).AddInput("w", 0).AddInput("c", 1)
+	w.AddOutput("y", 2)
+	w.AddProcessor("Q", "map", []Port{In("X", 0)}, []Port{Out("Y", 0)})
+	w.AddProcessor("R", "tolist", []Port{In("X", 0)}, []Port{Out("Y", 1)})
+	w.AddProcessor("P", "combine",
+		[]Port{In("X1", 0), In("X2", 1), In("X3", 0)},
+		[]Port{Out("Y", 0)})
+	w.Connect("", "v", "Q", "X")
+	w.Connect("", "w", "R", "X")
+	w.Connect("", "c", "P", "X2")
+	w.Connect("Q", "Y", "P", "X1")
+	w.Connect("R", "Y", "P", "X3")
+	w.Connect("P", "Y", "", "y")
+	return w
+}
+
+func TestValidateFig3(t *testing.T) {
+	if err := fig3().Validate(); err != nil {
+		t.Fatalf("fig3 invalid: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(w *Workflow)
+		want   string
+	}{
+		{"empty workflow name", func(w *Workflow) { w.Name = "" }, "no name"},
+		{"duplicate processor", func(w *Workflow) {
+			w.AddProcessor("Q", "map", []Port{In("X", 0)}, []Port{Out("Y", 0)})
+		}, "duplicate processor"},
+		{"duplicate input port", func(w *Workflow) {
+			p := w.Processor("Q")
+			p.Inputs = append(p.Inputs, In("X", 0))
+		}, "duplicate port"},
+		{"duplicate workflow input", func(w *Workflow) { w.AddInput("v", 1) }, "duplicate port"},
+		{"arc to unknown processor", func(w *Workflow) {
+			w.Connect("Q", "Y", "nosuch", "X")
+		}, "no processor"},
+		{"arc to unknown port", func(w *Workflow) {
+			w.Connect("Q", "Y", "R", "nope")
+		}, "no input port"},
+		{"arc from input port", func(w *Workflow) {
+			w.Connect("Q", "X", "R", "X")
+		}, "no output port"},
+		{"arc from unknown workflow input", func(w *Workflow) {
+			w.Connect("", "nosuch", "R", "X")
+		}, "no input port"},
+		{"two arcs into one port", func(w *Workflow) {
+			w.Connect("R", "Y", "P", "X1")
+		}, "more than one arc"},
+		{"cycle", func(w *Workflow) {
+			w.Processor("Q").Inputs = append(w.Processor("Q").Inputs, In("Z", 0))
+			w.Connect("P", "Y", "Q", "Z")
+		}, "cycle"},
+		{"self loop", func(w *Workflow) {
+			w.Processor("Q").Inputs = append(w.Processor("Q").Inputs, In("Z", 0))
+			w.Connect("Q", "Y", "Q", "Z")
+		}, "self-loop"},
+		{"negative depth", func(w *Workflow) {
+			w.Processor("Q").Inputs[0].DeclaredDepth = -1
+		}, "negative declared depth"},
+		{"bad default depth", func(w *Workflow) {
+			w.Processor("Q").Inputs[0] = InDefault("X", 0, value.Strs("a"))
+		}, "default value depth"},
+		{"empty processor name", func(w *Workflow) {
+			w.AddProcessor("", "t", nil, nil)
+		}, "empty name"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := fig3()
+			c.mutate(w)
+			err := w.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestToposort(t *testing.T) {
+	w := fig3()
+	order, err := w.Toposort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, p := range order {
+		pos[p.Name] = i
+	}
+	if len(pos) != 3 {
+		t.Fatalf("toposort returned %d processors", len(pos))
+	}
+	if pos["Q"] > pos["P"] || pos["R"] > pos["P"] {
+		t.Errorf("toposort order violates dependencies: %v", pos)
+	}
+	// Determinism: repeated sorts agree.
+	again, err := w.Toposort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i].Name != again[i].Name {
+			t.Fatalf("toposort not deterministic: %v vs %v", order[i].Name, again[i].Name)
+		}
+	}
+}
+
+func TestToposortChainAndDiamond(t *testing.T) {
+	w := New("diamond")
+	w.AddInput("in", 0)
+	w.AddProcessor("a", "t", []Port{In("x", 0)}, []Port{Out("y", 0)})
+	w.AddProcessor("b", "t", []Port{In("x", 0)}, []Port{Out("y", 0)})
+	w.AddProcessor("c", "t", []Port{In("x", 0)}, []Port{Out("y", 0)})
+	w.AddProcessor("d", "t", []Port{In("x1", 0), In("x2", 0)}, []Port{Out("y", 0)})
+	w.Connect("", "in", "a", "x")
+	w.Connect("a", "y", "b", "x")
+	w.Connect("a", "y", "c", "x")
+	w.Connect("b", "y", "d", "x1")
+	w.Connect("c", "y", "d", "x2")
+	order, err := w.Toposort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0].Name != "a" || order[3].Name != "d" {
+		t.Errorf("diamond order = %v", names(order))
+	}
+}
+
+func names(ps []*Processor) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+func TestPropagateDepthsFig3(t *testing.T) {
+	w := fig3()
+	d, err := PropagateDepths(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDepth := map[PortID]int{
+		{Proc: "", Port: "v"}:   1,
+		{Proc: "", Port: "w"}:   0,
+		{Proc: "", Port: "c"}:   1,
+		{Proc: "Q", Port: "X"}:  1,
+		{Proc: "Q", Port: "Y"}:  1, // dd 0 + δ 1
+		{Proc: "R", Port: "X"}:  0,
+		{Proc: "R", Port: "Y"}:  1, // dd 1 + δ 0
+		{Proc: "P", Port: "X1"}: 1,
+		{Proc: "P", Port: "X2"}: 1,
+		{Proc: "P", Port: "X3"}: 1,
+		{Proc: "P", Port: "Y"}:  2, // dd 0 + (1 + 0 + 1)
+		{Proc: "", Port: "y"}:   2,
+	}
+	for id, want := range wantDepth {
+		got, ok := d.Depth(id)
+		if !ok {
+			t.Errorf("no depth recorded for %s", id)
+			continue
+		}
+		if got != want {
+			t.Errorf("depth(%s) = %d, want %d", id, got, want)
+		}
+	}
+	wantMismatch := map[PortID]int{
+		{Proc: "Q", Port: "X"}:  1,
+		{Proc: "R", Port: "X"}:  0,
+		{Proc: "P", Port: "X1"}: 1,
+		{Proc: "P", Port: "X2"}: 0,
+		{Proc: "P", Port: "X3"}: 1,
+	}
+	for id, want := range wantMismatch {
+		if got := d.Mismatch(id); got != want {
+			t.Errorf("δs(%s) = %d, want %d", id, got, want)
+		}
+	}
+	if got := d.IterationDepth("P"); got != 2 {
+		t.Errorf("m(P) = %d, want 2", got)
+	}
+	if got := d.IterationDepth("Q"); got != 1 {
+		t.Errorf("m(Q) = %d, want 1", got)
+	}
+	if got := d.IterationDepth("R"); got != 0 {
+		t.Errorf("m(R) = %d, want 0", got)
+	}
+	offs := d.InputOffsets("P")
+	if len(offs) != 3 || offs[0] != 0 || offs[1] != 1 || offs[2] != 1 {
+		t.Errorf("InputOffsets(P) = %v, want [0 1 1]", offs)
+	}
+	mism := d.InputMismatches(w.Processor("P"))
+	if len(mism) != 3 || mism[0] != 1 || mism[1] != 0 || mism[2] != 1 {
+		t.Errorf("InputMismatches(P) = %v, want [1 0 1]", mism)
+	}
+}
+
+func TestPropagateDepthsNegativeMismatch(t *testing.T) {
+	// An atom fed into a port declaring a list: δs = -1, no iteration, and
+	// the output depth is not reduced.
+	w := New("neg")
+	w.AddInput("in", 0)
+	w.AddOutput("out", 1)
+	w.AddProcessor("p", "t", []Port{In("x", 1)}, []Port{Out("y", 1)})
+	w.Connect("", "in", "p", "x")
+	w.Connect("p", "y", "", "out")
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := PropagateDepths(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Mismatch(PortID{Proc: "p", Port: "x"}); got != -1 {
+		t.Errorf("δs = %d, want -1", got)
+	}
+	if got := d.IterationDepth("p"); got != 0 {
+		t.Errorf("m(p) = %d, want 0", got)
+	}
+	if got, _ := d.Depth(PortID{Proc: "p", Port: "y"}); got != 1 {
+		t.Errorf("depth(p:y) = %d, want 1", got)
+	}
+	raw := d.RawMismatches(w.Processor("p"))
+	if len(raw) != 1 || raw[0] != -1 {
+		t.Errorf("RawMismatches = %v, want [-1]", raw)
+	}
+}
+
+func TestPropagateDepthsUnconnectedInput(t *testing.T) {
+	// Unconnected input ports take their declared depth (rule 1 of Alg. 1).
+	w := New("unconn")
+	w.AddInput("in", 0)
+	w.AddOutput("out", 0)
+	w.AddProcessor("p", "t",
+		[]Port{In("x", 0), InDefault("opt", 1, value.Strs("d"))},
+		[]Port{Out("y", 0)})
+	w.Connect("", "in", "p", "x")
+	w.Connect("p", "y", "", "out")
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := PropagateDepths(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Depth(PortID{Proc: "p", Port: "opt"}); got != 1 {
+		t.Errorf("depth of unconnected port = %d, want declared 1", got)
+	}
+	if got := d.Mismatch(PortID{Proc: "p", Port: "opt"}); got != 0 {
+		t.Errorf("δs of unconnected port = %d, want 0", got)
+	}
+}
+
+func TestPropagateDepthsDeepChain(t *testing.T) {
+	// Each stage with δ=1 on an atom-consuming port adds one nesting level.
+	w := New("chain")
+	w.AddInput("in", 1)
+	w.AddOutput("out", 3)
+	w.AddProcessor("s1", "t", []Port{In("x", 0)}, []Port{Out("y", 1)})
+	w.AddProcessor("s2", "t", []Port{In("x", 1)}, []Port{Out("y", 1)})
+	w.AddProcessor("s3", "t", []Port{In("x", 0)}, []Port{Out("y", 1)})
+	w.Connect("", "in", "s1", "x")  // depth 1 vs dd 0: δ=1 → out depth 2
+	w.Connect("s1", "y", "s2", "x") // depth 2 vs dd 1: δ=1 → out depth 2
+	w.Connect("s2", "y", "s3", "x") // depth 2 vs dd 0: δ=2 → out depth 3
+	w.Connect("s3", "y", "", "out")
+	d, err := PropagateDepths(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Depth(PortID{Proc: "s1", Port: "y"}); got != 2 {
+		t.Errorf("depth(s1:y) = %d, want 2", got)
+	}
+	if got, _ := d.Depth(PortID{Proc: "s2", Port: "y"}); got != 2 {
+		t.Errorf("depth(s2:y) = %d, want 2", got)
+	}
+	if got := d.IterationDepth("s3"); got != 2 {
+		t.Errorf("m(s3) = %d, want 2", got)
+	}
+	if got, _ := d.Depth(PortID{Proc: "", Port: "out"}); got != 3 {
+		t.Errorf("depth(out) = %d, want 3", got)
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	sub := New("inner")
+	sub.AddInput("a", 0)
+	sub.AddOutput("b", 0)
+	sub.AddProcessor("id", "t", []Port{In("x", 0)}, []Port{Out("y", 0)})
+	sub.Connect("", "a", "id", "x")
+	sub.Connect("id", "y", "", "b")
+
+	w := New("outer")
+	w.AddInput("in", 1)
+	w.AddOutput("out", 1)
+	w.AddComposite("nested", sub)
+	w.Connect("", "in", "nested", "a")
+	w.Connect("nested", "b", "", "out")
+	if err := w.Validate(); err != nil {
+		t.Fatalf("composite workflow invalid: %v", err)
+	}
+	if w.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", w.NumNodes())
+	}
+
+	// Composite ports that disagree with the sub-workflow are rejected.
+	w.Processor("nested").Inputs[0].DeclaredDepth = 1
+	if err := w.Validate(); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("composite port mismatch not detected: %v", err)
+	}
+}
+
+func TestCompositeDepths(t *testing.T) {
+	sub := New("inner")
+	sub.AddInput("a", 0)
+	sub.AddOutput("b", 0)
+	sub.AddProcessor("id", "t", []Port{In("x", 0)}, []Port{Out("y", 0)})
+	sub.Connect("", "a", "id", "x")
+	sub.Connect("id", "y", "", "b")
+
+	w := New("outer")
+	w.AddInput("in", 1)
+	w.AddOutput("out", 1)
+	w.AddComposite("nested", sub)
+	w.Connect("", "in", "nested", "a")
+	w.Connect("nested", "b", "", "out")
+
+	d, err := PropagateDepths(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The composite iterates (δ=1 on port a), producing a depth-1 output.
+	if got := d.IterationDepth("nested"); got != 1 {
+		t.Errorf("m(nested) = %d, want 1", got)
+	}
+	if got, _ := d.Depth(PortID{Proc: "nested", Port: "b"}); got != 1 {
+		t.Errorf("depth(nested:b) = %d, want 1", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sub := New("inner")
+	sub.AddInput("a", 0)
+	sub.AddOutput("b", 0)
+	sub.AddProcessor("id", "t", []Port{In("x", 0)}, []Port{Out("y", 0)})
+	sub.Connect("", "a", "id", "x")
+	sub.Connect("id", "y", "", "b")
+
+	w := fig3()
+	w.AddComposite("nested", sub)
+	w.Processor("Q").Inputs[0] = InDefault("X", 0, value.Str("dflt"))
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Workflow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("JSON round trip not stable:\n%s\nvs\n%s", data, data2)
+	}
+	if back.Processor("nested") == nil || back.Processor("nested").Sub == nil {
+		t.Fatal("nested dataflow lost in round trip")
+	}
+	if !back.Processor("Q").Inputs[0].HasDefault {
+		t.Error("default value lost in round trip")
+	}
+	got, _ := back.Processor("Q").Inputs[0].Default.StringVal()
+	if got != "dflt" {
+		t.Errorf("default value = %q", got)
+	}
+}
+
+func TestPortIDParse(t *testing.T) {
+	id, err := parsePortID("proc:port")
+	if err != nil || id.Proc != "proc" || id.Port != "port" {
+		t.Errorf("parsePortID = %v, %v", id, err)
+	}
+	id, err = parsePortID(":wfport")
+	if err != nil || id.Proc != "" || id.Port != "wfport" {
+		t.Errorf("parsePortID workflow port = %v, %v", id, err)
+	}
+	if _, err := parsePortID("nocolon"); err == nil {
+		t.Error("malformed port id accepted")
+	}
+}
+
+func TestPortIDString(t *testing.T) {
+	if got := (PortID{Proc: "P", Port: "X"}).String(); got != "P:X" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (PortID{Proc: WorkflowPseudoProc, Port: "in"}).String(); got != "workflow:in" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestArcQueries(t *testing.T) {
+	w := fig3()
+	if _, ok := w.IncomingArc(PortID{Proc: "P", Port: "X1"}); !ok {
+		t.Error("IncomingArc missed existing arc")
+	}
+	if _, ok := w.IncomingArc(PortID{Proc: "Q", Port: "nope"}); ok {
+		t.Error("IncomingArc invented an arc")
+	}
+	outs := w.OutgoingArcs(PortID{Proc: "Q", Port: "Y"})
+	if len(outs) != 1 || outs[0].To.Proc != "P" {
+		t.Errorf("OutgoingArcs = %v", outs)
+	}
+}
+
+func TestIterSpecValidationAndDepths(t *testing.T) {
+	w := New("comb")
+	w.AddInput("a", 1).AddInput("b", 1).AddInput("c", 2)
+	w.AddOutput("out", 2)
+	p := w.AddProcessor("mix", "t",
+		[]Port{In("x", 0), In("y", 0), In("z", 0)},
+		[]Port{Out("r", 0)})
+	p.Iter = IterDot(IterCross(IterLeaf("x"), IterLeaf("y")), IterLeaf("z"))
+	w.Connect("", "a", "mix", "x")
+	w.Connect("", "b", "mix", "y")
+	w.Connect("", "c", "mix", "z")
+	w.Connect("mix", "r", "", "out")
+	if err := w.Validate(); err != nil {
+		t.Fatalf("combinator workflow invalid: %v", err)
+	}
+	d, err := PropagateDepths(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m(mix) = max(1+1, 2) = 2 under the dot root.
+	if got := d.IterationDepth("mix"); got != 2 {
+		t.Errorf("m(mix) = %d, want 2", got)
+	}
+	offs := d.InputOffsets("mix")
+	if offs[0] != 0 || offs[1] != 1 || offs[2] != 0 {
+		t.Errorf("offsets = %v", offs)
+	}
+	if d.Plan("mix") == nil {
+		t.Error("no cached plan")
+	}
+
+	// Bad specs are rejected by Validate.
+	bad := []*IterSpec{
+		IterCross(IterLeaf("x"), IterLeaf("y")),                // missing z
+		IterCross(IterLeaf("x"), IterLeaf("y"), IterLeaf("q")), // unknown port
+		IterCross(IterLeaf("x"), IterLeaf("x"), IterLeaf("z")), // duplicate
+		{Port: "x", Kids: []*IterSpec{IterLeaf("y")}},          // port+children
+		IterCross(IterLeaf("x"), IterLeaf("y"), IterCross()),   // empty node
+		IterCross(IterLeaf("x"), IterLeaf("y"), IterLeaf("")),  // empty leaf
+	}
+	for i, spec := range bad {
+		p.Iter = spec
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad iter spec %d accepted", i)
+		}
+	}
+}
+
+func TestIterSpecJSONRoundTrip(t *testing.T) {
+	w := New("comb")
+	w.AddInput("a", 1).AddInput("b", 1)
+	w.AddOutput("out", 1)
+	p := w.AddProcessor("zip", "t", []Port{In("x", 0), In("y", 0)}, []Port{Out("r", 0)})
+	p.Iter = IterDot(IterLeaf("x"), IterLeaf("y"))
+	w.Connect("", "a", "zip", "x")
+	w.Connect("", "b", "zip", "y")
+	w.Connect("zip", "r", "", "out")
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Workflow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	bp := back.Processor("zip")
+	if bp.Iter == nil || !bp.Iter.Dot || len(bp.Iter.Kids) != 2 || bp.Iter.Kids[0].Port != "x" {
+		t.Fatalf("Iter after round trip = %+v", bp.Iter)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
