@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bench"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/lineage"
 	"repro/internal/trace"
 	"repro/internal/value"
+	"repro/internal/workflow"
 )
 
 // BenchmarkTable1Populate measures trace ingestion (the population cost
@@ -64,6 +66,83 @@ func BenchmarkFig4MultiRun(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := ni.LineageMultiRun(env.GKRuns, trace.WorkflowProc, "paths_per_gene", idx, focus); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig4ParallelMultiRun measures the parallel multi-run executor
+// (worker pool + batched store probes) against the sequential per-run
+// baseline on the Fig. 4 workload, across parallelism levels. The plan is
+// compiled once outside the timer; only the probe phase (t2) is measured.
+func BenchmarkFig4ParallelMultiRun(b *testing.B) {
+	env, err := bench.PopulateGKPD(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	for _, q := range []struct {
+		name  string
+		wf    *workflow.Workflow
+		runs  []string
+		port  string
+		idx   value.Index
+		focus lineage.Focus
+	}{
+		{"GK_focused", env.GK, env.GKRuns, "paths_per_gene",
+			value.Ix(0, 0), lineage.NewFocus("get_pathways_by_genes")},
+		{"PD_unfocused", env.PD, env.PDRuns, "discovered_proteins",
+			value.Ix(0), bench.AllProcs(env.PD)},
+	} {
+		ip, err := lineage.NewIndexProj(env.Store, q.wf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := ip.Compile(trace.WorkflowProc, q.port, q.idx, q.focus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(q.name+"/sequential", func(b *testing.B) {
+			opt := lineage.MultiRunOptions{Parallelism: 1, BatchSize: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.ExecuteMultiRun(plan, q.runs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, p := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/parallel_p%d", q.name, p), func(b *testing.B) {
+				opt := lineage.MultiRunOptions{Parallelism: p}
+				for i := 0; i < b.N; i++ {
+					if _, err := ip.ExecuteMultiRun(plan, q.runs, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentQueries measures throughput of independent single-run
+// queries issued concurrently from many goroutines against one shared
+// IndexProj (plan cache) and store, via the testing harness's RunParallel.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	env, err := bench.PopulateGKPD(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	ip, err := lineage.NewIndexProj(env.Store, env.GK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	focus := lineage.NewFocus("get_pathways_by_genes")
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			run := env.GKRuns[int(seq.Add(1))%len(env.GKRuns)]
+			if _, err := ip.Lineage(run, trace.WorkflowProc, "paths_per_gene", value.Ix(0, 0), focus); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -20,18 +20,19 @@ import (
 )
 
 var experiments = map[string]func(bench.Options) (*bench.Report, error){
-	"fig4":   bench.Fig4,
-	"table1": bench.Table1,
-	"fig6":   bench.Fig6,
-	"fig7":   bench.Fig7,
-	"fig8":   bench.Fig8,
-	"fig9":   bench.Fig9,
-	"fig10":  bench.Fig10,
+	"fig4":    bench.Fig4,
+	"fig4par": bench.Fig4Parallel,
+	"table1":  bench.Table1,
+	"fig6":    bench.Fig6,
+	"fig7":    bench.Fig7,
+	"fig8":    bench.Fig8,
+	"fig9":    bench.Fig9,
+	"fig10":   bench.Fig10,
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig4, table1, fig6, fig7, fig8, fig9, fig10")
+		exp     = flag.String("exp", "all", "experiment: all, fig4, fig4par, table1, fig6, fig7, fig8, fig9, fig10")
 		quick   = flag.Bool("quick", false, "shrink every grid for a fast smoke run")
 		queries = flag.Int("queries", 5, "identical queries per measurement (best-of)")
 		csv     = flag.Bool("csv", false, "also write CSV files")

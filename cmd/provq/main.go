@@ -10,6 +10,8 @@
 //	provq runs  -store file:prov.db
 //	provq query -store file:prov.db -run testbed_l10-0001 \
 //	            -binding '2TO1_FINAL:product[3,7]' -focus LISTGEN_1 -method indexproj
+//	provq query -store file:prov.db -runs run1,run2,run3 -parallel 4 \
+//	            -binding 'workflow:out[]'
 //	provq stats -store file:prov.db -run testbed_l10-0001
 //	provq graph -store file:prov.db -run testbed_l10-0001 -o prov.dot
 //	provq verify -store file:prov.db
@@ -19,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -32,38 +35,46 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "runs":
-		err = cmdRuns(os.Args[2:])
-	case "query":
-		err = cmdQuery(os.Args[2:])
-	case "stats":
-		err = cmdStats(os.Args[2:])
-	case "graph":
-		err = cmdGraph(os.Args[2:])
-	case "verify":
-		err = cmdVerify(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "provq:", err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "provq:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `provq <run|runs|query|stats> [flags]
+// run dispatches the subcommands. It is the whole CLI behind a testable
+// seam: output goes to the supplied writers and failures are returned, never
+// os.Exit'ed.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		usage(stderr)
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "runs":
+		return cmdRuns(args[1:], stdout, stderr)
+	case "query":
+		return cmdQuery(args[1:], stdout, stderr)
+	case "stats":
+		return cmdStats(args[1:], stdout, stderr)
+	case "graph":
+		return cmdGraph(args[1:], stdout, stderr)
+	case "verify":
+		return cmdVerify(args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		usage(stdout)
+		return nil
+	default:
+		usage(stderr)
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `provq <run|runs|query|stats> [flags]
 
   run    execute a bundled workflow (testbed/gk/pd) and store its trace
   runs   list the stored runs
@@ -73,6 +84,14 @@ func usage() {
   verify check a stored run's integrity (values, indices, Prop. 1)
 
 Run "provq <command> -h" for command flags.`)
+}
+
+// newFlagSet builds a flag set that reports parse errors instead of exiting
+// and prints its own usage to stderr.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
 }
 
 // newSystem opens a system over the store DSN and registers the bundled
@@ -117,8 +136,8 @@ func newSystem(dsn string, testbedL int, wfJSON string) (*core.System, error) {
 	return sys, nil
 }
 
-func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("run", stderr)
 	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
 	wf := fs.String("wf", "testbed", "workflow: testbed, gk, pd")
 	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
@@ -130,7 +149,9 @@ func cmdRun(args []string) error {
 	maxAbs := fs.Int("max", 8, "pd: abstract budget")
 	save := fs.Bool("save", true, "snapshot file-backed stores after the run")
 	inputsJSON := fs.String("inputs", "", `override inputs as JSON, e.g. '{"list_of_geneIDList": [["mmu:1"],["mmu:2"]]}'`)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sys, err := newSystem(*dsn, *l, *wfJSON)
 	if err != nil {
@@ -170,30 +191,32 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("run %s completed\n", res.RunID)
+	fmt.Fprintf(stdout, "run %s completed\n", res.RunID)
 	var ports []string
 	for port := range res.Outputs {
 		ports = append(ports, port)
 	}
 	sort.Strings(ports)
 	for _, port := range ports {
-		fmt.Printf("  %s = %s\n", port, truncate(value.Encode(res.Outputs[port]), 160))
+		fmt.Fprintf(stdout, "  %s = %s\n", port, truncate(value.Encode(res.Outputs[port]), 160))
 	}
 	total, err := sys.Store().TotalRecords(res.RunID)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  trace records: %d\n", total)
+	fmt.Fprintf(stdout, "  trace records: %d\n", total)
 	if *save && strings.HasPrefix(*dsn, "file:") {
 		return sys.Save(strings.TrimPrefix(*dsn, "file:"))
 	}
 	return nil
 }
 
-func cmdRuns(args []string) error {
-	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+func cmdRuns(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("runs", stderr)
 	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	sys, err := newSystem(*dsn, 10, "")
 	if err != nil {
 		return err
@@ -204,7 +227,7 @@ func cmdRuns(args []string) error {
 		return err
 	}
 	if len(runs) == 0 {
-		fmt.Println("no runs stored")
+		fmt.Fprintln(stdout, "no runs stored")
 		return nil
 	}
 	for _, r := range runs {
@@ -212,15 +235,18 @@ func cmdRuns(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-30s workflow=%-20s records=%d\n", r.RunID, r.Workflow, total)
+		fmt.Fprintf(stdout, "%-30s workflow=%-20s records=%d\n", r.RunID, r.Workflow, total)
 	}
 	return nil
 }
 
-func cmdQuery(args []string) error {
-	fs := flag.NewFlagSet("query", flag.ExitOnError)
+func cmdQuery(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("query", stderr)
 	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
 	runID := fs.String("run", "", "run ID (see provq runs)")
+	runsArg := fs.String("runs", "", "comma-separated run IDs for a multi-run query (shares one compiled plan)")
+	parallel := fs.Int("parallel", 1, "worker parallelism for multi-run queries")
+	batch := fs.Int("batch", 0, "runs per batched store probe (0 = default)")
 	binding := fs.String("binding", "", "query binding, e.g. '2TO1_FINAL:product[3,7]' or 'workflow:out[]'")
 	focusArg := fs.String("focus", "", "comma-separated focus processors")
 	method := fs.String("method", "indexproj", "lineage algorithm: indexproj or naive")
@@ -228,10 +254,21 @@ func cmdQuery(args []string) error {
 	l := fs.Int("l", 10, "testbed chain length used when the run's workflow is a testbed")
 	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
 	values := fs.Bool("values", true, "print the bound element values")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	if *runID == "" || *binding == "" {
-		return fmt.Errorf("query requires -run and -binding")
+	var runIDs []string
+	for _, r := range strings.Split(*runsArg, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			runIDs = append(runIDs, r)
+		}
+	}
+	if *runID == "" && len(runIDs) == 0 {
+		return fmt.Errorf("query requires -run (or -runs) and -binding")
+	}
+	if *binding == "" {
+		return fmt.Errorf("query requires -run (or -runs) and -binding")
 	}
 	m, err := core.ParseMethod(*method)
 	if err != nil {
@@ -254,18 +291,33 @@ func cmdQuery(args []string) error {
 	}
 	defer sys.Close()
 	var res *lineage.Result
-	switch *direction {
-	case "back", "backward":
-		res, err = sys.Lineage(m, *runID, proc, port, idx, focus)
-	case "forward", "fwd":
-		res, err = sys.Affected(*runID, proc, port, idx, focus)
+	switch {
+	case len(runIDs) > 0:
+		if *direction != "back" && *direction != "backward" {
+			return fmt.Errorf("multi-run queries only support -direction back")
+		}
+		opt := lineage.MultiRunOptions{Parallelism: *parallel, BatchSize: *batch}
+		res, err = sys.LineageMultiRunParallel(m, runIDs, proc, port, idx, focus, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s(<%s:%s%s>, %v) via %s over %d runs (parallelism %d): %d bindings\n",
+			*direction, displayProc(proc), port, idx, focus.Names(), m, len(runIDs), *parallel, res.Len())
 	default:
-		return fmt.Errorf("unknown direction %q (want back or forward)", *direction)
+		switch *direction {
+		case "back", "backward":
+			res, err = sys.Lineage(m, *runID, proc, port, idx, focus)
+		case "forward", "fwd":
+			res, err = sys.Affected(*runID, proc, port, idx, focus)
+		default:
+			return fmt.Errorf("unknown direction %q (want back or forward)", *direction)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s(<%s:%s%s>, %v) via %s: %d bindings\n",
+			*direction, displayProc(proc), port, idx, focus.Names(), m, res.Len())
 	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s(<%s:%s%s>, %v) via %s: %d bindings\n", *direction, displayProc(proc), port, idx, focus.Names(), m, res.Len())
 	for _, e := range res.Entries() {
 		if *values {
 			el, err := e.Element()
@@ -273,19 +325,21 @@ func cmdQuery(args []string) error {
 			if err == nil {
 				detail = " = " + truncate(value.Encode(el), 100)
 			}
-			fmt.Printf("  %s%s\n", e, detail)
+			fmt.Fprintf(stdout, "  %s%s\n", e, detail)
 		} else {
-			fmt.Printf("  %s\n", e)
+			fmt.Fprintf(stdout, "  %s\n", e)
 		}
 	}
 	return nil
 }
 
-func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+func cmdStats(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("stats", stderr)
 	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
 	runID := fs.String("run", "", "run ID ('' for all runs)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	sys, err := newSystem(*dsn, 10, "")
 	if err != nil {
 		return err
@@ -299,17 +353,19 @@ func cmdStats(args []string) error {
 	if scope == "" {
 		scope = "(all runs)"
 	}
-	fmt.Printf("scope %s\n  xform input rows:  %d\n  xform output rows: %d\n  xfer rows:         %d\n  total:             %d\n",
+	fmt.Fprintf(stdout, "scope %s\n  xform input rows:  %d\n  xform output rows: %d\n  xfer rows:         %d\n  total:             %d\n",
 		scope, in, out, xf, in+out+xf)
 	return nil
 }
 
-func cmdGraph(args []string) error {
-	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+func cmdGraph(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("graph", stderr)
 	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
 	runID := fs.String("run", "", "run ID (see provq runs)")
 	out := fs.String("o", "", "output file (default stdout)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *runID == "" {
 		return fmt.Errorf("graph requires -run")
 	}
@@ -325,23 +381,25 @@ func cmdGraph(args []string) error {
 	g := trace.BuildGraph(tr)
 	dot := g.DOT()
 	if *out == "" {
-		fmt.Print(dot)
+		fmt.Fprint(stdout, dot)
 		return nil
 	}
 	if err := os.WriteFile(*out, []byte(dot), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d nodes, %d arcs to %s\n", g.NumNodes(), g.NumArcs(), *out)
+	fmt.Fprintf(stdout, "wrote %d nodes, %d arcs to %s\n", g.NumNodes(), g.NumArcs(), *out)
 	return nil
 }
 
-func cmdVerify(args []string) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+func cmdVerify(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("verify", stderr)
 	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
 	runID := fs.String("run", "", "run ID ('' verifies every stored run)")
 	l := fs.Int("l", 10, "testbed chain length for testbed runs")
 	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	sys, err := newSystem(*dsn, *l, *wfJSON)
 	if err != nil {
 		return err
@@ -376,7 +434,7 @@ func cmdVerify(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(rep)
+		fmt.Fprintln(stdout, rep)
 		if !rep.OK() {
 			bad++
 		}

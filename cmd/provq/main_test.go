@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// runCLI drives the provq entry point exactly as main does, capturing stdout.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+// mustCLI fails the test on error and returns stdout.
+func mustCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("provq %s: %v\noutput:\n%s", strings.Join(args, " "), err, out)
+	}
+	return out
+}
+
+// runID extracts the run ID from "run <id> completed".
+func runID(t *testing.T, runOut string) string {
+	t.Helper()
+	line, _, _ := strings.Cut(runOut, "\n")
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "run" || fields[2] != "completed" {
+		t.Fatalf("unexpected run output line %q", line)
+	}
+	return fields[1]
+}
+
+// TestCLIEndToEnd walks the whole provq surface against one file-backed
+// store in a temp dir: run (twice), runs, single-run and multi-run query,
+// forward query, stats, graph and verify.
+func TestCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dsn := "file:" + filepath.Join(dir, "prov.db")
+
+	id1 := runID(t, mustCLI(t, "run", "-store", dsn, "-wf", "testbed", "-l", "4", "-d", "3"))
+	id2 := runID(t, mustCLI(t, "run", "-store", dsn, "-wf", "testbed", "-l", "4", "-d", "2"))
+	if id1 == id2 {
+		t.Fatalf("two runs share the ID %q", id1)
+	}
+
+	out := mustCLI(t, "runs", "-store", dsn)
+	for _, id := range []string{id1, id2} {
+		if !strings.Contains(out, id) {
+			t.Errorf("runs output missing %s:\n%s", id, out)
+		}
+	}
+
+	// Single-run query, both methods: the answers must agree line for line.
+	q := []string{"query", "-store", dsn, "-run", id1, "-l", "4",
+		"-binding", "2TO1_FINAL:product[0,0]", "-focus", "LISTGEN_1"}
+	ipOut := mustCLI(t, append(q, "-method", "indexproj")...)
+	niOut := mustCLI(t, append(q, "-method", "naive")...)
+	trim := func(s string) string { _, rest, _ := strings.Cut(s, "\n"); return rest }
+	if trim(ipOut) != trim(niOut) {
+		t.Errorf("indexproj and naive disagree:\n%s\nvs\n%s", ipOut, niOut)
+	}
+	if !strings.Contains(ipOut, "LISTGEN_1") {
+		t.Errorf("focused query returned no LISTGEN_1 binding:\n%s", ipOut)
+	}
+
+	// Multi-run parallel query over both runs.
+	out = mustCLI(t, "query", "-store", dsn, "-runs", id1+","+id2, "-l", "4",
+		"-parallel", "4", "-batch", "2",
+		"-binding", "workflow:product[0,0]", "-focus", "LISTGEN_1")
+	if !strings.Contains(out, "over 2 runs (parallelism 4)") {
+		t.Errorf("multi-run header missing:\n%s", out)
+	}
+	for _, id := range []string{id1, id2} {
+		if !strings.Contains(out, id) {
+			t.Errorf("multi-run answer has no binding from %s:\n%s", id, out)
+		}
+	}
+
+	// Forward (impact) query from the list generator's output.
+	out = mustCLI(t, "query", "-store", dsn, "-run", id1, "-l", "4",
+		"-direction", "forward", "-binding", "LISTGEN_1:list[0]", "-focus", "2TO1_FINAL")
+	if !strings.Contains(out, "forward(") {
+		t.Errorf("forward query header missing:\n%s", out)
+	}
+
+	out = mustCLI(t, "stats", "-store", dsn, "-run", id1)
+	if !strings.Contains(out, "xform input rows") {
+		t.Errorf("stats output malformed:\n%s", out)
+	}
+
+	dot := filepath.Join(dir, "prov.dot")
+	out = mustCLI(t, "graph", "-store", dsn, "-run", id1, "-o", dot)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("graph output malformed:\n%s", out)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "digraph") {
+		t.Errorf("DOT file does not start with digraph: %.40q", data)
+	}
+	if out = mustCLI(t, "graph", "-store", dsn, "-run", id1); !strings.HasPrefix(out, "digraph") {
+		t.Errorf("graph on stdout does not start with digraph: %.40q", out)
+	}
+
+	out = mustCLI(t, "verify", "-store", dsn, "-l", "4")
+	if c := strings.Count(out, "OK"); c != 2 {
+		t.Errorf("verify reported %d OK runs, want 2:\n%s", c, out)
+	}
+}
+
+// TestCLIMultiRunMatchesSingleRuns: the multi-run query must return exactly
+// the union of the per-run answers (binding lines are prefixed by run IDs, so
+// set equality of lines is the right comparison).
+func TestCLIMultiRunMatchesSingleRuns(t *testing.T) {
+	dir := t.TempDir()
+	dsn := "file:" + filepath.Join(dir, "prov.db")
+	id1 := runID(t, mustCLI(t, "run", "-store", dsn, "-wf", "gk", "-lists", "2", "-genes", "2"))
+	id2 := runID(t, mustCLI(t, "run", "-store", dsn, "-wf", "gk", "-lists", "3", "-genes", "2"))
+
+	bindings := func(out string) map[string]bool {
+		set := map[string]bool{}
+		for _, line := range strings.Split(out, "\n")[1:] {
+			if line = strings.TrimSpace(line); line != "" {
+				set[line] = true
+			}
+		}
+		return set
+	}
+	single := map[string]bool{}
+	for _, id := range []string{id1, id2} {
+		out := mustCLI(t, "query", "-store", dsn, "-run", id,
+			"-binding", "workflow:paths_per_gene[0,0]", "-focus", "get_pathways_by_genes")
+		for b := range bindings(out) {
+			single[b] = true
+		}
+	}
+	multi := bindings(mustCLI(t, "query", "-store", dsn, "-runs", id1+","+id2, "-parallel", "2",
+		"-binding", "workflow:paths_per_gene[0,0]", "-focus", "get_pathways_by_genes"))
+	if len(multi) != len(single) {
+		t.Fatalf("multi-run returned %d bindings, per-run union has %d", len(multi), len(single))
+	}
+	for b := range single {
+		if !multi[b] {
+			t.Errorf("multi-run answer missing %s", b)
+		}
+	}
+}
+
+// TestCLIErrors pins the failure modes that must return errors, not exit or
+// panic.
+func TestCLIErrors(t *testing.T) {
+	dsn := "file:" + filepath.Join(t.TempDir(), "prov.db")
+	for _, tc := range [][]string{
+		nil,                      // no command
+		{"frobnicate"},           // unknown command
+		{"query", "-store", dsn}, // missing -run/-runs and -binding
+		{"query", "-store", dsn, "-run", "r1", "-binding", "no-colon"},
+		{"query", "-store", dsn, "-runs", "r1,r2", "-binding", "workflow:out[]", "-direction", "forward"},
+		{"graph", "-store", dsn}, // missing -run
+		{"run", "-store", dsn, "-wf", "nosuch"},
+		{"query", "-store", dsn, "-run", "r1", "-binding", "workflow:out[]", "-method", "bogus"},
+	} {
+		if _, err := runCLI(t, tc...); err == nil {
+			t.Errorf("provq %v succeeded, want error", tc)
+		}
+	}
+	// help must succeed and not error.
+	if _, err := runCLI(t, "help"); err != nil {
+		t.Errorf("provq help: %v", err)
+	}
+}
+
+// TestParseBinding pins the binding syntax.
+func TestParseBinding(t *testing.T) {
+	proc, port, idx, err := parseBinding("2TO1_FINAL:product[3,7]")
+	if err != nil || proc != "2TO1_FINAL" || port != "product" || idx.String() != value.Ix(3, 7).String() {
+		t.Errorf("parseBinding = %q %q %v, %v", proc, port, idx, err)
+	}
+	proc, port, idx, err = parseBinding("workflow:out[]")
+	if err != nil || proc != "" || port != "out" || len(idx) != 0 {
+		t.Errorf("parseBinding(workflow) = %q %q %v, %v", proc, port, idx, err)
+	}
+	for _, bad := range []string{"noport", "p:", "p:x[bad", "p:x[1,a]"} {
+		if _, _, _, err := parseBinding(bad); err == nil {
+			t.Errorf("parseBinding(%q) succeeded", bad)
+		}
+	}
+}

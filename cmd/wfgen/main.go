@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/gen"
@@ -20,32 +21,36 @@ import (
 )
 
 func main() {
-	var (
-		kind = flag.String("wf", "testbed", "workflow to generate: testbed, gk, pd")
-		l    = flag.Int("l", 10, "testbed chain length")
-		out  = flag.String("o", "", "output file (default stdout)")
-	)
-	flag.Parse()
-	if err := run(*kind, *l, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "wfgen:", err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "wfgen:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(kind string, l int, out string) error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wfgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("wf", "testbed", "workflow to generate: testbed, gk, pd")
+	l := fs.Int("l", 10, "testbed chain length")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	var w *workflow.Workflow
-	switch kind {
+	switch *kind {
 	case "testbed":
-		if l < 1 {
-			return fmt.Errorf("testbed chain length must be positive, got %d", l)
+		if *l < 1 {
+			return fmt.Errorf("testbed chain length must be positive, got %d", *l)
 		}
-		w = gen.Testbed(l)
+		w = gen.Testbed(*l)
 	case "gk":
 		w = gen.GenesToKegg()
 	case "pd":
 		w = gen.ProteinDiscovery()
 	default:
-		return fmt.Errorf("unknown workflow kind %q (want testbed, gk or pd)", kind)
+		return fmt.Errorf("unknown workflow kind %q (want testbed, gk or pd)", *kind)
 	}
 	if err := w.Validate(); err != nil {
 		return err
@@ -55,9 +60,9 @@ func run(kind string, l int, out string) error {
 		return err
 	}
 	data = append(data, '\n')
-	if out == "" {
-		_, err = os.Stdout.Write(data)
+	if *out == "" {
+		_, err = stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(out, data, 0o644)
+	return os.WriteFile(*out, data, 0o644)
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+// TestGenerateKinds generates every workflow kind to a file and to stdout:
+// the JSON must unmarshal back into a valid workflow.
+func TestGenerateKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		kind string
+		args []string
+		name string
+	}{
+		{"testbed", []string{"-wf", "testbed", "-l", "7"}, "testbed_l7"},
+		{"gk", []string{"-wf", "gk"}, "genes2Kegg"},
+		{"pd", []string{"-wf", "pd"}, "protein_discovery"},
+	} {
+		path := filepath.Join(dir, tc.kind+".json")
+		var out, errb bytes.Buffer
+		if err := run(append(tc.args, "-o", path), &out, &errb); err != nil {
+			t.Fatalf("wfgen %v: %v", tc.args, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w workflow.Workflow
+		if err := json.Unmarshal(data, &w); err != nil {
+			t.Fatalf("%s: bad JSON: %v", tc.kind, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: generated workflow invalid: %v", tc.kind, err)
+		}
+		if w.Name != tc.name {
+			t.Errorf("%s: workflow name %q, want %q", tc.kind, w.Name, tc.name)
+		}
+
+		// Same generation to stdout must produce the same bytes.
+		out.Reset()
+		if err := run(tc.args, &out, &errb); err != nil {
+			t.Fatalf("wfgen %v to stdout: %v", tc.args, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Errorf("%s: stdout output differs from file output", tc.kind)
+		}
+		if !strings.HasSuffix(out.String(), "\n") {
+			t.Errorf("%s: output is not newline-terminated", tc.kind)
+		}
+	}
+}
+
+// TestGenerateErrors pins the failure modes.
+func TestGenerateErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-wf", "nosuch"},
+		{"-wf", "testbed", "-l", "0"},
+		{"-badflag"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("wfgen %v succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Smoke tests for the example programs: every examples/* program must build
+// and run to completion with a zero exit status. The examples double as the
+// library's executable documentation, so a broken example is a broken API
+// promise.
+package repro_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run whole workflows")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		goTool = "go" // fall back to PATH
+	}
+	binDir := t.TempDir()
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			build := exec.Command(goTool, "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+
+			cmd := exec.Command(bin)
+			cmd.Dir = t.TempDir() // examples must not depend on the repo CWD
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example exited with %v\nstdout:\n%s\nstderr:\n%s", err, &stdout, &stderr)
+				}
+			case <-time.After(3 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("example did not finish within 3m\nstdout so far:\n%s", &stdout)
+			}
+			if stdout.Len() == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no example programs found")
+	}
+}

@@ -153,10 +153,10 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 7 {
+	if len(reps) != 8 {
 		t.Fatalf("reports = %d", len(reps))
 	}
-	ids := []string{"fig4", "table1", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	ids := []string{"fig4", "fig4par", "table1", "fig6", "fig7", "fig8", "fig9", "fig10"}
 	for i, rep := range reps {
 		if rep.ID != ids[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, ids[i])

@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/lineage"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/value"
 	"repro/internal/workflow"
@@ -87,6 +88,104 @@ func Fig4(o Options) (*Report, error) {
 			rep.Rows = append(rep.Rows, []string{
 				cfg.label, fmt.Sprint(n), ms(t1), ms(t2), ms(t1 + t2),
 			})
+		}
+	}
+	return rep, nil
+}
+
+// Fig4Parallel extends Fig. 4 beyond the paper: the probe phase t2 of a
+// multi-run query executed by the parallel multi-run executor with batched
+// store probes, against the sequential per-run baseline. The paper's Fig. 4
+// grows linearly with the number of runs because runs are probed one after
+// another; runs are independent by construction, so the executor batches
+// the probes (one index-range scan per (P, X, p) per batch of runs) and
+// fans the batches out over a worker pool.
+func Fig4Parallel(o Options) (*Report, error) {
+	runs := 20
+	if o.Quick {
+		runs = 4
+	}
+	env, err := PopulateGKPD(runs)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	type queryCfg struct {
+		label string
+		wf    *workflow.Workflow
+		runs  []string
+		port  string
+		idx   value.Index
+		focus lineage.Focus
+	}
+	cfgs := []queryCfg{
+		{"GK focused", env.GK, env.GKRuns, "paths_per_gene", value.Ix(0, 0),
+			lineage.NewFocus("get_pathways_by_genes")},
+		{"GK unfocused", env.GK, env.GKRuns, "paths_per_gene", value.Ix(0, 0), AllProcs(env.GK)},
+		{"PD focused", env.PD, env.PDRuns, "discovered_proteins", value.Ix(0),
+			lineage.NewFocus("fetch_abstract")},
+		{"PD unfocused", env.PD, env.PDRuns, "discovered_proteins", value.Ix(0), AllProcs(env.PD)},
+	}
+
+	rep := &Report{
+		ID:    "fig4par",
+		Title: "Parallel multi-run query execution vs. the sequential per-run baseline",
+		Caption: fmt.Sprintf("Fig. 4 workload, %d runs. t2 = probe phase only (shared plan, compiled\n"+
+			"once). sequential = one probe round-trip per run per plan probe; parallel\n"+
+			"P=n = n workers over run batches, one batched index-range scan per probe\n"+
+			"per batch. queries = store round-trips per execution.", runs),
+		Columns: []string{"query", "runs", "mode", "t2_ms", "queries", "speedup"},
+	}
+	for _, cfg := range cfgs {
+		ip, err := lineage.NewIndexProj(env.Store, cfg.wf)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := ip.Compile(trace.WorkflowProc, cfg.port, cfg.idx, cfg.focus)
+		if err != nil {
+			return nil, err
+		}
+		seqOpt := lineage.MultiRunOptions{Parallelism: 1, BatchSize: 1}
+		var baseline *lineage.Result
+		seqT, err := bestOfScaled(o.queries(), func() error {
+			baseline, err = ip.ExecuteMultiRun(plan, cfg.runs, seqOpt)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		addRow := func(mode string, opt lineage.MultiRunOptions, t time.Duration) error {
+			store.ResetQueryCount()
+			got, err := ip.ExecuteMultiRun(plan, cfg.runs, opt)
+			if err != nil {
+				return err
+			}
+			if !got.Equal(baseline) {
+				return fmt.Errorf("bench: %s %s diverged from the sequential baseline", cfg.label, mode)
+			}
+			rep.Rows = append(rep.Rows, []string{
+				cfg.label, fmt.Sprint(len(cfg.runs)), mode, ms(t),
+				fmt.Sprint(store.QueryCount()),
+				fmt.Sprintf("%.2fx", float64(seqT)/float64(t)),
+			})
+			return nil
+		}
+		if err := addRow("sequential", seqOpt, seqT); err != nil {
+			return nil, err
+		}
+		for _, p := range []int{1, 2, 4, 8} {
+			opt := lineage.MultiRunOptions{Parallelism: p}
+			t, err := bestOfScaled(o.queries(), func() error {
+				_, err := ip.ExecuteMultiRun(plan, cfg.runs, opt)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := addRow(fmt.Sprintf("parallel P=%d", p), opt, t); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return rep, nil
@@ -369,7 +468,7 @@ func All(o Options) ([]*Report, error) {
 		fn   func(Options) (*Report, error)
 	}
 	exps := []exp{
-		{"fig4", Fig4}, {"table1", Table1}, {"fig6", Fig6},
+		{"fig4", Fig4}, {"fig4par", Fig4Parallel}, {"table1", Table1}, {"fig6", Fig6},
 		{"fig7", Fig7}, {"fig8", Fig8}, {"fig9", Fig9}, {"fig10", Fig10},
 	}
 	out := make([]*Report, 0, len(exps))

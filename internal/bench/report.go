@@ -98,3 +98,31 @@ func bestOf(n int, fn func() error) (time.Duration, error) {
 	}
 	return best, nil
 }
+
+// bestOfScaled times fn like bestOf, but repeats it within each sample often
+// enough that a sample lasts at least ~2ms, so sub-millisecond operations
+// are measured robustly against scheduler and GC jitter.
+func bestOfScaled(n int, fn func() error) (time.Duration, error) {
+	const target = 2 * time.Millisecond
+	start := time.Now()
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	once := time.Since(start)
+	reps := 1
+	if once < target {
+		reps = int(target/(once+1)) + 1
+	}
+	if reps > 1000 {
+		reps = 1000
+	}
+	best, err := bestOf(n, func() error {
+		for i := 0; i < reps; i++ {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return best / time.Duration(reps), err
+}

@@ -253,6 +253,32 @@ func (s *System) LineageMultiRun(m Method, runIDs []string, proc, port string, i
 	}
 }
 
+// LineageMultiRunParallel answers the query across several runs of one
+// workflow using the parallel multi-run executor (worker pool + batched
+// store probes). Only INDEXPROJ supports parallel execution; the naïve
+// method falls back to its sequential multi-run traversal.
+func (s *System) LineageMultiRunParallel(m Method, runIDs []string, proc, port string, idx value.Index, focus lineage.Focus, opt lineage.MultiRunOptions) (*lineage.Result, error) {
+	if len(runIDs) == 0 {
+		return lineage.NewResult(), nil
+	}
+	if m != IndexProj {
+		return s.LineageMultiRun(m, runIDs, proc, port, idx, focus)
+	}
+	ip, err := s.indexProjFor(runIDs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runIDs[1:] {
+		s.mu.Lock()
+		same := s.runWf[r] == s.runWf[runIDs[0]]
+		s.mu.Unlock()
+		if !same {
+			return nil, fmt.Errorf("core: multi-run query spans different workflows (%s vs %s)", runIDs[0], r)
+		}
+	}
+	return ip.LineageMultiRunParallel(runIDs, proc, port, idx, focus, opt)
+}
+
 func (s *System) indexProjFor(runID string) (*lineage.IndexProj, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -27,12 +27,17 @@ import (
 // same workflow share the same structure — and a single plan is executed
 // once per run for multi-run queries (§3.4), which is what makes INDEXPROJ's
 // multi-run cost proportional to t2 only (Fig. 4).
+//
+// An IndexProj is safe for concurrent use: the plan cache is guarded by a
+// read-mostly RWMutex (concurrent queries sharing a compiled plan take only
+// the read lock), and the store probes go through store.LineageQuerier,
+// whose implementations are required to be concurrency-safe.
 type IndexProj struct {
-	s  *store.Store
+	q  store.LineageQuerier
 	wf *workflow.Workflow
 	d  *workflow.Depths
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	planCache map[string]*CompiledPlan
 }
 
@@ -53,8 +58,9 @@ type CompiledPlan struct {
 
 // NewIndexProj prepares the evaluator for one workflow: it validates the
 // specification and runs PROPAGATEDEPTHS (Alg. 1) once. This is the offline
-// part of the pre-processing cost t1 reported in Fig. 8.
-func NewIndexProj(s *store.Store, wf *workflow.Workflow) (*IndexProj, error) {
+// part of the pre-processing cost t1 reported in Fig. 8. The querier may be
+// nil when only Compile is used (no trace access).
+func NewIndexProj(q store.LineageQuerier, wf *workflow.Workflow) (*IndexProj, error) {
 	if err := wf.Validate(); err != nil {
 		return nil, fmt.Errorf("lineage: %w", err)
 	}
@@ -63,7 +69,7 @@ func NewIndexProj(s *store.Store, wf *workflow.Workflow) (*IndexProj, error) {
 		return nil, fmt.Errorf("lineage: %w", err)
 	}
 	return &IndexProj{
-		s:         s,
+		q:         q,
 		wf:        wf,
 		d:         d,
 		planCache: make(map[string]*CompiledPlan),
@@ -111,12 +117,12 @@ func (ip *IndexProj) Execute(plan *CompiledPlan, runID string) (*Result, error) 
 
 func (ip *IndexProj) executeInto(result *Result, plan *CompiledPlan, runID string) error {
 	for _, pr := range plan.Probes {
-		bs, err := ip.s.InputBindings(runID, pr.Proc, pr.Port, pr.Index)
+		bs, err := ip.q.InputBindings(runID, pr.Proc, pr.Port, pr.Index)
 		if err != nil {
 			return err
 		}
 		for _, b := range bs {
-			v, err := ip.s.Value(b.RunID, b.ValID)
+			v, err := ip.q.Value(b.RunID, b.ValID)
 			if err != nil {
 				return err
 			}
@@ -128,21 +134,25 @@ func (ip *IndexProj) executeInto(result *Result, plan *CompiledPlan, runID strin
 
 // CacheSize returns the number of cached compiled plans.
 func (ip *IndexProj) CacheSize() int {
-	ip.mu.Lock()
-	defer ip.mu.Unlock()
+	ip.mu.RLock()
+	defer ip.mu.RUnlock()
 	return len(ip.planCache)
 }
 
 // Compile traverses the workflow specification graph and produces (or
 // retrieves from cache) the probe plan for a query binding and focus set.
+// The cache is read-mostly: concurrent queries sharing a compiled plan hit
+// the read-locked fast path and never serialize on the cache. A cache miss
+// compiles outside any lock (two racing compilations of the same key both
+// produce correct, equal plans; the first insert wins).
 func (ip *IndexProj) Compile(proc, port string, idx value.Index, focus Focus) (*CompiledPlan, error) {
 	key := proc + "\x01" + port + "\x01" + idx.String() + "\x01" + focus.Key()
-	ip.mu.Lock()
-	if plan, ok := ip.planCache[key]; ok {
-		ip.mu.Unlock()
+	ip.mu.RLock()
+	plan, ok := ip.planCache[key]
+	ip.mu.RUnlock()
+	if ok {
 		return plan, nil
 	}
-	ip.mu.Unlock()
 
 	c := &compiler{
 		ip:        ip,
@@ -153,10 +163,14 @@ func (ip *IndexProj) Compile(proc, port string, idx value.Index, focus Focus) (*
 	if err := c.start(proc, port, idx); err != nil {
 		return nil, err
 	}
-	plan := &CompiledPlan{Probes: c.probes}
+	plan = &CompiledPlan{Probes: c.probes}
 
 	ip.mu.Lock()
-	ip.planCache[key] = plan
+	if cached, ok := ip.planCache[key]; ok {
+		plan = cached // another goroutine won the compilation race
+	} else {
+		ip.planCache[key] = plan
+	}
 	ip.mu.Unlock()
 	return plan, nil
 }

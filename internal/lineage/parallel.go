@@ -1,0 +1,201 @@
+package lineage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// This file implements the parallel multi-run executor: the probe phase (t2
+// of Fig. 4) of a multi-run query executed concurrently and batched. Runs
+// are independent by construction (§3.4 — one plan, probed once per run),
+// and so are the plan's probes (each is one indexed trace lookup), so the
+// executor decomposes the work into (probe × run-chunk) tasks: each task
+// answers one probe for a whole chunk of runs with the store's batched
+// multi-run API (one index-range scan instead of one round-trip per run)
+// and materializes the staged values with one batched fetch. A worker pool
+// drains the tasks into private partial Results, merged once at the end —
+// no lock is contended during execution, and the total store work is
+// independent of the parallelism level.
+
+// DefaultBatchSize caps the number of runs a single batched store probe
+// answers (bounding the bindings one task stages in memory) when
+// MultiRunOptions.BatchSize is unset. Larger batches mean fewer scans, so
+// the default chunk is as large as the cap allows.
+const DefaultBatchSize = 64
+
+// MultiRunOptions tunes the parallel multi-run executor.
+type MultiRunOptions struct {
+	// Parallelism is the number of worker goroutines probing runs
+	// concurrently. Values <= 1 select the sequential in-line path.
+	Parallelism int
+	// BatchSize is the number of runs answered per batched store probe
+	// (one index-range scan per probe per batch). 0 means DefaultBatchSize;
+	// 1 disables batching and probes run-by-run, exactly like the
+	// sequential single-run executor.
+	BatchSize int
+}
+
+func (o MultiRunOptions) normalize() MultiRunOptions {
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 1
+	}
+	return o
+}
+
+// LineageMultiRunParallel evaluates the query over a set of runs with the
+// configured parallelism and probe batching. The specification graph is
+// traversed once (one Compile, §3.4); only the probes execute per run. The
+// result is identical to LineageMultiRun's for every parallelism and batch
+// size — a property enforced by randomized tests.
+func (ip *IndexProj) LineageMultiRunParallel(runIDs []string, proc, port string, idx value.Index, focus Focus, opt MultiRunOptions) (*Result, error) {
+	plan, err := ip.Compile(proc, port, idx, focus)
+	if err != nil {
+		return nil, err
+	}
+	return ip.ExecuteMultiRun(plan, runIDs, opt)
+}
+
+// probeChunk is one executor task: one plan probe answered for one chunk of
+// runs.
+type probeChunk struct {
+	probe Probe
+	runs  []string
+}
+
+// ExecuteMultiRun runs a compiled plan against a set of runs under the given
+// options.
+func (ip *IndexProj) ExecuteMultiRun(plan *CompiledPlan, runIDs []string, opt MultiRunOptions) (*Result, error) {
+	if ip.q == nil {
+		return nil, fmt.Errorf("lineage: no store attached to this evaluator")
+	}
+	opt = opt.normalize()
+	chunks := chunkRuns(runIDs, opt.BatchSize)
+	tasks := make([]probeChunk, 0, len(plan.Probes)*len(chunks))
+	for _, chunk := range chunks {
+		for _, pr := range plan.Probes {
+			tasks = append(tasks, probeChunk{probe: pr, runs: chunk})
+		}
+	}
+
+	if opt.Parallelism == 1 || len(tasks) <= 1 {
+		result := NewResult()
+		for _, t := range tasks {
+			if err := ip.executeProbeChunk(result, t.probe, t.runs); err != nil {
+				return nil, err
+			}
+		}
+		return result, nil
+	}
+
+	workers := opt.Parallelism
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	work := make(chan probeChunk, len(tasks))
+	partials := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			partial := NewResult()
+			partials[w] = partial
+			for t := range work {
+				if errs[w] != nil {
+					continue // drain after a failure
+				}
+				errs[w] = ip.executeProbeChunk(partial, t.probe, t.runs)
+			}
+		}(w)
+	}
+	for _, t := range tasks {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+
+	result := NewResult()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		result.Merge(partials[w])
+	}
+	return result, nil
+}
+
+// executeProbeChunk answers one probe for one chunk of runs: run-by-run for
+// singleton chunks (exactly the sequential single-run executor's store
+// accesses), batched otherwise — one index-range scan stages the bindings of
+// every run, then one batched fetch materializes their values.
+func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string) error {
+	if len(runIDs) == 1 {
+		bs, err := ip.q.InputBindings(runIDs[0], pr.Proc, pr.Port, pr.Index)
+		if err != nil {
+			return err
+		}
+		for _, b := range bs {
+			v, err := ip.q.Value(b.RunID, b.ValID)
+			if err != nil {
+				return err
+			}
+			result.Add(Entry{RunID: b.RunID, Proc: b.Proc, Port: b.Port, Index: b.Index, Ctx: b.Ctx, Value: v})
+		}
+		return nil
+	}
+
+	byRun, err := ip.q.InputBindingsBatch(runIDs, pr.Proc, pr.Port, pr.Index)
+	if err != nil {
+		return err
+	}
+	var staged []Entry
+	var refs []store.ValueRef
+	for _, runID := range runIDs {
+		for _, b := range byRun[runID] {
+			staged = append(staged, Entry{RunID: b.RunID, Proc: b.Proc, Port: b.Port, Index: b.Index, Ctx: b.Ctx})
+			refs = append(refs, store.ValueRef{RunID: b.RunID, ValID: b.ValID})
+		}
+	}
+	if len(staged) == 0 {
+		return nil
+	}
+	vals, err := ip.q.ValuesBatch(refs)
+	if err != nil {
+		return err
+	}
+	for i := range staged {
+		v, ok := vals[refs[i]]
+		if !ok {
+			return fmt.Errorf("lineage: missing value %d in run %q", refs[i].ValID, refs[i].RunID)
+		}
+		staged[i].Value = v
+		result.Add(staged[i])
+	}
+	return nil
+}
+
+// chunkRuns partitions runIDs into consecutive chunks of at most size runs.
+func chunkRuns(runIDs []string, size int) [][]string {
+	if len(runIDs) == 0 {
+		return nil
+	}
+	chunks := make([][]string, 0, (len(runIDs)+size-1)/size)
+	for start := 0; start < len(runIDs); start += size {
+		end := start + size
+		if end > len(runIDs) {
+			end = len(runIDs)
+		}
+		chunks = append(chunks, runIDs[start:end])
+	}
+	return chunks
+}

@@ -44,7 +44,11 @@ func encodeDatum(dst []byte, d Datum) []byte {
 		return append(dst, buf[:]...)
 	case TFloat:
 		dst = append(dst, 0x02)
-		bits := math.Float64bits(d.f)
+		f := d.f
+		if f == 0 {
+			f = 0 // normalize -0.0: Datum.Compare treats it as equal to +0.0
+		}
+		bits := math.Float64bits(f)
 		if bits&(1<<63) != 0 {
 			bits = ^bits // negative floats: flip everything
 		} else {

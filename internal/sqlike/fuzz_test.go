@@ -1,0 +1,87 @@
+package sqlike
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary input to the SQL parser: malformed statements
+// must be rejected with an error, never a panic, and accepted statements
+// must survive placeholder counting (which walks the whole AST).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT a, b FROM t WHERE x = ? AND y LIKE 'p%'`,
+		`SELECT COUNT(*) FROM t`,
+		`SELECT val_id, payload FROM vals WHERE run_id = ? AND val_id >= ? AND val_id <= ?`,
+		`INSERT INTO t (a, b) VALUES (?, 'x'), (2, NULL)`,
+		`CREATE TABLE t (a TEXT, b INT, c REAL)`,
+		`CREATE INDEX ix ON t (a, b)`,
+		`DROP TABLE t`,
+		`DELETE FROM t WHERE a = 1.5`,
+		`SAVE TO 'snap.db'`,
+		`LOAD FROM 'snap.db'`,
+		`SELECT * FROM t ORDER BY a LIMIT 3;`,
+		`select 'unterminated`,
+		`SELECT ((((`,
+		`INSERT INTO`,
+		"SELECT a FROM t WHERE a = 'quo''ted'",
+		`-- comment only`,
+		`SELECT a FROM t WHERE a >= -9223372036854775808`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // bound parser work per input
+		}
+		st, err := Parse(src)
+		if err != nil {
+			if st != nil {
+				t.Fatalf("Parse returned both a statement and error %v", err)
+			}
+			return
+		}
+		if n := NumPlaceholders(st); n < 0 || n > len(src) {
+			t.Fatalf("NumPlaceholders = %d for %q", n, src)
+		}
+		// A parsed statement must not round-trip into a lexer panic either:
+		// re-parsing the same input must stay deterministic.
+		st2, err2 := Parse(src)
+		if (err2 == nil) != (st2 != nil) {
+			t.Fatalf("re-parse of %q inconsistent: %v", src, err2)
+		}
+	})
+}
+
+// FuzzLex feeds arbitrary bytes to the lexer alone (Parse exercises it only
+// on token sequences the parser requests).
+func FuzzLex(f *testing.F) {
+	f.Add(`SELECT 'a' || "b" /* c */ -- d`)
+	f.Add("'")
+	f.Add("\x00\xff≤≥")
+	f.Add("1e309 .5 5. 0x1")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 {
+			t.Fatalf("lex(%q) returned no tokens and no error (want at least EOF)", src)
+		}
+		if last := toks[len(toks)-1]; last.kind != tokEOF {
+			t.Fatalf("lex(%q) did not end with EOF: %v", src, last)
+		}
+		for _, tok := range toks {
+			if tok.kind != tokEOF && tok.text == "" && !strings.Contains(src, "''") && !strings.Contains(src, `""`) {
+				// Empty literals are only reachable from empty quoted strings.
+				if tok.kind != tokString {
+					t.Fatalf("lex(%q) produced an empty non-string token %v", src, tok)
+				}
+			}
+		}
+	})
+}

@@ -3,6 +3,8 @@ package store
 import (
 	"database/sql"
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/sqlike"
 )
@@ -21,6 +23,18 @@ type Store struct {
 	qInsExact   *sql.Stmt
 	qXfersTo    *sql.Stmt
 	qValue      *sql.Stmt
+
+	// Batched (multi-run) probe statements: keyed by (proc, port, idx)
+	// without a run filter, they answer Q(P, X, p) for every run in one
+	// index-range scan over xin_ppi (see InputBindingsBatch).
+	qInsBatchPrefix *sql.Stmt
+	qInsBatchExact  *sql.Stmt
+	qValsRange      *sql.Stmt
+	qValsRangeAll   *sql.Stmt
+
+	// runsEst caches the number of stored runs (-1 = unknown); ValuesBatch
+	// uses it to estimate the row cost of a cross-run value scan.
+	runsEst atomic.Int64
 }
 
 // schema is the DDL of the provenance database, mirroring the relational
@@ -34,10 +48,12 @@ var schema = []string{
 
 	`CREATE TABLE vals (run_id TEXT, val_id INT, payload TEXT)`,
 	`CREATE INDEX vals_id ON vals (run_id, val_id)`,
+	`CREATE INDEX vals_vid ON vals (val_id)`,
 
 	`CREATE TABLE xform_in (run_id TEXT, event_id INT, pos INT, proc TEXT, port TEXT, idx TEXT, ctx INT, val_id INT)`,
 	`CREATE INDEX xin_evt ON xform_in (run_id, event_id, pos)`,
 	`CREATE INDEX xin_port ON xform_in (run_id, proc, port, idx)`,
+	`CREATE INDEX xin_ppi ON xform_in (proc, port, idx)`,
 
 	`CREATE TABLE xform_out (run_id TEXT, event_id INT, proc TEXT, port TEXT, idx TEXT, ctx INT, val_id INT)`,
 	`CREATE INDEX xout_port ON xform_out (run_id, proc, port, idx)`,
@@ -57,6 +73,7 @@ func Open(dsn string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{db: db, dsn: dsn}
+	s.runsEst.Store(-1)
 	if err := s.ensureSchema(); err != nil {
 		db.Close()
 		return nil, err
@@ -101,6 +118,22 @@ func (s *Store) prepareQueries() error {
 		`SELECT from_proc, from_port, from_idx, from_ctx, to_idx, to_ctx, val_id FROM xfer WHERE run_id = ? AND to_proc = ? AND to_port = ?`); err != nil {
 		return err
 	}
+	if err := prep(&s.qInsBatchPrefix,
+		`SELECT run_id, idx, ctx, val_id FROM xform_in WHERE proc = ? AND port = ? AND idx LIKE ?`); err != nil {
+		return err
+	}
+	if err := prep(&s.qInsBatchExact,
+		`SELECT run_id, idx, ctx, val_id FROM xform_in WHERE proc = ? AND port = ? AND idx = ?`); err != nil {
+		return err
+	}
+	if err := prep(&s.qValsRange,
+		`SELECT val_id, payload FROM vals WHERE run_id = ? AND val_id >= ? AND val_id <= ?`); err != nil {
+		return err
+	}
+	if err := prep(&s.qValsRangeAll,
+		`SELECT run_id, val_id, payload FROM vals WHERE val_id >= ? AND val_id <= ?`); err != nil {
+		return err
+	}
 	return prep(&s.qValue, `SELECT payload FROM vals WHERE run_id = ? AND val_id = ?`)
 }
 
@@ -108,10 +141,11 @@ func (s *Store) prepareQueries() error {
 func OpenMemory() (*Store, error) { return Open(sqlike.MemoryDSN()) }
 
 func (s *Store) ensureSchema() error {
-	// The runs table existing means the schema is already in place.
+	// The runs table existing means the schema is already in place; stores
+	// created before an index was added to the schema still need it built.
 	var n int
 	if err := s.db.QueryRow(`SELECT COUNT(*) FROM runs`).Scan(&n); err == nil {
-		return nil
+		return s.migrateIndexes()
 	}
 	for _, stmt := range schema {
 		if _, err := s.db.Exec(stmt); err != nil {
@@ -121,10 +155,28 @@ func (s *Store) ensureSchema() error {
 	return nil
 }
 
+// migrateIndexes backfills indexes added to the schema after a store was
+// created (e.g. xin_ppi, which the batched multi-run probes rely on).
+func (s *Store) migrateIndexes() error {
+	for _, stmt := range schema {
+		if !strings.HasPrefix(stmt, "CREATE INDEX") {
+			continue
+		}
+		if _, err := s.db.Exec(stmt); err != nil {
+			if strings.Contains(err.Error(), "already has index") {
+				continue
+			}
+			return fmt.Errorf("store: migrating indexes: %w", err)
+		}
+	}
+	return nil
+}
+
 // Close releases the database handle. In-memory stores also release their
 // contents.
 func (s *Store) Close() error {
-	for _, st := range []*sql.Stmt{s.qOutsPrefix, s.qOutsExact, s.qEventIns, s.qInsPrefix, s.qInsExact, s.qXfersTo, s.qValue} {
+	for _, st := range []*sql.Stmt{s.qOutsPrefix, s.qOutsExact, s.qEventIns, s.qInsPrefix, s.qInsExact, s.qXfersTo, s.qValue,
+		s.qInsBatchPrefix, s.qInsBatchExact, s.qValsRange, s.qValsRangeAll} {
 		if st != nil {
 			st.Close()
 		}
@@ -158,6 +210,21 @@ func sqlEscape(s string) string {
 		}
 	}
 	return string(out)
+}
+
+// runsEstimate returns the (cached) number of stored runs. It only steers
+// the cross-run scan heuristic in ValuesBatch, so a stale value is harmless;
+// writers invalidate the cache rather than keep it exact.
+func (s *Store) runsEstimate() int64 {
+	if n := s.runsEst.Load(); n >= 0 {
+		return n
+	}
+	var n int
+	if err := s.db.QueryRow(`SELECT COUNT(*) FROM runs`).Scan(&n); err != nil {
+		return 1 << 30 // unknown: make cross-run scans look expensive
+	}
+	s.runsEst.Store(int64(n))
+	return int64(n)
 }
 
 // RunInfo describes one stored run.
@@ -255,5 +322,6 @@ func (s *Store) DeleteRun(runID string) (int, error) {
 	if _, err := s.db.Exec(`DELETE FROM runs WHERE run_id = ?`, runID); err != nil {
 		return removed, err
 	}
+	s.runsEst.Store(-1)
 	return removed, nil
 }

@@ -37,6 +37,7 @@ func (s *Store) NewRunWriter(runID, workflowName string) (*RunWriter, error) {
 	if _, err := s.db.Exec(`INSERT INTO runs (run_id, workflow) VALUES (?, ?)`, runID, workflowName); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	s.runsEst.Store(-1)
 	w := &RunWriter{s: s, runID: runID, valIDs: make(map[string]int64)}
 	var err error
 	if w.insVal, err = s.db.Prepare(`INSERT INTO vals (run_id, val_id, payload) VALUES (?, ?, ?)`); err != nil {
