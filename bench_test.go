@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/gen"
 	"repro/internal/lineage"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/value"
 	"repro/internal/workflow"
@@ -279,6 +280,60 @@ func BenchmarkFig10FocusShare(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// repostore aliases the store type for the benchmark's mode table.
+type repostore = store.Store
+
+// BenchmarkIngest measures bulk trace ingestion on a small testbed
+// workload: the same pre-generated traces loaded per-row, through buffered
+// batch writers, and through the concurrent ingest executor (the modes of
+// the `ingest` experiment, results/ingest.csv).
+func BenchmarkIngest(b *testing.B) {
+	traces, err := bench.GenerateTestbedTraces(10, 25, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var records int
+	perRow := func(st *repostore, ts []*trace.Trace) error {
+		for _, tr := range ts {
+			if err := st.StoreTrace(tr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, tc := range []struct {
+		name string
+		load func(*repostore, []*trace.Trace) error
+	}{
+		{"per_row", perRow},
+		{"batched", func(st *repostore, ts []*trace.Trace) error {
+			return st.IngestTraces(ts, store.IngestOptions{Parallelism: 1})
+		}},
+		{"batched_parallel_4", func(st *repostore, ts []*trace.Trace) error {
+			return st.IngestTraces(ts, store.IngestOptions{Parallelism: 4})
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := store.OpenMemory()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tc.load(st, traces); err != nil {
+					b.Fatal(err)
+				}
+				if records == 0 {
+					if records, err = st.TotalRecords(""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st.Close()
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
 }

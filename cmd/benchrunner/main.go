@@ -28,11 +28,12 @@ var experiments = map[string]func(bench.Options) (*bench.Report, error){
 	"fig8":    bench.Fig8,
 	"fig9":    bench.Fig9,
 	"fig10":   bench.Fig10,
+	"ingest":  bench.Ingest,
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig4, fig4par, table1, fig6, fig7, fig8, fig9, fig10")
+		exp     = flag.String("exp", "all", "experiment: all, fig4, fig4par, table1, fig6, fig7, fig8, fig9, fig10, ingest")
 		quick   = flag.Bool("quick", false, "shrink every grid for a fast smoke run")
 		queries = flag.Int("queries", 5, "identical queries per measurement (best-of)")
 		csv     = flag.Bool("csv", false, "also write CSV files")

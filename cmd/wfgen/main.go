@@ -1,12 +1,15 @@
 // Command wfgen generates workflow specifications as JSON: the synthetic
 // testbed family of Fig. 5 (parameterized by chain length l) and the GK/PD
-// reconstructions.
+// reconstructions. With -runs it also executes the generated workflow and
+// bulk-ingests the traces into a provenance store, reporting throughput.
 //
 // Usage:
 //
 //	wfgen -wf testbed -l 75 -o testbed75.json
 //	wfgen -wf gk
 //	wfgen -wf pd -o pd.json
+//	wfgen -wf testbed -l 75 -d 50 -runs 8 -parallel 4 -batch 512
+//	wfgen -wf testbed -runs 4 -store durable:/tmp/prov
 package main
 
 import (
@@ -15,8 +18,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
 	"repro/internal/workflow"
 )
 
@@ -35,6 +43,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	kind := fs.String("wf", "testbed", "workflow to generate: testbed, gk, pd")
 	l := fs.Int("l", 10, "testbed chain length")
 	out := fs.String("o", "", "output file (default stdout)")
+	runs := fs.Int("runs", 0, "execute the workflow this many times and ingest the traces")
+	d := fs.Int("d", 10, "input size per run (testbed list size, GK gene lists, PD abstracts)")
+	dsn := fs.String("store", "", "ingest target DSN (memory:<name>, file:<path>, durable:<dir>; default private memory)")
+	parallel := fs.Int("parallel", store.DefaultIngestParallelism, "runs ingested concurrently")
+	batch := fs.Int("batch", store.DefaultBatchRows, "buffered-writer flush threshold in rows (1 = per-row)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,8 +74,72 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		_, err = stdout.Write(data)
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+
+	if *runs > 0 {
+		return ingest(stdout, w, *kind, *runs, *d, *dsn, *parallel, *batch)
+	}
+	return nil
+}
+
+// ingest executes the workflow `runs` times and loads the traces through the
+// store's concurrent bulk-ingest executor, streaming each run's events
+// straight into a buffered writer.
+func ingest(stdout io.Writer, w *workflow.Workflow, kind string, runs, d int, dsn string, parallel, batch int) error {
+	if d < 1 {
+		return fmt.Errorf("input size must be positive, got %d", d)
+	}
+	inputs := func(r int) map[string]value.Value {
+		switch kind {
+		case "gk":
+			return gen.GKInputs(d, 4)
+		case "pd":
+			return gen.PDInputs(fmt.Sprintf("query sweep %d", r), d)
+		default:
+			return gen.TestbedInputs(d)
+		}
+	}
+	eng := engine.New(gen.Registry())
+
+	var st *store.Store
+	var err error
+	if dsn == "" {
+		st, err = store.OpenMemory()
+	} else {
+		st, err = store.Open(dsn)
+	}
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	tasks := make([]store.IngestTask, runs)
+	for r := 0; r < runs; r++ {
+		r := r
+		tasks[r] = store.IngestTask{
+			RunID:    fmt.Sprintf("%s-run%03d", w.Name, r),
+			Workflow: w.Name,
+			Emit: func(col trace.Collector) error {
+				_, err := eng.Run(w, inputs(r), col)
+				return err
+			},
+		}
+	}
+	start := time.Now()
+	if err := st.Ingest(tasks, store.IngestOptions{Parallelism: parallel, BatchRows: batch}); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	rows, err := st.TotalRecords("")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "ingested %d runs (%d records) in %v: %.0f rows/sec (parallel=%d, batch=%d)\n",
+		runs, rows, elapsed.Round(time.Millisecond), float64(rows)/elapsed.Seconds(), parallel, batch)
+	return nil
 }

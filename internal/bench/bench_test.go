@@ -153,16 +153,52 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 8 {
+	if len(reps) != 9 {
 		t.Fatalf("reports = %d", len(reps))
 	}
-	ids := []string{"fig4", "fig4par", "table1", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	ids := []string{"fig4", "fig4par", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest"}
 	for i, rep := range reps {
 		if rep.ID != ids[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, ids[i])
 		}
 		if len(rep.Rows) == 0 {
 			t.Errorf("report %s is empty", rep.ID)
+		}
+	}
+}
+
+func TestIngestQuick(t *testing.T) {
+	rep, err := Ingest(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// per-row, batched P=1, batched P=4.
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Every mode stores the same number of records, and the baseline's
+	// speedup column is exactly 1.00x.
+	for _, row := range rep.Rows {
+		if row[2] != rep.Rows[0][2] {
+			t.Errorf("record counts differ across modes: %v", rep.Rows)
+		}
+	}
+	if rep.Rows[0][5] != "1.00x" {
+		t.Errorf("baseline speedup = %s, want 1.00x", rep.Rows[0][5])
+	}
+}
+
+func TestGenerateTestbedTraces(t *testing.T) {
+	traces, err := GenerateTestbedTraces(5, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.RunID == "" || len(tr.Xforms) == 0 || len(tr.Xfers) == 0 {
+			t.Errorf("trace %d is empty: %+v", i, tr.RunID)
 		}
 	}
 }

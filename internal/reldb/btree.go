@@ -246,6 +246,108 @@ func (n *btreeNode) growChild(i int) int {
 	return i
 }
 
+// maxItems is the largest number of items a node may hold.
+const maxNodeItems = 2*btreeDegree - 1
+
+// bulkLoad replaces the tree's contents with the given items, which must be
+// sorted by key and free of duplicates. The tree is built bottom-up in O(n):
+// the height is the smallest that can hold n items, and items are spread
+// evenly across each level, so every non-root node ends up with between
+// minItems and maxNodeItems items and all leaves sit at the same depth —
+// exactly the invariants point inserts maintain, at a fraction of the cost.
+func (t *btree) bulkLoad(items []btreeItem) {
+	t.size = len(items)
+	if len(items) == 0 {
+		t.root = &btreeNode{}
+		return
+	}
+	t.root = bulkBuild(items, bulkHeight(len(items)))
+}
+
+// bulkHeight returns the minimal height of a tree holding n items (0 = a
+// single leaf node).
+func bulkHeight(n int) int {
+	h, c := 0, maxNodeItems
+	for c < n {
+		c = c*(2*btreeDegree) + maxNodeItems
+		h++
+	}
+	return h
+}
+
+// bulkCapacity returns the maximum number of items a subtree of the given
+// height can hold.
+func bulkCapacity(height int) int {
+	c := maxNodeItems
+	for i := 0; i < height; i++ {
+		c = c*(2*btreeDegree) + maxNodeItems
+	}
+	return c
+}
+
+// bulkBuild builds a subtree of exactly the given height from sorted items.
+// The caller guarantees len(items) <= bulkCapacity(height), and — except for
+// the root call at minimal height — len(items) > bulkCapacity(height-1), so
+// the child count k is always at least 2 and the even split leaves every
+// child with at least bulkCapacity(height-1)/2 >= minItems items.
+func bulkBuild(items []btreeItem, height int) *btreeNode {
+	if height == 0 {
+		return &btreeNode{items: append([]btreeItem(nil), items...)}
+	}
+	n := len(items)
+	capChild := bulkCapacity(height - 1)
+	k := (n + 1 + capChild) / (capChild + 1) // ceil((n+1)/(capChild+1))
+	childTotal := n - (k - 1)
+	base, extra := childTotal/k, childTotal%k
+	node := &btreeNode{
+		items:    make([]btreeItem, 0, k-1),
+		children: make([]*btreeNode, 0, k),
+	}
+	pos := 0
+	for c := 0; c < k; c++ {
+		take := base
+		if c < extra {
+			take++
+		}
+		node.children = append(node.children, bulkBuild(items[pos:pos+take], height-1))
+		pos += take
+		if c < k-1 {
+			node.items = append(node.items, items[pos])
+			pos++
+		}
+	}
+	return node
+}
+
+// insertBulk adds the sorted, duplicate-free entries to the tree, choosing
+// the cheapest maintenance strategy: a bottom-up build for an empty tree, a
+// merge-and-rebuild when the batch is comparable to the tree, and ordered
+// point inserts for small batches.
+func (t *btree) insertBulk(sorted []btreeItem) {
+	switch {
+	case len(sorted) == 0:
+	case t.size == 0:
+		t.bulkLoad(sorted)
+	case len(sorted) >= t.size/4:
+		merged := make([]btreeItem, 0, t.size+len(sorted))
+		i := 0
+		t.AscendRange(nil, nil, func(key []byte, rid int64) bool {
+			for i < len(sorted) && bytes.Compare(sorted[i].key, key) < 0 {
+				merged = append(merged, sorted[i])
+				i++
+			}
+			merged = append(merged, btreeItem{key: key, rid: rid})
+			return true
+		})
+		merged = append(merged, sorted[i:]...)
+		t.bulkLoad(merged)
+	default:
+		for _, it := range sorted {
+			t.Insert(it.key, it.rid)
+		}
+	}
+}
+
 // AscendRange visits entries with from <= key < to in key order. A nil to
 // means unbounded. The callback returns false to stop early.
 func (t *btree) AscendRange(from, to []byte, fn func(key []byte, rid int64) bool) {

@@ -120,20 +120,38 @@ func (db *DB) Insert(tableName string, row Row) (int64, error) {
 	return rid, nil
 }
 
-// InsertBatch adds many rows under one lock acquisition.
+// InsertBatch adds many rows under one lock acquisition. Index entries are
+// maintained in bulk (sorted insertion, bottom-up tree builds for empty or
+// small indexes) and the whole batch is group-committed to the write-ahead
+// log as one record — one length/CRC frame and one flush, instead of one per
+// row. A failing batch leaves the table unchanged.
 func (db *DB) InsertBatch(tableName string, rows []Row) error {
+	return db.insertBatchMode(tableName, rows, false)
+}
+
+// InsertBatchOwned is InsertBatch without the defensive per-row copy: the
+// database adopts each row's datum slice as table storage. The rows slice
+// itself is copied and may be reused, but the caller must not read or
+// modify any row (the []Datum) after the call. Bulk loaders use it to shed
+// one allocation and copy per row.
+func (db *DB) InsertBatchOwned(tableName string, rows []Row) error {
+	return db.insertBatchMode(tableName, rows, true)
+}
+
+func (db *DB) insertBatchMode(tableName string, rows []Row, owned bool) error {
+	if len(rows) == 0 {
+		return nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, ok := db.tables[tableName]
 	if !ok {
 		return fmt.Errorf("reldb: no table %q", tableName)
 	}
-	for _, r := range rows {
-		if _, err := t.insert(r); err != nil {
-			return err
-		}
+	if err := t.insertBatch(rows, owned); err != nil {
+		return err
 	}
-	return db.logInsert(tableName, rows)
+	return db.logInsertBatch(tableName, rows)
 }
 
 // PredOp is the comparison operator of a predicate.

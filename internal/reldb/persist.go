@@ -21,6 +21,14 @@ const persistMagic = "RELDBSNAPSHOT\x01"
 // Save writes a snapshot of the database to path, atomically (write to a
 // temporary file, then rename).
 func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.saveLocked(path)
+}
+
+// saveLocked is Save with the caller holding db.mu (either mode); Checkpoint
+// uses it under the write lock to make snapshot+truncate atomic.
+func (db *DB) saveLocked(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -65,10 +73,8 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 	return c.w.Write(p)
 }
 
+// writeSnapshot serializes the database; the caller holds db.mu.
 func (db *DB) writeSnapshot(f *os.File) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
 	bw := bufio.NewWriter(f)
 	w := &crcWriter{w: bw}
 	if _, err := io.WriteString(w, persistMagic); err != nil {

@@ -1,6 +1,7 @@
 package reldb
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -110,6 +111,40 @@ func (t *Table) insert(row Row) (int64, error) {
 	return rid, nil
 }
 
+// insertBatch appends many rows and maintains all indexes in bulk. Every row
+// is validated up front, so a failing batch leaves the table unchanged; index
+// entries are built sorted and added with the B-tree's bulk path (bottom-up
+// build or merge-rebuild) instead of one point insert per row. With owned
+// set, the table adopts the rows without the defensive per-row copy.
+func (t *Table) insertBatch(rows []Row, owned bool) error {
+	for _, r := range rows {
+		if err := t.checkRow(r); err != nil {
+			return err
+		}
+	}
+	base := int64(len(t.rows))
+	if owned {
+		t.rows = append(t.rows, rows...)
+	} else {
+		for _, r := range rows {
+			t.rows = append(t.rows, r.Clone())
+		}
+	}
+	t.live += len(rows)
+	for _, ix := range t.indexes {
+		entries := make([]btreeItem, len(rows))
+		for i := range rows {
+			rid := base + int64(i)
+			entries[i] = btreeItem{key: ix.entryKey(t.rows[rid], rid), rid: rid}
+		}
+		sort.Slice(entries, func(a, b int) bool {
+			return bytes.Compare(entries[a].key, entries[b].key) < 0
+		})
+		ix.tree.insertBulk(entries)
+	}
+	return nil
+}
+
 // delete removes the row with the given ID, maintaining indexes.
 func (t *Table) delete(rid int64) error {
 	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
@@ -157,7 +192,10 @@ func (t *Table) scanIndexPrefix(ix *Index, vals []Datum, fn func(rid int64, row 
 	})
 }
 
-// buildIndex creates and backfills an index over the named columns.
+// buildIndex creates and backfills an index over the named columns. The
+// backfill is a sorted bulk load: entry keys for every live row are built,
+// sorted once, and assembled into a B-tree bottom-up — O(n log n) with a
+// single allocation pass, instead of n point inserts with node splits.
 func (t *Table) buildIndex(name string, cols []string) (*Index, error) {
 	if _, ok := t.FindIndex(name); ok {
 		return nil, fmt.Errorf("reldb: table %q already has index %q", t.Name, name)
@@ -171,10 +209,15 @@ func (t *Table) buildIndex(name string, cols []string) (*Index, error) {
 		positions[i] = pos
 	}
 	ix := &Index{Name: name, Cols: positions, tree: newBTree()}
+	entries := make([]btreeItem, 0, t.live)
 	t.scanAll(func(rid int64, row Row) bool {
-		ix.tree.Insert(ix.entryKey(row, rid), rid)
+		entries = append(entries, btreeItem{key: ix.entryKey(row, rid), rid: rid})
 		return true
 	})
+	sort.Slice(entries, func(a, b int) bool {
+		return bytes.Compare(entries[a].key, entries[b].key) < 0
+	})
+	ix.tree.bulkLoad(entries)
 	t.indexes = append(t.indexes, ix)
 	sort.Slice(t.indexes, func(i, j int) bool { return t.indexes[i].Name < t.indexes[j].Name })
 	return ix, nil

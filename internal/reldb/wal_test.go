@@ -192,3 +192,94 @@ func TestDurableSchemaEvolution(t *testing.T) {
 		t.Fatalf("tables after replay = %v", names)
 	}
 }
+
+func TestDurableBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurableT(t, dir)
+	if _, err := db.CreateTable("t", Schema{{Name: "a", Type: TString}, {Name: "n", Type: TInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("t_a", "t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	const batches, perBatch = 4, 25
+	for b := 0; b < batches; b++ {
+		rows := make([]Row, perBatch)
+		for i := range rows {
+			rows[i] = Row{S(fmt.Sprintf("k%03d", b*perBatch+i)), I(int64(b))}
+		}
+		if err := db.InsertBatch("t", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+	back := openDurableT(t, dir)
+	defer back.CloseDurable()
+	if n, err := back.Count("t", nil); err != nil || n != batches*perBatch {
+		t.Fatalf("recovered rows = %d, %v", n, err)
+	}
+	// The replayed index answers point lookups (bulk replay path).
+	rows, err := back.Select("t", []Pred{Eq("a", S("k042"))}, -1)
+	if err != nil || len(rows) != 1 || rows[0][1].Int() != 1 {
+		t.Fatalf("indexed lookup after batch replay = %v, %v", rows, err)
+	}
+}
+
+// TestDurableTornBatchTail simulates a crash mid-append of a recInsertBatch
+// record: the WHOLE final batch is dropped on replay (never a prefix of it),
+// indexes stay consistent with the heap, and appending continues cleanly.
+func TestDurableTornBatchTail(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurableT(t, dir)
+	if _, err := db.CreateTable("t", Schema{{Name: "n", Type: TInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("t_n", "t", "n"); err != nil {
+		t.Fatal(err)
+	}
+	const batches, perBatch = 3, 20
+	for b := 0; b < batches; b++ {
+		rows := make([]Row, perBatch)
+		for i := range rows {
+			rows[i] = Row{I(int64(b*perBatch + i))}
+		}
+		if err := db.InsertBatch("t", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the middle of the last batch record's payload.
+	if err := os.WriteFile(path, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back := openDurableT(t, dir)
+	n, err := back.Count("t", nil)
+	if err != nil || n != (batches-1)*perBatch {
+		t.Fatalf("rows after torn batch = %d, %v (want the whole last batch dropped)", n, err)
+	}
+	// Index agrees with the heap: a bounded index scan sees the same rows.
+	viaIdx, err := back.Count("t", []Pred{Ge("n", I(0))})
+	if err != nil || viaIdx != n {
+		t.Fatalf("index sees %d rows, heap %d (%v)", viaIdx, n, err)
+	}
+	if err := back.InsertBatch("t", []Row{{I(999)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+	again := openDurableT(t, dir)
+	defer again.CloseDurable()
+	if n, _ := again.Count("t", nil); n != (batches-1)*perBatch+1 {
+		t.Fatalf("rows after torn-batch repair = %d", n)
+	}
+}

@@ -7,7 +7,6 @@ package store
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/value"
 )
@@ -29,15 +28,19 @@ func IdxKey(p value.Index) (string, error) {
 	if len(p) == 0 {
 		return "", nil
 	}
-	var sb strings.Builder
-	sb.Grow(len(p) * (idxComponentWidth + 1))
-	for _, c := range p {
+	buf := make([]byte, len(p)*(idxComponentWidth+1))
+	for i, c := range p {
 		if c < 0 || c > maxIdxComponent {
 			return "", fmt.Errorf("store: index component %d out of range [0, %d]", c, maxIdxComponent)
 		}
-		fmt.Fprintf(&sb, "%0*d.", idxComponentWidth, c)
+		at := i * (idxComponentWidth + 1)
+		for j := idxComponentWidth - 1; j >= 0; j-- {
+			buf[at+j] = byte('0' + c%10)
+			c /= 10
+		}
+		buf[at+idxComponentWidth] = '.'
 	}
-	return sb.String(), nil
+	return string(buf), nil
 }
 
 // MustIdxKey is IdxKey for indices already validated by construction.

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// This file implements the concurrent bulk-ingest executor: many runs loaded
+// into one store through buffered writers over a worker pool. Runs are
+// independent rows partitioned by run_id, so their writers never conflict
+// logically; physically each batch flush is one engine-level multi-row
+// insert (one lock acquisition, one group-committed WAL record per table),
+// so workers contend once per batch instead of once per row. The pool
+// mirrors the multi-run query executor in internal/lineage: a buffered task
+// channel, per-worker error slots, drain-after-failure, no shared state
+// until the final error sweep.
+
+// DefaultIngestParallelism is the worker count used when
+// IngestOptions.Parallelism is unset.
+const DefaultIngestParallelism = 4
+
+// IngestOptions tunes the bulk-ingest executor.
+type IngestOptions struct {
+	// Parallelism is the number of runs ingested concurrently. Values <= 0
+	// select DefaultIngestParallelism; 1 ingests sequentially.
+	Parallelism int
+	// BatchRows is the buffered writer's flush threshold (rows across all
+	// event tables per multi-row flush). 0 means DefaultBatchRows; 1
+	// effectively disables batching, reproducing per-row ingest.
+	BatchRows int
+}
+
+func (o IngestOptions) normalize() IngestOptions {
+	if o.Parallelism <= 0 {
+		o.Parallelism = DefaultIngestParallelism
+	}
+	if o.BatchRows <= 0 {
+		o.BatchRows = DefaultBatchRows
+	}
+	return o
+}
+
+// IngestTask is one run to load: Emit replays the run's provenance events
+// into the collector the executor provides (typically by executing a
+// workflow with the engine, or replaying a recorded trace).
+type IngestTask struct {
+	RunID    string
+	Workflow string
+	Emit     func(trace.Collector) error
+}
+
+// Ingest loads every task's run into the store concurrently through
+// buffered writers. Each run gets its own writer (run registration stays
+// serialized through the SQL layer; event rows flush as multi-row batches).
+// The first error aborts remaining work; completed runs stay in the store.
+func (s *Store) Ingest(tasks []IngestTask, opt IngestOptions) error {
+	opt = opt.normalize()
+	ingestOne := func(t IngestTask) error {
+		if t.Emit == nil {
+			return fmt.Errorf("store: ingest task %q has no Emit", t.RunID)
+		}
+		w, err := s.NewBufferedRunWriter(t.RunID, t.Workflow, opt.BatchRows)
+		if err != nil {
+			return err
+		}
+		if err := t.Emit(w); err != nil {
+			w.Close()
+			return fmt.Errorf("store: ingesting run %q: %w", t.RunID, err)
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("store: ingesting run %q: %w", t.RunID, err)
+		}
+		return nil
+	}
+
+	if opt.Parallelism == 1 || len(tasks) <= 1 {
+		for _, t := range tasks {
+			if err := ingestOne(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	workers := opt.Parallelism
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	work := make(chan IngestTask, len(tasks))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for t := range work {
+				if errs[w] != nil {
+					continue // drain after a failure
+				}
+				errs[w] = ingestOne(t)
+			}
+		}(w)
+	}
+	for _, t := range tasks {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IngestTraces loads a set of recorded traces with the given options — the
+// bulk counterpart of calling StoreTrace per trace.
+func (s *Store) IngestTraces(traces []*trace.Trace, opt IngestOptions) error {
+	tasks := make([]IngestTask, len(traces))
+	for i, t := range traces {
+		t := t
+		tasks[i] = IngestTask{
+			RunID:    t.RunID,
+			Workflow: t.Workflow,
+			Emit: func(c trace.Collector) error {
+				for _, e := range t.Xforms {
+					if err := c.Xform(e); err != nil {
+						return err
+					}
+				}
+				for _, e := range t.Xfers {
+					if err := c.Xfer(e); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+	}
+	return s.Ingest(tasks, opt)
+}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"database/sql"
+	"errors"
 	"fmt"
 
 	"repro/internal/trace"
@@ -14,19 +16,12 @@ import (
 // back in port-declaration order.
 func (s *Store) LoadTrace(runID string) (*trace.Trace, error) {
 	var wfName string
-	found := false
-	runs, err := s.ListRuns()
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range runs {
-		if r.RunID == runID {
-			wfName, found = r.Workflow, true
-			break
-		}
-	}
-	if !found {
+	err := s.db.QueryRow(`SELECT workflow FROM runs WHERE run_id = ?`, runID).Scan(&wfName)
+	if errors.Is(err, sql.ErrNoRows) {
 		return nil, fmt.Errorf("store: no run %q", runID)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	t := &trace.Trace{RunID: runID, Workflow: wfName}
 

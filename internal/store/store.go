@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/reldb"
 	"repro/internal/sqlike"
 )
 
@@ -15,6 +16,17 @@ import (
 type Store struct {
 	db  *sql.DB
 	dsn string
+	// rdb is the embedded engine behind dsn. Buffered run writers flush
+	// multi-row batches straight into it (one lock acquisition + one
+	// group-committed WAL record per batch), bypassing the per-row SQL path.
+	rdb *reldb.DB
+
+	// The four event INSERT statements, prepared once per store and shared
+	// by every (unbuffered) RunWriter; *sql.Stmt is safe for concurrent use.
+	insVal  *sql.Stmt
+	insIn   *sql.Stmt
+	insOut  *sql.Stmt
+	insXfer *sql.Stmt
 
 	qOutsPrefix *sql.Stmt
 	qOutsExact  *sql.Stmt
@@ -82,6 +94,10 @@ func Open(dsn string) (*Store, error) {
 		db.Close()
 		return nil, err
 	}
+	if s.rdb, err = sqlike.DBFor(dsn); err != nil {
+		db.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	return s, nil
 }
 
@@ -134,6 +150,22 @@ func (s *Store) prepareQueries() error {
 		`SELECT run_id, val_id, payload FROM vals WHERE val_id >= ? AND val_id <= ?`); err != nil {
 		return err
 	}
+	if err := prep(&s.insVal,
+		`INSERT INTO vals (run_id, val_id, payload) VALUES (?, ?, ?)`); err != nil {
+		return err
+	}
+	if err := prep(&s.insIn,
+		`INSERT INTO xform_in (run_id, event_id, pos, proc, port, idx, ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?)`); err != nil {
+		return err
+	}
+	if err := prep(&s.insOut,
+		`INSERT INTO xform_out (run_id, event_id, proc, port, idx, ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?)`); err != nil {
+		return err
+	}
+	if err := prep(&s.insXfer,
+		`INSERT INTO xfer (run_id, from_proc, from_port, from_idx, from_ctx, to_proc, to_port, to_idx, to_ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`); err != nil {
+		return err
+	}
 	return prep(&s.qValue, `SELECT payload FROM vals WHERE run_id = ? AND val_id = ?`)
 }
 
@@ -176,7 +208,8 @@ func (s *Store) migrateIndexes() error {
 // contents.
 func (s *Store) Close() error {
 	for _, st := range []*sql.Stmt{s.qOutsPrefix, s.qOutsExact, s.qEventIns, s.qInsPrefix, s.qInsExact, s.qXfersTo, s.qValue,
-		s.qInsBatchPrefix, s.qInsBatchExact, s.qValsRange, s.qValsRangeAll} {
+		s.qInsBatchPrefix, s.qInsBatchExact, s.qValsRange, s.qValsRangeAll,
+		s.insVal, s.insIn, s.insOut, s.insXfer} {
 		if st != nil {
 			st.Close()
 		}

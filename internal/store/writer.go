@@ -1,32 +1,93 @@
 package store
 
 import (
-	"database/sql"
 	"fmt"
 
+	"repro/internal/reldb"
 	"repro/internal/trace"
 	"repro/internal/value"
 )
+
+// DefaultBatchRows is the buffered writer's flush threshold when none is
+// given: the number of rows accumulated (across all four event tables)
+// before one multi-row flush.
+const DefaultBatchRows = 512
 
 // RunWriter persists the provenance events of one run. It implements
 // trace.Collector, so it can be handed directly to the engine. Port values
 // are deduplicated within the run (bindings reference value IDs), mirroring
 // the paper's relational trace layout.
+//
+// A writer is either unbuffered — each row is written through the store's
+// shared prepared INSERT statements as it arrives — or buffered (see
+// NewBufferedRunWriter): rows accumulate in memory and are flushed as
+// multi-row batches straight into the embedded engine, one lock acquisition
+// and one group-committed WAL record per table per flush.
 type RunWriter struct {
 	s        *Store
 	runID    string
 	eventSeq int64
 	valIDs   map[string]int64
 
-	insVal  *sql.Stmt
-	insIn   *sql.Stmt
-	insOut  *sql.Stmt
-	insXfer *sql.Stmt
+	// Fast interning caches in front of valIDs: the engine shares immutable
+	// values across many bindings, so most valID calls see a value already
+	// interned. These look it up without re-encoding — by raw content for
+	// string/int atoms, by backing-array identity for lists — which is the
+	// bulk of ingest time otherwise.
+	strIDs  map[string]int64
+	intIDs  map[int64]int64
+	listIDs map[value.Handle]int64
+
+	// Buffered mode: batchRows > 0. Rows pending flush, in schema column
+	// order, per table. Their datums live in arena, one allocation per
+	// batch; each flush hands the arena-backed rows to the engine with
+	// ownership (reldb.InsertBatchOwned), so the arena is abandoned — never
+	// reused — after a flush.
+	batchRows int
+	arena     []reldb.Datum
+	bufVals   []reldb.Row
+	bufIn     []reldb.Row
+	bufOut    []reldb.Row
+	bufXfer   []reldb.Row
 }
 
-// NewRunWriter registers a run and returns a collector that persists its
-// events. The run ID must be unique within the store.
+// arenaBase readies the batch arena and returns the offset the next row's
+// datums start at.
+func (w *RunWriter) arenaBase() int {
+	if w.arena == nil {
+		// Largest schema arity is xfer's 10 columns.
+		w.arena = make([]reldb.Datum, 0, w.batchRows*10+16)
+	}
+	return len(w.arena)
+}
+
+// takeRow returns the arena datums appended since base as one row, capped so
+// later arena appends cannot alias it.
+func (w *RunWriter) takeRow(base int) reldb.Row {
+	return reldb.Row(w.arena[base:len(w.arena):len(w.arena)])
+}
+
+// NewRunWriter registers a run and returns an unbuffered collector that
+// persists its events row by row. The run ID must be unique within the
+// store.
 func (s *Store) NewRunWriter(runID, workflowName string) (*RunWriter, error) {
+	return s.newRunWriter(runID, workflowName, 0)
+}
+
+// NewBufferedRunWriter registers a run and returns a collector that buffers
+// its events and flushes them as multi-row batches of about batchRows rows
+// (<= 0 selects DefaultBatchRows; 1 effectively disables buffering). The
+// caller must Close the writer to flush the final partial batch. On a
+// durable store each flush is one group-committed WAL record per table, so
+// a crash loses at most the unflushed tail, never part of a flushed batch.
+func (s *Store) NewBufferedRunWriter(runID, workflowName string, batchRows int) (*RunWriter, error) {
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	return s.newRunWriter(runID, workflowName, batchRows)
+}
+
+func (s *Store) newRunWriter(runID, workflowName string, batchRows int) (*RunWriter, error) {
 	var n int
 	if err := s.db.QueryRow(`SELECT COUNT(*) FROM runs WHERE run_id = ?`, runID).Scan(&n); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -38,44 +99,118 @@ func (s *Store) NewRunWriter(runID, workflowName string) (*RunWriter, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s.runsEst.Store(-1)
-	w := &RunWriter{s: s, runID: runID, valIDs: make(map[string]int64)}
-	var err error
-	if w.insVal, err = s.db.Prepare(`INSERT INTO vals (run_id, val_id, payload) VALUES (?, ?, ?)`); err != nil {
-		return nil, err
-	}
-	if w.insIn, err = s.db.Prepare(`INSERT INTO xform_in (run_id, event_id, pos, proc, port, idx, ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?)`); err != nil {
-		return nil, err
-	}
-	if w.insOut, err = s.db.Prepare(`INSERT INTO xform_out (run_id, event_id, proc, port, idx, ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?)`); err != nil {
-		return nil, err
-	}
-	if w.insXfer, err = s.db.Prepare(`INSERT INTO xfer (run_id, from_proc, from_port, from_idx, from_ctx, to_proc, to_port, to_idx, to_ctx, val_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`); err != nil {
-		return nil, err
-	}
-	return w, nil
+	return &RunWriter{
+		s:         s,
+		runID:     runID,
+		valIDs:    make(map[string]int64),
+		strIDs:    make(map[string]int64),
+		intIDs:    make(map[int64]int64),
+		listIDs:   make(map[value.Handle]int64),
+		batchRows: batchRows,
+	}, nil
 }
 
 // RunID returns the run this writer persists.
 func (w *RunWriter) RunID() string { return w.runID }
 
-// Close releases the writer's prepared statements.
-func (w *RunWriter) Close() error {
-	for _, st := range []*sql.Stmt{w.insVal, w.insIn, w.insOut, w.insXfer} {
-		if st != nil {
-			st.Close()
+// buffered reports whether the writer accumulates batches.
+func (w *RunWriter) buffered() bool { return w.batchRows > 0 }
+
+// pending returns the number of buffered rows awaiting a flush.
+func (w *RunWriter) pending() int {
+	return len(w.bufVals) + len(w.bufIn) + len(w.bufOut) + len(w.bufXfer)
+}
+
+// Flush writes every buffered row as multi-row batches (values first, so a
+// crash cannot persist an event row whose value is still in memory). It is
+// a no-op for unbuffered writers.
+func (w *RunWriter) Flush() error {
+	if !w.buffered() || w.pending() == 0 {
+		return nil
+	}
+	for _, part := range []struct {
+		table string
+		rows  *[]reldb.Row
+	}{
+		{"vals", &w.bufVals},
+		{"xform_in", &w.bufIn},
+		{"xform_out", &w.bufOut},
+		{"xfer", &w.bufXfer},
+	} {
+		if len(*part.rows) == 0 {
+			continue
 		}
+		// Ownership of the rows — and of the arena backing them — passes to
+		// the engine; only the buffer headers are reusable afterwards.
+		if err := w.s.rdb.InsertBatchOwned(part.table, *part.rows); err != nil {
+			return fmt.Errorf("store: flushing %s: %w", part.table, err)
+		}
+		*part.rows = (*part.rows)[:0]
+	}
+	w.arena = nil
+	return nil
+}
+
+func (w *RunWriter) maybeFlush() error {
+	if w.pending() >= w.batchRows {
+		return w.Flush()
 	}
 	return nil
 }
 
-// valID interns a port value within the run and returns its ID.
+// Close flushes any buffered rows. The store's prepared statements are
+// shared across writers and stay open.
+func (w *RunWriter) Close() error { return w.Flush() }
+
+// valID interns a port value within the run and returns its ID. Repeat
+// values hit one of the non-encoding caches; only first occurrences pay for
+// the canonical encoding and the row write.
 func (w *RunWriter) valID(v value.Value) (int64, error) {
-	payload := value.Encode(v)
+	if s, ok := v.StringVal(); ok {
+		if id, ok := w.strIDs[s]; ok {
+			return id, nil
+		}
+		id, err := w.internPayload(value.Encode(v))
+		if err == nil {
+			w.strIDs[s] = id
+		}
+		return id, err
+	}
+	if i, ok := v.IntVal(); ok {
+		if id, ok := w.intIDs[i]; ok {
+			return id, nil
+		}
+		id, err := w.internPayload(value.Encode(v))
+		if err == nil {
+			w.intIDs[i] = id
+		}
+		return id, err
+	}
+	if h := v.Handle(); h.Valid() {
+		if id, ok := w.listIDs[h]; ok {
+			return id, nil
+		}
+		id, err := w.internPayload(value.Encode(v))
+		if err == nil {
+			w.listIDs[h] = id
+		}
+		return id, err
+	}
+	return w.internPayload(value.Encode(v))
+}
+
+// internPayload interns a canonically encoded value by payload, writing the
+// vals row on first sight.
+func (w *RunWriter) internPayload(payload string) (int64, error) {
 	if id, ok := w.valIDs[payload]; ok {
 		return id, nil
 	}
 	id := int64(len(w.valIDs))
-	if _, err := w.insVal.Exec(w.runID, id, payload); err != nil {
+	if w.buffered() {
+		base := w.arenaBase()
+		w.arena = append(w.arena, reldb.S(w.runID), reldb.I(id), reldb.S(payload))
+		w.bufVals = append(w.bufVals, w.takeRow(base))
+	} else if _, err := w.s.insVal.Exec(w.runID, id, payload); err != nil {
 		return 0, err
 	}
 	w.valIDs[payload] = id
@@ -95,7 +230,13 @@ func (w *RunWriter) Xform(e trace.XformEvent) error {
 		if err != nil {
 			return err
 		}
-		if _, err := w.insIn.Exec(w.runID, eventID, int64(pos), b.Proc, b.Port, key, int64(b.Ctx), vid); err != nil {
+		if w.buffered() {
+			base := w.arenaBase()
+			w.arena = append(w.arena,
+				reldb.S(w.runID), reldb.I(eventID), reldb.I(int64(pos)),
+				reldb.S(b.Proc), reldb.S(b.Port), reldb.S(key), reldb.I(int64(b.Ctx)), reldb.I(vid))
+			w.bufIn = append(w.bufIn, w.takeRow(base))
+		} else if _, err := w.s.insIn.Exec(w.runID, eventID, int64(pos), b.Proc, b.Port, key, int64(b.Ctx), vid); err != nil {
 			return err
 		}
 	}
@@ -108,11 +249,17 @@ func (w *RunWriter) Xform(e trace.XformEvent) error {
 		if err != nil {
 			return err
 		}
-		if _, err := w.insOut.Exec(w.runID, eventID, b.Proc, b.Port, key, int64(b.Ctx), vid); err != nil {
+		if w.buffered() {
+			base := w.arenaBase()
+			w.arena = append(w.arena,
+				reldb.S(w.runID), reldb.I(eventID),
+				reldb.S(b.Proc), reldb.S(b.Port), reldb.S(key), reldb.I(int64(b.Ctx)), reldb.I(vid))
+			w.bufOut = append(w.bufOut, w.takeRow(base))
+		} else if _, err := w.s.insOut.Exec(w.runID, eventID, b.Proc, b.Port, key, int64(b.Ctx), vid); err != nil {
 			return err
 		}
 	}
-	return nil
+	return w.maybeFlush()
 }
 
 // Xfer implements trace.Collector.
@@ -129,28 +276,52 @@ func (w *RunWriter) Xfer(e trace.XferEvent) error {
 	if err != nil {
 		return err
 	}
-	_, err = w.insXfer.Exec(w.runID,
+	if w.buffered() {
+		base := w.arenaBase()
+		w.arena = append(w.arena,
+			reldb.S(w.runID),
+			reldb.S(e.From.Proc), reldb.S(e.From.Port), reldb.S(fromKey), reldb.I(int64(e.From.Ctx)),
+			reldb.S(e.To.Proc), reldb.S(e.To.Port), reldb.S(toKey), reldb.I(int64(e.To.Ctx)), reldb.I(vid))
+		w.bufXfer = append(w.bufXfer, w.takeRow(base))
+		return w.maybeFlush()
+	}
+	_, err = w.s.insXfer.Exec(w.runID,
 		e.From.Proc, e.From.Port, fromKey, int64(e.From.Ctx),
 		e.To.Proc, e.To.Port, toKey, int64(e.To.Ctx), vid)
 	return err
 }
 
-// StoreTrace persists a complete in-memory trace in one call.
+// StoreTrace persists a complete in-memory trace in one call, row by row.
 func (s *Store) StoreTrace(t *trace.Trace) error {
-	w, err := s.NewRunWriter(t.RunID, t.Workflow)
+	return s.storeTrace(t, 0)
+}
+
+// StoreTraceBatched persists a complete in-memory trace through a buffered
+// writer flushing batches of about batchRows rows (<= 0 selects
+// DefaultBatchRows).
+func (s *Store) StoreTraceBatched(t *trace.Trace, batchRows int) error {
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	return s.storeTrace(t, batchRows)
+}
+
+func (s *Store) storeTrace(t *trace.Trace, batchRows int) error {
+	w, err := s.newRunWriter(t.RunID, t.Workflow, batchRows)
 	if err != nil {
 		return err
 	}
-	defer w.Close()
 	for _, e := range t.Xforms {
 		if err := w.Xform(e); err != nil {
+			w.Close()
 			return err
 		}
 	}
 	for _, e := range t.Xfers {
 		if err := w.Xfer(e); err != nil {
+			w.Close()
 			return err
 		}
 	}
-	return nil
+	return w.Close()
 }

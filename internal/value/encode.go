@@ -37,7 +37,17 @@ func encode(sb *strings.Builder, v Value) {
 		}
 		sb.WriteByte(']')
 	case kindString:
-		sb.WriteString(strconv.Quote(v.s))
+		if quoteSafe(v.s) {
+			// Fast path: strconv.Quote escapes nothing in a string of
+			// printable ASCII without '"' or '\\', so the quoted form is the
+			// string itself — skip Quote's per-rune IsPrint scan, which
+			// dominates bulk trace ingestion otherwise.
+			sb.WriteByte('"')
+			sb.WriteString(v.s)
+			sb.WriteByte('"')
+		} else {
+			sb.WriteString(strconv.Quote(v.s))
+		}
 	case kindInt:
 		sb.WriteString(strconv.FormatInt(v.i, 10))
 	case kindFloat:
@@ -53,6 +63,17 @@ func encode(sb *strings.Builder, v Value) {
 	case kindBool:
 		sb.WriteString(strconv.FormatBool(v.b))
 	}
+}
+
+// quoteSafe reports whether strconv.Quote(s) == `"` + s + `"`: every byte is
+// printable ASCII and needs no escaping.
+func quoteSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
 }
 
 // Decode parses the canonical textual encoding back into a value.

@@ -75,6 +75,31 @@ func Ints(is ...int64) Value {
 	return List(elems...)
 }
 
+// Handle is an opaque identity token for a list value: two values with
+// equal valid handles share the same immutable backing array and are
+// therefore structurally equal. Handles are comparable and usable as map
+// keys; holding one keeps the backing array alive. They let consumers that
+// see the same shared list many times (e.g. the provenance writer, which
+// encodes every binding's value) cache per-value derived data without
+// re-traversing the list.
+type Handle struct {
+	first *Value
+	n     int
+}
+
+// Valid reports whether h identifies a value. Atoms and empty lists have no
+// backing array and yield the zero, invalid handle.
+func (h Handle) Valid() bool { return h.first != nil }
+
+// Handle returns the identity token of a list's backing array, or the
+// invalid handle for atoms and empty lists.
+func (v Value) Handle() Handle {
+	if v.k != kindList || len(v.elems) == 0 {
+		return Handle{}
+	}
+	return Handle{first: &v.elems[0], n: len(v.elems)}
+}
+
 // IsList reports whether v is a list (as opposed to an atom).
 func (v Value) IsList() bool { return v.k == kindList }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"math/rand"
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -473,5 +475,32 @@ func TestJSONInterop(t *testing.T) {
 	}
 	if _, err := FromJSON(nil); err == nil {
 		t.Error("JSON null accepted")
+	}
+}
+
+// TestEncodeQuoteFastPath pins the string fast path to strconv.Quote: the
+// canonical encoding must be byte-identical whether or not the fast path
+// applies.
+func TestEncodeQuoteFastPath(t *testing.T) {
+	cases := []string{
+		"", "plain", "with space", "path:00042", "a_b-c.d:e",
+		`has "quotes"`, `back\slash`, "tab\there", "newline\n", "nul\x00",
+		"unicode é", "emoji \U0001F600", "del\x7f", "high\x80bytes",
+		"mixed é then ascii", strings.Repeat("x", 300),
+	}
+	for _, s := range cases {
+		got := Encode(Str(s))
+		want := strconv.Quote(s)
+		if got != want {
+			t.Errorf("Encode(Str(%q)) = %s, want %s", s, got, want)
+		}
+		back, err := Decode(got)
+		if err != nil {
+			t.Errorf("Decode(%s): %v", got, err)
+			continue
+		}
+		if v, ok := back.StringVal(); !ok || v != s {
+			t.Errorf("round trip of %q gave %q", s, v)
+		}
 	}
 }
