@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -107,7 +108,7 @@ func BenchmarkFig4ParallelMultiRun(b *testing.B) {
 		b.Run(q.name+"/sequential", func(b *testing.B) {
 			opt := lineage.MultiRunOptions{Parallelism: 1, BatchSize: 1}
 			for i := 0; i < b.N; i++ {
-				if _, err := ip.ExecuteMultiRun(plan, q.runs, opt); err != nil {
+				if _, err := ip.ExecuteMultiRun(context.Background(), plan, q.runs, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -116,7 +117,7 @@ func BenchmarkFig4ParallelMultiRun(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/parallel_p%d", q.name, p), func(b *testing.B) {
 				opt := lineage.MultiRunOptions{Parallelism: p}
 				for i := 0; i < b.N; i++ {
-					if _, err := ip.ExecuteMultiRun(plan, q.runs, opt); err != nil {
+					if _, err := ip.ExecuteMultiRun(context.Background(), plan, q.runs, opt); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -311,10 +312,10 @@ func BenchmarkIngest(b *testing.B) {
 	}{
 		{"per_row", perRow},
 		{"batched", func(st *repostore, ts []*trace.Trace) error {
-			return st.IngestTraces(ts, store.IngestOptions{Parallelism: 1})
+			return st.IngestTraces(context.Background(), ts, store.IngestOptions{Parallelism: 1})
 		}},
 		{"batched_parallel_4", func(st *repostore, ts []*trace.Trace) error {
-			return st.IngestTraces(ts, store.IngestOptions{Parallelism: 4})
+			return st.IngestTraces(context.Background(), ts, store.IngestOptions{Parallelism: 4})
 		}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {

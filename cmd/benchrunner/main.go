@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/bench"
 )
@@ -38,9 +41,21 @@ func main() {
 		queries = flag.Int("queries", 5, "identical queries per measurement (best-of)")
 		csv     = flag.Bool("csv", false, "also write CSV files")
 		out     = flag.String("out", ".", "directory for CSV output")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
-	opts := bench.Options{Quick: *quick, Queries: *queries}
+
+	// Experiments run under a context cancelled by Ctrl-C (SIGINT/SIGTERM)
+	// or -timeout, so a long sweep aborts between (or inside) executor
+	// phases instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := bench.Options{Quick: *quick, Queries: *queries, Ctx: ctx}
 
 	var reports []*bench.Report
 	if *exp == "all" {

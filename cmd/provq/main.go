@@ -18,13 +18,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -45,8 +48,12 @@ func main() {
 
 // run dispatches the subcommands. It is the whole CLI behind a testable
 // seam: output goes to the supplied writers and failures are returned, never
-// os.Exit'ed.
+// os.Exit'ed. Every subcommand runs under a context cancelled by Ctrl-C
+// (SIGINT/SIGTERM), so long multi-run queries stop cleanly instead of being
+// killed mid-write.
 func run(args []string, stdout, stderr io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if len(args) == 0 {
 		usage(stderr)
 		return fmt.Errorf("missing command")
@@ -57,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "runs":
 		return cmdRuns(args[1:], stdout, stderr)
 	case "query":
-		return cmdQuery(args[1:], stdout, stderr)
+		return cmdQuery(ctx, args[1:], stdout, stderr)
 	case "stats":
 		return cmdStats(args[1:], stdout, stderr)
 	case "graph":
@@ -240,9 +247,10 @@ func cmdRuns(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func cmdQuery(args []string, stdout, stderr io.Writer) error {
+func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("query", stderr)
 	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	runID := fs.String("run", "", "run ID (see provq runs)")
 	runsArg := fs.String("runs", "", "comma-separated run IDs for a multi-run query (shares one compiled plan)")
 	parallel := fs.Int("parallel", 1, "worker parallelism for multi-run queries")
@@ -285,6 +293,11 @@ func cmdQuery(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	sys, err := newSystem(*dsn, *l, *wfJSON)
 	if err != nil {
 		return err
@@ -297,7 +310,7 @@ func cmdQuery(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("multi-run queries only support -direction back")
 		}
 		opt := lineage.MultiRunOptions{Parallelism: *parallel, BatchSize: *batch}
-		res, err = sys.LineageMultiRunParallel(m, runIDs, proc, port, idx, focus, opt)
+		res, err = sys.LineageMultiRunParallel(ctx, m, runIDs, proc, port, idx, focus, opt)
 		if err != nil {
 			return err
 		}

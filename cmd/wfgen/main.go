@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -38,6 +41,11 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
+	// Ingest runs under a context cancelled by Ctrl-C (SIGINT/SIGTERM) or by
+	// -timeout, so a long bulk load stops cleanly: in-flight batch flushes
+	// finish or roll back, and the store stays reopenable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fs := flag.NewFlagSet("wfgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	kind := fs.String("wf", "testbed", "workflow to generate: testbed, gk, pd")
@@ -48,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	dsn := fs.String("store", "", "ingest target DSN (memory:<name>, file:<path>, durable:<dir>; default private memory)")
 	parallel := fs.Int("parallel", store.DefaultIngestParallelism, "runs ingested concurrently")
 	batch := fs.Int("batch", store.DefaultBatchRows, "buffered-writer flush threshold in rows (1 = per-row)")
+	timeout := fs.Duration("timeout", 0, "abort ingest after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,7 +91,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *runs > 0 {
-		return ingest(stdout, w, *kind, *runs, *d, *dsn, *parallel, *batch)
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		return ingest(ctx, stdout, w, *kind, *runs, *d, *dsn, *parallel, *batch)
 	}
 	return nil
 }
@@ -90,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // ingest executes the workflow `runs` times and loads the traces through the
 // store's concurrent bulk-ingest executor, streaming each run's events
 // straight into a buffered writer.
-func ingest(stdout io.Writer, w *workflow.Workflow, kind string, runs, d int, dsn string, parallel, batch int) error {
+func ingest(ctx context.Context, stdout io.Writer, w *workflow.Workflow, kind string, runs, d int, dsn string, parallel, batch int) error {
 	if d < 1 {
 		return fmt.Errorf("input size must be positive, got %d", d)
 	}
@@ -131,7 +145,7 @@ func ingest(stdout io.Writer, w *workflow.Workflow, kind string, runs, d int, ds
 		}
 	}
 	start := time.Now()
-	if err := st.Ingest(tasks, store.IngestOptions{Parallelism: parallel, BatchRows: batch}); err != nil {
+	if err := st.Ingest(ctx, tasks, store.IngestOptions{Parallelism: parallel, BatchRows: batch}); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)

@@ -149,7 +149,7 @@ func Fig4Parallel(o Options) (*Report, error) {
 		seqOpt := lineage.MultiRunOptions{Parallelism: 1, BatchSize: 1}
 		var baseline *lineage.Result
 		seqT, err := bestOfScaled(o.queries(), func() error {
-			baseline, err = ip.ExecuteMultiRun(plan, cfg.runs, seqOpt)
+			baseline, err = ip.ExecuteMultiRun(o.ctx(), plan, cfg.runs, seqOpt)
 			return err
 		})
 		if err != nil {
@@ -157,7 +157,7 @@ func Fig4Parallel(o Options) (*Report, error) {
 		}
 		addRow := func(mode string, opt lineage.MultiRunOptions, t time.Duration) error {
 			store.ResetQueryCount()
-			got, err := ip.ExecuteMultiRun(plan, cfg.runs, opt)
+			got, err := ip.ExecuteMultiRun(o.ctx(), plan, cfg.runs, opt)
 			if err != nil {
 				return err
 			}
@@ -177,7 +177,7 @@ func Fig4Parallel(o Options) (*Report, error) {
 		for _, p := range []int{1, 2, 4, 8} {
 			opt := lineage.MultiRunOptions{Parallelism: p}
 			t, err := bestOfScaled(o.queries(), func() error {
-				_, err := ip.ExecuteMultiRun(plan, cfg.runs, opt)
+				_, err := ip.ExecuteMultiRun(o.ctx(), plan, cfg.runs, opt)
 				return err
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -17,6 +18,17 @@ import (
 type Options struct {
 	Queries int // identical queries per measurement (default 5, paper's best-of-5)
 	Quick   bool
+	// Ctx, when set, bounds every experiment: cancellation (Ctrl-C, a
+	// -timeout) aborts the in-flight ingest or query executor cleanly.
+	Ctx context.Context
+}
+
+// ctx returns the experiment context, defaulting to context.Background().
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) queries() int {

@@ -52,6 +52,7 @@ func Ingest(o Options) (*Report, error) {
 		return nil, err
 	}
 
+	ctx := o.ctx()
 	modes := []ingestMode{
 		{"per-row", func(s *store.Store, ts []*trace.Trace) error {
 			for _, tr := range ts {
@@ -62,10 +63,10 @@ func Ingest(o Options) (*Report, error) {
 			return nil
 		}},
 		{"batched P=1", func(s *store.Store, ts []*trace.Trace) error {
-			return s.IngestTraces(ts, store.IngestOptions{Parallelism: 1})
+			return s.IngestTraces(ctx, ts, store.IngestOptions{Parallelism: 1})
 		}},
 		{"batched P=4", func(s *store.Store, ts []*trace.Trace) error {
-			return s.IngestTraces(ts, store.IngestOptions{Parallelism: 4})
+			return s.IngestTraces(ctx, ts, store.IngestOptions{Parallelism: 4})
 		}},
 	}
 

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -257,7 +258,7 @@ func (s *System) LineageMultiRun(m Method, runIDs []string, proc, port string, i
 // workflow using the parallel multi-run executor (worker pool + batched
 // store probes). Only INDEXPROJ supports parallel execution; the naïve
 // method falls back to its sequential multi-run traversal.
-func (s *System) LineageMultiRunParallel(m Method, runIDs []string, proc, port string, idx value.Index, focus lineage.Focus, opt lineage.MultiRunOptions) (*lineage.Result, error) {
+func (s *System) LineageMultiRunParallel(ctx context.Context, m Method, runIDs []string, proc, port string, idx value.Index, focus lineage.Focus, opt lineage.MultiRunOptions) (*lineage.Result, error) {
 	if len(runIDs) == 0 {
 		return lineage.NewResult(), nil
 	}
@@ -276,7 +277,7 @@ func (s *System) LineageMultiRunParallel(m Method, runIDs []string, proc, port s
 			return nil, fmt.Errorf("core: multi-run query spans different workflows (%s vs %s)", runIDs[0], r)
 		}
 	}
-	return ip.LineageMultiRunParallel(runIDs, proc, port, idx, focus, opt)
+	return ip.LineageMultiRunParallel(ctx, runIDs, proc, port, idx, focus, opt)
 }
 
 func (s *System) indexProjFor(runID string) (*lineage.IndexProj, error) {

@@ -1,0 +1,288 @@
+// Package faultfs provides a fault-injecting implementation of the reldb
+// virtual filesystem. It wraps a real VFS, counts every durability-relevant
+// operation, and can be armed to misbehave at the N-th one in either of two
+// ways:
+//
+//   - FailAt(n): the n-th operation returns an injected error (marked
+//     transient) and has no effect. Everything before and after works
+//     normally — this models a one-off I/O error the caller may retry.
+//
+//   - CrashAt(n): from the n-th operation on, nothing is persisted and no
+//     error is reported — this models the process dying mid-operation. The
+//     state left behind in the base filesystem is exactly what a real crash
+//     would leave: writes are buffered per file until Sync, so un-synced
+//     data is lost, and a crash triggered by a Sync flushes only half of
+//     the pending bytes, producing a torn tail.
+//
+// A crash-point sweep runs a deterministic workload once to learn the total
+// operation count, then replays it with CrashAt(n) (or FailAt(n)) for every
+// n, reopening the database afterwards and asserting the recovery
+// invariants. See internal/reldb's crash-point tests for the driver.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"repro/internal/reldb"
+)
+
+// ErrInjected is the sentinel matched by errors.Is for every injected fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// injectedError is the concrete error returned at an armed FailAt point. It
+// reports itself transient (reldb.IsTransient returns true), since it models
+// a one-off I/O error that a retry would get past.
+type injectedError struct {
+	op string
+	n  int
+}
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("faultfs: injected fault at operation %d (%s)", e.n, e.op)
+}
+
+func (e *injectedError) Transient() bool { return true }
+
+func (e *injectedError) Is(target error) bool { return target == ErrInjected }
+
+// FS wraps a base VFS and injects faults by operation count. Counted
+// operations: ReadFile, Create, Append, Rename, Remove, Truncate, SyncDir,
+// and per-file Write, Sync, Close. Stat and MkdirAll are passthrough
+// (they do not affect durability). The zero fault configuration is a
+// faithful proxy apart from write buffering, which Close and Sync flush —
+// so a run that closes its files ends with the base identical to a direct
+// run.
+type FS struct {
+	base reldb.VFS
+
+	mu      sync.Mutex
+	ops     int
+	failAt  int // 1-based op index to fail; 0 = disarmed
+	failed  bool
+	crashAt int // 1-based op index from which nothing persists; 0 = disarmed
+	crashed bool
+}
+
+// New wraps base with fault injection disarmed.
+func New(base reldb.VFS) *FS {
+	return &FS{base: base}
+}
+
+// FailAt arms a one-shot injected error at the n-th counted operation
+// (1-based). Zero disarms.
+func (f *FS) FailAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt, f.failed = n, false
+}
+
+// CrashAt arms a simulated crash at the n-th counted operation (1-based):
+// that operation and every later one silently stops persisting. Zero disarms.
+func (f *FS) CrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// Ops returns how many counted operations have run.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Failed reports whether the armed FailAt point has fired.
+func (f *FS) Failed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+// Crashed reports whether the simulated crash has happened. Once true, every
+// acknowledgment the caller receives is a lie — the crash-point driver uses
+// this to decide which commits count as acknowledged.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// tick advances the operation counter and resolves what the current
+// operation should do: return an injected error, behave as the first
+// crashed operation (justCrashed), continue in the crashed state, or
+// proceed normally.
+func (f *FS) tick(op string) (err error, justCrashed, crashed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.failAt > 0 && !f.failed && f.ops >= f.failAt {
+		f.failed = true
+		return &injectedError{op: op, n: f.ops}, false, f.crashed
+	}
+	if f.crashAt > 0 && f.ops >= f.crashAt {
+		justCrashed = !f.crashed
+		f.crashed = true
+	}
+	return nil, justCrashed, f.crashed
+}
+
+// ReadFile reads from the base filesystem: reads always see exactly what was
+// persisted, crashed or not.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if err, _, _ := f.tick("readfile " + path); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(path)
+}
+
+func (f *FS) Create(path string) (reldb.File, error) {
+	err, _, crashed := f.tick("create " + path)
+	if err != nil {
+		return nil, err
+	}
+	if crashed {
+		// The process "died" before the file could be created: hand back a
+		// file that swallows everything and never touches the base.
+		return &file{fs: f}, nil
+	}
+	bf, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, base: bf}, nil
+}
+
+func (f *FS) Append(path string) (reldb.File, error) {
+	err, _, crashed := f.tick("append " + path)
+	if err != nil {
+		return nil, err
+	}
+	if crashed {
+		return &file{fs: f}, nil
+	}
+	bf, err := f.base.Append(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, base: bf}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	err, _, crashed := f.tick("rename " + newpath)
+	if err != nil || crashed {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(path string) error {
+	err, _, crashed := f.tick("remove " + path)
+	if err != nil || crashed {
+		return err
+	}
+	return f.base.Remove(path)
+}
+
+func (f *FS) Truncate(path string, size int64) error {
+	err, _, crashed := f.tick("truncate " + path)
+	if err != nil || crashed {
+		return err
+	}
+	return f.base.Truncate(path, size)
+}
+
+func (f *FS) SyncDir(path string) error {
+	err, _, crashed := f.tick("syncdir " + path)
+	if err != nil || crashed {
+		return err
+	}
+	return f.base.SyncDir(path)
+}
+
+// Stat and MkdirAll pass through uncounted: they carry no durability
+// decision worth injecting on, and counting them would only inflate sweeps.
+
+func (f *FS) Stat(path string) (fs.FileInfo, error) { return f.base.Stat(path) }
+
+func (f *FS) MkdirAll(path string) error { return f.base.MkdirAll(path) }
+
+// file buffers writes until Sync (or Close) so that a simulated crash loses
+// exactly the un-synced bytes, like a real one.
+type file struct {
+	fs      *FS
+	base    reldb.File // nil when the file was "created" after the crash
+	pending []byte
+}
+
+func (fl *file) Write(p []byte) (int, error) {
+	err, _, crashed := fl.fs.tick("write")
+	if err != nil {
+		return 0, err
+	}
+	if crashed {
+		// Acknowledged but never persisted — the essence of a crash.
+		return len(p), nil
+	}
+	fl.pending = append(fl.pending, p...)
+	return len(p), nil
+}
+
+func (fl *file) Sync() error {
+	err, justCrashed, crashed := fl.fs.tick("sync")
+	if err != nil {
+		return err
+	}
+	if crashed {
+		if justCrashed && fl.base != nil && len(fl.pending) > 0 {
+			// A crash during fsync persists an arbitrary prefix of the
+			// pending bytes: flush half, producing a torn record for
+			// recovery to detect and drop.
+			fl.base.Write(fl.pending[:len(fl.pending)/2])
+		}
+		fl.pending = nil
+		return nil
+	}
+	if len(fl.pending) > 0 {
+		if _, werr := fl.base.Write(fl.pending); werr != nil {
+			return werr
+		}
+		fl.pending = fl.pending[:0]
+	}
+	return fl.base.Sync()
+}
+
+func (fl *file) Close() error {
+	err, _, crashed := fl.fs.tick("close")
+	if crashed || err != nil {
+		// Close the real handle either way so file descriptors do not leak
+		// across a sweep of hundreds of simulated crashes, but persist
+		// nothing new.
+		fl.pending = nil
+		if fl.base != nil {
+			fl.base.Close()
+			fl.base = nil
+		}
+		return err
+	}
+	if fl.base == nil {
+		return nil
+	}
+	if len(fl.pending) > 0 {
+		// Data written but never synced survives a clean close (the OS gets
+		// it even if the disk hasn't confirmed); only crashes lose it.
+		if _, werr := fl.base.Write(fl.pending); werr != nil {
+			fl.base.Close()
+			fl.base = nil
+			return werr
+		}
+		fl.pending = nil
+	}
+	berr := fl.base.Close()
+	fl.base = nil
+	return berr
+}
+
+var _ reldb.VFS = (*FS)(nil)

@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/reldb"
+)
+
+func writeFile(t *testing.T, fs *FS, path, content string, sync bool) error {
+	t.Helper()
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func readBase(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "<absent>"
+		}
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(data)
+}
+
+// With no faults armed, the wrapper is a faithful proxy: everything written
+// and closed lands in the base filesystem.
+func TestCleanPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(reldb.OSFS{})
+	path := filepath.Join(dir, "a.txt")
+	if err := writeFile(t, fs, path, "hello", true); err != nil {
+		t.Fatalf("writeFile: %v", err)
+	}
+	if got := readBase(t, path); got != "hello" {
+		t.Fatalf("base content = %q, want %q", got, "hello")
+	}
+	if fs.Ops() != 4 { // create, write, sync, close
+		t.Fatalf("Ops() = %d, want 4", fs.Ops())
+	}
+	if fs.Crashed() || fs.Failed() {
+		t.Fatalf("clean run reports crashed=%v failed=%v", fs.Crashed(), fs.Failed())
+	}
+}
+
+// FailAt injects exactly one error, at the armed operation; the error is the
+// ErrInjected sentinel and is transient (so retry loops engage), and the
+// operation after it succeeds.
+func TestFailAtIsOneShotAndTransient(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(reldb.OSFS{})
+	fs.FailAt(2) // the Write
+	path := filepath.Join(dir, "a.txt")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	_, err = f.Write([]byte("hello"))
+	if err == nil {
+		t.Fatal("armed write succeeded")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error %v is not ErrInjected", err)
+	}
+	if !reldb.IsTransient(err) {
+		t.Fatalf("injected error %v is not transient", err)
+	}
+	if !fs.Failed() {
+		t.Fatal("Failed() = false after injection")
+	}
+	// One-shot: the retry goes through.
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("retried write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := readBase(t, path); got != "hello" {
+		t.Fatalf("base content = %q, want %q", got, "hello")
+	}
+}
+
+// A crash at a Write loses everything not yet synced, acknowledges the write
+// anyway, and silences every later operation.
+func TestCrashAtWriteLosesUnsyncedData(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(reldb.OSFS{})
+	fs.CrashAt(2) // the Write
+	path := filepath.Join(dir, "a.txt")
+	if err := writeFile(t, fs, path, "hello", true); err != nil {
+		t.Fatalf("writeFile reported error despite crash semantics: %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false")
+	}
+	if got := readBase(t, path); got != "" {
+		t.Fatalf("base content = %q, want empty (file created, nothing persisted)", got)
+	}
+}
+
+// A crash at a Sync persists half the pending bytes: a torn tail for
+// recovery code to detect.
+func TestCrashAtSyncTearsPendingBytes(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(reldb.OSFS{})
+	fs.CrashAt(3) // the Sync
+	path := filepath.Join(dir, "a.txt")
+	if err := writeFile(t, fs, path, "0123456789", true); err != nil {
+		t.Fatalf("writeFile: %v", err)
+	}
+	if got := readBase(t, path); got != "01234" {
+		t.Fatalf("base content = %q, want torn prefix %q", got, "01234")
+	}
+}
+
+// After the crash point, file creations and renames silently do nothing.
+func TestPostCrashOperationsAreSilent(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(reldb.OSFS{})
+	before := filepath.Join(dir, "before.txt")
+	if err := writeFile(t, fs, before, "durable", true); err != nil {
+		t.Fatalf("writeFile: %v", err)
+	}
+	fs.CrashAt(fs.Ops() + 1)
+	after := filepath.Join(dir, "after.txt")
+	if err := writeFile(t, fs, after, "lost", true); err != nil {
+		t.Fatalf("post-crash writeFile: %v", err)
+	}
+	if err := fs.Rename(before, filepath.Join(dir, "renamed.txt")); err != nil {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if err := fs.Truncate(before, 0); err != nil {
+		t.Fatalf("post-crash truncate: %v", err)
+	}
+	if got := readBase(t, before); got != "durable" {
+		t.Fatalf("pre-crash file = %q, want %q", got, "durable")
+	}
+	if got := readBase(t, after); got != "<absent>" {
+		t.Fatalf("post-crash file = %q, want absent", got)
+	}
+}
+
+// The operation count of a fixed workload is deterministic, which is what
+// lets a sweep enumerate every injection point from a single probe run.
+func TestOpsCountIsDeterministic(t *testing.T) {
+	run := func() int {
+		dir := t.TempDir()
+		fs := New(reldb.OSFS{})
+		for i := 0; i < 3; i++ {
+			if err := writeFile(t, fs, filepath.Join(dir, "f.txt"), "data", true); err != nil {
+				t.Fatalf("writeFile: %v", err)
+			}
+		}
+		fs.SyncDir(dir)
+		return fs.Ops()
+	}
+	a, b := run(), run()
+	if a != b || a == 0 {
+		t.Fatalf("op counts differ or zero: %d vs %d", a, b)
+	}
+}

@@ -1,7 +1,10 @@
 package lineage
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/store"
@@ -56,12 +59,12 @@ func (o MultiRunOptions) normalize() MultiRunOptions {
 // traversed once (one Compile, §3.4); only the probes execute per run. The
 // result is identical to LineageMultiRun's for every parallelism and batch
 // size — a property enforced by randomized tests.
-func (ip *IndexProj) LineageMultiRunParallel(runIDs []string, proc, port string, idx value.Index, focus Focus, opt MultiRunOptions) (*Result, error) {
+func (ip *IndexProj) LineageMultiRunParallel(ctx context.Context, runIDs []string, proc, port string, idx value.Index, focus Focus, opt MultiRunOptions) (*Result, error) {
 	plan, err := ip.Compile(proc, port, idx, focus)
 	if err != nil {
 		return nil, err
 	}
-	return ip.ExecuteMultiRun(plan, runIDs, opt)
+	return ip.ExecuteMultiRun(ctx, plan, runIDs, opt)
 }
 
 // probeChunk is one executor task: one plan probe answered for one chunk of
@@ -72,10 +75,18 @@ type probeChunk struct {
 }
 
 // ExecuteMultiRun runs a compiled plan against a set of runs under the given
-// options.
-func (ip *IndexProj) ExecuteMultiRun(plan *CompiledPlan, runIDs []string, opt MultiRunOptions) (*Result, error) {
+// options. The first failing task cancels the rest; cancelling ctx aborts
+// the query with the context's error. A panic inside a pooled task is
+// confined to its worker and surfaced as an error carrying the stack.
+func (ip *IndexProj) ExecuteMultiRun(ctx context.Context, plan *CompiledPlan, runIDs []string, opt MultiRunOptions) (*Result, error) {
 	if ip.q == nil {
 		return nil, fmt.Errorf("lineage: no store attached to this evaluator")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	opt = opt.normalize()
 	chunks := chunkRuns(runIDs, opt.BatchSize)
@@ -89,6 +100,9 @@ func (ip *IndexProj) ExecuteMultiRun(plan *CompiledPlan, runIDs []string, opt Mu
 	if opt.Parallelism == 1 || len(tasks) <= 1 {
 		result := NewResult()
 		for _, t := range tasks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := ip.executeProbeChunk(result, t.probe, t.runs); err != nil {
 				return nil, err
 			}
@@ -100,6 +114,8 @@ func (ip *IndexProj) ExecuteMultiRun(plan *CompiledPlan, runIDs []string, opt Mu
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	work := make(chan probeChunk, len(tasks))
 	partials := make([]*Result, workers)
 	errs := make([]error, workers)
@@ -108,13 +124,26 @@ func (ip *IndexProj) ExecuteMultiRun(plan *CompiledPlan, runIDs []string, opt Mu
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("lineage: probe worker panic: %v\n%s", r, debug.Stack())
+					cancel()
+				}
+			}()
 			partial := NewResult()
 			partials[w] = partial
 			for t := range work {
 				if errs[w] != nil {
 					continue // drain after a failure
 				}
-				errs[w] = ip.executeProbeChunk(partial, t.probe, t.runs)
+				if err := wctx.Err(); err != nil {
+					errs[w] = err
+					continue
+				}
+				if err := ip.executeProbeChunk(partial, t.probe, t.runs); err != nil {
+					errs[w] = err
+					cancel() // first error stops the other workers
+				}
 			}
 		}(w)
 	}
@@ -124,14 +153,41 @@ func (ip *IndexProj) ExecuteMultiRun(plan *CompiledPlan, runIDs []string, opt Mu
 	close(work)
 	wg.Wait()
 
+	if err := firstError(ctx, errs); err != nil {
+		return nil, err
+	}
 	result := NewResult()
 	for w := 0; w < workers; w++ {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
 		result.Merge(partials[w])
 	}
 	return result, nil
+}
+
+// firstError selects the error to surface from a pool run: a real failure
+// beats a secondary cancellation error, and if the caller's own context was
+// cancelled, its error is authoritative.
+func firstError(ctx context.Context, errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+			continue
+		}
+		if isCancellation(first) && !isCancellation(err) {
+			first = err
+		}
+	}
+	if first != nil && isCancellation(first) && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return first
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // executeProbeChunk answers one probe for one chunk of runs: run-by-run for

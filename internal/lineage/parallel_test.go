@@ -1,6 +1,7 @@
 package lineage
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -139,7 +140,7 @@ func TestParallelEquivalenceRandom(t *testing.T) {
 			for _, par := range []int{1, 2, 4} {
 				for _, batch := range []int{1, 2, 5} {
 					opt := MultiRunOptions{Parallelism: par, BatchSize: batch}
-					got, err := env.ip.LineageMultiRunParallel(runs, q.proc, q.port, q.idx, focus, opt)
+					got, err := env.ip.LineageMultiRunParallel(context.Background(), runs, q.proc, q.port, q.idx, focus, opt)
 					if err != nil {
 						t.Fatalf("trial %d (P=%d batch=%d): %v", trial, par, batch, err)
 					}
@@ -150,7 +151,7 @@ func TestParallelEquivalenceRandom(t *testing.T) {
 				}
 			}
 			// Default options (largest batch) too.
-			got, err := env.ip.LineageMultiRunParallel(runs, q.proc, q.port, q.idx, focus, MultiRunOptions{Parallelism: 4})
+			got, err := env.ip.LineageMultiRunParallel(context.Background(), runs, q.proc, q.port, q.idx, focus, MultiRunOptions{Parallelism: 4})
 			if err != nil {
 				t.Fatalf("trial %d (defaults): %v", trial, err)
 			}
@@ -216,7 +217,7 @@ func TestParallelExecutorConcurrent(t *testing.T) {
 					continue
 				}
 				opt := MultiRunOptions{Parallelism: 1 + (g+i)%4, BatchSize: 1 + (g+i)%3}
-				got, err := env.ip.LineageMultiRunParallel(env.runs, j.q.proc, j.q.port, j.q.idx, j.focus, opt)
+				got, err := env.ip.LineageMultiRunParallel(context.Background(), env.runs, j.q.proc, j.q.port, j.q.idx, j.focus, opt)
 				if err != nil {
 					errCh <- err
 					return
@@ -326,7 +327,7 @@ func TestExecuteMultiRunNoStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	plan := &CompiledPlan{Probes: []Probe{{Proc: "p00", Port: "x0", Index: value.EmptyIndex}}}
-	if _, err := ip.ExecuteMultiRun(plan, []string{"r1", "r2"}, MultiRunOptions{Parallelism: 2}); err == nil {
+	if _, err := ip.ExecuteMultiRun(context.Background(), plan, []string{"r1", "r2"}, MultiRunOptions{Parallelism: 2}); err == nil {
 		t.Fatal("expected an error from ExecuteMultiRun without a store")
 	}
 }

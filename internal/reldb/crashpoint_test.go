@@ -1,0 +1,457 @@
+package reldb_test
+
+// Crash-point sweep: a deterministic workload (schema DDL, single-row
+// commits, group commits, checkpoints, a delete) runs once against a
+// counting fault-injection filesystem to learn the total number of I/O
+// operations, then runs again once per operation index with either an
+// injected error (fail mode, with and without retries) or a simulated crash
+// (everything from that operation on silently stops persisting, with torn
+// syncs). After every injected run the database directory is reopened with
+// the real filesystem and the recovery invariants are asserted:
+//
+//   - every acknowledged commit is present, exactly once;
+//   - an unacknowledged commit is atomic — all of its rows or none;
+//   - a torn tail is dropped, never misread;
+//   - secondary indexes agree with table contents.
+//
+// The sweep covers every injection point in WAL append, group commit,
+// checkpoint (snapshot write, rename, directory sync, log truncation), and
+// recovery itself. RELDB_CRASHPOINTS caps how many points are exercised
+// (strided) so CI can bound the run time.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/reldb"
+)
+
+// crashStep is one commit of the sweep workload: an action plus the keys it
+// adds to or deletes from the table, for the verifier to check against.
+type crashStep struct {
+	desc    string
+	added   []int
+	deleted []int
+	run     func(db *reldb.DB) error
+}
+
+func crashRow(k int) reldb.Row {
+	return reldb.Row{reldb.I(int64(k)), reldb.S(fmt.Sprintf("payload-%04d", k))}
+}
+
+func crashRows(ks []int) []reldb.Row {
+	rows := make([]reldb.Row, len(ks))
+	for i, k := range ks {
+		rows[i] = crashRow(k)
+	}
+	return rows
+}
+
+func keyRange(lo, hi int) []int {
+	ks := make([]int, 0, hi-lo)
+	for k := lo; k < hi; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// crashScript is the canonical workload. It deliberately crosses every
+// durability mechanism: single-record commits, group commits, two
+// checkpoints (so records both covered and not covered by a snapshot
+// exist), and a delete.
+func crashScript() []crashStep {
+	var steps []crashStep
+	steps = append(steps,
+		crashStep{desc: "create-table", run: func(db *reldb.DB) error {
+			_, err := db.CreateTable("t", reldb.Schema{
+				{Name: "k", Type: reldb.TInt},
+				{Name: "s", Type: reldb.TString},
+			})
+			return err
+		}},
+		crashStep{desc: "create-index", run: func(db *reldb.DB) error {
+			return db.CreateIndex("t_k", "t", "k")
+		}},
+	)
+	for _, k := range keyRange(0, 4) {
+		k := k
+		steps = append(steps, crashStep{
+			desc: fmt.Sprintf("insert-%d", k), added: []int{k},
+			run: func(db *reldb.DB) error { _, err := db.Insert("t", crashRow(k)); return err },
+		})
+	}
+	batch := func(name string, ks []int) crashStep {
+		return crashStep{desc: name, added: ks, run: func(db *reldb.DB) error {
+			return db.InsertBatch("t", crashRows(ks))
+		}}
+	}
+	steps = append(steps, batch("batch-a", keyRange(10, 18)))
+	steps = append(steps, crashStep{desc: "checkpoint-1", run: (*reldb.DB).Checkpoint})
+	for _, k := range []int{4, 5} {
+		k := k
+		steps = append(steps, crashStep{
+			desc: fmt.Sprintf("insert-%d", k), added: []int{k},
+			run: func(db *reldb.DB) error { _, err := db.Insert("t", crashRow(k)); return err },
+		})
+	}
+	steps = append(steps, crashStep{desc: "delete-4", deleted: []int{4}, run: func(db *reldb.DB) error {
+		_, err := db.Delete("t", []reldb.Pred{reldb.Eq("k", reldb.I(4))})
+		return err
+	}})
+	steps = append(steps, batch("batch-b", keyRange(20, 28)))
+	steps = append(steps, crashStep{desc: "checkpoint-2", run: (*reldb.DB).Checkpoint})
+	steps = append(steps, batch("batch-c", keyRange(30, 34)))
+	return steps
+}
+
+// applyCrashScript opens a durable database over fs and runs the workload.
+// A commit that returns nil while crashed() is still false is acknowledged;
+// a commit that returns nil after the simulated crash, or that fails, is
+// pending (its effects are indeterminate). With retry set, transient errors
+// are retried up to three times — exercising the rollback and log-repair
+// paths that make commits retryable. A persistent error aborts the workload
+// the way an application would.
+func applyCrashScript(fs reldb.VFS, dir string, crashed func() bool, retry bool) (acked, pending []crashStep, err error) {
+	db, err := reldb.OpenDurableVFS(fs, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer db.CloseDurable()
+	for _, s := range crashScript() {
+		err := s.run(db)
+		if retry {
+			for attempt := 0; err != nil && reldb.IsTransient(err) && attempt < 3; attempt++ {
+				err = s.run(db)
+			}
+		}
+		if err != nil {
+			pending = append(pending, s)
+			return acked, pending, nil
+		}
+		if crashed != nil && crashed() {
+			pending = append(pending, s)
+			continue
+		}
+		acked = append(acked, s)
+	}
+	return acked, pending, nil
+}
+
+// verifyCrashState reopens dir with the real filesystem and asserts the
+// recovery invariants against the acknowledged and pending commit sets.
+func verifyCrashState(t *testing.T, label, dir string, acked, pending []crashStep) {
+	t.Helper()
+	db, err := reldb.OpenDurable(dir)
+	if err != nil {
+		t.Fatalf("%s: reopen after injected run: %v", label, err)
+	}
+	defer db.CloseDurable()
+
+	ackedDesc := make(map[string]bool, len(acked))
+	for _, s := range acked {
+		ackedDesc[s.desc] = true
+	}
+	tbl, haveTable := db.Table("t")
+	if !haveTable {
+		if ackedDesc["create-table"] {
+			t.Fatalf("%s: acknowledged create-table lost", label)
+		}
+		return // nothing else can have been acknowledged
+	}
+	if ackedDesc["create-index"] {
+		if _, ok := tbl.FindIndex("t_k"); !ok {
+			t.Fatalf("%s: acknowledged create-index lost", label)
+		}
+	}
+
+	count := func(k int) int {
+		n, err := db.Count("t", []reldb.Pred{reldb.Eq("k", reldb.I(int64(k)))})
+		if err != nil {
+			t.Fatalf("%s: count key %d: %v", label, k, err)
+		}
+		return n
+	}
+
+	pendingDeleted := map[int]bool{}
+	for _, s := range pending {
+		for _, k := range s.deleted {
+			pendingDeleted[k] = true
+		}
+	}
+
+	// Fold the acknowledged commits in order into the expected final state:
+	// every key it holds must be present exactly once (unless an in-flight
+	// delete touched it), and every key an acknowledged delete removed must
+	// stay gone.
+	expected := map[int]bool{}
+	removed := map[int]bool{}
+	for _, s := range acked {
+		for _, k := range s.added {
+			expected[k] = true
+			delete(removed, k)
+		}
+		for _, k := range s.deleted {
+			delete(expected, k)
+			removed[k] = true
+		}
+	}
+	for k := range expected {
+		switch n := count(k); {
+		case n == 1:
+		case n == 0 && pendingDeleted[k]:
+		default:
+			t.Fatalf("%s: acked key %d has %d copies, want 1", label, k, n)
+		}
+	}
+	for k := range removed {
+		if n := count(k); n != 0 {
+			t.Fatalf("%s: acked delete of key %d undone: %d copies present", label, k, n)
+		}
+	}
+
+	// Unacknowledged commits are atomic: all rows of a batch or none, and
+	// never duplicated.
+	for _, s := range pending {
+		if len(s.added) > 0 {
+			first := count(s.added[0])
+			if first != 0 && first != 1 {
+				t.Fatalf("%s: pending commit %s: key %d has %d copies", label, s.desc, s.added[0], first)
+			}
+			for _, k := range s.added[1:] {
+				if n := count(k); n != first {
+					t.Fatalf("%s: pending commit %s persisted partially: key %d count %d, key %d count %d",
+						label, s.desc, s.added[0], first, k, n)
+				}
+			}
+		}
+		for _, k := range s.deleted {
+			if n := count(k); n > 1 {
+				t.Fatalf("%s: pending delete %s: key %d has %d copies", label, s.desc, k, n)
+			}
+		}
+	}
+
+	// No phantom or double-counted rows: the heap total equals the sum of
+	// per-key counts over every key the workload ever mentions.
+	allKeys := map[int]bool{}
+	for _, s := range append(append([]crashStep{}, acked...), pending...) {
+		for _, k := range s.added {
+			allKeys[k] = true
+		}
+	}
+	sum := 0
+	for k := range allKeys {
+		sum += count(k)
+	}
+	total, err := db.Count("t", nil)
+	if err != nil {
+		t.Fatalf("%s: total count: %v", label, err)
+	}
+	if total != sum {
+		t.Fatalf("%s: table holds %d rows but per-key counts sum to %d", label, total, sum)
+	}
+
+	// Indexes match table contents.
+	if problems := db.VerifyIndexes(); len(problems) > 0 {
+		t.Fatalf("%s: index integrity violations after recovery: %v", label, problems)
+	}
+}
+
+// crashPointStride returns the sweep step for a given total, honoring the
+// RELDB_CRASHPOINTS cap (number of points to exercise per mode).
+func crashPointStride(total int) int {
+	if cap := os.Getenv("RELDB_CRASHPOINTS"); cap != "" {
+		if n, err := strconv.Atoi(cap); err == nil && n > 0 && total > n {
+			return (total + n - 1) / n
+		}
+	}
+	return 1
+}
+
+func TestCrashPointSweep(t *testing.T) {
+	// Probe run: learn the operation count and confirm the workload is green
+	// without faults.
+	probeDir := t.TempDir()
+	probe := faultfs.New(reldb.OSFS{})
+	acked, pending, err := applyCrashScript(probe, probeDir, probe.Crashed, false)
+	if err != nil {
+		t.Fatalf("probe open: %v", err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("clean probe run left pending commits: %v", pending)
+	}
+	verifyCrashState(t, "probe", probeDir, acked, pending)
+	total := probe.Ops()
+	if total < 40 {
+		t.Fatalf("probe counted only %d operations; the sweep would be vacuous", total)
+	}
+	stride := crashPointStride(total)
+	t.Logf("sweeping %d injection points (stride %d) per mode", total, stride)
+
+	modes := []struct {
+		name  string
+		retry bool
+		crash bool
+	}{
+		{name: "fail", retry: false},
+		{name: "fail-retry", retry: true},
+		{name: "crash", crash: true},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			for n := 1; n <= total; n += stride {
+				dir := t.TempDir()
+				fs := faultfs.New(reldb.OSFS{})
+				if m.crash {
+					fs.CrashAt(n)
+				} else {
+					fs.FailAt(n)
+				}
+				acked, pending, openErr := applyCrashScript(fs, dir, fs.Crashed, m.retry)
+				label := fmt.Sprintf("%s@%d", m.name, n)
+				if openErr != nil {
+					// The injection hit the open itself; the directory must
+					// still recover cleanly (to its pre-run state).
+					verifyCrashState(t, label, dir, nil, nil)
+					continue
+				}
+				verifyCrashState(t, label, dir, acked, pending)
+			}
+		})
+	}
+}
+
+// TestRecoveryFaultPoints aims injections at recovery itself: a directory
+// holding a snapshot, live WAL records, and a torn tail is reopened with a
+// fault at each recovery operation. An injected error must abort the open
+// without damaging the directory; a simulated crash mid-recovery must leave
+// a directory that still recovers to the same state.
+func TestRecoveryFaultPoints(t *testing.T) {
+	// Build the fixture with the real filesystem.
+	seedDir := t.TempDir()
+	db, err := reldb.OpenDurable(seedDir)
+	if err != nil {
+		t.Fatalf("seed open: %v", err)
+	}
+	if _, err := db.CreateTable("t", reldb.Schema{
+		{Name: "k", Type: reldb.TInt},
+		{Name: "s", Type: reldb.TString},
+	}); err != nil {
+		t.Fatalf("seed create table: %v", err)
+	}
+	if err := db.CreateIndex("t_k", "t", "k"); err != nil {
+		t.Fatalf("seed create index: %v", err)
+	}
+	if err := db.InsertBatch("t", crashRows(keyRange(0, 10))); err != nil {
+		t.Fatalf("seed batch: %v", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("seed checkpoint: %v", err)
+	}
+	if err := db.InsertBatch("t", crashRows(keyRange(10, 15))); err != nil {
+		t.Fatalf("seed batch 2: %v", err)
+	}
+	if err := db.CloseDurable(); err != nil {
+		t.Fatalf("seed close: %v", err)
+	}
+	// Torn tail: garbage bytes shorter than a record header.
+	wf, err := os.OpenFile(filepath.Join(seedDir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open wal for tearing: %v", err)
+	}
+	if _, err := wf.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatalf("tear wal: %v", err)
+	}
+	wf.Close()
+
+	snap, err := os.ReadFile(filepath.Join(seedDir, "snapshot.db"))
+	if err != nil {
+		t.Fatalf("read seed snapshot: %v", err)
+	}
+	wal, err := os.ReadFile(filepath.Join(seedDir, "wal.log"))
+	if err != nil {
+		t.Fatalf("read seed wal: %v", err)
+	}
+	restore := func() string {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "snapshot.db"), snap, 0o644); err != nil {
+			t.Fatalf("restore snapshot: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal.log"), wal, 0o644); err != nil {
+			t.Fatalf("restore wal: %v", err)
+		}
+		return dir
+	}
+	checkState := func(label string, db *reldb.DB) {
+		t.Helper()
+		for _, k := range keyRange(0, 15) {
+			n, err := db.Count("t", []reldb.Pred{reldb.Eq("k", reldb.I(int64(k)))})
+			if err != nil {
+				t.Fatalf("%s: count key %d: %v", label, k, err)
+			}
+			if n != 1 {
+				t.Fatalf("%s: key %d has %d copies, want 1", label, k, n)
+			}
+		}
+		if problems := db.VerifyIndexes(); len(problems) > 0 {
+			t.Fatalf("%s: index problems: %v", label, problems)
+		}
+	}
+
+	// Probe: count the operations one recovery performs.
+	probe := faultfs.New(reldb.OSFS{})
+	pdb, err := reldb.OpenDurableVFS(probe, restore())
+	if err != nil {
+		t.Fatalf("probe recovery: %v", err)
+	}
+	checkState("probe", pdb)
+	pdb.CloseDurable()
+	total := probe.Ops()
+	if total < 3 {
+		t.Fatalf("recovery probe counted only %d operations", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		// Fail mode: the open either fails cleanly or yields the full state;
+		// either way the directory still recovers afterwards.
+		dir := restore()
+		fs := faultfs.New(reldb.OSFS{})
+		fs.FailAt(n)
+		label := fmt.Sprintf("recovery-fail@%d", n)
+		if db, err := reldb.OpenDurableVFS(fs, dir); err == nil {
+			checkState(label, db)
+			db.CloseDurable()
+		}
+		again, err := reldb.OpenDurable(dir)
+		if err != nil {
+			t.Fatalf("%s: directory no longer recovers: %v", label, err)
+		}
+		checkState(label+"/reopen", again)
+		again.CloseDurable()
+
+		// Crash mode: recovery's own writes (tail truncation, log handle)
+		// stop persisting; the state read back must be intact now and after
+		// a later clean reopen.
+		dir = restore()
+		fs = faultfs.New(reldb.OSFS{})
+		fs.CrashAt(n)
+		label = fmt.Sprintf("recovery-crash@%d", n)
+		if db, err := reldb.OpenDurableVFS(fs, dir); err == nil {
+			checkState(label, db)
+			db.CloseDurable()
+		} else {
+			t.Fatalf("%s: simulated crash surfaced an error: %v", label, err)
+		}
+		again, err = reldb.OpenDurable(dir)
+		if err != nil {
+			t.Fatalf("%s: directory no longer recovers: %v", label, err)
+		}
+		checkState(label+"/reopen", again)
+		again.CloseDurable()
+	}
+}

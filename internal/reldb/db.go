@@ -17,6 +17,14 @@ type DB struct {
 	// mutation is appended to, and the directory holding log + snapshot.
 	wal    *walWriter
 	walDir string
+	// vfs is the filesystem durability goes through (nil means the OS).
+	vfs VFS
+	// seq is the sequence number of the last committed WAL record; the
+	// snapshot records the value it covers so replay never re-applies.
+	seq uint64
+	// repairs records integrity repairs made while opening (rebuilt
+	// indexes); see RecoveryReport.
+	repairs []string
 	// stats counters, exported for benchmark instrumentation; atomic
 	// because read paths (which increment them) run under the read lock.
 	statIndexScans atomic.Int64
@@ -29,12 +37,26 @@ func NewDB() *DB {
 	return &DB{tables: make(map[string]*Table)}
 }
 
+// fs returns the database's filesystem, defaulting to the OS.
+func (db *DB) fs() VFS {
+	if db.vfs == nil {
+		return OSFS{}
+	}
+	return db.vfs
+}
+
+// Every logged mutation below is fault-atomic: the in-memory change is made
+// first, and if the WAL append then fails the change is rolled back before
+// the error is returned. A failed commit therefore leaves both the memory
+// state and (after the writer's self-repair) the log exactly as they were,
+// so callers may safely retry transient failures.
+
 // CreateTable creates a table with the given schema.
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; ok {
-		return nil, fmt.Errorf("reldb: table %q already exists", name)
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	if len(schema) == 0 {
 		return nil, fmt.Errorf("reldb: table %q: empty schema", name)
@@ -52,6 +74,7 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	t := &Table{Name: name, Schema: append(Schema(nil), schema...)}
 	db.tables[name] = t
 	if err := db.logCreateTable(name, t.Schema); err != nil {
+		delete(db.tables, name)
 		return nil, err
 	}
 	return t, nil
@@ -61,11 +84,16 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.tables[name]; !ok {
-		return fmt.Errorf("reldb: no table %q", name)
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
 	}
 	delete(db.tables, name)
-	return db.logDropTable(name)
+	if err := db.logDropTable(name); err != nil {
+		db.tables[name] = t
+		return err
+	}
+	return nil
 }
 
 // Table returns the table with the given name.
@@ -94,12 +122,16 @@ func (db *DB) CreateIndex(indexName, tableName string, cols ...string) error {
 	defer db.mu.Unlock()
 	t, ok := db.tables[tableName]
 	if !ok {
-		return fmt.Errorf("reldb: no table %q", tableName)
+		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	if _, err := t.buildIndex(indexName, cols); err != nil {
 		return err
 	}
-	return db.logCreateIndex(indexName, tableName, cols)
+	if err := db.logCreateIndex(indexName, tableName, cols); err != nil {
+		t.removeIndex(indexName)
+		return err
+	}
+	return nil
 }
 
 // Insert adds a row to a table and returns its row ID.
@@ -108,13 +140,14 @@ func (db *DB) Insert(tableName string, row Row) (int64, error) {
 	defer db.mu.Unlock()
 	t, ok := db.tables[tableName]
 	if !ok {
-		return 0, fmt.Errorf("reldb: no table %q", tableName)
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	rid, err := t.insert(row)
 	if err != nil {
 		return 0, err
 	}
 	if err := db.logInsert(tableName, []Row{row}); err != nil {
+		t.unInsertTail(rid, 1)
 		return 0, err
 	}
 	return rid, nil
@@ -146,12 +179,17 @@ func (db *DB) insertBatchMode(tableName string, rows []Row, owned bool) error {
 	defer db.mu.Unlock()
 	t, ok := db.tables[tableName]
 	if !ok {
-		return fmt.Errorf("reldb: no table %q", tableName)
+		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
+	base := int64(len(t.rows))
 	if err := t.insertBatch(rows, owned); err != nil {
 		return err
 	}
-	return db.logInsertBatch(tableName, rows)
+	if err := db.logInsertBatch(tableName, rows); err != nil {
+		t.unInsertTail(base, len(rows))
+		return err
+	}
+	return nil
 }
 
 // PredOp is the comparison operator of a predicate.
@@ -209,7 +247,7 @@ func (db *DB) Select(tableName string, preds []Pred, limit int) ([]Row, error) {
 	defer db.mu.RUnlock()
 	t, ok := db.tables[tableName]
 	if !ok {
-		return nil, fmt.Errorf("reldb: no table %q", tableName)
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	var out []Row
 	err := db.selectLocked(t, preds, func(_ int64, row Row) bool {
@@ -225,7 +263,7 @@ func (db *DB) Count(tableName string, preds []Pred) (int, error) {
 	defer db.mu.RUnlock()
 	t, ok := db.tables[tableName]
 	if !ok {
-		return 0, fmt.Errorf("reldb: no table %q", tableName)
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	n := 0
 	err := db.selectLocked(t, preds, func(int64, Row) bool {
@@ -241,11 +279,13 @@ func (db *DB) Delete(tableName string, preds []Pred) (int, error) {
 	defer db.mu.Unlock()
 	t, ok := db.tables[tableName]
 	if !ok {
-		return 0, fmt.Errorf("reldb: no table %q", tableName)
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	var rids []int64
-	if err := db.selectLocked(t, preds, func(rid int64, _ Row) bool {
+	var rows []Row
+	if err := db.selectLocked(t, preds, func(rid int64, row Row) bool {
 		rids = append(rids, rid)
+		rows = append(rows, row)
 		return true
 	}); err != nil {
 		return 0, err
@@ -256,6 +296,7 @@ func (db *DB) Delete(tableName string, preds []Pred) (int, error) {
 		}
 	}
 	if err := db.logDelete(tableName, rids); err != nil {
+		t.reinsertAt(rids, rows)
 		return 0, err
 	}
 	return len(rids), nil
@@ -338,10 +379,15 @@ func (db *DB) selectLocked(t *Table, preds []Pred, fn func(rid int64, row Row) b
 
 	// Plan: choose the index covering the longest run of equality columns,
 	// counting a prefix or range predicate on the following index column as
-	// half a column of selectivity.
+	// half a column of selectivity. Indexes quarantined by an integrity
+	// check (see VerifyIndexes) are bypassed — queries degrade to a heap
+	// scan rather than returning rows from a structure known to be wrong.
 	var ix *Index
 	covered, bestScore := 0, 0
 	for _, cand := range t.indexes {
+		if cand.damaged {
+			continue
+		}
 		n := 0
 		for _, c := range cand.Cols {
 			if !eqCols[c] {
@@ -449,6 +495,7 @@ func (db *DB) Adopt(other *DB) {
 	other.mu.Lock()
 	defer other.mu.Unlock()
 	db.tables = other.tables
+	db.seq = other.seq
 	if db.wal != nil {
 		db.wal.close()
 		db.wal = nil

@@ -1,0 +1,38 @@
+package reldb
+
+import "errors"
+
+// Sentinel errors. Callers classify failures with errors.Is instead of
+// matching message strings; every site that wraps one of these uses %w so
+// the chain stays inspectable through the sqlike driver and database/sql.
+var (
+	// ErrCorrupt marks data that fails a structural or checksum validation:
+	// a snapshot with a bad magic or CRC, a write-ahead log corrupted before
+	// its tail, a secondary index that disagrees with its table.
+	ErrCorrupt = errors.New("reldb: corrupt data")
+
+	// ErrClosed is returned by operations that require the write-ahead log
+	// of a durable database after CloseDurable.
+	ErrClosed = errors.New("reldb: database closed")
+
+	// ErrNotDurable is returned by durability-only operations (Checkpoint)
+	// on a database that was not opened with OpenDurable.
+	ErrNotDurable = errors.New("reldb: database is not durable")
+
+	// ErrIndexExists is returned when creating an index whose name is taken.
+	ErrIndexExists = errors.New("reldb: index already exists")
+
+	// ErrTableExists is returned when creating a table whose name is taken.
+	ErrTableExists = errors.New("reldb: table already exists")
+
+	// ErrNoTable is returned when an operation names a missing table.
+	ErrNoTable = errors.New("reldb: no such table")
+)
+
+// IsTransient reports whether an error is worth retrying: somewhere in its
+// chain an error declares itself transient via a `Transient() bool` method
+// (injected faults do; permanent corruption does not).
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

@@ -1,0 +1,169 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func integrityFixture(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	if _, err := db.CreateTable("t", Schema{
+		{Name: "k", Type: TInt},
+		{Name: "s", Type: TString},
+	}); err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+	if err := db.CreateIndex("t_k", "t", "k"); err != nil {
+		t.Fatalf("create index: %v", err)
+	}
+	for k := 0; k < 20; k++ {
+		if _, err := db.Insert("t", Row{I(int64(k)), S(fmt.Sprintf("row-%d", k))}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	return db
+}
+
+func fixtureIndex(t *testing.T, db *DB) (*Table, *Index) {
+	t.Helper()
+	tbl, ok := db.Table("t")
+	if !ok {
+		t.Fatal("table missing")
+	}
+	ix, ok := tbl.FindIndex("t_k")
+	if !ok {
+		t.Fatal("index missing")
+	}
+	return tbl, ix
+}
+
+// A dangling index entry (pointing at a row that does not exist) is detected
+// and the index quarantined.
+func TestVerifyIndexesDetectsDanglingEntry(t *testing.T) {
+	db := integrityFixture(t)
+	_, ix := fixtureIndex(t, db)
+	ix.tree.Insert(ix.entryKey(Row{I(999), S("ghost")}, 999), 999)
+
+	problems := db.VerifyIndexes()
+	if len(problems) != 1 {
+		t.Fatalf("VerifyIndexes found %d problems, want 1: %v", len(problems), problems)
+	}
+	if problems[0].Table != "t" || problems[0].Index != "t_k" {
+		t.Fatalf("problem attributed to %s.%s", problems[0].Table, problems[0].Index)
+	}
+	if !ix.Damaged() {
+		t.Fatal("index not quarantined after failed verification")
+	}
+}
+
+// An entry whose key disagrees with its row's contents (same entry count, so
+// the cheap shape check passes) is caught by the membership check.
+func TestVerifyIndexesDetectsKeyMismatch(t *testing.T) {
+	db := integrityFixture(t)
+	tbl, ix := fixtureIndex(t, db)
+	row, ok := tbl.row(5)
+	if !ok {
+		t.Fatal("row 5 missing")
+	}
+	ix.tree.Delete(ix.entryKey(row, 5))
+	ix.tree.Insert(ix.entryKey(Row{I(12345), row[1]}, 5), 5)
+
+	problems := db.VerifyIndexes()
+	if len(problems) != 1 {
+		t.Fatalf("VerifyIndexes found %d problems, want 1: %v", len(problems), problems)
+	}
+}
+
+// A quarantined index is bypassed by the planner — equality queries degrade
+// to heap scans but keep returning correct answers — and rebuilding restores
+// both correctness and index use.
+func TestDamagedIndexBypassAndRebuild(t *testing.T) {
+	db := integrityFixture(t)
+	_, ix := fixtureIndex(t, db)
+
+	// Sabotage: drop a real entry so the index would give wrong answers.
+	tbl, _ := db.Table("t")
+	row, _ := tbl.row(7)
+	ix.tree.Delete(ix.entryKey(row, 7))
+
+	if got := db.VerifyIndexes(); len(got) != 1 {
+		t.Fatalf("VerifyIndexes found %d problems, want 1", len(got))
+	}
+
+	idxBefore, scanBefore, _ := db.Stats()
+	n, err := db.Count("t", []Pred{Eq("k", I(7))})
+	if err != nil {
+		t.Fatalf("count through damaged index: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("damaged-index query returned %d rows, want 1 (bypass failed)", n)
+	}
+	idxAfter, scanAfter, _ := db.Stats()
+	if idxAfter != idxBefore {
+		t.Fatal("planner used a quarantined index")
+	}
+	if scanAfter != scanBefore+1 {
+		t.Fatalf("expected one full scan, got %d", scanAfter-scanBefore)
+	}
+
+	if repaired := db.RebuildDamaged(); repaired != 1 {
+		t.Fatalf("RebuildDamaged repaired %d indexes, want 1", repaired)
+	}
+	if ix.Damaged() {
+		t.Fatal("index still quarantined after rebuild")
+	}
+	if problems := db.VerifyIndexes(); len(problems) != 0 {
+		t.Fatalf("problems remain after rebuild: %v", problems)
+	}
+	idxBefore, _, _ = db.Stats()
+	if n, err := db.Count("t", []Pred{Eq("k", I(7))}); err != nil || n != 1 {
+		t.Fatalf("post-rebuild query: n=%d err=%v", n, err)
+	}
+	idxAfter, _, _ = db.Stats()
+	if idxAfter != idxBefore+1 {
+		t.Fatal("planner did not return to the rebuilt index")
+	}
+}
+
+// RebuildIndex targets one index by name and errors on unknown names with
+// the sentinel the caller can test for.
+func TestRebuildIndexByName(t *testing.T) {
+	db := integrityFixture(t)
+	_, ix := fixtureIndex(t, db)
+	ix.damaged = true
+	if err := db.RebuildIndex("t", "t_k"); err != nil {
+		t.Fatalf("RebuildIndex: %v", err)
+	}
+	if ix.Damaged() {
+		t.Fatal("index still quarantined")
+	}
+	if err := db.RebuildIndex("missing", "t_k"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("RebuildIndex on missing table: %v, want ErrNoTable", err)
+	}
+	if err := db.RebuildIndex("t", "missing"); err == nil {
+		t.Fatal("RebuildIndex on missing index succeeded")
+	}
+}
+
+// repairIndexesOnOpen (the open-time shape check) rebuilds a disagreeing
+// index and records the repair for RecoveryReport.
+func TestRepairOnOpenRebuildsAndReports(t *testing.T) {
+	db := integrityFixture(t)
+	tbl, ix := fixtureIndex(t, db)
+	row, _ := tbl.row(3)
+	ix.tree.Delete(ix.entryKey(row, 3))
+
+	db.repairIndexesOnOpen()
+	report := db.RecoveryReport()
+	if len(report) != 1 {
+		t.Fatalf("RecoveryReport has %d entries, want 1: %v", len(report), report)
+	}
+	if problems := db.VerifyIndexes(); len(problems) != 0 {
+		t.Fatalf("problems remain after open-time repair: %v", problems)
+	}
+	if n, err := db.Count("t", []Pred{Eq("k", I(3))}); err != nil || n != 1 {
+		t.Fatalf("post-repair query: n=%d err=%v", n, err)
+	}
+}

@@ -7,19 +7,20 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
+	"path/filepath"
 	"sort"
 )
 
 // Snapshot persistence: the whole database is written as a single binary
-// file with a magic header, length-prefixed records and a trailing CRC32.
-// Indexes are stored as definitions only and rebuilt on load (they are fully
-// derivable, and rebuilding keeps the format simple and corruption-safe).
+// file with a magic header, the WAL sequence number the snapshot covers,
+// length-prefixed records and a trailing CRC32. Indexes are stored as
+// definitions only and rebuilt on load (they are fully derivable, and
+// rebuilding keeps the format simple and corruption-safe).
 
-const persistMagic = "RELDBSNAPSHOT\x01"
+const persistMagic = "RELDBSNAPSHOT\x02"
 
 // Save writes a snapshot of the database to path, atomically (write to a
-// temporary file, then rename).
+// temporary file, fsync it, rename over the target, fsync the directory).
 func (db *DB) Save(path string) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -27,10 +28,14 @@ func (db *DB) Save(path string) error {
 }
 
 // saveLocked is Save with the caller holding db.mu (either mode); Checkpoint
-// uses it under the write lock to make snapshot+truncate atomic.
+// uses it under the write lock to make snapshot+truncate atomic. A crash at
+// any point leaves either the old snapshot or the complete new one: the
+// content is made durable before the rename, and the rename before the
+// directory fsync.
 func (db *DB) saveLocked(path string) error {
+	fs := db.fs()
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("reldb: save: %w", err)
 	}
@@ -39,24 +44,29 @@ func (db *DB) saveLocked(path string) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return fmt.Errorf("reldb: save: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return fmt.Errorf("reldb: save: %w", err)
+	}
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("reldb: save: sync dir: %w", err)
 	}
 	return nil
 }
 
 // Load reads a snapshot written by Save and returns the database.
-func Load(path string) (*DB, error) {
-	f, err := os.Open(path)
+func Load(path string) (*DB, error) { return LoadVFS(OSFS{}, path) }
+
+// LoadVFS is Load through an explicit filesystem.
+func LoadVFS(fs VFS, path string) (*DB, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("reldb: load: %w", err)
 	}
-	defer f.Close()
-	db, err := readSnapshot(f)
+	db, err := readSnapshot(data)
 	if err != nil {
 		return nil, fmt.Errorf("reldb: load %s: %w", path, err)
 	}
@@ -74,12 +84,16 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 }
 
 // writeSnapshot serializes the database; the caller holds db.mu.
-func (db *DB) writeSnapshot(f *os.File) error {
+func (db *DB) writeSnapshot(f File) error {
 	bw := bufio.NewWriter(f)
 	w := &crcWriter{w: bw}
 	if _, err := io.WriteString(w, persistMagic); err != nil {
 		return err
 	}
+	// The WAL sequence this snapshot covers: replay skips records at or
+	// below it, so recovery is correct even if a crash prevented the log
+	// truncation that normally follows a checkpoint.
+	writeUvarint(w, db.seq)
 
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
@@ -129,24 +143,25 @@ func (db *DB) writeSnapshot(f *os.File) error {
 	return f.Sync()
 }
 
-func readSnapshot(f *os.File) (*DB, error) {
-	data, err := io.ReadAll(bufio.NewReader(f))
-	if err != nil {
-		return nil, err
-	}
+func readSnapshot(data []byte) (*DB, error) {
 	if len(data) < len(persistMagic)+4 {
-		return nil, fmt.Errorf("snapshot truncated")
+		return nil, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if string(body[:len(persistMagic)]) != persistMagic {
-		return nil, fmt.Errorf("bad snapshot magic")
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return nil, fmt.Errorf("snapshot checksum mismatch")
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
 	}
 
 	r := &byteReader{data: body[len(persistMagic):]}
 	db := NewDB()
+	seq, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	db.seq = seq
 	nTables, err := r.uvarint()
 	if err != nil {
 		return nil, err
@@ -202,7 +217,7 @@ func readSnapshot(f *os.File) (*DB, error) {
 					return nil, err
 				}
 				if c >= uint64(len(schema)) {
-					return nil, fmt.Errorf("index %q references column %d of %d", iname, c, len(schema))
+					return nil, fmt.Errorf("%w: index %q references column %d of %d", ErrCorrupt, iname, c, len(schema))
 				}
 				cols[j] = int(c)
 			}
@@ -245,7 +260,7 @@ func readSnapshot(f *os.File) (*DB, error) {
 		}
 	}
 	if r.pos != len(r.data) {
-		return nil, fmt.Errorf("snapshot has %d trailing bytes", len(r.data)-r.pos)
+		return nil, fmt.Errorf("%w: snapshot has %d trailing bytes", ErrCorrupt, len(r.data)-r.pos)
 	}
 	return db, nil
 }
@@ -289,7 +304,7 @@ type byteReader struct {
 func (r *byteReader) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(r.data[r.pos:])
 	if n <= 0 {
-		return 0, fmt.Errorf("snapshot: bad varint at offset %d", r.pos)
+		return 0, fmt.Errorf("%w: bad varint at offset %d", ErrCorrupt, r.pos)
 	}
 	r.pos += n
 	return v, nil
@@ -297,7 +312,7 @@ func (r *byteReader) uvarint() (uint64, error) {
 
 func (r *byteReader) bytes(n int) ([]byte, error) {
 	if r.pos+n > len(r.data) {
-		return nil, fmt.Errorf("snapshot: truncated at offset %d", r.pos)
+		return nil, fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, r.pos)
 	}
 	out := r.data[r.pos : r.pos+n]
 	r.pos += n
@@ -353,6 +368,6 @@ func (r *byteReader) datum() (Datum, error) {
 		}
 		return B(append([]byte(nil), b...)), nil
 	default:
-		return Null, fmt.Errorf("snapshot: bad datum tag %d", tag)
+		return Null, fmt.Errorf("%w: bad datum tag %d", ErrCorrupt, tag)
 	}
 }

@@ -34,7 +34,15 @@ type Index struct {
 	Name string
 	Cols []int // column positions in the table schema
 	tree *btree
+	// damaged quarantines an index that failed an integrity check: the
+	// planner bypasses it (queries fall back to heap scans) until it is
+	// rebuilt from the table. Mutations keep maintaining it so a rebuild
+	// is only ever needed once.
+	damaged bool
 }
+
+// Damaged reports whether the index is quarantined (see DB.VerifyIndexes).
+func (ix *Index) Damaged() bool { return ix.damaged }
 
 // entryKey builds the stored key for a row.
 func (ix *Index) entryKey(row Row, rid int64) []byte {
@@ -145,6 +153,50 @@ func (t *Table) insertBatch(rows []Row, owned bool) error {
 	return nil
 }
 
+// unInsertTail rolls back the n most recent insertions (row IDs base on):
+// the inverse of a just-failed insert or insertBatch whose WAL append did
+// not commit. Only valid while the caller still holds the write lock it
+// inserted under, so no other mutation can have appended after base.
+func (t *Table) unInsertTail(base int64, n int) {
+	for rid := base; rid < base+int64(n); rid++ {
+		row := t.rows[rid]
+		if row == nil {
+			continue
+		}
+		for _, ix := range t.indexes {
+			ix.tree.Delete(ix.entryKey(row, rid))
+		}
+		t.live--
+	}
+	t.rows = t.rows[:base]
+}
+
+// reinsertAt restores rows previously removed by delete under the same row
+// IDs — the rollback of a Delete whose WAL append failed.
+func (t *Table) reinsertAt(rids []int64, rows []Row) {
+	for i, rid := range rids {
+		if t.rows[rid] != nil {
+			continue
+		}
+		t.rows[rid] = rows[i]
+		t.live++
+		for _, ix := range t.indexes {
+			ix.tree.Insert(ix.entryKey(rows[i], rid), rid)
+		}
+	}
+}
+
+// removeIndex drops an index by name (the rollback of a CreateIndex whose
+// WAL append failed).
+func (t *Table) removeIndex(name string) {
+	for i, ix := range t.indexes {
+		if ix.Name == name {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return
+		}
+	}
+}
+
 // delete removes the row with the given ID, maintaining indexes.
 func (t *Table) delete(rid int64) error {
 	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
@@ -198,7 +250,7 @@ func (t *Table) scanIndexPrefix(ix *Index, vals []Datum, fn func(rid int64, row 
 // single allocation pass, instead of n point inserts with node splits.
 func (t *Table) buildIndex(name string, cols []string) (*Index, error) {
 	if _, ok := t.FindIndex(name); ok {
-		return nil, fmt.Errorf("reldb: table %q already has index %q", t.Name, name)
+		return nil, fmt.Errorf("%w: table %q already has index %q", ErrIndexExists, t.Name, name)
 	}
 	positions := make([]int, len(cols))
 	for i, c := range cols {

@@ -1,0 +1,72 @@
+package reldb
+
+import (
+	"io/fs"
+	"os"
+)
+
+// VFS abstracts the file operations the durability layer performs, so tests
+// can interpose failures and simulated crashes at any point (see
+// internal/faultfs). The operation set is deliberately small: whole-file
+// reads, sequential writers, and the metadata operations (rename, truncate,
+// directory sync) that atomic snapshot replacement and log repair need.
+type VFS interface {
+	// ReadFile returns the whole contents of a file.
+	ReadFile(path string) ([]byte, error)
+	// Create opens a file for writing, truncating it if it exists.
+	Create(path string) (File, error)
+	// Append opens a file for appending, creating it if needed.
+	Append(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// Truncate cuts a file to the given size.
+	Truncate(path string, size int64) error
+	// Stat returns file metadata.
+	Stat(path string) (fs.FileInfo, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// SyncDir fsyncs a directory, making renames within it durable.
+	SyncDir(path string) error
+}
+
+// File is a sequential writer with durability control.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production VFS: direct calls to the operating system.
+type OSFS struct{}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (OSFS) Append(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

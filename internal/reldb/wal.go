@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 )
 
@@ -16,9 +15,16 @@ import (
 // loads the snapshot and replays the log, tolerating a torn final record.
 // Checkpoint writes a fresh snapshot and truncates the log.
 //
-// Record layout: u32 length | u32 crc of payload | payload. The payload
-// starts with a one-byte record type followed by type-specific fields using
-// the snapshot encoding helpers.
+// Record layout: u32 length | u32 crc | u64 seq | payload. The CRC covers
+// the sequence number and the payload. Sequence numbers are assigned
+// monotonically per committed record and the snapshot stores the last one it
+// covers, so replay is idempotent: a crash after the checkpoint snapshot
+// lands but before the log truncation cannot re-apply old records (they are
+// skipped by sequence), and an interrupted truncation is repaired by the
+// next checkpoint.
+//
+// The payload starts with a one-byte record type followed by type-specific
+// fields using the snapshot encoding helpers.
 
 const (
 	recCreateTable byte = 1
@@ -34,34 +40,104 @@ const (
 	recInsertBatch byte = 6
 )
 
+// walFrameHeader is the fixed per-record framing overhead in bytes.
+const walFrameHeader = 16
+
 const (
 	snapshotFile = "snapshot.db"
 	walFile      = "wal.log"
 )
 
+// walWriter appends framed records to the log through the database's VFS.
+// It tracks the durable byte offset of the last acknowledged record: after a
+// failed append (which may have left partial bytes on disk) the writer is
+// marked broken, and the next append first repairs the file by truncating it
+// back to the last good offset and reopening — so a transient write error
+// never poisons the log for later commits.
 type walWriter struct {
-	f *os.File
-	w *bufio.Writer
+	fs     VFS
+	path   string
+	f      File
+	w      *bufio.Writer
+	good   int64 // durable size after the last acknowledged append
+	broken bool  // the tail past good may be garbage; repair before appending
+	closed bool
 }
 
-func (w *walWriter) append(payload []byte) error {
-	var hdr [8]byte
+func (w *walWriter) append(seq uint64, payload []byte) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if w.broken || w.f == nil {
+		if err := w.repair(); err != nil {
+			return fmt.Errorf("reldb: wal repair: %w", err)
+		}
+	}
+	var hdr [walFrameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.w.Write(hdr[:]); err != nil {
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.ChecksumIEEE(hdr[8:16])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	err := func() error {
+		if _, err := w.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.w.Write(payload); err != nil {
+			return err
+		}
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+		return w.f.Sync()
+	}()
+	if err != nil {
+		w.broken = true
 		return err
 	}
-	if _, err := w.w.Write(payload); err != nil {
+	w.good += walFrameHeader + int64(len(payload))
+	return nil
+}
+
+// repair restores the log to its last acknowledged size and reopens it for
+// appending. It runs after a failed append (dropping any partial tail) and
+// after a checkpoint (with good reset to zero, truncating the whole log).
+func (w *walWriter) repair() error {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	if err := w.fs.Truncate(w.path, w.good); err != nil {
 		return err
 	}
-	if err := w.w.Flush(); err != nil {
+	f, err := w.fs.Append(w.path)
+	if err != nil {
 		return err
 	}
-	return w.f.Sync()
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	w.broken = false
+	return nil
+}
+
+// reset empties the log after a checkpoint snapshot has been made durable.
+// On failure the old records remain on disk, which is safe: replay skips
+// them by sequence number.
+func (w *walWriter) reset() error {
+	w.good = 0
+	w.broken = true
+	if err := w.repair(); err != nil {
+		return fmt.Errorf("reldb: wal reset: %w", err)
+	}
+	return nil
 }
 
 func (w *walWriter) close() error {
-	if w == nil {
+	if w == nil || w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.f == nil {
 		return nil
 	}
 	if err := w.w.Flush(); err != nil {
@@ -73,32 +149,42 @@ func (w *walWriter) close() error {
 
 // OpenDurable opens (creating if necessary) a durable database in a
 // directory: the state is the snapshot plus the replayed write-ahead log.
-func OpenDurable(dir string) (*DB, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func OpenDurable(dir string) (*DB, error) { return OpenDurableVFS(OSFS{}, dir) }
+
+// OpenDurableVFS is OpenDurable through an explicit filesystem; fault
+// injection harnesses use it to exercise every I/O failure point.
+func OpenDurableVFS(fs VFS, dir string) (*DB, error) {
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("reldb: durable open: %w", err)
 	}
 	snapPath := filepath.Join(dir, snapshotFile)
 	var db *DB
-	if _, err := os.Stat(snapPath); err == nil {
-		db, err = Load(snapPath)
+	if _, err := fs.Stat(snapPath); err == nil {
+		db, err = LoadVFS(fs, snapPath)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		db = NewDB()
 	}
+	db.vfs = fs
 	walPath := filepath.Join(dir, walFile)
-	if err := db.replayWAL(walPath); err != nil {
+	goodOff, err := db.replayWAL(walPath)
+	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.Append(walPath)
 	if err != nil {
 		return nil, fmt.Errorf("reldb: durable open: %w", err)
 	}
 	db.mu.Lock()
-	db.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	db.wal = &walWriter{fs: fs, path: walPath, f: f, w: bufio.NewWriter(f), good: goodOff}
 	db.walDir = dir
 	db.mu.Unlock()
+	// Secondary indexes are rebuilt from table contents by load/replay, but
+	// verify their shape anyway: any index that disagrees with its table is
+	// rebuilt before the database is shared, and the repair is reported.
+	db.repairIndexesOnOpen()
 	return db, nil
 }
 
@@ -116,66 +202,72 @@ func (db *DB) CloseDurable() error {
 // write-ahead log, bounding recovery time. The write lock is held across the
 // snapshot AND the log truncation: a mutation committed by a concurrent
 // ingest worker is either captured by the snapshot or still present in the
-// fresh log — never lost in between.
+// fresh log — never lost in between. The snapshot replacement is atomic
+// (temp file, fsync, rename, directory fsync) and carries the covered WAL
+// sequence, so a crash at ANY point — mid-snapshot, between the rename and
+// the truncation, or mid-truncation — recovers to a state holding exactly
+// the acknowledged commits.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	dir := db.walDir
 	if dir == "" {
-		return fmt.Errorf("reldb: Checkpoint on a non-durable database")
+		return ErrNotDurable
+	}
+	if db.wal == nil || db.wal.closed {
+		return ErrClosed
 	}
 	if err := db.saveLocked(filepath.Join(dir, snapshotFile)); err != nil {
 		return err
 	}
-	if err := db.wal.close(); err != nil {
-		return err
-	}
-	walPath := filepath.Join(dir, walFile)
-	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	db.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
-	return nil
+	return db.wal.reset()
 }
 
-// replayWAL applies the log records at path (if any). A torn or corrupt
-// tail — the expected shape of a crash — stops replay at the last intact
-// record and truncates the file there; corruption before the tail is an
-// error.
-func (db *DB) replayWAL(path string) error {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
+// replayWAL applies the log records at path (if any) with sequence numbers
+// above the snapshot's, and returns the byte offset of the end of the last
+// intact record. A torn or corrupt tail — the expected shape of a crash —
+// stops replay at the last intact record and truncates the file there;
+// corruption before the tail is an error.
+func (db *DB) replayWAL(path string) (int64, error) {
+	fs := db.fs()
+	data, err := fs.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("reldb: wal replay: %w", err)
+		if _, serr := fs.Stat(path); serr != nil {
+			return 0, nil // no log yet
+		}
+		return 0, fmt.Errorf("reldb: wal replay: %w", err)
 	}
 	off := 0
 	for off < len(data) {
-		if off+8 > len(data) {
+		if off+walFrameHeader > len(data) {
 			break // torn header
 		}
 		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
 		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if off+8+n > len(data) {
+		seq := binary.LittleEndian.Uint64(data[off+8 : off+16])
+		if off+walFrameHeader+n > len(data) {
 			break // torn payload
 		}
-		payload := data[off+8 : off+8+n]
-		if crc32.ChecksumIEEE(payload) != want {
+		payload := data[off+walFrameHeader : off+walFrameHeader+n]
+		crc := crc32.ChecksumIEEE(data[off+8 : off+16])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != want {
 			break // torn/corrupt record: stop at the last intact one
 		}
-		if err := db.applyRecord(payload); err != nil {
-			return fmt.Errorf("reldb: wal replay at offset %d: %w", off, err)
+		if seq > db.seq {
+			if err := db.applyRecord(payload); err != nil {
+				return 0, fmt.Errorf("reldb: wal replay at offset %d: %w", off, err)
+			}
+			db.seq = seq
 		}
-		off += 8 + n
+		off += walFrameHeader + n
 	}
 	if off < len(data) {
-		if err := os.Truncate(path, int64(off)); err != nil {
-			return fmt.Errorf("reldb: wal truncate: %w", err)
+		if err := fs.Truncate(path, int64(off)); err != nil {
+			return 0, fmt.Errorf("reldb: wal truncate: %w", err)
 		}
 	}
-	return nil
+	return int64(off), nil
 }
 
 func (db *DB) applyRecord(payload []byte) error {
@@ -308,7 +400,7 @@ func (db *DB) applyRecord(payload []byte) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown wal record type %d", kind[0])
+		return fmt.Errorf("%w: unknown wal record type %d", ErrCorrupt, kind[0])
 	}
 }
 
@@ -316,7 +408,7 @@ func (db *DB) applyRecord(payload []byte) error {
 // and without taking the lock (replay runs before the database is shared).
 func (db *DB) createTableLockedFree(name string, schema Schema) (*Table, error) {
 	if _, ok := db.tables[name]; ok {
-		return nil, fmt.Errorf("reldb: table %q already exists", name)
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	t := &Table{Name: name, Schema: append(Schema(nil), schema...)}
 	db.tables[name] = t
@@ -326,7 +418,7 @@ func (db *DB) createTableLockedFree(name string, schema Schema) (*Table, error) 
 func (db *DB) createIndexNoLog(indexName, tableName string, cols ...string) error {
 	t, ok := db.tables[tableName]
 	if !ok {
-		return fmt.Errorf("reldb: no table %q", tableName)
+		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	_, err := t.buildIndex(indexName, cols)
 	return err
@@ -334,14 +426,14 @@ func (db *DB) createIndexNoLog(indexName, tableName string, cols ...string) erro
 
 func (db *DB) dropTableNoLog(name string) error {
 	if _, ok := db.tables[name]; !ok {
-		return fmt.Errorf("reldb: no table %q", name)
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
 	}
 	delete(db.tables, name)
 	return nil
 }
 
 // Log-record builders, called with db.mu held after the in-memory mutation
-// succeeded.
+// succeeded. Each commits under a fresh sequence number.
 
 func (db *DB) logCreateTable(name string, schema Schema) error {
 	if db.wal == nil {
@@ -355,7 +447,8 @@ func (db *DB) logCreateTable(name string, schema Schema) error {
 		buf.str(c.Name)
 		buf.uvarint(uint64(c.Type))
 	}
-	return db.wal.append(buf.b)
+	db.seq++
+	return db.wal.append(db.seq, buf.b)
 }
 
 func (db *DB) logCreateIndex(indexName, tableName string, cols []string) error {
@@ -370,7 +463,8 @@ func (db *DB) logCreateIndex(indexName, tableName string, cols []string) error {
 	for _, c := range cols {
 		buf.str(c)
 	}
-	return db.wal.append(buf.b)
+	db.seq++
+	return db.wal.append(db.seq, buf.b)
 }
 
 func (db *DB) logDropTable(name string) error {
@@ -380,7 +474,8 @@ func (db *DB) logDropTable(name string) error {
 	var buf walBuf
 	buf.byte(recDropTable)
 	buf.str(name)
-	return db.wal.append(buf.b)
+	db.seq++
+	return db.wal.append(db.seq, buf.b)
 }
 
 func (db *DB) logInsert(tableName string, rows []Row) error {
@@ -396,7 +491,8 @@ func (db *DB) logInsert(tableName string, rows []Row) error {
 			buf.datum(d)
 		}
 	}
-	return db.wal.append(buf.b)
+	db.seq++
+	return db.wal.append(db.seq, buf.b)
 }
 
 // logInsertBatch writes one recInsertBatch record covering every row of the
@@ -414,7 +510,8 @@ func (db *DB) logInsertBatch(tableName string, rows []Row) error {
 			buf.datum(d)
 		}
 	}
-	return db.wal.append(buf.b)
+	db.seq++
+	return db.wal.append(db.seq, buf.b)
 }
 
 func (db *DB) logDelete(tableName string, rids []int64) error {
@@ -428,7 +525,8 @@ func (db *DB) logDelete(tableName string, rids []int64) error {
 	for _, rid := range rids {
 		buf.uvarint(uint64(rid))
 	}
-	return db.wal.append(buf.b)
+	db.seq++
+	return db.wal.append(db.seq, buf.b)
 }
 
 // walBuf accumulates a record payload using the snapshot field encodings.

@@ -1,7 +1,10 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/trace"
@@ -16,6 +19,12 @@ import (
 // mirrors the multi-run query executor in internal/lineage: a buffered task
 // channel, per-worker error slots, drain-after-failure, no shared state
 // until the final error sweep.
+//
+// Cancellation: the caller's context is fanned out to every writer; the
+// first worker failure cancels a derived context so the other workers stop
+// at their next task (or their writer's next event) instead of finishing the
+// backlog. A panicking task is confined to its worker, converted into an
+// error carrying the stack, and cancels the rest the same way.
 
 // DefaultIngestParallelism is the worker count used when
 // IngestOptions.Parallelism is unset.
@@ -54,14 +63,23 @@ type IngestTask struct {
 // Ingest loads every task's run into the store concurrently through
 // buffered writers. Each run gets its own writer (run registration stays
 // serialized through the SQL layer; event rows flush as multi-row batches).
-// The first error aborts remaining work; completed runs stay in the store.
-func (s *Store) Ingest(tasks []IngestTask, opt IngestOptions) error {
+// The first error cancels remaining work and is returned; completed runs
+// stay in the store. Cancelling ctx aborts the load with the context's
+// error; runs whose final flush was acknowledged before the cancellation
+// remain.
+func (s *Store) Ingest(ctx context.Context, tasks []IngestTask, opt IngestOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.normalize()
-	ingestOne := func(t IngestTask) error {
+	ingestOne := func(ctx context.Context, t IngestTask) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if t.Emit == nil {
 			return fmt.Errorf("store: ingest task %q has no Emit", t.RunID)
 		}
-		w, err := s.NewBufferedRunWriter(t.RunID, t.Workflow, opt.BatchRows)
+		w, err := s.NewBufferedRunWriter(ctx, t.RunID, t.Workflow, opt.BatchRows)
 		if err != nil {
 			return err
 		}
@@ -77,7 +95,7 @@ func (s *Store) Ingest(tasks []IngestTask, opt IngestOptions) error {
 
 	if opt.Parallelism == 1 || len(tasks) <= 1 {
 		for _, t := range tasks {
-			if err := ingestOne(t); err != nil {
+			if err := ingestOne(ctx, t); err != nil {
 				return err
 			}
 		}
@@ -88,6 +106,8 @@ func (s *Store) Ingest(tasks []IngestTask, opt IngestOptions) error {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	work := make(chan IngestTask, len(tasks))
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -95,11 +115,23 @@ func (s *Store) Ingest(tasks []IngestTask, opt IngestOptions) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panic in task code must not take down the process or wedge
+			// the pool: confine it to this worker, keep the error (with the
+			// stack), and cancel the others.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("store: ingest worker panic: %v\n%s", r, debug.Stack())
+					cancel()
+				}
+			}()
 			for t := range work {
 				if errs[w] != nil {
 					continue // drain after a failure
 				}
-				errs[w] = ingestOne(t)
+				if err := ingestOne(wctx, t); err != nil {
+					errs[w] = err
+					cancel() // first error stops the other workers
+				}
 			}
 		}(w)
 	}
@@ -108,17 +140,39 @@ func (s *Store) Ingest(tasks []IngestTask, opt IngestOptions) error {
 	}
 	close(work)
 	wg.Wait()
+	return firstError(ctx, errs)
+}
+
+// firstError selects the error to surface from a pool run: a real failure
+// beats a secondary cancellation error, and if the caller's own context was
+// cancelled, its error is authoritative.
+func firstError(ctx context.Context, errs []error) error {
+	var first error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+			continue
+		}
+		if isCancellation(first) && !isCancellation(err) {
+			first = err
 		}
 	}
-	return nil
+	if first != nil && isCancellation(first) && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return first
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // IngestTraces loads a set of recorded traces with the given options — the
 // bulk counterpart of calling StoreTrace per trace.
-func (s *Store) IngestTraces(traces []*trace.Trace, opt IngestOptions) error {
+func (s *Store) IngestTraces(ctx context.Context, traces []*trace.Trace, opt IngestOptions) error {
 	tasks := make([]IngestTask, len(traces))
 	for i, t := range traces {
 		t := t
@@ -140,5 +194,5 @@ func (s *Store) IngestTraces(traces []*trace.Trace, opt IngestOptions) error {
 			},
 		}
 	}
-	return s.Ingest(tasks, opt)
+	return s.Ingest(ctx, tasks, opt)
 }

@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -67,7 +68,7 @@ func TestIngestEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer batched.Close()
-	if err := batched.IngestTraces(traces, store.IngestOptions{Parallelism: 4, BatchRows: 64}); err != nil {
+	if err := batched.IngestTraces(context.Background(), traces, store.IngestOptions{Parallelism: 4, BatchRows: 64}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -237,10 +238,10 @@ func TestIngestDuplicateRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if err := s.IngestTraces([]*trace.Trace{tr}, store.IngestOptions{Parallelism: 2}); err != nil {
+	if err := s.IngestTraces(context.Background(), []*trace.Trace{tr}, store.IngestOptions{Parallelism: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.IngestTraces([]*trace.Trace{tr}, store.IngestOptions{Parallelism: 2}); err == nil {
+	if err := s.IngestTraces(context.Background(), []*trace.Trace{tr}, store.IngestOptions{Parallelism: 2}); err == nil {
 		t.Fatal("re-ingesting an existing run succeeded; want an error")
 	}
 	rep, err := s.Verify("dup", tbWF)

@@ -18,7 +18,7 @@ func (s *Store) LoadTrace(runID string) (*trace.Trace, error) {
 	var wfName string
 	err := s.db.QueryRow(`SELECT workflow FROM runs WHERE run_id = ?`, runID).Scan(&wfName)
 	if errors.Is(err, sql.ErrNoRows) {
-		return nil, fmt.Errorf("store: no run %q", runID)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)

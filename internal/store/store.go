@@ -2,6 +2,7 @@ package store
 
 import (
 	"database/sql"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -195,7 +196,7 @@ func (s *Store) migrateIndexes() error {
 			continue
 		}
 		if _, err := s.db.Exec(stmt); err != nil {
-			if strings.Contains(err.Error(), "already has index") {
+			if errors.Is(err, reldb.ErrIndexExists) {
 				continue
 			}
 			return fmt.Errorf("store: migrating indexes: %w", err)
@@ -337,7 +338,7 @@ func (s *Store) DeleteRun(runID string) (int, error) {
 		return 0, err
 	}
 	if n == 0 {
-		return 0, fmt.Errorf("store: no run %q", runID)
+		return 0, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
 	}
 	removed := 0
 	for _, table := range []string{"xform_in", "xform_out", "xfer"} {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/reldb"
@@ -25,6 +26,7 @@ const DefaultBatchRows = 512
 // and one group-committed WAL record per table per flush.
 type RunWriter struct {
 	s        *Store
+	ctx      context.Context
 	runID    string
 	eventSeq int64
 	valIDs   map[string]int64
@@ -71,7 +73,7 @@ func (w *RunWriter) takeRow(base int) reldb.Row {
 // persists its events row by row. The run ID must be unique within the
 // store.
 func (s *Store) NewRunWriter(runID, workflowName string) (*RunWriter, error) {
-	return s.newRunWriter(runID, workflowName, 0)
+	return s.newRunWriter(context.Background(), runID, workflowName, 0)
 }
 
 // NewBufferedRunWriter registers a run and returns a collector that buffers
@@ -80,20 +82,32 @@ func (s *Store) NewRunWriter(runID, workflowName string) (*RunWriter, error) {
 // caller must Close the writer to flush the final partial batch. On a
 // durable store each flush is one group-committed WAL record per table, so
 // a crash loses at most the unflushed tail, never part of a flushed batch.
-func (s *Store) NewBufferedRunWriter(runID, workflowName string, batchRows int) (*RunWriter, error) {
+//
+// The context governs the writer's lifetime: once it is cancelled, event
+// collection and flushes stop with the context's error. Transient storage
+// errors during a flush are retried with bounded backoff (the engine rolls
+// back and repairs its log on a failed commit, so a retry can never apply a
+// batch twice).
+func (s *Store) NewBufferedRunWriter(ctx context.Context, runID, workflowName string, batchRows int) (*RunWriter, error) {
 	if batchRows <= 0 {
 		batchRows = DefaultBatchRows
 	}
-	return s.newRunWriter(runID, workflowName, batchRows)
+	return s.newRunWriter(ctx, runID, workflowName, batchRows)
 }
 
-func (s *Store) newRunWriter(runID, workflowName string, batchRows int) (*RunWriter, error) {
+func (s *Store) newRunWriter(ctx context.Context, runID, workflowName string, batchRows int) (*RunWriter, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var n int
 	if err := s.db.QueryRow(`SELECT COUNT(*) FROM runs WHERE run_id = ?`, runID).Scan(&n); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if n > 0 {
-		return nil, fmt.Errorf("store: run %q already exists", runID)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateRun, runID)
 	}
 	if _, err := s.db.Exec(`INSERT INTO runs (run_id, workflow) VALUES (?, ?)`, runID, workflowName); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -101,6 +115,7 @@ func (s *Store) newRunWriter(runID, workflowName string, batchRows int) (*RunWri
 	s.runsEst.Store(-1)
 	return &RunWriter{
 		s:         s,
+		ctx:       ctx,
 		runID:     runID,
 		valIDs:    make(map[string]int64),
 		strIDs:    make(map[string]int64),
@@ -123,10 +138,14 @@ func (w *RunWriter) pending() int {
 
 // Flush writes every buffered row as multi-row batches (values first, so a
 // crash cannot persist an event row whose value is still in memory). It is
-// a no-op for unbuffered writers.
+// a no-op for unbuffered writers. Transient storage errors are retried with
+// bounded backoff; cancellation of the writer's context aborts the flush.
 func (w *RunWriter) Flush() error {
 	if !w.buffered() || w.pending() == 0 {
 		return nil
+	}
+	if err := w.ctxErr(); err != nil {
+		return err
 	}
 	for _, part := range []struct {
 		table string
@@ -142,13 +161,25 @@ func (w *RunWriter) Flush() error {
 		}
 		// Ownership of the rows — and of the arena backing them — passes to
 		// the engine; only the buffer headers are reusable afterwards.
-		if err := w.s.rdb.InsertBatchOwned(part.table, *part.rows); err != nil {
+		rows := *part.rows
+		err := withRetry(w.ctx, func() error {
+			return w.s.rdb.InsertBatchOwned(part.table, rows)
+		})
+		if err != nil {
 			return fmt.Errorf("store: flushing %s: %w", part.table, err)
 		}
 		*part.rows = (*part.rows)[:0]
 	}
 	w.arena = nil
 	return nil
+}
+
+// ctxErr reports the writer's context error, if any.
+func (w *RunWriter) ctxErr() error {
+	if w.ctx == nil {
+		return nil
+	}
+	return w.ctx.Err()
 }
 
 func (w *RunWriter) maybeFlush() error {
@@ -219,6 +250,9 @@ func (w *RunWriter) internPayload(payload string) (int64, error) {
 
 // Xform implements trace.Collector.
 func (w *RunWriter) Xform(e trace.XformEvent) error {
+	if err := w.ctxErr(); err != nil {
+		return err
+	}
 	eventID := w.eventSeq
 	w.eventSeq++
 	for pos, b := range e.Inputs {
@@ -264,6 +298,9 @@ func (w *RunWriter) Xform(e trace.XformEvent) error {
 
 // Xfer implements trace.Collector.
 func (w *RunWriter) Xfer(e trace.XferEvent) error {
+	if err := w.ctxErr(); err != nil {
+		return err
+	}
 	vid, err := w.valID(e.To.Value)
 	if err != nil {
 		return err
@@ -307,7 +344,7 @@ func (s *Store) StoreTraceBatched(t *trace.Trace, batchRows int) error {
 }
 
 func (s *Store) storeTrace(t *trace.Trace, batchRows int) error {
-	w, err := s.newRunWriter(t.RunID, t.Workflow, batchRows)
+	w, err := s.newRunWriter(context.Background(), t.RunID, t.Workflow, batchRows)
 	if err != nil {
 		return err
 	}
