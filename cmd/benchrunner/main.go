@@ -8,12 +8,14 @@
 //	benchrunner -quick           # shrunken grids for a fast smoke run
 //	benchrunner -exp fig9        # one experiment
 //	benchrunner -csv -out results/  # also write one CSV per experiment
+//	benchrunner -exp fig4 -metrics-addr :9090   # live /metrics + pprof
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -35,15 +37,36 @@ var experiments = map[string]func(bench.Options) (*bench.Report, error){
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI behind a testable seam: output goes to the supplied
+// writers and failures are returned, never os.Exit'ed.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig4, fig4par, table1, fig6, fig7, fig8, fig9, fig10, ingest")
-		quick   = flag.Bool("quick", false, "shrink every grid for a fast smoke run")
-		queries = flag.Int("queries", 5, "identical queries per measurement (best-of)")
-		csv     = flag.Bool("csv", false, "also write CSV files")
-		out     = flag.String("out", ".", "directory for CSV output")
-		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		exp     = fs.String("exp", "all", "experiment: all, fig4, fig4par, table1, fig6, fig7, fig8, fig9, fig10, ingest")
+		quick   = fs.Bool("quick", false, "shrink every grid for a fast smoke run")
+		queries = fs.Int("queries", 5, "identical queries per measurement (best-of)")
+		csv     = fs.Bool("csv", false, "also write CSV files")
+		out     = fs.String("out", ".", "directory for CSV output")
+		timeout = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
-	flag.Parse()
+	oo := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	obsDone, err := oo.start(stdout, stderr)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
 
 	// Experiments run under a context cancelled by Ctrl-C (SIGINT/SIGTERM)
 	// or -timeout, so a long sweep aborts between (or inside) executor
@@ -59,36 +82,31 @@ func main() {
 
 	var reports []*bench.Report
 	if *exp == "all" {
-		var err error
 		reports, err = bench.All(opts)
 		if err != nil {
-			fail(err)
+			return err
 		}
 	} else {
 		fn, ok := experiments[*exp]
 		if !ok {
-			fail(fmt.Errorf("unknown experiment %q", *exp))
+			return fmt.Errorf("unknown experiment %q", *exp)
 		}
 		rep, err := fn(opts)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		reports = []*bench.Report{rep}
 	}
 
 	for _, rep := range reports {
-		fmt.Println(rep.String())
+		fmt.Fprintln(stdout, rep.String())
 		if *csv {
 			path := filepath.Join(*out, rep.ID+".csv")
 			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Printf("   (csv written to %s)\n\n", path)
+			fmt.Fprintf(stdout, "   (csv written to %s)\n\n", path)
 		}
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "benchrunner:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// numericCell matches a cell holding a bare number or a speedup like 2.31x.
+var numericCell = regexp.MustCompile(`^-?\d+(\.\d+)?x?$`)
+
+// normalizeCSV keeps the header row and every label cell verbatim but
+// replaces numeric cells with "#": timings and counter values vary run to
+// run; the column set, row labels and row count must not.
+func normalizeCSV(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		cells := strings.Split(lines[i], ",")
+		for j, c := range cells {
+			if numericCell.MatchString(c) {
+				cells[j] = "#"
+			}
+		}
+		lines[i] = strings.Join(cells, ",")
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run go test -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenCSV pins the CSV structure (columns incl. the counter-derived
+// per-stage ones, row labels, row counts) of the experiments the
+// observability work extended.
+func TestGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiment grids")
+	}
+	for _, exp := range []string{"fig4", "fig9", "ingest"} {
+		t.Run(exp, func(t *testing.T) {
+			dir := t.TempDir()
+			var out, errb bytes.Buffer
+			err := run([]string{"-exp", exp, "-quick", "-queries", "1", "-csv", "-out", dir}, &out, &errb)
+			if err != nil {
+				t.Fatalf("benchrunner -exp %s: %v\nstderr:\n%s", exp, err, errb.String())
+			}
+			data, err := os.ReadFile(filepath.Join(dir, exp+".csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, exp+"_csv", normalizeCSV(string(data)))
+		})
+	}
+}
+
+// TestRunErrors pins the CLI failure modes: they must return errors, never
+// exit the process.
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "nosuch"},
+		{"-badflag"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("benchrunner %v succeeded, want error", args)
+		}
+	}
+}

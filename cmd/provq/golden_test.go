@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenCompare checks got against testdata/<name>.golden, rewriting the
+// file when -update is set.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run go test -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenRunAndQuery pins the exact CLI output of a run and the queries
+// against it. The testbed engine is deterministic and run IDs are sequential
+// per workflow, so the full stdout is stable.
+func TestGoldenRunAndQuery(t *testing.T) {
+	dsn := "file:" + filepath.Join(t.TempDir(), "prov.db")
+
+	out := mustCLI(t, "run", "-store", dsn, "-wf", "testbed", "-l", "4", "-d", "3")
+	goldenCompare(t, "run_testbed", out)
+
+	out = mustCLI(t, "query", "-store", dsn, "-run", "testbed_l4-0001", "-l", "4",
+		"-binding", "2TO1_FINAL:product[0,0]", "-focus", "LISTGEN_1")
+	goldenCompare(t, "query_focused", out)
+
+	out = mustCLI(t, "query", "-store", dsn, "-run", "testbed_l4-0001", "-l", "4",
+		"-binding", "workflow:product[0,0]", "-method", "naive", "-values=false")
+	goldenCompare(t, "query_naive", out)
+}
+
+// numberRe matches JSON numeric values after a key, for normalization.
+var numberRe = regexp.MustCompile(`(": )-?\d+(\.\d+)?`)
+
+// TestGoldenMetricsDumpShape pins the shape of the -metrics-dump JSON: the
+// full set of registered metric names and the per-histogram field layout.
+// Values are normalized to 0 — they vary run to run; the names and structure
+// must not.
+func TestGoldenMetricsDumpShape(t *testing.T) {
+	dsn := "file:" + filepath.Join(t.TempDir(), "prov.db")
+	mustCLI(t, "run", "-store", dsn, "-wf", "testbed", "-l", "4", "-d", "3")
+	out := mustCLI(t, "query", "-store", dsn, "-run", "testbed_l4-0001", "-l", "4",
+		"-binding", "2TO1_FINAL:product[0,0]", "-focus", "LISTGEN_1",
+		"-metrics-dump", "-")
+
+	// The dump is the trailing JSON object on stdout, after the query answer.
+	start := strings.Index(out, "{")
+	if start < 0 {
+		t.Fatalf("no JSON dump in output:\n%s", out)
+	}
+	dump := out[start:]
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(dump), &parsed); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v\n%s", err, dump)
+	}
+	for _, section := range []string{"counters", "histograms"} {
+		if _, ok := parsed[section]; !ok {
+			t.Errorf("metrics dump missing %q section", section)
+		}
+	}
+	goldenCompare(t, "metrics_dump_shape", numberRe.ReplaceAllString(dump, "${1}0"))
+}

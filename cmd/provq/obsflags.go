@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// obsOpts carries the observability flags shared by the subcommands:
+//
+//	-metrics-addr  serve the metrics JSON dump (/metrics) and net/http/pprof
+//	               (/debug/pprof) on an address for the command's lifetime
+//	-slow-query    emit a structured slow_query line to stderr for every
+//	               query at or above the threshold
+//	-metrics-dump  write one final metrics JSON dump when the command ends
+//	               ("-" for stdout)
+type obsOpts struct {
+	addr string
+	slow time.Duration
+	dump string
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsOpts {
+	o := &obsOpts{}
+	fs.StringVar(&o.addr, "metrics-addr", "", "serve /metrics (JSON) and /debug/pprof on this address")
+	fs.DurationVar(&o.slow, "slow-query", 0, "log queries slower than this to stderr (0 = off)")
+	fs.StringVar(&o.dump, "metrics-dump", "", `write a final metrics JSON dump to this file ("-" = stdout)`)
+	return o
+}
+
+// start applies the parsed flags and returns a cleanup that stops the
+// endpoint, detaches the slow-query log, and writes the final dump.
+func (o *obsOpts) start(stdout, stderr io.Writer) (func(), error) {
+	if o.slow > 0 {
+		obs.SetSlowLog(stderr, o.slow)
+	}
+	var closeFn func() error
+	if o.addr != "" {
+		bound, c, err := obs.Serve(o.addr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "metrics: /metrics and /debug/pprof on http://%s\n", bound)
+		closeFn = c
+	}
+	return func() {
+		if o.slow > 0 {
+			obs.SetSlowLog(nil, 0)
+		}
+		if closeFn != nil {
+			closeFn()
+		}
+		switch o.dump {
+		case "":
+		case "-":
+			obs.Default.WriteJSON(stdout)
+		default:
+			if f, err := os.Create(o.dump); err == nil {
+				obs.Default.WriteJSON(f)
+				f.Close()
+			} else {
+				fmt.Fprintln(stderr, "metrics-dump:", err)
+			}
+		}
+	}, nil
+}

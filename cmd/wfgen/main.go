@@ -57,9 +57,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", store.DefaultIngestParallelism, "runs ingested concurrently")
 	batch := fs.Int("batch", store.DefaultBatchRows, "buffered-writer flush threshold in rows (1 = per-row)")
 	timeout := fs.Duration("timeout", 0, "abort ingest after this long (0 = no limit)")
+	oo := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obsDone, err := oo.start(stdout, stderr)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
 	var w *workflow.Workflow
 	switch *kind {
 	case "testbed":

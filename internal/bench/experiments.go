@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/lineage"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -48,11 +49,15 @@ func Fig4(o Options) (*Report, error) {
 		Title: "Query response time for focused/unfocused queries ranging over multiple runs",
 		Caption: "INDEXPROJ, GK and PD reconstructions. t1 = spec-graph traversal (shared\n" +
 			"across runs), t2 = per-run trace queries. Paper shape: totals grow with t2\n" +
-			"only; unfocused PD grows fastest (its t2 is ~10x focused).",
-		Columns: []string{"query", "runs", "t1_ms", "t2_ms", "total_ms"},
+			"only; unfocused PD grows fastest (its t2 is ~10x focused). ctr_* columns\n" +
+			"and probes come from the engine's obs counters (per measured query).",
+		Columns: []string{"query", "runs", "t1_ms", "t2_ms", "total_ms", "probes", "ctr_t1_ms", "ctr_t2_ms"},
 	}
 	for _, cfg := range cfgs {
-		// t1: fresh evaluator + compile, best-of-N.
+		// t1: fresh evaluator + compile, best-of-N. The obs snapshot delta
+		// around the loop yields the counter-derived per-compile plan time
+		// (every repetition is a cache miss on a fresh evaluator).
+		s0 := obs.Default.Snapshot()
 		t1, err := bestOf(o.queries(), func() error {
 			ip, err := lineage.NewIndexProj(env.Store, cfg.wf)
 			if err != nil {
@@ -64,6 +69,8 @@ func Fig4(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		d1 := obs.Default.Snapshot().Sub(s0)
+		ctrT1 := msNs(d1.HistSum("lineage.indexproj.plan_ns"), d1.Counter("lineage.indexproj.plan_cache_misses"))
 		ip, err := lineage.NewIndexProj(env.Store, cfg.wf)
 		if err != nil {
 			return nil, err
@@ -74,6 +81,7 @@ func Fig4(o Options) (*Report, error) {
 		}
 		for _, n := range runCounts {
 			runs := cfg.runs[:n]
+			q0 := obs.Default.Snapshot()
 			t2, err := bestOf(o.queries(), func() error {
 				for _, r := range runs {
 					if _, err := ip.Execute(plan, r); err != nil {
@@ -85,8 +93,13 @@ func Fig4(o Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			dq := obs.Default.Snapshot().Sub(q0)
+			reps := int64(o.queries())
 			rep.Rows = append(rep.Rows, []string{
 				cfg.label, fmt.Sprint(n), ms(t1), ms(t2), ms(t1 + t2),
+				fmt.Sprint(dq.Counter("store.probes") / reps),
+				ctrT1,
+				msNs(dq.HistSum("lineage.indexproj.probe_ns"), reps),
 			})
 		}
 	}
@@ -363,8 +376,12 @@ func Fig9(o Options) (*Report, error) {
 	rep := &Report{
 		ID:      "fig9",
 		Title:   "Lineage query response time across strategies as a function of l",
-		Caption: "strategies: NI, INDEXPROJ focused ({LISTGEN_1}), INDEXPROJ unfocused (all).",
-		Columns: []string{"d", "l", "NI_ms", "IndexProj_focused_ms", "IndexProj_unfocused_ms"},
+		Caption: "strategies: NI, INDEXPROJ focused ({LISTGEN_1}), INDEXPROJ unfocused (all).\n" +
+			"Stage columns come from engine obs counters, per measured query: NI splits\n" +
+			"into traversal vs value materialization; INDEXPROJ into plan (t1, per\n" +
+			"compile) vs probes (t2).",
+		Columns: []string{"d", "l", "NI_ms", "IndexProj_focused_ms", "IndexProj_unfocused_ms",
+			"NI_traverse_ms", "NI_probe_ms", "IPf_t1_ms", "IPf_t2_ms", "IPu_t1_ms", "IPu_t2_ms"},
 	}
 	for _, d := range ds {
 		for _, l := range ls {
@@ -385,14 +402,20 @@ func Fig9(o Options) (*Report, error) {
 
 func fig9Row(o Options, env *TestbedEnv, d, l int) ([]string, error) {
 	runID := env.RunIDs[0]
+	reps := int64(o.queries())
+
+	s0 := obs.Default.Snapshot()
 	niT, err := bestOf(o.queries(), func() error { return env.NaiveQuery(runID, FocusedSet()) })
 	if err != nil {
 		return nil, err
 	}
+	dNI := obs.Default.Snapshot().Sub(s0)
+
 	ip, err := lineage.NewIndexProj(env.Store, env.WF)
 	if err != nil {
 		return nil, err
 	}
+	s0 = obs.Default.Snapshot()
 	focT, err := bestOf(o.queries(), func() error {
 		_, err := ip.Lineage(runID, gen.FinalName, "product", env.QueryIndex(), FocusedSet())
 		return err
@@ -400,7 +423,10 @@ func fig9Row(o Options, env *TestbedEnv, d, l int) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	dFoc := obs.Default.Snapshot().Sub(s0)
+
 	unf := env.UnfocusedSet()
+	s0 = obs.Default.Snapshot()
 	unfT, err := bestOf(o.queries(), func() error {
 		_, err := ip.Lineage(runID, gen.FinalName, "product", env.QueryIndex(), unf)
 		return err
@@ -408,7 +434,30 @@ func fig9Row(o Options, env *TestbedEnv, d, l int) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []string{fmt.Sprint(d), fmt.Sprint(l), ms(niT), ms(focT), ms(unfT)}, nil
+	dUnf := obs.Default.Snapshot().Sub(s0)
+
+	// Plan time (t1) is per compile: repeated queries hit the plan cache, so
+	// the delta holds one compilation, however many repetitions ran.
+	ipT1 := func(delta obs.Snapshot) string {
+		return msNs(delta.HistSum("lineage.indexproj.plan_ns"),
+			max64(1, delta.Counter("lineage.indexproj.plan_cache_misses")))
+	}
+	return []string{
+		fmt.Sprint(d), fmt.Sprint(l), ms(niT), ms(focT), ms(unfT),
+		msNs(dNI.HistSum("lineage.ni.traverse_ns"), reps),
+		msNs(dNI.HistSum("lineage.ni.probe_ns"), reps),
+		ipT1(dFoc),
+		msNs(dFoc.HistSum("lineage.indexproj.probe_ns"), reps),
+		ipT1(dUnf),
+		msNs(dUnf.HistSum("lineage.indexproj.probe_ns"), reps),
+	}, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Fig10 regenerates Figure 10: INDEXPROJ response time on partially

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -75,9 +76,11 @@ func Ingest(o Options) (*Report, error) {
 		Title: "Bulk trace-ingest throughput: per-row vs. batched vs. batched+parallel",
 		Caption: fmt.Sprintf("Testbed l=%d, d=%d, %d runs, pre-generated traces; batch = %d rows.\n"+
 			"rows = Table 1 event records stored; every mode loads an identical\n"+
-			"database. speedup is rows/sec over the per-row baseline.",
+			"database. speedup is rows/sec over the per-row baseline. flushes and\n"+
+				"flush_ms come from the store's obs counters (per rep / per flush).",
 			l, d, runs, store.DefaultBatchRows),
-		Columns: []string{"mode", "runs", "rows", "elapsed_ms", "rows_per_sec", "speedup"},
+		Columns: []string{"mode", "runs", "rows", "elapsed_ms", "rows_per_sec", "speedup",
+			"flushes", "flush_ms"},
 	}
 
 	var wantRows, baselineRate int
@@ -88,6 +91,7 @@ func Ingest(o Options) (*Report, error) {
 	for _, m := range modes {
 		var best time.Duration
 		var rows int
+		s0 := obs.Default.Snapshot()
 		for rep := 0; rep < reps; rep++ {
 			st, err := store.OpenMemory()
 			if err != nil {
@@ -113,6 +117,10 @@ func Ingest(o Options) (*Report, error) {
 		} else if rows != wantRows {
 			return nil, fmt.Errorf("bench: ingest mode %q stored %d rows, baseline stored %d", m.label, rows, wantRows)
 		}
+		// Counter-derived flush stats across the reps of this mode: number of
+		// buffered-writer flushes per rep and mean wall time per flush.
+		dm := obs.Default.Snapshot().Sub(s0)
+		flushes := dm.Counter("store.ingest.batches")
 		rate := int(float64(rows) / best.Seconds())
 		if baselineRate == 0 {
 			baselineRate = rate
@@ -121,6 +129,8 @@ func Ingest(o Options) (*Report, error) {
 			m.label, fmt.Sprint(runs), fmt.Sprint(rows), ms(best),
 			fmt.Sprint(rate),
 			fmt.Sprintf("%.2fx", float64(rate)/float64(baselineRate)),
+			fmt.Sprint(flushes / int64(reps)),
+			msNs(dm.HistSum("store.ingest.flush_ns"), flushes),
 		})
 	}
 	return rep, nil

@@ -82,6 +82,16 @@ func ms(d time.Duration) string {
 	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6)
 }
 
+// msNs renders totalNs/n nanoseconds as milliseconds with three decimals —
+// the per-query form of a counter-derived stage total (obs snapshot delta
+// over n measured repetitions).
+func msNs(totalNs, n int64) string {
+	if n <= 0 {
+		return "0.000"
+	}
+	return fmt.Sprintf("%.3f", float64(totalNs)/float64(n)/1e6)
+}
+
 // bestOf runs fn n times and returns the fastest duration — the paper's
 // methodology: "the best response times over a sequence of five identical
 // queries ... assuming the best case of a warm cache" (§4.2, footnote 10).

@@ -2,10 +2,12 @@ package lineage
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/iter"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -78,13 +80,25 @@ func NewIndexProj(q store.LineageQuerier, wf *workflow.Workflow) (*IndexProj, er
 
 // Lineage evaluates lin(⟨proc:port[idx]⟩, focus) within one run.
 func (ip *IndexProj) Lineage(runID, proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	total := obs.Start(ipQueryNs)
 	plan, err := ip.Compile(proc, port, idx, focus)
 	if err != nil {
+		total.End()
 		return nil, err
 	}
 	result := NewResult()
 	if err := ip.executeInto(result, plan, runID); err != nil {
+		total.End()
 		return nil, err
+	}
+	d := total.End()
+	ipQueries.Add(1)
+	if obs.SlowExceeded(d) {
+		obs.Slow("lineage.indexproj", d,
+			"run", runID,
+			"binding", proc+":"+port+idx.String(),
+			"probes", strconv.Itoa(len(plan.Probes)),
+			"bindings", strconv.Itoa(result.Len()))
 	}
 	return result, nil
 }
@@ -93,15 +107,27 @@ func (ip *IndexProj) Lineage(runID, proc, port string, idx value.Index, focus Fo
 // graph is traversed once (one Compile), and only the probes are re-executed
 // per run (§3.4).
 func (ip *IndexProj) LineageMultiRun(runIDs []string, proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	total := obs.Start(ipQueryNs)
 	plan, err := ip.Compile(proc, port, idx, focus)
 	if err != nil {
+		total.End()
 		return nil, err
 	}
 	result := NewResult()
 	for _, runID := range runIDs {
 		if err := ip.executeInto(result, plan, runID); err != nil {
+			total.End()
 			return nil, err
 		}
+	}
+	d := total.End()
+	ipQueries.Add(1)
+	if obs.SlowExceeded(d) {
+		obs.Slow("lineage.indexproj", d,
+			"runs", strconv.Itoa(len(runIDs)),
+			"binding", proc+":"+port+idx.String(),
+			"probes", strconv.Itoa(len(plan.Probes)),
+			"bindings", strconv.Itoa(result.Len()))
 	}
 	return result, nil
 }
@@ -116,6 +142,9 @@ func (ip *IndexProj) Execute(plan *CompiledPlan, runID string) (*Result, error) 
 }
 
 func (ip *IndexProj) executeInto(result *Result, plan *CompiledPlan, runID string) error {
+	sp := obs.Start(ipProbeNs)
+	defer sp.End()
+	var added int64
 	for _, pr := range plan.Probes {
 		bs, err := ip.q.InputBindings(runID, pr.Proc, pr.Port, pr.Index)
 		if err != nil {
@@ -127,8 +156,11 @@ func (ip *IndexProj) executeInto(result *Result, plan *CompiledPlan, runID strin
 				return err
 			}
 			result.Add(Entry{RunID: b.RunID, Proc: b.Proc, Port: b.Port, Index: b.Index, Ctx: b.Ctx, Value: v})
+			added++
 		}
 	}
+	ipProbes.Add(int64(len(plan.Probes)))
+	ipBindings.Add(added)
 	return nil
 }
 
@@ -151,9 +183,13 @@ func (ip *IndexProj) Compile(proc, port string, idx value.Index, focus Focus) (*
 	plan, ok := ip.planCache[key]
 	ip.mu.RUnlock()
 	if ok {
+		ipCacheHits.Add(1)
 		return plan, nil
 	}
+	ipCacheMiss.Add(1)
 
+	sp := obs.Start(ipPlanNs)
+	defer sp.End()
 	c := &compiler{
 		ip:        ip,
 		focus:     focus,

@@ -2,7 +2,10 @@ package lineage
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/value"
 )
@@ -34,9 +37,19 @@ func (n node) key() entryKey {
 // Lineage evaluates lin(⟨proc:port[idx]⟩, focus) within one run. proc may be
 // trace.WorkflowProc ("") to start from a workflow output port.
 func (n *Naive) Lineage(runID, proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	total := obs.Start(niQueryNs)
 	result := NewResult()
 	if err := n.lineageInto(result, runID, proc, port, idx, focus); err != nil {
+		total.End()
 		return nil, err
+	}
+	d := total.End()
+	niQueries.Add(1)
+	if obs.SlowExceeded(d) {
+		obs.Slow("lineage.ni", d,
+			"run", runID,
+			"binding", proc+":"+port+idx.String(),
+			"bindings", strconv.Itoa(result.Len()))
 	}
 	return result, nil
 }
@@ -46,11 +59,21 @@ func (n *Naive) Lineage(runID, proc, port string, idx value.Index, focus Focus) 
 // traversal (this is the behaviour Fig. 4 of the paper contrasts with
 // INDEXPROJ).
 func (n *Naive) LineageMultiRun(runIDs []string, proc, port string, idx value.Index, focus Focus) (*Result, error) {
+	total := obs.Start(niQueryNs)
 	result := NewResult()
 	for _, runID := range runIDs {
 		if err := n.lineageInto(result, runID, proc, port, idx, focus); err != nil {
+			total.End()
 			return nil, err
 		}
+	}
+	d := total.End()
+	niQueries.Add(1)
+	if obs.SlowExceeded(d) {
+		obs.Slow("lineage.ni", d,
+			"runs", strconv.Itoa(len(runIDs)),
+			"binding", proc+":"+port+idx.String(),
+			"bindings", strconv.Itoa(result.Len()))
 	}
 	return result, nil
 }
@@ -60,9 +83,22 @@ func (n *Naive) lineageInto(result *Result, runID, proc, port string, idx value.
 	visited := map[entryKey]bool{start.key(): true}
 	stack := []node{start}
 
+	// NI's cost splits into graph traversal (the store queries walking the
+	// extensional provenance graph) and value materialization — its analogue
+	// of INDEXPROJ's probe phase. The materialization time is accumulated in
+	// probeNs by addEntry and subtracted from the loop's wall time, so
+	// traverse_ns + probe_ns never exceeds the whole traversal.
+	var probeNs int64
+	var nodes int64
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
+
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		nodes++
 
 		push := func(next node) {
 			k := next.key()
@@ -83,7 +119,7 @@ func (n *Naive) lineageInto(result *Result, runID, proc, port string, idx value.
 			collect := focus[ev.Proc]
 			for _, in := range ev.Inputs {
 				if collect {
-					if err := n.addEntry(result, in); err != nil {
+					if err := n.addEntry(result, in, &probeNs); err != nil {
 						return err
 					}
 				}
@@ -104,6 +140,15 @@ func (n *Naive) lineageInto(result *Result, runID, proc, port string, idx value.
 			}
 			push(node{proc: xf.From.Proc, port: xf.From.Port, idx: up})
 		}
+	}
+	if obs.Enabled() {
+		loopNs := time.Since(t0).Nanoseconds()
+		if probeNs > loopNs {
+			probeNs = loopNs // clock skew guard; keeps the split a partition
+		}
+		niProbeNs.Observe(probeNs)
+		niTraverseNs.Observe(loopNs - probeNs)
+		niNodes.Add(nodes)
 	}
 	return nil
 }
@@ -128,8 +173,16 @@ func translateAcrossXfer(queryIdx, toIdx, fromIdx value.Index) (value.Index, boo
 	}
 }
 
-func (n *Naive) addEntry(result *Result, b store.Binding) error {
+func (n *Naive) addEntry(result *Result, b store.Binding, probeNs *int64) error {
+	var t0 time.Time
+	timed := obs.Enabled()
+	if timed {
+		t0 = time.Now()
+	}
 	v, err := n.s.Value(b.RunID, b.ValID)
+	if timed {
+		*probeNs += time.Since(t0).Nanoseconds()
+	}
 	if err != nil {
 		return fmt.Errorf("lineage: %w", err)
 	}

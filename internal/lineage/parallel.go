@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strconv"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/value"
 )
@@ -79,6 +81,23 @@ type probeChunk struct {
 // the query with the context's error. A panic inside a pooled task is
 // confined to its worker and surfaced as an error carrying the stack.
 func (ip *IndexProj) ExecuteMultiRun(ctx context.Context, plan *CompiledPlan, runIDs []string, opt MultiRunOptions) (*Result, error) {
+	total := obs.Start(mrQueryNs)
+	res, err := ip.executeMultiRun(ctx, plan, runIDs, opt)
+	d := total.End()
+	if err == nil {
+		ipQueries.Add(1)
+		if obs.SlowExceeded(d) {
+			obs.Slow("lineage.multirun", d,
+				"runs", strconv.Itoa(len(runIDs)),
+				"probes", strconv.Itoa(len(plan.Probes)),
+				"parallelism", strconv.Itoa(opt.normalize().Parallelism),
+				"bindings", strconv.Itoa(res.Len()))
+		}
+	}
+	return res, err
+}
+
+func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, runIDs []string, opt MultiRunOptions) (*Result, error) {
 	if ip.q == nil {
 		return nil, fmt.Errorf("lineage: no store attached to this evaluator")
 	}
@@ -96,6 +115,7 @@ func (ip *IndexProj) ExecuteMultiRun(ctx context.Context, plan *CompiledPlan, ru
 			tasks = append(tasks, probeChunk{probe: pr, runs: chunk})
 		}
 	}
+	mrTasks.Add(int64(len(tasks)))
 
 	if opt.Parallelism == 1 || len(tasks) <= 1 {
 		result := NewResult()
@@ -156,10 +176,12 @@ func (ip *IndexProj) ExecuteMultiRun(ctx context.Context, plan *CompiledPlan, ru
 	if err := firstError(ctx, errs); err != nil {
 		return nil, err
 	}
+	msp := obs.Start(mrMergeNs)
 	result := NewResult()
 	for w := 0; w < workers; w++ {
 		result.Merge(partials[w])
 	}
+	msp.End()
 	return result, nil
 }
 
@@ -195,6 +217,9 @@ func isCancellation(err error) bool {
 // accesses), batched otherwise — one index-range scan stages the bindings of
 // every run, then one batched fetch materializes their values.
 func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string) error {
+	sp := obs.Start(ipProbeNs)
+	defer sp.End()
+	ipProbes.Add(1)
 	if len(runIDs) == 1 {
 		bs, err := ip.q.InputBindings(runIDs[0], pr.Proc, pr.Port, pr.Index)
 		if err != nil {

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+)
+
+// The disabled path is the cost every instrumented hot loop pays when
+// metrics are off: one atomic load and a branch. The budget (ISSUE 4) is "a
+// few ns/op"; these benchmarks guard it.
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	c := NewRegistry().Counter("bench.c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddEnabled(b *testing.B) {
+	c := NewRegistry().Counter("bench.c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	h := NewRegistry().Histogram("bench.h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("bench.h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	h := NewRegistry().Histogram("bench.span")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Start(h)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("bench.span")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Start(h)
+		sp.End()
+	}
+}
+
+// TestDisabledPathBudget is the cheap, deterministic form of the overhead
+// guard: with recording off, a counter add must not fall back to any slow
+// path (map lookup, lock). We can't assert wall time portably in a unit
+// test, but we can assert the disabled path allocates nothing.
+func TestDisabledPathBudget(t *testing.T) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	c := NewRegistry().Counter("budget.c")
+	h := NewRegistry().Histogram("budget.h")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(17)
+		sp := Start(h)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// snapFromSeed deterministically builds a histogram snapshot from fuzz
+// bytes by replaying them as observations into a real histogram, so every
+// fuzzed snapshot is one a Histogram could actually produce.
+func snapFromSeed(data []byte) HistSnap {
+	h := newHistogram("fuzz")
+	for len(data) >= 8 {
+		v := int64(binary.LittleEndian.Uint64(data[:8]))
+		h.Observe(v)
+		data = data[8:]
+	}
+	return h.snap()
+}
+
+// FuzzHistSnapMerge checks the merge algebra on arbitrary realizable
+// snapshots: commutativity, identity, count/sum/bucket additivity, and
+// extrema correctness.
+func FuzzHistSnapMerge(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0}, []byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Add(
+		[]byte{10, 0, 0, 0, 0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0, 0},
+		[]byte{5, 0, 0, 0, 0, 0, 0, 0},
+	)
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		sa, sb := snapFromSeed(a), snapFromSeed(b)
+		m := sa.Merge(sb)
+
+		if m.Count != sa.Count+sb.Count {
+			t.Fatalf("count: %d != %d+%d", m.Count, sa.Count, sb.Count)
+		}
+		if m.Sum != sa.Sum+sb.Sum {
+			t.Fatalf("sum: %d != %d+%d", m.Sum, sa.Sum, sb.Sum)
+		}
+		for i := range m.Buckets {
+			if m.Buckets[i] != sa.Buckets[i]+sb.Buckets[i] {
+				t.Fatalf("bucket %d: %d != %d+%d", i, m.Buckets[i], sa.Buckets[i], sb.Buckets[i])
+			}
+		}
+		if rev := sb.Merge(sa); rev != m {
+			t.Fatalf("merge not commutative:\n %+v\n %+v", m, rev)
+		}
+		if sa.Count > 0 && sb.Count > 0 {
+			wantMin, wantMax := sa.Min, sa.Max
+			if sb.Min < wantMin {
+				wantMin = sb.Min
+			}
+			if sb.Max > wantMax {
+				wantMax = sb.Max
+			}
+			if m.Min != wantMin || m.Max != wantMax {
+				t.Fatalf("extrema: got %d/%d want %d/%d", m.Min, m.Max, wantMin, wantMax)
+			}
+		}
+		// Merging a delta back reproduces the union: m.Sub(sa) == sb on the
+		// additive cells (extrema are lossy in Sub by design).
+		d := m.Sub(sa)
+		if d.Count != sb.Count || d.Sum != sb.Sum {
+			t.Fatalf("sub does not invert merge: %+v vs %+v", d, sb)
+		}
+		for i := range d.Buckets {
+			if d.Buckets[i] != sb.Buckets[i] {
+				t.Fatalf("sub bucket %d: %d != %d", i, d.Buckets[i], sb.Buckets[i])
+			}
+		}
+		// The identity element really is the zero snapshot.
+		var zero HistSnap
+		if got := sa.Merge(zero); got != sa {
+			t.Fatalf("zero not identity: %+v != %+v", got, sa)
+		}
+	})
+}
+
+// FuzzCounterDelta checks the snapshot subtraction path for counters under
+// arbitrary interleavings of adds.
+func FuzzCounterDelta(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(5), int64(7))
+	f.Add(int64(1)<<40, int64(3))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		if a < 0 || b < 0 || a > 1<<40 || b > 1<<40 {
+			t.Skip()
+		}
+		r := NewRegistry()
+		c := r.Counter("fuzz.c")
+		c.Add(a)
+		s0 := r.Snapshot()
+		c.Add(b)
+		s1 := r.Snapshot()
+		if d := s1.Sub(s0).Counter("fuzz.c"); d != b {
+			t.Fatalf("delta = %d, want %d", d, b)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability HTTP mux for a registry:
+//
+//	/metrics        expvar-style JSON dump of every counter and histogram
+//	/debug/pprof/*  the standard net/http/pprof profiling endpoints
+//
+// The mux is deliberately built by hand (not http.DefaultServeMux) so that
+// linking obs never mutates global HTTP state.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve exposes the Default registry's Handler on addr (e.g. ":9090" or
+// "127.0.0.1:0"). It returns the bound address and a function that shuts the
+// listener down. The server runs on a background goroutine; CLI binaries
+// call Serve when the -metrics-addr flag is set.
+func Serve(addr string) (bound string, closeFn func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(Default)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

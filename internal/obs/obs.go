@@ -1,0 +1,416 @@
+// Package obs is the engine's zero-dependency observability layer: an
+// atomic-counter/histogram metrics registry, lightweight span tracing for
+// per-query stage breakdown (the paper's t1/t2 decomposition, §4), and a
+// threshold-based slow-query log.
+//
+// Design constraints, in order:
+//
+//  1. The disabled path costs a few ns per call site (one atomic load and a
+//     branch) — cheap enough to leave instrumentation in the hottest loops.
+//  2. The enabled path never takes a lock: counters and histogram buckets
+//     are plain atomics, so concurrent writers never serialize and a
+//     concurrent reader sees a consistent-enough snapshot (each cell is
+//     individually atomic; cross-cell skew is bounded by in-flight updates).
+//  3. Metric handles are resolved once, at package init, by name
+//     (obs.C/obs.H); the per-event path never touches the registry map.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates every recording path. Metrics are on by default: the steady
+// -state cost is a handful of atomic adds per query, and the benchmark
+// harness reads the counters to report per-stage columns.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns recording on or off. Counters keep their values when
+// disabled; they just stop moving.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter when recording is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// holds observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i);
+// bucket 0 holds zero. 48 buckets cover durations up to ~3 days in
+// nanoseconds.
+const histBuckets = 48
+
+// Histogram records int64 observations (typically nanosecond durations or
+// sizes) into power-of-two buckets, with exact count/sum/min/max. Every cell
+// is an independent atomic: recording takes no lock and concurrent snapshots
+// cannot observe torn per-cell values.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram(name string) *Histogram {
+	h := &Histogram{name: name}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one value when recording is enabled. Negative values are
+// clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// snap captures the histogram's cells.
+func (h *Histogram) snap() HistSnap {
+	s := HistSnap{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		s.Min = 0
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Registry holds named metrics. The zero value is not usable; use
+// NewRegistry or the package-level Default. Lookup (C/H) is guarded by a
+// mutex, but callers resolve handles once at init — the recording path never
+// enters the registry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry every engine package registers into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(name)
+	r.hists[name] = h
+	return h
+}
+
+// C resolves a counter in the Default registry; engine packages bind their
+// metric handles with it at init.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// H resolves a histogram in the Default registry.
+func H(name string) *Histogram { return Default.Histogram(name) }
+
+// HistSnap is a point-in-time copy of one histogram's cells.
+type HistSnap struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets [histBuckets]int64
+}
+
+// Sub returns the delta s - prev. Count, Sum and Buckets subtract; Min and
+// Max are copied from s (extrema are not delta-able).
+func (s HistSnap) Sub(prev HistSnap) HistSnap {
+	d := HistSnap{
+		Count: s.Count - prev.Count,
+		Sum:   s.Sum - prev.Sum,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
+// Merge returns the union of two snapshots, as if their observations had
+// been recorded into one histogram.
+func (s HistSnap) Merge(o HistSnap) HistSnap {
+	m := HistSnap{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+	}
+	switch {
+	case s.Count == 0:
+		m.Min, m.Max = o.Min, o.Max
+	case o.Count == 0:
+		m.Min, m.Max = s.Min, s.Max
+	default:
+		m.Min, m.Max = s.Min, s.Max
+		if o.Min < m.Min {
+			m.Min = o.Min
+		}
+		if o.Max > m.Max {
+			m.Max = o.Max
+		}
+	}
+	for i := range s.Buckets {
+		m.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	return m
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) from the
+// bucket counts; the answer is exact to within one power of two.
+func (s HistSnap) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1) << uint(i)
+			if upper > s.Max && s.Max > 0 {
+				return s.Max
+			}
+			return upper
+		}
+	}
+	return s.Max
+}
+
+// Snapshot is a point-in-time copy of a whole registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Histograms map[string]HistSnap
+}
+
+// Snapshot copies every metric's current value. Each cell is read
+// atomically; the snapshot as a whole is taken without stopping writers, so
+// cross-metric skew is bounded by the updates in flight while it runs.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	cs := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		cs = append(cs, c)
+	}
+	hs := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(cs)),
+		Histograms: make(map[string]HistSnap, len(hs)),
+	}
+	for _, c := range cs {
+		s.Counters[c.name] = c.Load()
+	}
+	for _, h := range hs {
+		s.Histograms[h.name] = h.snap()
+	}
+	return s
+}
+
+// Sub returns the per-metric delta s - prev. Metrics absent from prev keep
+// their value from s.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Histograms: make(map[string]HistSnap, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, h := range s.Histograms {
+		d.Histograms[name] = h.Sub(prev.Histograms[name])
+	}
+	return d
+}
+
+// Counter returns a counter's value from the snapshot (0 if absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Hist returns a histogram snapshot by name (zero value if absent).
+func (s Snapshot) Hist(name string) HistSnap { return s.Histograms[name] }
+
+// HistSum returns a histogram's sum from the snapshot (0 if absent).
+func (s Snapshot) HistSum(name string) int64 { return s.Histograms[name].Sum }
+
+// histJSON is the JSON shape of one histogram in a metrics dump.
+type histJSON struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Avg   float64 `json:"avg"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+}
+
+// dumpJSON is the JSON shape of a metrics dump: expvar-style maps keyed by
+// metric name. encoding/json emits map keys sorted, so the dump is
+// deterministic for a fixed metric set.
+type dumpJSON struct {
+	Counters   map[string]int64    `json:"counters"`
+	Histograms map[string]histJSON `json:"histograms"`
+}
+
+// WriteJSON writes the registry's current state as one JSON document. The
+// document is built from an atomic-cell snapshot and marshalled in memory
+// before any byte reaches w, so a dump taken under concurrent writers is
+// always well-formed JSON (never torn mid-value).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	d := dumpJSON{
+		Counters:   s.Counters,
+		Histograms: make(map[string]histJSON, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		j := histJSON{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
+		if h.Count > 0 {
+			j.Avg = float64(h.Sum) / float64(h.Count)
+			j.P50 = h.Quantile(0.50)
+			j.P99 = h.Quantile(0.99)
+		}
+		d.Histograms[name] = j
+	}
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// Names returns the sorted names of every registered metric, counters and
+// histograms together. The engine registers all its metrics at package init,
+// so the name set is deterministic per binary — golden tests pin it.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// String renders a counter for debugging.
+func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.name, c.Load()) }

@@ -1,0 +1,411 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.counter")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+	if r.Counter("test.counter") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	if c.Name() != "test.counter" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestCounterDisabled(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("test.gated")
+	SetEnabled(false)
+	c.Add(5)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("disabled Add recorded: %d", got)
+	}
+	SetEnabled(true)
+	c.Add(5)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("enabled Add lost: %d", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.hist")
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.snap()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if s.Sum != 1106 { // -5 clamps to 0
+		t.Fatalf("Sum = %d, want 1106", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("Min/Max = %d/%d, want 0/1000", s.Min, s.Max)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestHistogramEmptySnap(t *testing.T) {
+	r := NewRegistry()
+	s := r.Histogram("test.empty").snap()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if q := s.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %d", q)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.q")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.snap()
+	p50 := s.Quantile(0.5)
+	// The true median is 500; the bucketed answer is exact to a power of 2.
+	if p50 < 500 || p50 > 1024 {
+		t.Fatalf("p50 = %d, want within [500,1024]", p50)
+	}
+	p100 := s.Quantile(1)
+	if p100 < 1000 || p100 > 1024 {
+		t.Fatalf("p100 = %d, want within [1000,1024]", p100)
+	}
+	if s.Quantile(0) == 0 && s.Min > 0 {
+		// rank clamps to 1, so the 0-quantile is the smallest bucket bound
+		t.Fatalf("q0 = 0 for all-positive data")
+	}
+}
+
+func TestSnapshotSubAndMerge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.c")
+	h := r.Histogram("test.h")
+	c.Add(10)
+	h.Observe(100)
+	s0 := r.Snapshot()
+	c.Add(5)
+	h.Observe(200)
+	h.Observe(50)
+	s1 := r.Snapshot()
+	d := s1.Sub(s0)
+	if d.Counter("test.c") != 5 {
+		t.Fatalf("counter delta = %d, want 5", d.Counter("test.c"))
+	}
+	hd := d.Hist("test.h")
+	if hd.Count != 2 || hd.Sum != 250 {
+		t.Fatalf("hist delta = %+v, want count 2 sum 250", hd)
+	}
+
+	m := s0.Hist("test.h").Merge(hd)
+	if m.Count != 3 || m.Sum != 350 {
+		t.Fatalf("merge = %+v, want count 3 sum 350", m)
+	}
+}
+
+func TestHistSnapMergeEmpty(t *testing.T) {
+	var empty HistSnap
+	full := HistSnap{Count: 2, Sum: 30, Min: 10, Max: 20}
+	full.Buckets[4] = 1
+	full.Buckets[5] = 1
+	if m := empty.Merge(full); m != full {
+		t.Fatalf("empty.Merge(full) = %+v", m)
+	}
+	if m := full.Merge(empty); m != full {
+		t.Fatalf("full.Merge(empty) = %+v", m)
+	}
+	if m := empty.Merge(empty); m.Count != 0 || m.Min != 0 || m.Max != 0 {
+		t.Fatalf("empty merge = %+v", m)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// concurrent get-or-create of the same names, recording, and snapshotting —
+// and checks nothing is lost or torn. Run under -race this is the
+// registry's primary concurrency guarantee.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc.counter")
+			h := r.Histogram("conc.hist")
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				h.Observe(int64(i))
+				if i%256 == 0 {
+					_ = r.Snapshot() // readers race with writers
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("conc.counter"); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := s.Hist("conc.hist")
+	if h.Count != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var total int64
+	for _, n := range h.Buckets {
+		total += n
+	}
+	if total != h.Count {
+		t.Fatalf("bucket total %d != count %d", total, h.Count)
+	}
+	if h.Min != 0 || h.Max != perWorker-1 {
+		t.Fatalf("min/max = %d/%d", h.Min, h.Max)
+	}
+}
+
+// TestWriteJSONConcurrent dumps the registry while writers are recording:
+// every dump must be a complete, well-formed JSON document (the dump is
+// marshalled in memory before any byte is written, so it cannot tear).
+func TestWriteJSONConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dump.counter")
+	h := r.Histogram("dump.hist")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Add(1)
+					h.Observe(42)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		var doc struct {
+			Counters   map[string]int64           `json:"counters"`
+			Histograms map[string]json.RawMessage `json:"histograms"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("dump %d is not valid JSON: %v\n%s", i, err, buf.String())
+		}
+		if _, ok := doc.Counters["dump.counter"]; !ok {
+			t.Fatalf("dump %d missing counter", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSlowLogNoTearing writes slow-query records from many goroutines into
+// one sink and asserts every line in the output is a complete record — no
+// interleaving, no partial lines.
+func TestSlowLogNoTearing(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	sink := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	SetSlowLog(sink, time.Nanosecond)
+	defer SetSlowLog(nil, 0)
+
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				Slow("test.kind", time.Duration(i+1)*time.Microsecond,
+					"worker", fmt.Sprint(w), "iter", fmt.Sprint(i), "msg", "has spaces here")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != workers*perWorker {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*perWorker)
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "slow_query kind=test.kind total_ns=") {
+			t.Fatalf("line %d malformed: %q", i, line)
+		}
+		if !strings.Contains(line, `msg="has spaces here"`) {
+			t.Fatalf("line %d lost quoted field: %q", i, line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestSlowExceeded(t *testing.T) {
+	SetSlowLog(io.Discard, 10*time.Millisecond)
+	defer SetSlowLog(nil, 0)
+	if SlowExceeded(9 * time.Millisecond) {
+		t.Fatal("below threshold reported slow")
+	}
+	if !SlowExceeded(10 * time.Millisecond) {
+		t.Fatal("at threshold not reported slow")
+	}
+	SetSlowLog(nil, 0)
+	if SlowExceeded(time.Hour) {
+		t.Fatal("disabled log reported slow")
+	}
+}
+
+func TestSpanBalanceAndRecording(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	h := r.Histogram("span.h")
+
+	before := SpansStarted() - SpansEnded()
+	sp := Start(h)
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Fatalf("span duration %v too short", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if got := SpansStarted() - SpansEnded(); got != before {
+		t.Fatalf("span balance drifted: %d -> %d", before, got)
+	}
+
+	SetEnabled(false)
+	sp = Start(h)
+	if sp.End() != 0 {
+		t.Fatal("disabled span recorded a duration")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("disabled span observed into histogram: count = %d", h.Count())
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last")
+	r.Histogram("a.first")
+	r.Counter("m.mid")
+	names := r.Names()
+	want := []string{"a.first", "m.mid", "z.last"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http.c").Add(7)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Counters["http.c"] != 7 {
+		t.Fatalf("metrics dump = %+v", doc)
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp2.StatusCode)
+	}
+}
+
+func TestServe(t *testing.T) {
+	addr, closeFn, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer closeFn()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHistogramExtremeValues(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.extreme")
+	h.Observe(math.MaxInt64)
+	s := h.snap()
+	if s.Max != math.MaxInt64 || s.Count != 1 {
+		t.Fatalf("extreme observe: %+v", s)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("extreme value not bucketed")
+	}
+}

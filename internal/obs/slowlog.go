@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The slow-query log emits one structured line per query whose total
+// duration meets a configured threshold:
+//
+//	slow_query kind=lineage.indexproj total_ns=1234567 run=trial-0001 probes=3 bindings=12
+//
+// The line is fully built in memory and handed to the sink as a single
+// Write under a mutex, so concurrent slow queries never interleave bytes
+// within (or across) records — the log cannot tear.
+
+var (
+	slowMu        sync.Mutex
+	slowSink      io.Writer
+	slowThreshold atomic.Int64
+	slowRecords   = C("obs.slow_queries")
+)
+
+// SetSlowLog configures the slow-query sink and threshold. A nil writer or
+// non-positive threshold disables the log. Safe to call concurrently with
+// queries in flight.
+func SetSlowLog(w io.Writer, threshold time.Duration) {
+	slowMu.Lock()
+	slowSink = w
+	slowMu.Unlock()
+	if w == nil || threshold <= 0 {
+		slowThreshold.Store(0)
+		return
+	}
+	slowThreshold.Store(threshold.Nanoseconds())
+}
+
+// SlowExceeded reports whether a query of the given duration should be
+// logged. It is the cheap guard call sites use before assembling fields:
+// one atomic load when the log is disabled.
+func SlowExceeded(d time.Duration) bool {
+	t := slowThreshold.Load()
+	return t > 0 && d.Nanoseconds() >= t
+}
+
+// Slow emits one slow-query record. kv lists alternating field names and
+// values; values containing spaces or quotes are quoted. The record is
+// written with a single Write call.
+func Slow(kind string, total time.Duration, kv ...string) {
+	var b strings.Builder
+	b.Grow(64 + 16*len(kv))
+	b.WriteString("slow_query kind=")
+	b.WriteString(kind)
+	b.WriteString(" total_ns=")
+	b.WriteString(strconv.FormatInt(total.Nanoseconds(), 10))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		v := kv[i+1]
+		if strings.ContainsAny(v, " \t\n\"=") {
+			v = strconv.Quote(v)
+		}
+		b.WriteString(v)
+	}
+	b.WriteByte('\n')
+	line := b.String()
+
+	slowMu.Lock()
+	w := slowSink
+	if w != nil {
+		io.WriteString(w, line)
+	}
+	slowMu.Unlock()
+	slowRecords.Add(1)
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span measures one stage of a query (plan, probe, traverse, merge, WAL
+// append, ...) into a histogram. Spans are values, not allocations: Start
+// returns a zero Span when recording is disabled, and End on a zero Span is
+// a no-op, so a disabled call site costs one atomic load and a branch.
+//
+// The package keeps global started/ended tallies (ungated, so a span armed
+// while recording was on still balances if it ends after recording is turned
+// off). After every armed span has ended, SpansStarted() == SpansEnded() —
+// the "span nesting balanced" invariant the differential tests assert.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+var (
+	spansStarted atomic.Int64
+	spansEnded   atomic.Int64
+)
+
+// Start begins a span recording into h. When recording is disabled the
+// returned span is inert.
+func Start(h *Histogram) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	spansStarted.Add(1)
+	return Span{h: h, t0: time.Now()}
+}
+
+// End finishes the span, records its duration, and returns it. Ending a
+// zero (disabled) span returns 0 without recording.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.t0)
+	spansEnded.Add(1)
+	s.h.Observe(d.Nanoseconds())
+	return d
+}
+
+// SpansStarted returns the number of armed spans started process-wide.
+func SpansStarted() int64 { return spansStarted.Load() }
+
+// SpansEnded returns the number of armed spans ended process-wide.
+func SpansEnded() int64 { return spansEnded.Load() }

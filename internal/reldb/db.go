@@ -409,6 +409,7 @@ func (db *DB) selectLocked(t *Table, preds []Pred, fn func(rid int64, row Row) b
 	}
 	if ix != nil && bestScore > 0 {
 		db.statIndexScans.Add(1)
+		obsIndexScans.Add(1)
 		// Build the scan bounds: the covered equality columns form the base
 		// prefix; a prefix predicate on the next index column extends it
 		// with the partial (unterminated) string encoding; range predicates
@@ -460,28 +461,38 @@ func (db *DB) selectLocked(t *Table, preds []Pred, fn func(rid int64, row Row) b
 				}
 			}
 		}
+		// The per-row tally is kept local and flushed once after the scan:
+		// one atomic add per scan instead of one per row keeps the counter
+		// off the B-tree hot path.
+		var rowsRead int64
 		ix.tree.AscendRange(from, to, func(_ []byte, rid int64) bool {
 			row, ok := t.row(rid)
 			if !ok {
 				return true
 			}
-			db.statRowsRead.Add(1)
+			rowsRead++
 			if matches(row) {
 				return fn(rid, row)
 			}
 			return true
 		})
+		db.statRowsRead.Add(rowsRead)
+		obsRowsRead.Add(rowsRead)
 		return nil
 	}
 
 	db.statFullScans.Add(1)
+	obsFullScans.Add(1)
+	var rowsRead int64
 	t.scanAll(func(rid int64, row Row) bool {
-		db.statRowsRead.Add(1)
+		rowsRead++
 		if matches(row) {
 			return fn(rid, row)
 		}
 		return true
 	})
+	db.statRowsRead.Add(rowsRead)
+	obsRowsRead.Add(rowsRead)
 	return nil
 }
 

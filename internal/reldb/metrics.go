@@ -1,0 +1,22 @@
+package reldb
+
+import "repro/internal/obs"
+
+// Metric handles for the embedded engine, resolved once at package init.
+// append_ns covers a whole durable WAL append (frame write + buffered flush
+// + fsync); fsync_ns isolates the fsync inside it, which dominates durable
+// ingest cost. index_scans/full_scans/rows_read mirror the per-DB Stats()
+// counters globally, so a metrics dump shows access-path behaviour without a
+// handle on the database.
+var (
+	obsWalAppends   = obs.C("reldb.wal.appends")
+	obsWalBytes     = obs.C("reldb.wal.bytes")
+	obsWalAppendNs  = obs.H("reldb.wal.append_ns")
+	obsWalFsyncNs   = obs.H("reldb.wal.fsync_ns")
+	obsWalReplayed  = obs.C("reldb.wal.records_replayed")
+	obsCheckpoints  = obs.C("reldb.checkpoints")
+	obsCheckpointNs = obs.H("reldb.checkpoint_ns")
+	obsIndexScans   = obs.C("reldb.index_scans")
+	obsFullScans    = obs.C("reldb.full_scans")
+	obsRowsRead     = obs.C("reldb.rows_read")
+)

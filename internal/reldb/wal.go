@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // Write-ahead logging: a durable database pairs a snapshot file with an
@@ -79,6 +81,7 @@ func (w *walWriter) append(seq uint64, payload []byte) error {
 	crc := crc32.ChecksumIEEE(hdr[8:16])
 	crc = crc32.Update(crc, crc32.IEEETable, payload)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	sp := obs.Start(obsWalAppendNs)
 	err := func() error {
 		if _, err := w.w.Write(hdr[:]); err != nil {
 			return err
@@ -89,13 +92,19 @@ func (w *walWriter) append(seq uint64, payload []byte) error {
 		if err := w.w.Flush(); err != nil {
 			return err
 		}
-		return w.f.Sync()
+		fs := obs.Start(obsWalFsyncNs)
+		serr := w.f.Sync()
+		fs.End()
+		return serr
 	}()
+	sp.End()
 	if err != nil {
 		w.broken = true
 		return err
 	}
 	w.good += walFrameHeader + int64(len(payload))
+	obsWalAppends.Add(1)
+	obsWalBytes.Add(walFrameHeader + int64(len(payload)))
 	return nil
 }
 
@@ -217,10 +226,16 @@ func (db *DB) Checkpoint() error {
 	if db.wal == nil || db.wal.closed {
 		return ErrClosed
 	}
+	sp := obs.Start(obsCheckpointNs)
+	defer sp.End()
 	if err := db.saveLocked(filepath.Join(dir, snapshotFile)); err != nil {
 		return err
 	}
-	return db.wal.reset()
+	if err := db.wal.reset(); err != nil {
+		return err
+	}
+	obsCheckpoints.Add(1)
+	return nil
 }
 
 // replayWAL applies the log records at path (if any) with sequence numbers
@@ -259,6 +274,7 @@ func (db *DB) replayWAL(path string) (int64, error) {
 				return 0, fmt.Errorf("reldb: wal replay at offset %d: %w", off, err)
 			}
 			db.seq = seq
+			obsWalReplayed.Add(1)
 		}
 		off += walFrameHeader + n
 	}

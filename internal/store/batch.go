@@ -4,6 +4,7 @@ import (
 	"database/sql"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -61,6 +62,10 @@ func (s *Store) InputBindingsBatch(runIDs []string, proc, port string, idx value
 		out[runIDs[0]] = bs
 		return out, nil
 	}
+	obsProbeBatches.Add(1)
+	if obs.Enabled() {
+		obsBatchRuns.Observe(int64(len(runIDs)))
+	}
 	want := make(map[string]bool, len(runIDs))
 	for _, r := range runIDs {
 		want[r] = true
@@ -70,7 +75,7 @@ func (s *Store) InputBindingsBatch(runIDs []string, proc, port string, idx value
 	if err != nil {
 		return nil, err
 	}
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.qInsBatchPrefix.Query(proc, port, key+"%")
 	if err != nil {
 		return nil, err
@@ -89,7 +94,7 @@ func (s *Store) InputBindingsBatch(runIDs []string, proc, port string, idx value
 		}
 	}
 	for n := len(idx) - 1; n >= 0 && len(empty) > 0; n-- {
-		queryCount.Add(1)
+		countQuery(1)
 		rows, err := s.qInsBatchExact.Query(proc, port, MustIdxKey(idx.Truncate(n)))
 		if err != nil {
 			return nil, err
@@ -172,8 +177,10 @@ func (s *Store) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
 	decoded := make(map[string]value.Value)
 	dec := func(payload string) (value.Value, error) {
 		if v, ok := decoded[payload]; ok {
+			obsValueHits.Add(1)
 			return v, nil
 		}
+		obsValueMisses.Add(1)
 		v, err := value.Decode(payload)
 		if err == nil {
 			decoded[payload] = v
@@ -199,7 +206,7 @@ func (s *Store) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
 		}
 		span := maxID - minID + 1
 		if s.runsEstimate()*span <= int64(valsCrossRunOverscan*len(out)+64) {
-			queryCount.Add(1)
+			countQuery(1)
 			rows, err := s.qValsRangeAll.Query(minID, maxID)
 			if err != nil {
 				return nil, err
@@ -251,7 +258,7 @@ func (s *Store) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
 		span := maxID - minID + 1
 		if len(wanted) == 1 || span > int64(valsRangeOverscan*len(wanted)+16) {
 			for id := range wanted {
-				queryCount.Add(1)
+				countQuery(1)
 				var payload string
 				err := s.qValue.QueryRow(runID, id).Scan(&payload)
 				if err == sql.ErrNoRows {
@@ -268,7 +275,7 @@ func (s *Store) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
 			}
 			continue
 		}
-		queryCount.Add(1)
+		countQuery(1)
 		rows, err := s.qValsRange.Query(runID, minID, maxID)
 		if err != nil {
 			return nil, err

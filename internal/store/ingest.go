@@ -90,6 +90,7 @@ func (s *Store) Ingest(ctx context.Context, tasks []IngestTask, opt IngestOption
 		if err := w.Close(); err != nil {
 			return fmt.Errorf("store: ingesting run %q: %w", t.RunID, err)
 		}
+		obsIngestRuns.Add(1)
 		return nil
 	}
 

@@ -101,7 +101,7 @@ type outRow struct {
 }
 
 func (s *Store) outsByPrefix(runID, proc, port, keyPrefix string) ([]outRow, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.qOutsPrefix.Query(runID, proc, port, keyPrefix+"%")
 	if err != nil {
 		return nil, err
@@ -110,7 +110,7 @@ func (s *Store) outsByPrefix(runID, proc, port, keyPrefix string) ([]outRow, err
 }
 
 func (s *Store) outsExact(runID, proc, port, key string) ([]outRow, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.qOutsExact.Query(runID, proc, port, key)
 	if err != nil {
 		return nil, err
@@ -140,7 +140,7 @@ func (s *Store) scanOuts(rows *sql.Rows, runID, proc, port string) ([]outRow, er
 }
 
 func (s *Store) eventInputs(runID string, eventID int64) ([]Binding, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.qEventIns.Query(runID, eventID)
 	if err != nil {
 		return nil, err
@@ -185,7 +185,7 @@ func (s *Store) InputBindings(runID, proc, port string, idx value.Index) ([]Bind
 }
 
 func (s *Store) insByPrefix(runID, proc, port, keyPrefix string) ([]Binding, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.qInsPrefix.Query(runID, proc, port, keyPrefix+"%")
 	if err != nil {
 		return nil, err
@@ -194,7 +194,7 @@ func (s *Store) insByPrefix(runID, proc, port, keyPrefix string) ([]Binding, err
 }
 
 func (s *Store) insExact(runID, proc, port, key string) ([]Binding, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.qInsExact.Query(runID, proc, port, key)
 	if err != nil {
 		return nil, err
@@ -222,7 +222,7 @@ func (s *Store) scanIns(rows *sql.Rows, runID, proc, port string) ([]Binding, er
 
 // XfersTo returns the xfer events whose sink is the given port.
 func (s *Store) XfersTo(runID, proc, port string) ([]Xfer, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.qXfersTo.Query(runID, proc, port)
 	if err != nil {
 		return nil, err
@@ -253,7 +253,7 @@ func (s *Store) XfersTo(runID, proc, port string) ([]Xfer, error) {
 
 // Value materializes a stored port value.
 func (s *Store) Value(runID string, valID int64) (value.Value, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	var payload string
 	err := s.qValue.QueryRow(runID, valID).Scan(&payload)
 	if err == sql.ErrNoRows {
@@ -276,7 +276,7 @@ func (s *Store) XformsByInput(runID, proc, port string, idx value.Index) ([]Forw
 	if err != nil {
 		return nil, err
 	}
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.db.Query(
 		`SELECT event_id, idx, ctx, val_id FROM xform_in WHERE run_id = ? AND proc = ? AND port = ? AND idx LIKE ?`,
 		runID, proc, port, key+"%")
@@ -289,7 +289,7 @@ func (s *Store) XformsByInput(runID, proc, port string, idx value.Index) ([]Forw
 	}
 	if len(matched) == 0 {
 		for n := len(idx) - 1; n >= 0 && len(matched) == 0; n-- {
-			queryCount.Add(1)
+			countQuery(1)
 			rows, err := s.db.Query(
 				`SELECT event_id, idx, ctx, val_id FROM xform_in WHERE run_id = ? AND proc = ? AND port = ? AND idx = ?`,
 				runID, proc, port, MustIdxKey(idx.Truncate(n)))
@@ -328,7 +328,7 @@ type ForwardXform struct {
 }
 
 func (s *Store) eventOutputs(runID string, eventID int64) ([]Binding, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.db.Query(
 		`SELECT proc, port, idx, ctx, val_id FROM xform_out WHERE run_id = ? AND event_id = ?`,
 		runID, eventID)
@@ -354,7 +354,7 @@ func (s *Store) eventOutputs(runID string, eventID int64) ([]Binding, error) {
 
 // XfersFrom returns the xfer events whose source is the given port.
 func (s *Store) XfersFrom(runID, proc, port string) ([]Xfer, error) {
-	queryCount.Add(1)
+	countQuery(1)
 	rows, err := s.db.Query(
 		`SELECT from_idx, from_ctx, to_proc, to_port, to_idx, to_ctx, val_id FROM xfer WHERE run_id = ? AND from_proc = ? AND from_port = ?`,
 		runID, proc, port)

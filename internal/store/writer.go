@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/reldb"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -147,6 +148,9 @@ func (w *RunWriter) Flush() error {
 	if err := w.ctxErr(); err != nil {
 		return err
 	}
+	sp := obs.Start(obsFlushNs)
+	defer sp.End()
+	rows := int64(w.pending())
 	for _, part := range []struct {
 		table string
 		rows  *[]reldb.Row
@@ -171,6 +175,8 @@ func (w *RunWriter) Flush() error {
 		*part.rows = (*part.rows)[:0]
 	}
 	w.arena = nil
+	obsIngestBatches.Add(1)
+	obsIngestRows.Add(rows)
 	return nil
 }
 
