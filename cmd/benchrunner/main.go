@@ -25,8 +25,9 @@ import (
 )
 
 var experiments = map[string]func(bench.Options) (*bench.Report, error){
-	"fig4":    bench.Fig4,
-	"fig4par": bench.Fig4Parallel,
+	"fig4":      bench.Fig4,
+	"fig4par":   bench.Fig4Parallel,
+	"fig4shard": bench.Fig4Shard,
 	"table1":  bench.Table1,
 	"fig6":    bench.Fig6,
 	"fig7":    bench.Fig7,
@@ -51,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, fig4, fig4par, table1, fig6, fig7, fig8, fig9, fig10, ingest")
+		exp     = fs.String("exp", "all", "experiment: all, fig4, fig4par, fig4shard, table1, fig6, fig7, fig8, fig9, fig10, ingest")
 		quick   = fs.Bool("quick", false, "shrink every grid for a fast smoke run")
 		queries = fs.Int("queries", 5, "identical queries per measurement (best-of)")
 		csv     = fs.Bool("csv", false, "also write CSV files")

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	provq run   -store file:prov.db -wf testbed -l 10 -d 25
-//	provq run   -store file:prov.db -wf gk -lists 3 -genes 4
+//	provq run   -store 'shard:provdir?n=4' -wf gk -lists 3 -genes 4
 //	provq run   -store file:prov.db -wf pd -query "apoptosis" -max 8
 //	provq runs  -store file:prov.db
 //	provq query -store file:prov.db -run testbed_l10-0001 \
@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/lineage"
+	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/value"
 	"repro/internal/workflow"
@@ -145,7 +146,7 @@ func newSystem(dsn string, testbedL int, wfJSON string) (*core.System, error) {
 
 func cmdRun(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("run", stderr)
-	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
 	wf := fs.String("wf", "testbed", "workflow: testbed, gk, pd")
 	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
 	l := fs.Int("l", 10, "testbed chain length")
@@ -218,15 +219,22 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "  trace records: %d\n", total)
-	if *save && strings.HasPrefix(*dsn, "file:") {
-		return sys.Save(strings.TrimPrefix(*dsn, "file:"))
+	if *save {
+		switch {
+		case strings.HasPrefix(*dsn, "file:"):
+			return sys.Save(strings.TrimPrefix(*dsn, "file:"))
+		case shard.IsShardDSN(*dsn):
+			// A file-backed sharded store snapshots into its own directory;
+			// durable-backed shards are WAL'd already (Save is a no-op).
+			return sys.Save("")
+		}
 	}
 	return nil
 }
 
 func cmdRuns(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("runs", stderr)
-	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -255,7 +263,7 @@ func cmdRuns(args []string, stdout, stderr io.Writer) error {
 
 func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("query", stderr)
-	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
 	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	runID := fs.String("run", "", "run ID (see provq runs)")
 	runsArg := fs.String("runs", "", "comma-separated run IDs for a multi-run query (shares one compiled plan)")
@@ -360,7 +368,7 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 
 func cmdStats(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("stats", stderr)
-	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
 	runID := fs.String("run", "", "run ID ('' for all runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -385,7 +393,7 @@ func cmdStats(args []string, stdout, stderr io.Writer) error {
 
 func cmdGraph(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("graph", stderr)
-	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
 	runID := fs.String("run", "", "run ID (see provq runs)")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -418,7 +426,7 @@ func cmdGraph(args []string, stdout, stderr io.Writer) error {
 
 func cmdVerify(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("verify", stderr)
-	dsn := fs.String("store", "file:prov.db", "provenance store DSN")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
 	runID := fs.String("run", "", "run ID ('' verifies every stored run)")
 	l := fs.Int("l", 10, "testbed chain length for testbed runs")
 	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")

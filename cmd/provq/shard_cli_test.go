@@ -1,0 +1,99 @@
+package main
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestCLIShardedStore walks the provq surface against a shard: DSN: two runs
+// land on a 2-shard store in a temp dir, and runs/query/stats/verify all work
+// through the scatter-gather layer. Reopening with the bare directory (no
+// ?n=) must pick the topology up from the persisted manifest.
+func TestCLIShardedStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prov")
+	dsn := "shard:" + dir + "?n=2"
+
+	id1 := runID(t, mustCLI(t, "run", "-store", dsn, "-wf", "testbed", "-l", "4", "-d", "3"))
+	id2 := runID(t, mustCLI(t, "run", "-store", dsn, "-wf", "testbed", "-l", "4", "-d", "2"))
+
+	// The manifest pins the topology, so the bare DSN is enough from here on.
+	bare := "shard:" + dir
+	out := mustCLI(t, "runs", "-store", bare)
+	for _, id := range []string{id1, id2} {
+		if !strings.Contains(out, id) {
+			t.Errorf("runs output missing %s:\n%s", id, out)
+		}
+	}
+
+	// Single-run query, both methods, through the routed shard path.
+	q := []string{"query", "-store", bare, "-run", id1, "-l", "4",
+		"-binding", "2TO1_FINAL:product[0,0]", "-focus", "LISTGEN_1"}
+	ipOut := mustCLI(t, append(q, "-method", "indexproj")...)
+	niOut := mustCLI(t, append(q, "-method", "naive")...)
+	trim := func(s string) string { _, rest, _ := strings.Cut(s, "\n"); return rest }
+	if trim(ipOut) != trim(niOut) {
+		t.Errorf("indexproj and naive disagree on sharded store:\n%s\nvs\n%s", ipOut, niOut)
+	}
+
+	// Multi-run parallel query: both runs scatter across the two shards.
+	out = mustCLI(t, "query", "-store", bare, "-runs", id1+","+id2, "-l", "4",
+		"-parallel", "4", "-batch", "2",
+		"-binding", "workflow:product[0,0]", "-focus", "LISTGEN_1")
+	if !strings.Contains(out, "over 2 runs (parallelism 4)") {
+		t.Errorf("multi-run header missing:\n%s", out)
+	}
+	for _, id := range []string{id1, id2} {
+		if !strings.Contains(out, id) {
+			t.Errorf("multi-run answer has no binding from %s:\n%s", id, out)
+		}
+	}
+
+	out = mustCLI(t, "stats", "-store", bare, "-run", id1)
+	if !strings.Contains(out, "xform input rows") {
+		t.Errorf("stats output malformed:\n%s", out)
+	}
+
+	out = mustCLI(t, "verify", "-store", bare, "-l", "4")
+	if c := strings.Count(out, "OK"); c != 2 {
+		t.Errorf("verify reported %d OK runs, want 2:\n%s", c, out)
+	}
+
+	// A conflicting topology must be rejected, not silently resharded.
+	if _, err := runCLI(t, "runs", "-store", "shard:"+dir+"?n=5"); err == nil ||
+		!strings.Contains(err.Error(), "manifest") {
+		t.Errorf("conflicting ?n=5 reopen: got %v, want manifest error", err)
+	}
+}
+
+// TestCLIUnknownRunQueryErrors is the silent-empty-answer regression: asking
+// a multi-run (or single-run) lineage question about a run the store has
+// never seen must fail with store.ErrUnknownRun, not print zero bindings.
+func TestCLIUnknownRunQueryErrors(t *testing.T) {
+	dsn := "file:" + filepath.Join(t.TempDir(), "prov.db")
+	id1 := runID(t, mustCLI(t, "run", "-store", dsn, "-wf", "testbed", "-l", "3", "-d", "2"))
+
+	for _, tc := range [][]string{
+		{"query", "-store", dsn, "-runs", id1 + ",no-such-run", "-l", "3",
+			"-binding", "workflow:product[0,0]", "-focus", "LISTGEN_1"},
+		{"query", "-store", dsn, "-runs", id1 + ",no-such-run", "-l", "3", "-parallel", "4",
+			"-binding", "workflow:product[0,0]", "-focus", "LISTGEN_1"},
+		{"query", "-store", dsn, "-run", "no-such-run", "-l", "3",
+			"-binding", "workflow:product[0,0]", "-focus", "LISTGEN_1"},
+	} {
+		out, err := runCLI(t, tc...)
+		if err == nil {
+			t.Errorf("provq %v succeeded with output:\n%s\nwant unknown-run error", tc, out)
+			continue
+		}
+		if !errors.Is(err, store.ErrUnknownRun) {
+			t.Errorf("provq %v: error %v does not wrap store.ErrUnknownRun", tc, err)
+		}
+		if !strings.Contains(err.Error(), "no-such-run") {
+			t.Errorf("provq %v: error %q does not name the offending run", tc, err)
+		}
+	}
+}

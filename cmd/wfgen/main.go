@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -53,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	runs := fs.Int("runs", 0, "execute the workflow this many times and ingest the traces")
 	d := fs.Int("d", 10, "input size per run (testbed list size, GK gene lists, PD abstracts)")
-	dsn := fs.String("store", "", "ingest target DSN (memory:<name>, file:<path>, durable:<dir>; default private memory)")
+	dsn := fs.String("store", "", "ingest target DSN (memory:<name>, file:<path>, durable:<dir>, shard:<dir>?n=N; default private memory)")
 	parallel := fs.Int("parallel", store.DefaultIngestParallelism, "runs ingested concurrently")
 	batch := fs.Int("batch", store.DefaultBatchRows, "buffered-writer flush threshold in rows (1 = per-row)")
 	timeout := fs.Duration("timeout", 0, "abort ingest after this long (0 = no limit)")
@@ -126,11 +127,14 @@ func ingest(ctx context.Context, stdout io.Writer, w *workflow.Workflow, kind st
 	}
 	eng := engine.New(gen.Registry())
 
-	var st *store.Store
+	var st store.Backend
 	var err error
-	if dsn == "" {
+	switch {
+	case dsn == "":
 		st, err = store.OpenMemory()
-	} else {
+	case shard.IsShardDSN(dsn):
+		st, err = shard.Open(dsn)
+	default:
 		st, err = store.Open(dsn)
 	}
 	if err != nil {

@@ -153,10 +153,10 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 9 {
+	if len(reps) != 10 {
 		t.Fatalf("reports = %d", len(reps))
 	}
-	ids := []string{"fig4", "fig4par", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest"}
+	ids := []string{"fig4", "fig4par", "fig4shard", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest"}
 	for i, rep := range reps {
 		if rep.ID != ids[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, ids[i])

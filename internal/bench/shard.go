@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// GenerateGKPDTraces executes the GK and PD reconstructions `runs` times
+// each and returns the recorded traces without storing them, plus the two
+// workflow definitions — the Fig. 4 workload as raw traces, so the sharded
+// experiment can load the identical data into every topology it measures.
+func GenerateGKPDTraces(runs int) (gkTraces, pdTraces []*trace.Trace, gk, pd *workflow.Workflow, err error) {
+	reg := gen.Registry()
+	eng := engine.New(reg)
+	gk, pd = gen.GenesToKegg(), gen.ProteinDiscovery()
+	for r := 0; r < runs; r++ {
+		_, tr, err := eng.RunTrace(gk, fmt.Sprintf("gk%03d", r), gen.GKInputs(3+r%3, 4))
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		gkTraces = append(gkTraces, tr)
+		_, tr, err = eng.RunTrace(pd, fmt.Sprintf("pd%03d", r), gen.PDInputs(fmt.Sprintf("query sweep %d", r), 8))
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		pdTraces = append(pdTraces, tr)
+	}
+	return gkTraces, pdTraces, gk, pd, nil
+}
+
+// Fig4Shard extends Fig. 4 along the sharding axis: the same multi-run
+// workload measured on sharded stores of growing shard count, against the
+// 1-shard (single engine) baseline, on the durable (write-ahead-logged)
+// backend under a fixed per-store recovery bound.
+//
+// Ingest: every topology bulk-loads the identical traces with the same
+// per-store checkpoint cadence (CheckpointEveryRuns), so each store's WAL —
+// and the replay a crash-recovery open must do — stays bounded by the same
+// number of runs. A single store's periodic snapshot covers the whole
+// database, so its checkpoint cost grows with the full load; each shard
+// snapshots only its ~1/Nth, which is where the sharded ingest win comes
+// from (the WAL fsync stream itself is disk-bound and roughly topology-
+// independent on one spindle).
+//
+// Query: the probe phase of every Fig. 4 multi-run query. The executor forms
+// its run chunks within shard-ownership groups (store.RunPartitioner), so
+// every batched probe is answered by one shard scanning only its own runs'
+// index rows — partition pruning — where the single store scans the whole
+// index once per chunk. Results are checked equal across topologies.
+func Fig4Shard(o Options) (*Report, error) {
+	runs, ckptEvery := 192, 16
+	if o.Quick {
+		runs, ckptEvery = 16, 4
+	}
+	shardGrid := o.grid([]int{1, 2, 4}, []int{1, 2})
+	ps := o.grid([]int{1, 4, 8}, []int{1, 4})
+	gkTraces, pdTraces, gk, pd, err := GenerateGKPDTraces(runs)
+	if err != nil {
+		return nil, err
+	}
+	traces := append(append([]*trace.Trace{}, gkTraces...), pdTraces...)
+	runsOf := func(ts []*trace.Trace) []string {
+		ids := make([]string, len(ts))
+		for i, t := range ts {
+			ids[i] = t.RunID
+		}
+		return ids
+	}
+	gkRuns, pdRuns := runsOf(gkTraces), runsOf(pdTraces)
+
+	type queryCfg struct {
+		label string
+		wf    *workflow.Workflow
+		runs  []string
+		port  string
+		idx   value.Index
+		focus lineage.Focus
+	}
+	cfgs := []queryCfg{
+		{"GK focused", gk, gkRuns, "paths_per_gene", value.Ix(0, 0),
+			lineage.NewFocus("get_pathways_by_genes")},
+		{"GK unfocused", gk, gkRuns, "paths_per_gene", value.Ix(0, 0), AllProcs(gk)},
+		{"PD focused", pd, pdRuns, "discovered_proteins", value.Ix(0),
+			lineage.NewFocus("fetch_abstract")},
+		{"PD unfocused", pd, pdRuns, "discovered_proteins", value.Ix(0), AllProcs(pd)},
+	}
+
+	rep := &Report{
+		ID:    "fig4shard",
+		Title: "Sharded store: multi-run query and ingest scaling vs. the single-store baseline",
+		Caption: fmt.Sprintf("Fig. 4 workload (GK+PD, %d runs each), identical traces loaded into\n"+
+			"durable shard:n topologies under the same per-store recovery bound\n"+
+			"(checkpoint every %d runs; each checkpoint snapshots that store and\n"+
+			"truncates its WAL). ingest: IngestTraces P=4, rows/sec over Table 1\n"+
+			"records, wall time includes the in-line checkpoints. query:\n"+
+			"ExecuteMultiRun probe phase (shared plan); run chunks align with shard\n"+
+			"ownership, so each batched probe scans one shard's index only.\n"+
+			"speedup is vs. shards=1 at the same parallelism; results are checked\n"+
+			"equal across topologies.", runs, ckptEvery),
+		Columns: []string{"phase", "query", "shards", "parallelism", "runs", "ms", "rows_per_sec", "speedup"},
+	}
+
+	// Ingest trials are disk-bound and the noise is one-sided (writeback and
+	// journal stalls only ever inflate a trial), so best-of-N converges on
+	// the true cost; five trials ride out a writeback storm that can span
+	// three.
+	ingestReps := o.queries()
+	if ingestReps > 5 {
+		ingestReps = 5
+	}
+	ctx := o.ctx()
+
+	// Ingest phase: best-of-reps load of the identical traces into a fresh
+	// durable n-shard store per trial; the last trial's store is kept open
+	// so the query phase can measure every topology interleaved (one cell
+	// across all topologies back-to-back — cross-topology drift in process
+	// or disk state cannot masquerade as a speedup in either direction).
+	stores := make([]*shard.ShardedStore, len(shardGrid))
+	dirs := make([]string, len(shardGrid))
+	cleanup := func() {
+		for i, st := range stores {
+			if st != nil {
+				st.Close()
+			}
+			if dirs[i] != "" {
+				os.RemoveAll(dirs[i])
+			}
+		}
+	}
+	defer cleanup()
+
+	var baselineRate int // 1-shard ingest rows/sec
+	for k, n := range shardGrid {
+		var best time.Duration
+		var rows int
+		for r := 0; r < ingestReps; r++ {
+			if stores[k] != nil {
+				stores[k].Close()
+				os.RemoveAll(dirs[k])
+				stores[k], dirs[k] = nil, ""
+			}
+			dir, err := os.MkdirTemp("", "fig4shard-*")
+			if err != nil {
+				return nil, err
+			}
+			dirs[k] = dir
+			if stores[k], err = shard.Open(fmt.Sprintf("shard:%s?n=%d&backend=durable", dir, n)); err != nil {
+				return nil, err
+			}
+			runtime.GC() // stabilize: pay collection of the prior trial's garbage now
+			start := time.Now()
+			if err := stores[k].IngestTraces(ctx, traces, store.IngestOptions{Parallelism: 4, CheckpointEveryRuns: ckptEvery}); err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if rows, err = stores[k].TotalRecords(""); err != nil {
+				return nil, err
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		rate := int(float64(rows) / best.Seconds())
+		if n == shardGrid[0] {
+			baselineRate = rate
+		}
+		rep.Rows = append(rep.Rows, []string{
+			"ingest", "-", fmt.Sprint(n), "4", fmt.Sprint(len(traces)), ms(best),
+			fmt.Sprint(rate),
+			fmt.Sprintf("%.2fx", float64(rate)/float64(baselineRate)),
+		})
+	}
+
+	// Query phase: the probe phase of every Fig. 4 query over all runs,
+	// across the executor-parallelism grid. Each (query, parallelism) cell
+	// measures every topology consecutively against the stores kept from the
+	// ingest phase, and the answers are checked equal across topologies.
+	for _, cfg := range cfgs {
+		ips := make([]*lineage.IndexProj, len(shardGrid))
+		plans := make([]*lineage.CompiledPlan, len(shardGrid))
+		for k := range shardGrid {
+			ip, err := lineage.NewIndexProj(stores[k], cfg.wf)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := ip.Compile(trace.WorkflowProc, cfg.port, cfg.idx, cfg.focus)
+			if err != nil {
+				return nil, err
+			}
+			ips[k], plans[k] = ip, plan
+		}
+		for _, p := range ps {
+			opt := lineage.MultiRunOptions{Parallelism: p}
+			var baseRes *lineage.Result
+			var baseT time.Duration
+			for k, n := range shardGrid {
+				runtime.GC() // every cell starts from a freshly collected heap
+				var got *lineage.Result
+				t, err := bestOfScaled(o.queries(), func() error {
+					var err error
+					got, err = ips[k].ExecuteMultiRun(ctx, plans[k], cfg.runs, opt)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				if baseRes == nil {
+					baseRes, baseT = got, t
+				} else if !got.Equal(baseRes) {
+					return nil, fmt.Errorf("bench: %s on %d shard(s) diverged from the 1-shard result", cfg.label, n)
+				}
+				rep.Rows = append(rep.Rows, []string{
+					"query", cfg.label, fmt.Sprint(n), fmt.Sprint(p), fmt.Sprint(len(cfg.runs)), ms(t), "-",
+					fmt.Sprintf("%.2fx", float64(baseT)/float64(t)),
+				})
+			}
+		}
+	}
+	return rep, nil
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lineage"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/value"
 	"repro/internal/workflow"
@@ -64,7 +65,7 @@ func ParseMethod(s string) (Method, error) {
 type System struct {
 	reg *engine.Registry
 	eng *engine.Engine
-	st  *store.Store
+	st  store.Backend
 
 	mu        sync.Mutex
 	workflows map[string]*workflow.Workflow
@@ -81,8 +82,9 @@ type config struct {
 	concurrent bool
 }
 
-// WithStoreDSN directs provenance to the given sqlike DSN ("memory:<name>"
-// or "file:<path>"); the default is a fresh in-memory store.
+// WithStoreDSN directs provenance to the given DSN — a sqlike DSN
+// ("memory:<name>", "file:<path>", "durable:<dir>") or a sharded store
+// ("shard:<dir>?n=N"); the default is a fresh in-memory store.
 func WithStoreDSN(dsn string) Option { return func(c *config) { c.dsn = dsn } }
 
 // WithConcurrentEngine executes independent processors in parallel.
@@ -94,11 +96,14 @@ func NewSystem(opts ...Option) (*System, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var st *store.Store
+	var st store.Backend
 	var err error
-	if cfg.dsn == "" {
+	switch {
+	case cfg.dsn == "":
 		st, err = store.OpenMemory()
-	} else {
+	case shard.IsShardDSN(cfg.dsn):
+		st, err = shard.Open(cfg.dsn)
+	default:
 		st, err = store.Open(cfg.dsn)
 	}
 	if err != nil {
@@ -135,8 +140,9 @@ func (s *System) Close() error { return s.st.Close() }
 // Registry exposes the processor-type registry for behaviour registration.
 func (s *System) Registry() *engine.Registry { return s.reg }
 
-// Store exposes the underlying provenance store.
-func (s *System) Store() *store.Store { return s.st }
+// Store exposes the underlying provenance store (a single *store.Store or a
+// sharded shard.ShardedStore, behind the common Backend surface).
+func (s *System) Store() store.Backend { return s.st }
 
 // RegisterWorkflow validates and registers a workflow definition, preparing
 // the INDEXPROJ evaluator (Alg. 1 runs here, once per definition).
@@ -240,13 +246,8 @@ func (s *System) LineageMultiRun(m Method, runIDs []string, proc, port string, i
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range runIDs[1:] {
-			s.mu.Lock()
-			same := s.runWf[r] == s.runWf[runIDs[0]]
-			s.mu.Unlock()
-			if !same {
-				return nil, fmt.Errorf("core: multi-run query spans different workflows (%s vs %s)", runIDs[0], r)
-			}
+		if err := s.checkSameWorkflow(runIDs); err != nil {
+			return nil, err
 		}
 		return ip.LineageMultiRun(runIDs, proc, port, idx, focus)
 	default:
@@ -269,15 +270,29 @@ func (s *System) LineageMultiRunParallel(ctx context.Context, m Method, runIDs [
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range runIDs[1:] {
-		s.mu.Lock()
-		same := s.runWf[r] == s.runWf[runIDs[0]]
-		s.mu.Unlock()
-		if !same {
-			return nil, fmt.Errorf("core: multi-run query spans different workflows (%s vs %s)", runIDs[0], r)
-		}
+	if err := s.checkSameWorkflow(runIDs); err != nil {
+		return nil, err
 	}
 	return ip.LineageMultiRunParallel(ctx, runIDs, proc, port, idx, focus, opt)
+}
+
+// checkSameWorkflow rejects a multi-run query whose runs are unknown or span
+// several workflow definitions. Unknown runs surface store.ErrUnknownRun, so
+// callers (and the provq CLI) can distinguish "no such run" from a genuinely
+// empty lineage answer.
+func (s *System) checkSameWorkflow(runIDs []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range runIDs[1:] {
+		wf, ok := s.runWf[r]
+		if !ok {
+			return fmt.Errorf("core: %w: %q", store.ErrUnknownRun, r)
+		}
+		if wf != s.runWf[runIDs[0]] {
+			return fmt.Errorf("core: multi-run query spans different workflows (%s vs %s)", runIDs[0], r)
+		}
+	}
+	return nil
 }
 
 func (s *System) indexProjFor(runID string) (*lineage.IndexProj, error) {
@@ -285,7 +300,7 @@ func (s *System) indexProjFor(runID string) (*lineage.IndexProj, error) {
 	defer s.mu.Unlock()
 	wfName, ok := s.runWf[runID]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown run %q", runID)
+		return nil, fmt.Errorf("core: %w: %q", store.ErrUnknownRun, runID)
 	}
 	ip, ok := s.ips[wfName]
 	if !ok {

@@ -1,0 +1,155 @@
+package lineage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// This file holds the multi-run executor edge-case regressions: duplicate
+// run IDs must not inflate probes or results, chunkRuns must never loop on a
+// bad size, and unknown runs must surface store.ErrUnknownRun instead of an
+// empty answer.
+
+func TestChunkRunsClampsSize(t *testing.T) {
+	runs := []string{"a", "b", "c"}
+	for _, size := range []int{0, -1, -100} {
+		chunks := chunkRuns(runs, size) // must terminate, not spin
+		if len(chunks) != len(runs) {
+			t.Fatalf("chunkRuns(%v, %d) = %v chunks, want %d singletons", runs, size, len(chunks), len(runs))
+		}
+		for i, c := range chunks {
+			if len(c) != 1 || c[0] != runs[i] {
+				t.Fatalf("chunkRuns(%v, %d)[%d] = %v, want [%q]", runs, size, i, c, runs[i])
+			}
+		}
+	}
+	if got := chunkRuns(runs, 2); len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 1 {
+		t.Fatalf("chunkRuns(%v, 2) = %v", runs, got)
+	}
+	if got := chunkRuns(nil, 0); got != nil {
+		t.Fatalf("chunkRuns(nil, 0) = %v, want nil", got)
+	}
+}
+
+func TestDedupRuns(t *testing.T) {
+	unique := []string{"a", "b", "c"}
+	if got := dedupRuns(unique); len(got) != 3 || &got[0] != &unique[0] {
+		t.Fatalf("dedupRuns on a duplicate-free slice must return it unchanged, got %v", got)
+	}
+	got := dedupRuns([]string{"a", "b", "a", "c", "b", "a"})
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("dedupRuns = %v, want [a b c] (first-seen order)", got)
+	}
+	if got := dedupRuns(nil); len(got) != 0 {
+		t.Fatalf("dedupRuns(nil) = %v", got)
+	}
+}
+
+// testbedStore builds a small populated store plus its evaluator.
+func testbedStore(t *testing.T, l, d, runs int) (*store.Store, *IndexProj, []string) {
+	t.Helper()
+	reg := engine.NewRegistry()
+	gen.RegisterTestbed(reg)
+	eng := engine.New(reg)
+	wf := gen.Testbed(l)
+	s, err := store.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	runIDs := make([]string, runs)
+	for r := 0; r < runs; r++ {
+		runIDs[r] = fmt.Sprintf("run%03d", r)
+		_, tr, err := eng.RunTrace(wf, runIDs[r], gen.TestbedInputs(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.StoreTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ip, err := NewIndexProj(s, wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ip, runIDs
+}
+
+// TestExecuteMultiRunDedupsRuns is the duplicate-runID regression: passing
+// the same run several times must cost exactly the probes of passing it
+// once, and return the identical result.
+func TestExecuteMultiRunDedupsRuns(t *testing.T) {
+	_, ip, runIDs := testbedStore(t, 4, 3, 3)
+	plan, err := ip.Compile(gen.FinalName, "product", value.Ix(1, 1), NewFocus(gen.ListGenName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dups := append(append(append([]string{}, runIDs...), runIDs...), runIDs[0], runIDs[0])
+
+	for _, opt := range []MultiRunOptions{
+		{Parallelism: 1},
+		{Parallelism: 1, BatchSize: 1},
+		{Parallelism: 4, BatchSize: 2},
+	} {
+		s0 := obs.Default.Snapshot()
+		want, err := ip.ExecuteMultiRun(context.Background(), plan, runIDs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dClean := obs.Default.Snapshot().Sub(s0)
+
+		s0 = obs.Default.Snapshot()
+		got, err := ip.ExecuteMultiRun(context.Background(), plan, dups, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dDup := obs.Default.Snapshot().Sub(s0)
+
+		if !got.Equal(want) {
+			t.Fatalf("opt %+v: duplicated runIDs changed the result:\n got %v\nwant %v", opt, got, want)
+		}
+		for _, ctr := range []string{"store.probes", "store.probe_batches", "lineage.multirun.tasks"} {
+			if dDup.Counter(ctr) != dClean.Counter(ctr) {
+				t.Fatalf("opt %+v: %s grew with duplicate runIDs: %d (dups) vs %d (clean)",
+					opt, ctr, dDup.Counter(ctr), dClean.Counter(ctr))
+			}
+		}
+	}
+}
+
+// TestMultiRunUnknownRunSurfacesSentinel: a nonexistent run in any multi-run
+// entry point must yield store.ErrUnknownRun, not a silent empty result.
+func TestMultiRunUnknownRunSurfacesSentinel(t *testing.T) {
+	s, ip, runIDs := testbedStore(t, 3, 2, 2)
+	focus := NewFocus(gen.ListGenName)
+	bad := append(append([]string{}, runIDs...), "no-such-run")
+
+	if _, err := ip.LineageMultiRun(bad, gen.FinalName, "product", value.Ix(0, 0), focus); !errors.Is(err, store.ErrUnknownRun) {
+		t.Fatalf("sequential INDEXPROJ: got %v, want ErrUnknownRun", err)
+	}
+	for _, p := range []int{1, 4} {
+		_, err := ip.LineageMultiRunParallel(context.Background(), bad, gen.FinalName, "product",
+			value.Ix(0, 0), focus, MultiRunOptions{Parallelism: p})
+		if !errors.Is(err, store.ErrUnknownRun) {
+			t.Fatalf("parallel P=%d: got %v, want ErrUnknownRun", p, err)
+		}
+	}
+	ni := NewNaive(s)
+	if _, err := ni.LineageMultiRun(bad, gen.FinalName, "product", value.Ix(0, 0), focus); !errors.Is(err, store.ErrUnknownRun) {
+		t.Fatalf("NI multi-run: got %v, want ErrUnknownRun", err)
+	}
+
+	// Known runs keep working (validation must not reject valid queries).
+	if _, err := ip.LineageMultiRun(runIDs, gen.FinalName, "product", value.Ix(0, 0), focus); err != nil {
+		t.Fatalf("valid multi-run rejected: %v", err)
+	}
+}

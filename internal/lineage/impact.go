@@ -14,11 +14,12 @@ import (
 // fragment constrains a middle segment of q rather than a prefix — so
 // impact queries use the extensional traversal.)
 type Impact struct {
-	s *store.Store
+	s store.TraceQuerier
 }
 
-// NewImpact returns a forward-query evaluator over a provenance store.
-func NewImpact(s *store.Store) *Impact { return &Impact{s: s} }
+// NewImpact returns a forward-query evaluator over a provenance store — a
+// single *store.Store or any other TraceQuerier.
+func NewImpact(s store.TraceQuerier) *Impact { return &Impact{s: s} }
 
 // Affected computes the forward closure of ⟨proc:port[idx]⟩ within one run,
 // collecting the output bindings of focus processors encountered on the

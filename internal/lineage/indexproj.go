@@ -113,6 +113,11 @@ func (ip *IndexProj) LineageMultiRun(runIDs []string, proc, port string, idx val
 		total.End()
 		return nil, err
 	}
+	runIDs = dedupRuns(runIDs)
+	if err := validateRuns(ip.q.HasRun, runIDs); err != nil {
+		total.End()
+		return nil, err
+	}
 	result := NewResult()
 	for _, runID := range runIDs {
 		if err := ip.executeInto(result, plan, runID); err != nil {

@@ -16,11 +16,13 @@ import (
 // length of the provenance paths and, for multi-run queries, linearly with
 // the number of runs.
 type Naive struct {
-	s *store.Store
+	s store.TraceQuerier
 }
 
-// NewNaive returns an NI evaluator over a provenance store.
-func NewNaive(s *store.Store) *Naive { return &Naive{s: s} }
+// NewNaive returns an NI evaluator over a provenance store — a single
+// *store.Store or any other TraceQuerier, such as a sharded store routing
+// each run's traversal to its owning shard.
+func NewNaive(s store.TraceQuerier) *Naive { return &Naive{s: s} }
 
 // node is one traversal state: a binding identified by processor, port and
 // full index.
@@ -60,6 +62,11 @@ func (n *Naive) Lineage(runID, proc, port string, idx value.Index, focus Focus) 
 // INDEXPROJ).
 func (n *Naive) LineageMultiRun(runIDs []string, proc, port string, idx value.Index, focus Focus) (*Result, error) {
 	total := obs.Start(niQueryNs)
+	runIDs = dedupRuns(runIDs)
+	if err := validateRuns(n.s.HasRun, runIDs); err != nil {
+		total.End()
+		return nil, err
+	}
 	result := NewResult()
 	for _, runID := range runIDs {
 		if err := n.lineageInto(result, runID, proc, port, idx, focus); err != nil {

@@ -108,7 +108,15 @@ func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, ru
 		return nil, err
 	}
 	opt = opt.normalize()
-	chunks := chunkRuns(runIDs, opt.BatchSize)
+	// Duplicate run IDs would stage every matching binding once per
+	// occurrence (the chunk loop iterates byRun[runID] per occurrence) and
+	// waste probes; unknown runs would silently contribute nothing. Dedup
+	// first, then reject unknown runs with the store's sentinel.
+	runIDs = dedupRuns(runIDs)
+	if err := validateRuns(ip.q.HasRun, runIDs); err != nil {
+		return nil, err
+	}
+	chunks := partitionChunks(ip.q, runIDs, opt.BatchSize)
 	tasks := make([]probeChunk, 0, len(plan.Probes)*len(chunks))
 	for _, chunk := range chunks {
 		for _, pr := range plan.Probes {
@@ -265,10 +273,74 @@ func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string
 	return nil
 }
 
+// dedupRuns returns runIDs with duplicates removed, preserving first-seen
+// order. The common duplicate-free case returns the input slice unchanged
+// (no allocation).
+func dedupRuns(runIDs []string) []string {
+	seen := make(map[string]bool, len(runIDs))
+	for i, r := range runIDs {
+		if seen[r] {
+			// First duplicate found: copy the unique prefix and filter the rest.
+			out := make([]string, i, len(runIDs))
+			copy(out, runIDs[:i])
+			for _, r := range runIDs[i:] {
+				if !seen[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+		seen[r] = true
+	}
+	return runIDs
+}
+
+// validateRuns rejects unknown runs up front so a multi-run query over a
+// nonexistent run surfaces store.ErrUnknownRun instead of silently returning
+// an empty result. Existence checks are point lookups on the runs table and
+// are not counted as probes.
+func validateRuns(hasRun func(string) (bool, error), runIDs []string) error {
+	for _, r := range runIDs {
+		ok, err := hasRun(r)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("lineage: %w: %q", store.ErrUnknownRun, r)
+		}
+	}
+	return nil
+}
+
+// partitionChunks forms the executor's run chunks. When the querier
+// physically partitions its runs (store.RunPartitioner — e.g. a sharded
+// store), chunks are formed within one partition at a time, so every
+// batched probe lands on a single partition and scans only that
+// partition's (smaller) index instead of the whole store's; the answer is
+// identical either way, because runs are independent (§3.4) and chunking
+// only groups round-trips.
+func partitionChunks(q store.LineageQuerier, runIDs []string, size int) [][]string {
+	rp, ok := q.(store.RunPartitioner)
+	if !ok {
+		return chunkRuns(runIDs, size)
+	}
+	var chunks [][]string
+	for _, part := range rp.PartitionRuns(runIDs) {
+		chunks = append(chunks, chunkRuns(part, size)...)
+	}
+	return chunks
+}
+
 // chunkRuns partitions runIDs into consecutive chunks of at most size runs.
+// size is clamped to 1 so a miscalling future caller gets tiny chunks, not
+// an infinite loop.
 func chunkRuns(runIDs []string, size int) [][]string {
 	if len(runIDs) == 0 {
 		return nil
+	}
+	if size < 1 {
+		size = 1
 	}
 	chunks := make([][]string, 0, (len(runIDs)+size-1)/size)
 	for start := 0; start < len(runIDs); start += size {

@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// This file holds the sharded differential property test: on randomized
+// testbed traces, the sharded NI and sharded INDEXPROJ executors must agree
+// with the single-store executors for every (shards, parallelism, batch)
+// combination. Run under -race it also exercises the scatter-gather
+// concurrency (per-shard probes run on goroutines inside each batched
+// probe, below the executor's own worker pool).
+
+// diffTrials returns the trial count, overridable via DIFF_TRIALS for the
+// nightly CI job which runs a much larger sweep.
+func diffTrials(def int) int {
+	if s := os.Getenv("DIFF_TRIALS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func TestShardedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long randomized differential test")
+	}
+	trials := diffTrials(10)
+	rng := rand.New(rand.NewSource(20260807))
+	reg := engine.NewRegistry()
+	gen.RegisterTestbed(reg)
+	eng := engine.New(reg)
+
+	for trial := 0; trial < trials; trial++ {
+		l := 2 + rng.Intn(5)
+		d := 2 + rng.Intn(4)
+		nRuns := 2 + rng.Intn(5)
+		wf := gen.Testbed(l)
+		traces := make([]*trace.Trace, nRuns)
+		runIDs := make([]string, nRuns)
+		for r := 0; r < nRuns; r++ {
+			runIDs[r] = fmt.Sprintf("t%d-run%03d", trial, r)
+			_, tr, err := eng.RunTrace(wf, runIDs[r], gen.TestbedInputs(d))
+			if err != nil {
+				t.Fatalf("trial %d: engine: %v", trial, err)
+			}
+			traces[r] = tr
+		}
+
+		single, err := store.OpenMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := single.IngestTraces(context.Background(), traces, store.IngestOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		ipSingle, err := lineage.NewIndexProj(single, wf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		niSingle := lineage.NewNaive(single)
+
+		// Random query target: a recorded element of the final product, a
+		// random granularity (full index, row prefix, or whole collection),
+		// and a random focus.
+		idx := value.Ix(rng.Intn(d), rng.Intn(d))
+		switch rng.Intn(3) {
+		case 1:
+			idx = idx.Truncate(1)
+		case 2:
+			idx = value.EmptyIndex
+		}
+		focus := lineage.NewFocus(gen.ListGenName)
+		if rng.Intn(2) == 0 {
+			for _, p := range wf.Processors {
+				focus[p.Name] = true
+			}
+		}
+
+		want, err := ipSingle.LineageMultiRun(runIDs, gen.FinalName, "product", idx, focus)
+		if err != nil {
+			t.Fatalf("trial %d: single-store INDEXPROJ: %v", trial, err)
+		}
+		wantNI, err := niSingle.LineageMultiRun(runIDs, gen.FinalName, "product", idx, focus)
+		if err != nil {
+			t.Fatalf("trial %d: single-store NI: %v", trial, err)
+		}
+		if !want.Equal(wantNI) {
+			t.Fatalf("trial %d: single-store executors disagree (l=%d d=%d idx=%v)", trial, l, d, idx)
+		}
+
+		for _, n := range []int{1, 2, 4} {
+			sh, err := OpenMemory(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sh.IngestTraces(context.Background(), traces, store.IngestOptions{Parallelism: 1 + rng.Intn(4)}); err != nil {
+				t.Fatalf("trial %d shards=%d: ingest: %v", trial, n, err)
+			}
+			ip, err := lineage.NewIndexProj(sh, wf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ni := lineage.NewNaive(sh)
+
+			gotNI, err := ni.LineageMultiRun(runIDs, gen.FinalName, "product", idx, focus)
+			if err != nil {
+				t.Fatalf("trial %d shards=%d: sharded NI: %v", trial, n, err)
+			}
+			if !gotNI.Equal(want) {
+				t.Fatalf("trial %d: sharded NI (n=%d) diverged (l=%d d=%d idx=%v focus=%v)",
+					trial, n, l, d, idx, focus.Names())
+			}
+			for _, p := range []int{1, 2, 4} {
+				for _, batch := range []int{0, 1, 2} { // 0 = default, 1 = per-run, 2 = pairs
+					opt := lineage.MultiRunOptions{Parallelism: p, BatchSize: batch}
+					got, err := ip.LineageMultiRunParallel(context.Background(), runIDs,
+						gen.FinalName, "product", idx, focus, opt)
+					if err != nil {
+						t.Fatalf("trial %d shards=%d opt=%+v: %v", trial, n, opt, err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("trial %d: sharded INDEXPROJ (n=%d, %+v) diverged (l=%d d=%d idx=%v focus=%v)",
+							trial, n, opt, l, d, idx, focus.Names())
+					}
+				}
+			}
+			sh.Close()
+		}
+		single.Close()
+	}
+}

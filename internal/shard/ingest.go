@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// This file implements the sharded write path and the administrative
+// operations. Writers route to the owning shard; bulk ingest groups its
+// tasks by owning shard and runs one store-level Ingest per shard
+// concurrently. Because every shard is an independent engine with its own
+// lock, per-shard ingests never serialize against each other — this is the
+// sharded store's ingest win: N group-committing writers instead of one.
+
+// NewRunWriter registers a run on its owning shard and returns an
+// unbuffered collector.
+func (s *ShardedStore) NewRunWriter(runID, workflowName string) (*store.RunWriter, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].NewRunWriter(runID, workflowName)
+}
+
+// NewBufferedRunWriter registers a run on its owning shard and returns a
+// batching collector.
+func (s *ShardedStore) NewBufferedRunWriter(ctx context.Context, runID, workflowName string, batchRows int) (*store.RunWriter, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].NewBufferedRunWriter(ctx, runID, workflowName, batchRows)
+}
+
+// StoreTrace persists one complete in-memory trace on its owning shard.
+func (s *ShardedStore) StoreTrace(t *trace.Trace) error {
+	i := s.ring.owner(t.RunID)
+	s.noteRouted(i)
+	return s.shards[i].StoreTrace(t)
+}
+
+// Ingest loads the tasks' runs concurrently, grouped by owning shard: each
+// shard ingests its group through its own store-level worker pool, and the
+// groups run concurrently against independent engines. The requested
+// parallelism is divided across the shards actually touched (at least one
+// worker per shard), so total in-flight writers stay close to the caller's
+// budget while every shard makes progress. CheckpointEveryRuns applies per
+// shard — each durable shard checkpoints after every N of its own completed
+// runs, so each shard's WAL (and its crash-replay work) stays bounded by N
+// runs of events, and each periodic snapshot covers one shard's ~1/Nth of
+// the data instead of the whole store.
+func (s *ShardedStore) Ingest(ctx context.Context, tasks []store.IngestTask, opt store.IngestOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	groups := make(map[int][]store.IngestTask)
+	for _, t := range tasks {
+		i := s.ring.owner(t.RunID)
+		groups[i] = append(groups[i], t)
+	}
+	if len(groups) <= 1 {
+		for i, g := range groups {
+			s.noteRouted(i)
+			return s.shards[i].Ingest(ctx, g, opt)
+		}
+		return nil
+	}
+	touched := make([]int, 0, len(groups))
+	for i := range groups {
+		touched = append(touched, i)
+	}
+	sort.Ints(touched)
+	s.noteScatter(len(groups), touched)
+
+	perShard := opt
+	p := opt.Parallelism
+	if p <= 0 {
+		p = store.DefaultIngestParallelism
+	}
+	perShard.Parallelism = p / len(touched)
+	if perShard.Parallelism < 1 {
+		perShard.Parallelism = 1
+	}
+
+	// The first shard-level failure cancels the others, mirroring the
+	// store-level pool's first-error semantics.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(touched))
+	for k, i := range touched {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			if err := s.shards[i].Ingest(wctx, groups[i], perShard); err != nil {
+				errs[k] = err
+				cancel()
+			}
+		}(k, i)
+	}
+	wg.Wait()
+	return store.FirstError(ctx, errs)
+}
+
+// IngestTraces bulk-loads a set of recorded traces across the shards.
+func (s *ShardedStore) IngestTraces(ctx context.Context, traces []*trace.Trace, opt store.IngestOptions) error {
+	return s.Ingest(ctx, store.TraceIngestTasks(traces), opt)
+}
+
+// ListRuns returns all stored runs across every shard, sorted by run ID so
+// the merged listing is deterministic regardless of shard layout.
+func (s *ShardedStore) ListRuns() ([]store.RunInfo, error) {
+	var out []store.RunInfo
+	for _, st := range s.shards {
+		runs, err := st.ListRuns()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, runs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	return out, nil
+}
+
+// RunsOf returns the IDs of all runs of the named workflow, across shards,
+// sorted.
+func (s *ShardedStore) RunsOf(workflow string) ([]string, error) {
+	var out []string
+	for _, st := range s.shards {
+		runs, err := st.RunsOf(workflow)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, runs...)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RecordCounts reports per-table event rows for a run — or, with runID "",
+// summed across every shard.
+func (s *ShardedStore) RecordCounts(runID string) (xformIn, xformOut, xfers int, err error) {
+	if runID != "" {
+		return s.shards[s.ring.owner(runID)].RecordCounts(runID)
+	}
+	for _, st := range s.shards {
+		in, out, xf, err := st.RecordCounts("")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		xformIn += in
+		xformOut += out
+		xfers += xf
+	}
+	return xformIn, xformOut, xfers, nil
+}
+
+// TotalRecords returns the Table 1 record count ("" sums all shards).
+func (s *ShardedStore) TotalRecords(runID string) (int, error) {
+	in, out, xf, err := s.RecordCounts(runID)
+	return in + out + xf, err
+}
+
+// DeleteRun removes every record of a run from its owning shard.
+func (s *ShardedStore) DeleteRun(runID string) (int, error) {
+	return s.shards[s.ring.owner(runID)].DeleteRun(runID)
+}
+
+var _ store.Backend = (*ShardedStore)(nil)

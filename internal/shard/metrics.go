@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Shard-layer metrics. The scatter-gather path records the fan-out of every
+// multi-run operation (how many shards a batch actually touched) and the
+// wall-clock of each per-shard probe, so the overhead of sharding — and the
+// skew between shards — is visible next to the store-layer probe counters.
+var (
+	// obsFanout records, per scatter-gather operation, the number of shards
+	// the batch was routed to (1 ≤ fanout ≤ NumShards).
+	obsFanout = obs.H("shard.fanout")
+	// obsProbeNS records the wall-clock nanoseconds of each per-shard probe
+	// issued by a scatter-gather operation.
+	obsProbeNS = obs.H("shard.probe_ns")
+	// obsScatterOps counts scatter-gather operations (batched multi-run
+	// probes answered by the shard layer).
+	obsScatterOps = obs.C("shard.scatter_ops")
+	// obsRouted counts single-run operations routed directly to one shard.
+	obsRouted = obs.C("shard.routed_ops")
+)
+
+// counterHandle is a pre-resolved per-shard counter.
+type counterHandle = *obs.Counter
+
+// perShardCounters resolves one routed-operation counter per shard
+// (shard.s<i>.ops), so per-shard load — and hash imbalance — shows up in a
+// metrics dump without any per-event registry lookups.
+func perShardCounters(n int) []counterHandle {
+	cs := make([]counterHandle, n)
+	for i := range cs {
+		cs[i] = obs.C(fmt.Sprintf("shard.s%d.ops", i))
+	}
+	return cs
+}
+
+// noteRouted records one single-run operation landing on shard i.
+func (s *ShardedStore) noteRouted(i int) {
+	obsRouted.Add(1)
+	s.probeCounters[i].Add(1)
+}
+
+// noteScatter records one scatter-gather operation touching `fanout` shards.
+func (s *ShardedStore) noteScatter(fanout int, shardsTouched []int) {
+	obsScatterOps.Add(1)
+	if obs.Enabled() {
+		obsFanout.Observe(int64(fanout))
+	}
+	for _, i := range shardsTouched {
+		s.probeCounters[i].Add(1)
+	}
+}

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// This file implements the sharded query surface. Single-run operations
+// route to the run's owning shard; the batched multi-run probes scatter:
+// the batch is grouped by owning shard, one batched probe per shard runs
+// concurrently (each shard has its own engine and its own lock, so the
+// probes proceed truly in parallel), and the per-shard answers merge into
+// one map keyed exactly like the single-store answer. The lineage executors
+// are oblivious — they talk to a store.LineageQuerier either way — so
+// ExecuteMultiRun's worker pool gets cross-shard parallelism inside every
+// single batched probe, on top of its own probe-level parallelism.
+
+// InputBindings answers the trace probe Q(P, X, p) for one run.
+func (s *ShardedStore) InputBindings(runID, proc, port string, idx value.Index) ([]store.Binding, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].InputBindings(runID, proc, port, idx)
+}
+
+// InputBindingsBatch answers the probe for a set of runs by scatter-gather:
+// the runs are grouped by owning shard and each shard answers its group with
+// one batched probe, concurrently. The merged result has an entry for every
+// requested run, exactly like the single-store batch.
+func (s *ShardedStore) InputBindingsBatch(runIDs []string, proc, port string, idx value.Index) (map[string][]store.Binding, error) {
+	out := make(map[string][]store.Binding, len(runIDs))
+	if len(runIDs) == 0 {
+		return out, nil
+	}
+	groups := s.groupRuns(runIDs)
+	if len(groups) == 1 {
+		for i, runs := range groups {
+			s.noteScatter(1, []int{i})
+			return s.shards[i].InputBindingsBatch(runs, proc, port, idx)
+		}
+	}
+	parts := make([]map[string][]store.Binding, len(s.shards))
+	err := s.eachShard(groups, func(i int, runs []string) error {
+		m, err := s.shards[i].InputBindingsBatch(runs, proc, port, idx)
+		if err != nil {
+			return err
+		}
+		parts[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range parts {
+		for r, bs := range m {
+			out[r] = bs
+		}
+	}
+	return out, nil
+}
+
+// Value materializes one stored port value from the run's owning shard.
+func (s *ShardedStore) Value(runID string, valID int64) (value.Value, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].Value(runID, valID)
+}
+
+// ValuesBatch materializes a set of values by scatter-gather: refs group by
+// their run's owning shard, each shard answers its group with one batched
+// lookup, and the per-shard maps merge.
+func (s *ShardedStore) ValuesBatch(refs []store.ValueRef) (map[store.ValueRef]value.Value, error) {
+	out := make(map[store.ValueRef]value.Value, len(refs))
+	if len(refs) == 0 {
+		return out, nil
+	}
+	groups := make(map[int][]store.ValueRef)
+	for _, ref := range refs {
+		i := s.ring.owner(ref.RunID)
+		groups[i] = append(groups[i], ref)
+	}
+	if len(groups) == 1 {
+		for i, g := range groups {
+			s.noteScatter(1, []int{i})
+			return s.shards[i].ValuesBatch(g)
+		}
+	}
+	touched := make([]int, 0, len(groups))
+	for i := range groups {
+		touched = append(touched, i)
+	}
+	sort.Ints(touched)
+	s.noteScatter(len(groups), touched)
+
+	parts := make([]map[store.ValueRef]value.Value, len(s.shards))
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for _, i := range touched {
+		wg.Add(1)
+		go func(i int, g []store.ValueRef) {
+			defer wg.Done()
+			t0 := time.Now()
+			parts[i], errs[i] = s.shards[i].ValuesBatch(g)
+			if obs.Enabled() {
+				obsProbeNS.Observe(time.Since(t0).Nanoseconds())
+			}
+		}(i, groups[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range parts {
+		for ref, v := range m {
+			out[ref] = v
+		}
+	}
+	return out, nil
+}
+
+// HasRun reports whether the owning shard holds the run.
+func (s *ShardedStore) HasRun(runID string) (bool, error) {
+	return s.shards[s.ring.owner(runID)].HasRun(runID)
+}
+
+// XformsByOutput routes the extensional probe to the owning shard.
+func (s *ShardedStore) XformsByOutput(runID, proc, port string, idx value.Index) ([]store.Xform, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].XformsByOutput(runID, proc, port, idx)
+}
+
+// XformsByInput routes the forward extensional probe to the owning shard.
+func (s *ShardedStore) XformsByInput(runID, proc, port string, idx value.Index) ([]store.ForwardXform, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].XformsByInput(runID, proc, port, idx)
+}
+
+// XfersTo routes to the owning shard.
+func (s *ShardedStore) XfersTo(runID, proc, port string) ([]store.Xfer, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].XfersTo(runID, proc, port)
+}
+
+// XfersFrom routes to the owning shard.
+func (s *ShardedStore) XfersFrom(runID, proc, port string) ([]store.Xfer, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].XfersFrom(runID, proc, port)
+}
+
+// LoadTrace reconstructs a stored run's trace from its owning shard.
+func (s *ShardedStore) LoadTrace(runID string) (*trace.Trace, error) {
+	i := s.ring.owner(runID)
+	s.noteRouted(i)
+	return s.shards[i].LoadTrace(runID)
+}
+
+// Verify checks one stored run's integrity on its owning shard.
+func (s *ShardedStore) Verify(runID string, wf *workflow.Workflow) (*store.VerifyReport, error) {
+	return s.shards[s.ring.owner(runID)].Verify(runID, wf)
+}
+
+// PartitionRuns implements store.RunPartitioner: runs grouped by owning
+// shard, in shard order. The multi-run executor forms its probe chunks
+// within these groups, so every batched probe is answered by exactly one
+// shard scanning only its own index — the scatter below then takes its
+// single-group fast path and no whole-store scan ever covers rows the
+// chunk cannot use.
+func (s *ShardedStore) PartitionRuns(runIDs []string) [][]string {
+	groups := s.groupRuns(runIDs)
+	touched := make([]int, 0, len(groups))
+	for i := range groups {
+		touched = append(touched, i)
+	}
+	sort.Ints(touched)
+	parts := make([][]string, 0, len(touched))
+	for _, i := range touched {
+		parts = append(parts, groups[i])
+	}
+	return parts
+}
+
+// groupRuns partitions run IDs by owning shard, deduplicating within each
+// group (a run appears once per group even if requested twice).
+func (s *ShardedStore) groupRuns(runIDs []string) map[int][]string {
+	groups := make(map[int][]string)
+	seen := make(map[string]bool, len(runIDs))
+	for _, r := range runIDs {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		i := s.ring.owner(r)
+		groups[i] = append(groups[i], r)
+	}
+	return groups
+}
+
+// eachShard runs fn(i, runs) for every shard group concurrently, records the
+// scatter metrics, and returns the first error.
+func (s *ShardedStore) eachShard(groups map[int][]string, fn func(i int, runs []string) error) error {
+	touched := make([]int, 0, len(groups))
+	for i := range groups {
+		touched = append(touched, i)
+	}
+	sort.Ints(touched)
+	s.noteScatter(len(groups), touched)
+
+	if len(touched) == 1 {
+		i := touched[0]
+		t0 := time.Now()
+		err := fn(i, groups[i])
+		if obs.Enabled() {
+			obsProbeNS.Observe(time.Since(t0).Nanoseconds())
+		}
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(touched))
+	for k, i := range touched {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			errs[k] = fn(i, groups[i])
+			if obs.Enabled() {
+				obsProbeNS.Observe(time.Since(t0).Nanoseconds())
+			}
+		}(k, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// shardCounts returns the shard counts exercised by the smoke and crash
+// tests. SHARDS pins a single count (the CI shard-matrix loops it over
+// 1/2/4); the default covers all three in one run.
+func shardCounts() []int {
+	if s := os.Getenv("SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return []int{n}
+		}
+	}
+	return []int{1, 2, 4}
+}
+
+// testbedTraces executes Testbed(l) `runs` times with list size d and
+// returns the recorded traces.
+func testbedTraces(t *testing.T, l, d, runs int) []*trace.Trace {
+	t.Helper()
+	reg := engine.NewRegistry()
+	gen.RegisterTestbed(reg)
+	eng := engine.New(reg)
+	wf := gen.Testbed(l)
+	traces := make([]*trace.Trace, 0, runs)
+	for r := 0; r < runs; r++ {
+		_, tr, err := eng.RunTrace(wf, fmt.Sprintf("run%03d", r), gen.TestbedInputs(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}
+
+func TestRingRoutingIsDeterministicAndCovers(t *testing.T) {
+	a, err := OpenMemory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenMemory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	hit := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		run := fmt.Sprintf("run-%04d", i)
+		sa, sb := a.ShardOf(run), b.ShardOf(run)
+		if sa != sb {
+			t.Fatalf("run %q routed to shard %d on one store, %d on another", run, sa, sb)
+		}
+		hit[sa]++
+	}
+	for s := 0; s < 4; s++ {
+		if hit[s] == 0 {
+			t.Fatalf("shard %d owns none of 1000 runs: %v", s, hit)
+		}
+		// FNV ring with 64 vnodes keeps imbalance modest; anything wildly
+		// skewed indicates a broken ring.
+		if hit[s] < 50 {
+			t.Fatalf("shard %d owns only %d of 1000 runs: %v", s, hit[s], hit)
+		}
+	}
+}
+
+// TestShardSmoke is the CI shard-matrix smoke: for each shard count, the
+// sharded store must hold exactly the data a single store holds and answer
+// single-run and multi-run queries identically.
+func TestShardSmoke(t *testing.T) {
+	l, d, runs := 4, 3, 6
+	traces := testbedTraces(t, l, d, runs)
+	wf := gen.Testbed(l)
+
+	single, err := store.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if err := single.IngestTraces(context.Background(), traces, store.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	wantTotal, err := single.TotalRecords("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIDs := make([]string, len(traces))
+	for i, tr := range traces {
+		runIDs[i] = tr.RunID
+	}
+	ipSingle, err := lineage.NewIndexProj(single, wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	focus := lineage.NewFocus(gen.ListGenName)
+	idx := value.Ix(d/2, d/2)
+	want, err := ipSingle.LineageMultiRun(runIDs, gen.FinalName, "product", idx, focus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range shardCounts() {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			sh, err := OpenMemory(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sh.Close()
+			if err := sh.IngestTraces(context.Background(), traces, store.IngestOptions{Parallelism: 4}); err != nil {
+				t.Fatal(err)
+			}
+			total, err := sh.TotalRecords("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != wantTotal {
+				t.Fatalf("sharded store holds %d records, single store %d", total, wantTotal)
+			}
+			listed, err := sh.ListRuns()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(listed) != runs {
+				t.Fatalf("ListRuns returned %d runs, want %d", len(listed), runs)
+			}
+			for i := 1; i < len(listed); i++ {
+				if listed[i-1].RunID >= listed[i].RunID {
+					t.Fatalf("ListRuns not sorted: %q before %q", listed[i-1].RunID, listed[i].RunID)
+				}
+			}
+			for _, r := range runIDs {
+				ok, err := sh.HasRun(r)
+				if err != nil || !ok {
+					t.Fatalf("HasRun(%q) = %v, %v", r, ok, err)
+				}
+				tr, err := sh.LoadTrace(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.RunID != r {
+					t.Fatalf("LoadTrace(%q) returned run %q", r, tr.RunID)
+				}
+				rep, err := sh.Verify(r, wf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Fatalf("run %q fails verification on %d shards: %v", r, n, rep)
+				}
+			}
+			// Multi-run INDEXPROJ, sequential and parallel, and NI must all
+			// match the single-store answer.
+			ip, err := lineage.NewIndexProj(sh, wf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ip.LineageMultiRun(runIDs, gen.FinalName, "product", idx, focus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("sharded INDEXPROJ (n=%d) diverged:\n got %v\nwant %v", n, got, want)
+			}
+			for _, p := range []int{1, 2, 4} {
+				gp, err := ip.LineageMultiRunParallel(context.Background(), runIDs, gen.FinalName, "product", idx, focus,
+					lineage.MultiRunOptions{Parallelism: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !gp.Equal(want) {
+					t.Fatalf("sharded parallel P=%d (n=%d) diverged", p, n)
+				}
+			}
+			ni := lineage.NewNaive(sh)
+			gn, err := ni.LineageMultiRun(runIDs, gen.FinalName, "product", idx, focus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gn.Equal(want) {
+				t.Fatalf("sharded NI (n=%d) diverged", n)
+			}
+			// Unknown runs surface the store sentinel through the sharded path.
+			if _, err := ip.LineageMultiRun([]string{runIDs[0], "no-such-run"}, gen.FinalName, "product", idx, focus); !errors.Is(err, store.ErrUnknownRun) {
+				t.Fatalf("unknown run through sharded store: got %v, want ErrUnknownRun", err)
+			}
+			// DeleteRun routes to the owning shard and removes the run.
+			if _, err := sh.DeleteRun(runIDs[0]); err != nil {
+				t.Fatal(err)
+			}
+			if ok, _ := sh.HasRun(runIDs[0]); ok {
+				t.Fatalf("run %q still present after DeleteRun", runIDs[0])
+			}
+		})
+	}
+}
+
+func TestShardDSNParsing(t *testing.T) {
+	good := map[string]struct {
+		dir     string
+		n       int
+		backend string
+	}{
+		"shard:/tmp/x":                  {"/tmp/x", 0, ""},
+		"shard:dir?n=4":                 {"dir", 4, ""},
+		"shard:dir?n=2&backend=durable": {"dir", 2, "durable"},
+		"shard:a/b/c?backend=file":      {"a/b/c", 0, "file"},
+	}
+	for dsn, want := range good {
+		dir, n, backend, err := parseDSN(dsn)
+		if err != nil {
+			t.Fatalf("parseDSN(%q): %v", dsn, err)
+		}
+		if dir != want.dir || n != want.n || backend != want.backend {
+			t.Fatalf("parseDSN(%q) = (%q, %d, %q), want %+v", dsn, dir, n, backend, want)
+		}
+	}
+	for _, dsn := range []string{
+		"file:x", "shard:", "shard:dir?n=0", "shard:dir?n=-2", "shard:dir?n=x",
+		"shard:dir?backend=weird", "shard:dir?bogus=1",
+	} {
+		if _, _, _, err := parseDSN(dsn); err == nil {
+			t.Fatalf("parseDSN(%q) accepted a bad DSN", dsn)
+		}
+	}
+}
+
+// TestShardManifestPersistence checks the file-backed lifecycle: create with
+// an explicit n, ingest, save, reopen without n (topology from the
+// manifest), and reject a conflicting reopen.
+func TestShardManifestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	dsn := "shard:" + dir + "?n=3"
+	sh, err := Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := testbedTraces(t, 3, 2, 5)
+	if err := sh.IngestTraces(context.Background(), traces, store.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	wantTotal, err := sh.TotalRecords("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Save(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the bare directory: shard count comes from the manifest.
+	back, err := Open("shard:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.NumShards() != 3 {
+		t.Fatalf("reopened store has %d shards, want 3 from the manifest", back.NumShards())
+	}
+	total, err := back.TotalRecords("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal {
+		t.Fatalf("reopened store holds %d records, want %d", total, wantTotal)
+	}
+	for _, tr := range traces {
+		if ok, err := back.HasRun(tr.RunID); err != nil || !ok {
+			t.Fatalf("run %q missing after reopen: %v, %v", tr.RunID, ok, err)
+		}
+	}
+
+	// A conflicting shard count must be rejected, not silently re-hashed.
+	if _, err := Open("shard:" + dir + "?n=5"); err == nil || !strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("conflicting n reopen: got %v, want a manifest-pinning error", err)
+	}
+}
+
+// TestShardedCrashSweep is the sharded durability sweep: durable-backed
+// shards, one injection point per shard — garbage appended to that shard's
+// WAL tail (a torn final write). Reopening must drop only the torn bytes:
+// every acknowledged run stays present and verifiable on every shard.
+func TestShardedCrashSweep(t *testing.T) {
+	for _, n := range shardCounts() {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			dsn := fmt.Sprintf("shard:%s?n=%d&backend=durable", dir, n)
+			sh, err := Open(dsn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces := testbedTraces(t, 3, 2, 2*n+3) // enough runs to hit every shard with high odds
+			if err := sh.IngestTraces(context.Background(), traces, store.IngestOptions{Parallelism: 2}); err != nil {
+				sh.Close()
+				t.Fatal(err)
+			}
+			if err := sh.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			for i := 0; i < n; i++ {
+				// Injection point for shard i: torn tail on its WAL.
+				wal := filepath.Join(dir, shardDirName(i), "wal.log")
+				f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write([]byte("\x7ftorn-write-garbage")); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				back, err := Open(dsn)
+				if err != nil {
+					t.Fatalf("reopen after torn tail on shard %d: %v", i, err)
+				}
+				for _, tr := range traces {
+					ok, err := back.HasRun(tr.RunID)
+					if err != nil || !ok {
+						back.Close()
+						t.Fatalf("run %q lost after torn tail on shard %d: %v, %v", tr.RunID, i, ok, err)
+					}
+					rep, err := back.Verify(tr.RunID, nil)
+					if err != nil {
+						back.Close()
+						t.Fatal(err)
+					}
+					if !rep.OK() {
+						back.Close()
+						t.Fatalf("run %q fails verification after torn tail on shard %d: %v", tr.RunID, i, rep)
+					}
+				}
+				if err := back.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

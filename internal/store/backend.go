@@ -1,0 +1,86 @@
+package store
+
+import (
+	"context"
+
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// TraceQuerier is the extensional read surface the NI and Impact evaluators
+// need from a provenance store: direct navigation of the stored provenance
+// graph, one event at a time. Implementations must be safe for concurrent
+// use.
+type TraceQuerier interface {
+	// XformsByOutput returns the xform events with an output binding on the
+	// given port matching idx (granularity rules of §2.3/§2.4).
+	XformsByOutput(runID, proc, port string, idx value.Index) ([]Xform, error)
+	// XformsByInput is the forward dual: events matched through an input.
+	XformsByInput(runID, proc, port string, idx value.Index) ([]ForwardXform, error)
+	// XfersTo returns the xfer events whose sink is the given port.
+	XfersTo(runID, proc, port string) ([]Xfer, error)
+	// XfersFrom returns the xfer events whose source is the given port.
+	XfersFrom(runID, proc, port string) ([]Xfer, error)
+	// Value materializes one stored port value.
+	Value(runID string, valID int64) (value.Value, error)
+	// HasRun reports whether the store holds the given run.
+	HasRun(runID string) (bool, error)
+}
+
+// Backend is the full store surface the System facade, the CLIs and the
+// benchmark harness program against: both lineage read paths, the write and
+// bulk-ingest paths, and the administrative operations. *Store implements it
+// directly; shard.ShardedStore implements it by routing each run to its
+// owning shard and scatter-gathering the multi-run operations.
+type Backend interface {
+	LineageQuerier
+	TraceQuerier
+
+	// NewRunWriter registers a run and returns an unbuffered collector.
+	NewRunWriter(runID, workflowName string) (*RunWriter, error)
+	// NewBufferedRunWriter registers a run and returns a batching collector.
+	NewBufferedRunWriter(ctx context.Context, runID, workflowName string, batchRows int) (*RunWriter, error)
+	// Ingest loads every task's run concurrently through buffered writers.
+	Ingest(ctx context.Context, tasks []IngestTask, opt IngestOptions) error
+	// IngestTraces bulk-loads a set of recorded traces.
+	IngestTraces(ctx context.Context, traces []*trace.Trace, opt IngestOptions) error
+	// StoreTrace persists one complete in-memory trace.
+	StoreTrace(t *trace.Trace) error
+	// LoadTrace reconstructs the full in-memory trace of a stored run.
+	LoadTrace(runID string) (*trace.Trace, error)
+
+	// ListRuns returns all stored runs.
+	ListRuns() ([]RunInfo, error)
+	// RunsOf returns the IDs of all runs of the named workflow.
+	RunsOf(workflow string) ([]string, error)
+	// RecordCounts reports per-table event rows for a run ("" for all runs).
+	RecordCounts(runID string) (xformIn, xformOut, xfers int, err error)
+	// TotalRecords returns the Table 1 record count ("" for all runs).
+	TotalRecords(runID string) (int, error)
+	// DeleteRun removes every record of a run.
+	DeleteRun(runID string) (int, error)
+	// Verify checks the integrity of one stored run.
+	Verify(runID string, wf *workflow.Workflow) (*VerifyReport, error)
+
+	// Save snapshots the store to the given path.
+	Save(path string) error
+	// DSN returns the store's data source name.
+	DSN() string
+	// Close releases the store.
+	Close() error
+}
+
+var _ Backend = (*Store)(nil)
+
+// RunPartitioner is an optional interface a LineageQuerier implements when
+// its runs are physically partitioned (shard.ShardedStore: one independent
+// store per shard). PartitionRuns splits a run set into groups of
+// co-resident runs; the multi-run executor forms its probe chunks within
+// one group at a time, so every batched probe lands on a single partition
+// and scans only that partition's index — partition pruning — instead of
+// paying one whole-store index scan per chunk. The groups must cover
+// exactly the input runs, without duplicates.
+type RunPartitioner interface {
+	PartitionRuns(runIDs []string) [][]string
+}

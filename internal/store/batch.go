@@ -30,6 +30,10 @@ type LineageQuerier interface {
 	Value(runID string, valID int64) (value.Value, error)
 	// ValuesBatch materializes a set of values, minimizing round-trips.
 	ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error)
+	// HasRun reports whether the store holds the given run; the multi-run
+	// executors use it to reject unknown runs with ErrUnknownRun instead of
+	// silently returning empty results.
+	HasRun(runID string) (bool, error)
 }
 
 var _ LineageQuerier = (*Store)(nil)

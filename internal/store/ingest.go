@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -39,6 +40,13 @@ type IngestOptions struct {
 	// event tables per multi-row flush). 0 means DefaultBatchRows; 1
 	// effectively disables batching, reproducing per-row ingest.
 	BatchRows int
+	// CheckpointEveryRuns, when > 0 on a durable store, checkpoints the
+	// store after every N completed runs: a fresh snapshot is written and
+	// the write-ahead log truncated, so the WAL's disk footprint — and the
+	// replay work a crash-recovery Open must do — stays bounded by N runs
+	// of events no matter how large the bulk load is. 0 never checkpoints
+	// (the WAL grows for the whole load). Non-durable stores ignore it.
+	CheckpointEveryRuns int
 }
 
 func (o IngestOptions) normalize() IngestOptions {
@@ -72,6 +80,22 @@ func (s *Store) Ingest(ctx context.Context, tasks []IngestTask, opt IngestOption
 		ctx = context.Background()
 	}
 	opt = opt.normalize()
+	var done atomic.Int64
+	var ckptMu sync.Mutex
+	maybeCheckpoint := func() error {
+		if opt.CheckpointEveryRuns <= 0 {
+			return nil
+		}
+		if done.Add(1)%int64(opt.CheckpointEveryRuns) != 0 {
+			return nil
+		}
+		// Only the completion that crossed the boundary checkpoints; the
+		// mutex keeps two boundaries crossed close together from stacking
+		// overlapping snapshot writes.
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		return s.Checkpoint()
+	}
 	ingestOne := func(ctx context.Context, t IngestTask) error {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -91,7 +115,7 @@ func (s *Store) Ingest(ctx context.Context, tasks []IngestTask, opt IngestOption
 			return fmt.Errorf("store: ingesting run %q: %w", t.RunID, err)
 		}
 		obsIngestRuns.Add(1)
-		return nil
+		return maybeCheckpoint()
 	}
 
 	if opt.Parallelism == 1 || len(tasks) <= 1 {
@@ -144,9 +168,12 @@ func (s *Store) Ingest(ctx context.Context, tasks []IngestTask, opt IngestOption
 	return firstError(ctx, errs)
 }
 
-// firstError selects the error to surface from a pool run: a real failure
+// FirstError selects the error to surface from a pool run: a real failure
 // beats a secondary cancellation error, and if the caller's own context was
-// cancelled, its error is authoritative.
+// cancelled, its error is authoritative. Exported for the sharded store,
+// whose per-shard ingest pools need the same first-error semantics.
+func FirstError(ctx context.Context, errs []error) error { return firstError(ctx, errs) }
+
 func firstError(ctx context.Context, errs []error) error {
 	var first error
 	for _, err := range errs {
@@ -174,6 +201,13 @@ func isCancellation(err error) bool {
 // IngestTraces loads a set of recorded traces with the given options — the
 // bulk counterpart of calling StoreTrace per trace.
 func (s *Store) IngestTraces(ctx context.Context, traces []*trace.Trace, opt IngestOptions) error {
+	return s.Ingest(ctx, TraceIngestTasks(traces), opt)
+}
+
+// TraceIngestTasks converts recorded traces into the task set IngestTraces
+// runs. Exported so the sharded store can regroup trace loads by owning
+// shard before handing each group to a shard-level Ingest.
+func TraceIngestTasks(traces []*trace.Trace) []IngestTask {
 	tasks := make([]IngestTask, len(traces))
 	for i, t := range traces {
 		t := t
@@ -195,5 +229,5 @@ func (s *Store) IngestTraces(ctx context.Context, traces []*trace.Trace, opt Ing
 			},
 		}
 	}
-	return s.Ingest(ctx, tasks, opt)
+	return tasks
 }

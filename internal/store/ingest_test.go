@@ -3,12 +3,15 @@ package store_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/lineage"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -250,5 +253,87 @@ func TestIngestDuplicateRun(t *testing.T) {
 	}
 	if !rep.OK() {
 		t.Fatalf("store corrupted after duplicate-run failure:\n%s", rep)
+	}
+}
+
+// TestIngestCheckpointBounded loads the same traces into two durable stores,
+// one checkpointing after every completed run and one never, and checks that
+// (a) the checkpoint counter advanced once per boundary crossed, (b) the
+// checkpointing store's WAL stays bounded (far smaller than the full-load
+// WAL), and (c) a reopen of the checkpointed store recovers every run intact.
+func TestIngestCheckpointBounded(t *testing.T) {
+	traces := makeTraces(t)
+
+	open := func(dir string) *store.Store {
+		t.Helper()
+		s, err := store.Open("durable:" + dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	walSize := func(dir string) int64 {
+		t.Helper()
+		fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+
+	plainDir, ckptDir := t.TempDir(), t.TempDir()
+
+	plain := open(plainDir)
+	if err := plain.IngestTraces(context.Background(), traces, store.IngestOptions{Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Default.Snapshot()
+	ckpt := open(ckptDir)
+	if err := ckpt.IngestTraces(context.Background(), traces, store.IngestOptions{Parallelism: 2, CheckpointEveryRuns: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	delta := obs.Default.Snapshot().Sub(before)
+	if got, want := delta.Counter("reldb.checkpoints"), int64(len(traces)); got != want {
+		t.Fatalf("reldb.checkpoints delta = %d, want %d (one per completed run)", got, want)
+	}
+
+	// Every boundary truncated the log, so the checkpointed WAL holds at most
+	// one run's events; the plain WAL holds all of them.
+	if cw, pw := walSize(ckptDir), walSize(plainDir); cw*2 >= pw {
+		t.Fatalf("checkpointed WAL not bounded: %d bytes vs %d unchecked", cw, pw)
+	}
+
+	back := open(ckptDir)
+	defer back.Close()
+	for _, tr := range traces {
+		ok, err := back.HasRun(tr.RunID)
+		if err != nil || !ok {
+			t.Fatalf("run %q lost after checkpointed ingest: ok=%v err=%v", tr.RunID, ok, err)
+		}
+		got, err := back.LoadTrace(tr.RunID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RunID != tr.RunID || len(got.Xforms) != len(tr.Xforms) || len(got.Xfers) != len(tr.Xfers) {
+			t.Fatalf("run %q: reloaded %d xforms/%d xfers, want %d/%d",
+				tr.RunID, len(got.Xforms), len(got.Xfers), len(tr.Xforms), len(tr.Xfers))
+		}
+	}
+
+	// A memory-backed store ignores the option (no log to truncate).
+	mem, err := store.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if err := mem.IngestTraces(context.Background(), traces, store.IngestOptions{CheckpointEveryRuns: 2}); err != nil {
+		t.Fatalf("CheckpointEveryRuns on a memory store: %v", err)
 	}
 }

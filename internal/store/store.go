@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/reldb"
@@ -48,6 +49,13 @@ type Store struct {
 	// runsEst caches the number of stored runs (-1 = unknown); ValuesBatch
 	// uses it to estimate the row cost of a cross-run value scan.
 	runsEst atomic.Int64
+
+	// runSet caches the stored run IDs (nil = unknown) so HasRun — called
+	// once per run by every multi-run query's validation pass — is a map
+	// lookup, not a COUNT over the runs table. Writers invalidate it
+	// alongside runsEst.
+	runSetMu sync.RWMutex
+	runSet   map[string]bool
 }
 
 // schema is the DDL of the provenance database, mirroring the relational
@@ -234,6 +242,20 @@ func (s *Store) Save(path string) error {
 	return err
 }
 
+// Checkpoint writes a fresh snapshot of a durable store and truncates its
+// write-ahead log, bounding both the WAL's disk footprint and the replay
+// work a later Open must do. On a non-durable (memory- or file-backed)
+// store there is no log to truncate and Checkpoint is a no-op.
+func (s *Store) Checkpoint() error {
+	if err := s.rdb.Checkpoint(); err != nil {
+		if errors.Is(err, reldb.ErrNotDurable) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
 func sqlEscape(s string) string {
 	out := make([]byte, 0, len(s))
 	for i := 0; i < len(s); i++ {
@@ -283,6 +305,40 @@ func (s *Store) ListRuns() ([]RunInfo, error) {
 		out = append(out, ri)
 	}
 	return out, rows.Err()
+}
+
+// HasRun reports whether the store holds the given run. It is not counted as
+// a lineage probe: existence checks are bookkeeping, not trace access. The
+// answer comes from a cached run-ID set (built on first use, invalidated by
+// writers), so validating a large multi-run query costs one map lookup per
+// run, not one table scan per run.
+func (s *Store) HasRun(runID string) (bool, error) {
+	s.runSetMu.RLock()
+	set := s.runSet
+	s.runSetMu.RUnlock()
+	if set == nil {
+		runs, err := s.ListRuns()
+		if err != nil {
+			return false, err
+		}
+		set = make(map[string]bool, len(runs))
+		for _, ri := range runs {
+			set[ri.RunID] = true
+		}
+		s.runSetMu.Lock()
+		s.runSet = set
+		s.runSetMu.Unlock()
+	}
+	return set[runID], nil
+}
+
+// invalidateRunCaches drops the cached run count and run-ID set after a
+// mutation of the runs table.
+func (s *Store) invalidateRunCaches() {
+	s.runsEst.Store(-1)
+	s.runSetMu.Lock()
+	s.runSet = nil
+	s.runSetMu.Unlock()
 }
 
 // RunsOf returns the IDs of all runs of the named workflow.
@@ -356,6 +412,6 @@ func (s *Store) DeleteRun(runID string) (int, error) {
 	if _, err := s.db.Exec(`DELETE FROM runs WHERE run_id = ?`, runID); err != nil {
 		return removed, err
 	}
-	s.runsEst.Store(-1)
+	s.invalidateRunCaches()
 	return removed, nil
 }

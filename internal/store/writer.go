@@ -113,7 +113,7 @@ func (s *Store) newRunWriter(ctx context.Context, runID, workflowName string, ba
 	if _, err := s.db.Exec(`INSERT INTO runs (run_id, workflow) VALUES (?, ?)`, runID, workflowName); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s.runsEst.Store(-1)
+	s.invalidateRunCaches()
 	return &RunWriter{
 		s:         s,
 		ctx:       ctx,
