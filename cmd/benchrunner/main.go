@@ -28,6 +28,7 @@ var experiments = map[string]func(bench.Options) (*bench.Report, error){
 	"fig4":      bench.Fig4,
 	"fig4par":   bench.Fig4Parallel,
 	"fig4shard": bench.Fig4Shard,
+	"serve":     bench.FigServe,
 	"table1":  bench.Table1,
 	"fig6":    bench.Fig6,
 	"fig7":    bench.Fig7,
@@ -52,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, fig4, fig4par, fig4shard, table1, fig6, fig7, fig8, fig9, fig10, ingest")
+		exp     = fs.String("exp", "all", "experiment: all, fig4, fig4par, fig4shard, table1, fig6, fig7, fig8, fig9, fig10, ingest, serve")
 		quick   = fs.Bool("quick", false, "shrink every grid for a fast smoke run")
 		queries = fs.Int("queries", 5, "identical queries per measurement (best-of)")
 		csv     = fs.Bool("csv", false, "also write CSV files")

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/lineage"
+	"repro/internal/queryfmt"
 	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -302,16 +303,12 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err != nil {
 		return err
 	}
-	proc, port, idx, err := parseBinding(*binding)
+	proc, port, idx, err := queryfmt.ParseBinding(*binding)
 	if err != nil {
 		return err
 	}
-	focus := lineage.NewFocus()
-	for _, p := range strings.Split(*focusArg, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			focus[p] = true
-		}
-	}
+	focus := queryfmt.ParseFocus(*focusArg)
+	q := queryfmt.Query{Direction: *direction, Proc: proc, Port: port, Idx: idx, Focus: focus, Method: m}
 
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -334,8 +331,7 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "%s(<%s:%s%s>, %v) via %s over %d runs (parallelism %d): %d bindings\n",
-			*direction, displayProc(proc), port, idx, focus.Names(), m, len(runIDs), *parallel, res.Len())
+		q.WriteMultiRunHeader(stdout, len(runIDs), *parallel, res)
 	default:
 		switch *direction {
 		case "back", "backward":
@@ -348,21 +344,9 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "%s(<%s:%s%s>, %v) via %s: %d bindings\n",
-			*direction, displayProc(proc), port, idx, focus.Names(), m, res.Len())
+		q.WriteHeader(stdout, res)
 	}
-	for _, e := range res.Entries() {
-		if *values {
-			el, err := e.Element()
-			detail := ""
-			if err == nil {
-				detail = " = " + truncate(value.Encode(el), 100)
-			}
-			fmt.Fprintf(stdout, "  %s%s\n", e, detail)
-		} else {
-			fmt.Fprintf(stdout, "  %s\n", e)
-		}
-	}
+	queryfmt.WriteEntries(stdout, res, *values)
 	return nil
 }
 
@@ -478,43 +462,4 @@ func cmdVerify(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// parseBinding splits "proc:port[i,j]" (use proc "workflow" or "" for
-// workflow-level ports).
-func parseBinding(s string) (proc, port string, idx value.Index, err error) {
-	bracket := strings.IndexByte(s, '[')
-	idx = value.EmptyIndex
-	core := s
-	if bracket >= 0 {
-		core = s[:bracket]
-		idx, err = value.ParseIndex(s[bracket:])
-		if err != nil {
-			return "", "", nil, err
-		}
-	}
-	colon := strings.LastIndexByte(core, ':')
-	if colon < 0 {
-		return "", "", nil, fmt.Errorf("binding %q must look like proc:port[index]", s)
-	}
-	proc, port = core[:colon], core[colon+1:]
-	if proc == "workflow" {
-		proc = ""
-	}
-	if port == "" {
-		return "", "", nil, fmt.Errorf("binding %q has an empty port", s)
-	}
-	return proc, port, idx, nil
-}
-
-func displayProc(proc string) string {
-	if proc == "" {
-		return "workflow"
-	}
-	return proc
-}
-
-func truncate(s string, n int) string {
-	if len(s) <= n {
-		return s
-	}
-	return s[:n] + "..."
-}
+func truncate(s string, n int) string { return queryfmt.Truncate(s, n) }

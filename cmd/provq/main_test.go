@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/queryfmt"
 	"repro/internal/value"
 )
 
@@ -183,16 +184,16 @@ func TestCLIErrors(t *testing.T) {
 
 // TestParseBinding pins the binding syntax.
 func TestParseBinding(t *testing.T) {
-	proc, port, idx, err := parseBinding("2TO1_FINAL:product[3,7]")
+	proc, port, idx, err := queryfmt.ParseBinding("2TO1_FINAL:product[3,7]")
 	if err != nil || proc != "2TO1_FINAL" || port != "product" || idx.String() != value.Ix(3, 7).String() {
 		t.Errorf("parseBinding = %q %q %v, %v", proc, port, idx, err)
 	}
-	proc, port, idx, err = parseBinding("workflow:out[]")
+	proc, port, idx, err = queryfmt.ParseBinding("workflow:out[]")
 	if err != nil || proc != "" || port != "out" || len(idx) != 0 {
 		t.Errorf("parseBinding(workflow) = %q %q %v, %v", proc, port, idx, err)
 	}
 	for _, bad := range []string{"noport", "p:", "p:x[bad", "p:x[1,a]"} {
-		if _, _, _, err := parseBinding(bad); err == nil {
+		if _, _, _, err := queryfmt.ParseBinding(bad); err == nil {
 			t.Errorf("parseBinding(%q) succeeded", bad)
 		}
 	}

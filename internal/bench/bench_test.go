@@ -153,10 +153,10 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 10 {
+	if len(reps) != 11 {
 		t.Fatalf("reports = %d", len(reps))
 	}
-	ids := []string{"fig4", "fig4par", "fig4shard", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest"}
+	ids := []string{"fig4", "fig4par", "fig4shard", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest", "serve"}
 	for i, rep := range reps {
 		if rep.ID != ids[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, ids[i])
@@ -199,6 +199,33 @@ func TestGenerateTestbedTraces(t *testing.T) {
 	for i, tr := range traces {
 		if tr.RunID == "" || len(tr.Xforms) == 0 || len(tr.Xfers) == 0 {
 			t.Errorf("trace %d is empty: %+v", i, tr.RunID)
+		}
+	}
+}
+
+// TestFigServeQuick smoke-runs the serving benchmark: one row per
+// (shards, offered load) cell, every row with completed requests and
+// ordered quantiles.
+func TestFigServeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives open-loop HTTP load for seconds")
+	}
+	rep, err := FigServe(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 { // {1,4} shards x 3 offered loads
+		t.Fatalf("rows = %d, want 6", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		ok, _ := strconv.Atoi(row[3])
+		if ok == 0 {
+			t.Errorf("cell %v completed no requests", row)
+		}
+		p50, _ := strconv.ParseFloat(row[7], 64)
+		p999, _ := strconv.ParseFloat(row[9], 64)
+		if p50 <= 0 || p999 < p50 {
+			t.Errorf("cell %v has inconsistent quantiles", row)
 		}
 	}
 }

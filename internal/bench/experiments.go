@@ -519,7 +519,7 @@ func All(o Options) ([]*Report, error) {
 	exps := []exp{
 		{"fig4", Fig4}, {"fig4par", Fig4Parallel}, {"fig4shard", Fig4Shard}, {"table1", Table1}, {"fig6", Fig6},
 		{"fig7", Fig7}, {"fig8", Fig8}, {"fig9", Fig9}, {"fig10", Fig10},
-		{"ingest", Ingest},
+		{"ingest", Ingest}, {"serve", FigServe},
 	}
 	out := make([]*Report, 0, len(exps))
 	for _, e := range exps {

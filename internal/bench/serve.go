@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+// FigServe measures the provd serving path end to end: open-loop HTTP load
+// against the multi-tenant query server, reporting client-side latency
+// quantiles (p50/p99/p999) and completed throughput as the offered load
+// grows, at 1 and 4 store shards.
+//
+// The workload is the GK focused multi-run query (the paper's Fig. 4 probe,
+// compiled once into the shared plan cache and answered per request by the
+// parallel executor's batched shard probes). Open-loop means the generator
+// fires at the offered rate regardless of completions, so saturation shows
+// up as tail latency and explicit shed (429/503) rather than as a slowed
+// generator; rejections are counted, never silently dropped.
+func FigServe(o Options) (*Report, error) {
+	gkRuns, duration := 8, 5*time.Second
+	loads := []float64{50, 100, 200}
+	if o.Quick {
+		gkRuns, duration = 4, 1200*time.Millisecond
+		loads = []float64{40, 80, 160}
+	}
+	shardGrid := []int{1, 4}
+
+	rep := &Report{
+		ID:    "serve",
+		Title: "provd serving: latency quantiles and throughput vs. offered load",
+		Caption: fmt.Sprintf("Open-loop load against the provd HTTP server, tenant t0 on a\n"+
+			"shard:n store. Each request is the GK focused multi-run lineage query\n"+
+			"(workflow:paths_per_gene[0,0], focus get_pathways_by_genes) over %d\n"+
+			"runs via the parallel executor (parallelism 4), answered through the\n"+
+			"shared cross-request plan cache. Quantiles are client-side over OK\n"+
+			"responses; rejected counts explicit 429/503 sheds. %s offered load\n"+
+			"per cell.", gkRuns, duration),
+		Columns: []string{"shards", "offered_qps", "sent", "ok", "rejected", "errors",
+			"throughput_qps", "p50_ms", "p99_ms", "p999_ms"},
+	}
+
+	ctx := o.ctx()
+	msf := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6) }
+
+	for _, n := range shardGrid {
+		dir, err := os.MkdirTemp("", "figserve-*")
+		if err != nil {
+			return nil, err
+		}
+		template := fmt.Sprintf("shard:%s/{tenant}?n=%d", dir, n)
+
+		// Seed tenant t0 with the GK workload through the same system the
+		// server will open.
+		runIDs, err := seedServeTenant(strings.ReplaceAll(template, "{tenant}", "t0"), gkRuns)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+
+		srv, err := server.New(server.Config{StoreTemplate: template, MaxInflight: 64})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+
+		params := url.Values{}
+		params.Set("tenant", "t0")
+		params.Set("runs", strings.Join(runIDs, ","))
+		params.Set("parallel", "4")
+		params.Set("binding", "workflow:paths_per_gene[0,0]")
+		params.Set("focus", "get_pathways_by_genes")
+		params.Set("values", "false")
+		target := ts.URL + "/v1/query?" + params.Encode()
+
+		for _, qps := range loads {
+			res, err := loadgen.Run(ctx, loadgen.Options{
+				URL:      target,
+				QPS:      qps,
+				Duration: duration,
+				Timeout:  10 * time.Second,
+			})
+			if err != nil {
+				ts.Close()
+				srv.Drain()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			if res.OK == 0 {
+				ts.Close()
+				srv.Drain()
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("bench: serve at %d shard(s), %.0f qps: no request succeeded (%d sent, %d rejected, %d errors)",
+					n, qps, res.Sent, res.Rejected, res.Errors)
+			}
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprint(n), fmt.Sprintf("%.0f", qps),
+				fmt.Sprint(res.Sent), fmt.Sprint(res.OK), fmt.Sprint(res.Rejected), fmt.Sprint(res.Errors),
+				fmt.Sprintf("%.1f", res.Throughput()),
+				msf(res.Quantile(0.50)), msf(res.Quantile(0.99)), msf(res.Quantile(0.999)),
+			})
+		}
+
+		if err := srv.Drain(); err != nil {
+			ts.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		ts.Close()
+		os.RemoveAll(dir)
+	}
+	return rep, nil
+}
+
+// seedServeTenant executes the GK workflow `runs` times into the store
+// behind dsn, exactly as the server's tenant opener will later find it.
+func seedServeTenant(dsn string, runs int) ([]string, error) {
+	sys, err := core.NewSystem(core.WithStoreDSN(dsn))
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	gen.RegisterGK(sys.Registry(), gen.DefaultKEGG())
+	if err := sys.RegisterWorkflow(gen.GenesToKegg()); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, runs)
+	for r := 0; r < runs; r++ {
+		res, err := sys.Run("genes2Kegg", gen.GKInputs(3+r%3, 4))
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, res.RunID)
+	}
+	if err := sys.Save(""); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/iter"
 	"repro/internal/obs"
@@ -28,19 +27,24 @@ import (
 // Plans are cached per (binding, focus) — all queries over traces of the
 // same workflow share the same structure — and a single plan is executed
 // once per run for multi-run queries (§3.4), which is what makes INDEXPROJ's
-// multi-run cost proportional to t2 only (Fig. 4).
+// multi-run cost proportional to t2 only (Fig. 4). The cache key also pins
+// the store's topology generation (see plancache.go), so an evaluator whose
+// store was reopened under a different shard ring never reuses plans cached
+// against the old layout.
 //
-// An IndexProj is safe for concurrent use: the plan cache is guarded by a
-// read-mostly RWMutex (concurrent queries sharing a compiled plan take only
-// the read lock), and the store probes go through store.LineageQuerier,
-// whose implementations are required to be concurrency-safe.
+// An IndexProj is safe for concurrent use: the plan cache (the private
+// read-mostly map by default, an injected SharedPlanCache in server
+// deployments) is concurrency-safe, and the store probes go through
+// store.LineageQuerier, whose implementations are required to be
+// concurrency-safe.
 type IndexProj struct {
 	q  store.LineageQuerier
 	wf *workflow.Workflow
 	d  *workflow.Depths
 
-	mu        sync.RWMutex
-	planCache map[string]*CompiledPlan
+	cache   PlanCache
+	scope   string // cache-key namespace ("" outside multi-tenant servers)
+	topoGen string // store topology generation pinned into every cache key
 }
 
 // Probe is one trace query Q(P, X, p) of a compiled plan.
@@ -71,11 +75,27 @@ func NewIndexProj(q store.LineageQuerier, wf *workflow.Workflow) (*IndexProj, er
 		return nil, fmt.Errorf("lineage: %w", err)
 	}
 	return &IndexProj{
-		q:         q,
-		wf:        wf,
-		d:         d,
-		planCache: make(map[string]*CompiledPlan),
+		q:       q,
+		wf:      wf,
+		d:       d,
+		cache:   newMapPlanCache(),
+		topoGen: topologyGen(q),
 	}, nil
+}
+
+// UsePlanCache routes this evaluator's compilations through a shared plan
+// cache under the given scope (the tenant namespace in provd). Keys carry
+// the scope, the workflow name and the store topology generation, so
+// evaluators of different tenants — or of the same tenant over a reopened
+// store with a different shard ring — can share one cache without ever
+// observing each other's plans. Call before the first query; swapping the
+// cache concurrently with queries is not supported.
+func (ip *IndexProj) UsePlanCache(cache PlanCache, scope string) {
+	if cache == nil {
+		cache = newMapPlanCache()
+	}
+	ip.cache = cache
+	ip.scope = scope
 }
 
 // Lineage evaluates lin(⟨proc:port[idx]⟩, focus) within one run.
@@ -169,25 +189,32 @@ func (ip *IndexProj) executeInto(result *Result, plan *CompiledPlan, runID strin
 	return nil
 }
 
-// CacheSize returns the number of cached compiled plans.
+// CacheSize returns the number of compiled plans in this evaluator's private
+// cache. For evaluators routed through a shared cache it reports the shared
+// cache's total size when that cache is a *SharedPlanCache, 0 otherwise.
 func (ip *IndexProj) CacheSize() int {
-	ip.mu.RLock()
-	defer ip.mu.RUnlock()
-	return len(ip.planCache)
+	switch c := ip.cache.(type) {
+	case *mapPlanCache:
+		return c.len()
+	case *SharedPlanCache:
+		return c.Len()
+	default:
+		return 0
+	}
 }
+
+// TopologyGen returns the store topology generation pinned into this
+// evaluator's cache keys.
+func (ip *IndexProj) TopologyGen() string { return ip.topoGen }
 
 // Compile traverses the workflow specification graph and produces (or
 // retrieves from cache) the probe plan for a query binding and focus set.
-// The cache is read-mostly: concurrent queries sharing a compiled plan hit
-// the read-locked fast path and never serialize on the cache. A cache miss
-// compiles outside any lock (two racing compilations of the same key both
-// produce correct, equal plans; the first insert wins).
+// The cache's read path never serializes concurrent queries sharing a plan.
+// A cache miss compiles outside any lock (two racing compilations of the
+// same key both produce correct, equal plans; the first insert wins).
 func (ip *IndexProj) Compile(proc, port string, idx value.Index, focus Focus) (*CompiledPlan, error) {
-	key := proc + "\x01" + port + "\x01" + idx.String() + "\x01" + focus.Key()
-	ip.mu.RLock()
-	plan, ok := ip.planCache[key]
-	ip.mu.RUnlock()
-	if ok {
+	key := planKey(ip.scope, ip.wf.Name, ip.topoGen, proc, port, idx, focus)
+	if plan, ok := ip.cache.Get(key); ok {
 		ipCacheHits.Add(1)
 		return plan, nil
 	}
@@ -204,16 +231,7 @@ func (ip *IndexProj) Compile(proc, port string, idx value.Index, focus Focus) (*
 	if err := c.start(proc, port, idx); err != nil {
 		return nil, err
 	}
-	plan = &CompiledPlan{Probes: c.probes}
-
-	ip.mu.Lock()
-	if cached, ok := ip.planCache[key]; ok {
-		plan = cached // another goroutine won the compilation race
-	} else {
-		ip.planCache[key] = plan
-	}
-	ip.mu.Unlock()
-	return plan, nil
+	return ip.cache.Add(key, &CompiledPlan{Probes: c.probes}), nil
 }
 
 // scope is one (sub-)workflow frame of the compilation traversal.

@@ -28,4 +28,12 @@ var (
 	mrQueryNs = obs.H("lineage.multirun.query_ns")
 	mrMergeNs = obs.H("lineage.multirun.merge_ns")
 	mrTasks   = obs.C("lineage.multirun.tasks")
+
+	// Shared cross-request plan cache (plancache.go). The per-evaluator
+	// hit/miss counters above keep counting too: they account Compile calls,
+	// these account SharedPlanCache traffic (several evaluators may share
+	// one cache).
+	pcHits      = obs.C("lineage.plancache.hits")
+	pcMisses    = obs.C("lineage.plancache.misses")
+	pcEvictions = obs.C("lineage.plancache.evictions")
 )

@@ -1,0 +1,189 @@
+package lineage
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// This file lifts IndexProj's per-evaluator plan cache behind an injectable,
+// concurrency-safe interface so a long-running server can share one compiled-
+// plan cache across requests, evaluators, and tenants. Compiled plans are
+// pure functions of (workflow specification, query binding, focus) — but the
+// cache key must carry more than that:
+//
+//   - a scope (the tenant namespace in provd), so one tenant's plans are
+//     never served under another tenant's key space, and
+//   - the store's topology generation (the shard-manifest parameters for a
+//     sharded store), so an evaluator attached to a store that was reopened
+//     with a different ring never answers from plans cached under the old
+//     topology. The probes themselves are spec-level and would survive a
+//     reshard, but executor-facing plan state must not outlive the store
+//     layout it was compiled against — keying on the generation makes the
+//     stale-reuse class of bug structurally impossible.
+
+// PlanCache is the compiled-plan cache surface IndexProj compiles through.
+// Implementations must be safe for concurrent use. Get returns the cached
+// plan for a key; Add inserts a freshly compiled plan and returns the winner
+// (the existing plan if another goroutine raced the same compilation in
+// first — callers must use the returned plan, not their argument).
+type PlanCache interface {
+	Get(key string) (*CompiledPlan, bool)
+	Add(key string, plan *CompiledPlan) *CompiledPlan
+}
+
+// mapPlanCache is the private per-evaluator cache: the original read-mostly
+// RWMutex map, unbounded (one evaluator sees one workflow's query space).
+type mapPlanCache struct {
+	mu    sync.RWMutex
+	plans map[string]*CompiledPlan
+}
+
+func newMapPlanCache() *mapPlanCache {
+	return &mapPlanCache{plans: make(map[string]*CompiledPlan)}
+}
+
+func (c *mapPlanCache) Get(key string) (*CompiledPlan, bool) {
+	c.mu.RLock()
+	p, ok := c.plans[key]
+	c.mu.RUnlock()
+	return p, ok
+}
+
+func (c *mapPlanCache) Add(key string, plan *CompiledPlan) *CompiledPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cached, ok := c.plans[key]; ok {
+		return cached // another goroutine won the compilation race
+	}
+	c.plans[key] = plan
+	return plan
+}
+
+func (c *mapPlanCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.plans)
+}
+
+// SharedPlanCache is a bounded, concurrency-safe, LRU-evicting plan cache
+// meant to be shared across evaluators and requests (provd holds exactly
+// one). Hits promote; inserts beyond the capacity evict the least recently
+// used entry. Hit/miss/eviction totals are exposed both as obs counters
+// (lineage.plancache.*) and as per-instance accessors for tests.
+type SharedPlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type planEntry struct {
+	key  string
+	plan *CompiledPlan
+}
+
+// DefaultPlanCacheSize bounds a SharedPlanCache built with capacity <= 0.
+const DefaultPlanCacheSize = 1024
+
+// NewSharedPlanCache returns an empty shared cache holding at most capacity
+// plans (DefaultPlanCacheSize when capacity <= 0).
+func NewSharedPlanCache(capacity int) *SharedPlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &SharedPlanCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the plan cached under key, promoting it to most recently used.
+func (c *SharedPlanCache) Get(key string) (*CompiledPlan, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		pcMisses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	pcHits.Add(1)
+	return el.Value.(*planEntry).plan, true
+}
+
+// Add inserts a plan under key and returns the winning plan (the cached one
+// when a racing goroutine inserted first). Inserting over a full cache
+// evicts the least recently used entry.
+func (c *SharedPlanCache) Add(key string, plan *CompiledPlan) *CompiledPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*planEntry).plan
+	}
+	c.entries[key] = c.order.PushFront(&planEntry{key: key, plan: plan})
+	for len(c.entries) > c.capacity {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).key)
+		c.evictions.Add(1)
+		pcEvictions.Add(1)
+	}
+	return plan
+}
+
+// Len returns the number of cached plans.
+func (c *SharedPlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Capacity returns the maximum number of cached plans.
+func (c *SharedPlanCache) Capacity() int { return c.capacity }
+
+// Hits returns the cumulative Get hits.
+func (c *SharedPlanCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the cumulative Get misses.
+func (c *SharedPlanCache) Misses() int64 { return c.misses.Load() }
+
+// Evictions returns the cumulative LRU evictions.
+func (c *SharedPlanCache) Evictions() int64 { return c.evictions.Load() }
+
+// topologyGen fingerprints the store layout a compiled plan is cached
+// against. Stores that partition data (shard.ShardedStore) implement
+// store.TopologyVersioner and report their manifest-pinned ring parameters;
+// everything else — including a nil querier, compile-only evaluators — is
+// one undivided keyspace.
+func topologyGen(q store.LineageQuerier) string {
+	if tv, ok := q.(store.TopologyVersioner); ok {
+		return tv.TopologyGen()
+	}
+	return "single"
+}
+
+// planKey builds the full cache key of one compilation: the evaluator's
+// scope (tenant namespace; "" for private evaluators), the workflow name,
+// the store topology generation, and the query binding + focus. Components
+// are joined with \x01, which cannot appear in any of them.
+func planKey(scope, wfName, topoGen, proc, port string, idx value.Index, focus Focus) string {
+	return scope + "\x01" + wfName + "\x01" + topoGen + "\x01" +
+		proc + "\x01" + port + "\x01" + idx.String() + "\x01" + focus.Key()
+}

@@ -1,0 +1,227 @@
+package lineage
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// compileN compiles the query binding P:Y[i] for i in [0, n) through one
+// evaluator; every distinct i is a distinct cache key.
+func compileN(t *testing.T, ip *IndexProj, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := ip.Compile("P", "Y", value.Ix(i), NewFocus("Q", "R")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSharedPlanCacheTenantIsolation proves two evaluators sharing one cache
+// under different scopes never observe each other's plans: tenant B's first
+// compilation of a binding tenant A already cached must be a miss, and the
+// cache ends up holding both tenants' entries separately.
+func TestSharedPlanCacheTenantIsolation(t *testing.T) {
+	_, _, _, ipA := setup(t, fig3(), "r1", fig3Inputs())
+	_, _, _, ipB := setup(t, fig3(), "r2", fig3Inputs())
+	pc := NewSharedPlanCache(64)
+	ipA.UsePlanCache(pc, "tenantA")
+	ipB.UsePlanCache(pc, "tenantB")
+
+	compileN(t, ipA, 1) // miss: first compilation anywhere
+	compileN(t, ipA, 1) // hit: tenant A reuses its own plan
+	compileN(t, ipB, 1) // must be a miss: same binding, different tenant
+
+	if got := pc.Hits(); got != 1 {
+		t.Errorf("hits = %d, want 1 (tenant B must not hit tenant A's plan)", got)
+	}
+	if got := pc.Misses(); got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+	if got := pc.Len(); got != 2 {
+		t.Errorf("cache holds %d plans, want 2 (one per tenant)", got)
+	}
+}
+
+// TestSharedPlanCacheCounterInvariants checks the accounting identities under
+// a single-threaded workload: every Compile is exactly one hit or one miss,
+// every miss inserts, and the size is inserts minus evictions.
+func TestSharedPlanCacheCounterInvariants(t *testing.T) {
+	_, _, _, ip := setup(t, fig3(), "r1", fig3Inputs())
+	pc := NewSharedPlanCache(64)
+	ip.UsePlanCache(pc, "t")
+
+	const distinct, rounds = 7, 3
+	for r := 0; r < rounds; r++ {
+		compileN(t, ip, distinct)
+	}
+	calls := int64(distinct * rounds)
+	if pc.Hits()+pc.Misses() != calls {
+		t.Errorf("hits(%d) + misses(%d) != compile calls(%d)", pc.Hits(), pc.Misses(), calls)
+	}
+	if pc.Misses() != distinct {
+		t.Errorf("misses = %d, want %d (one per distinct binding)", pc.Misses(), distinct)
+	}
+	if got := int64(pc.Len()) + pc.Evictions(); got != pc.Misses() {
+		t.Errorf("len(%d) + evictions(%d) != inserts(%d)", pc.Len(), pc.Evictions(), pc.Misses())
+	}
+}
+
+// TestSharedPlanCacheConcurrentInvariants hammers one shared cache from many
+// goroutines across two tenants (run with -race). The per-call identity and
+// the size bound must hold regardless of interleaving; racing first
+// compilations of one key may each count a miss, so misses is only bounded
+// below by the distinct-key count.
+func TestSharedPlanCacheConcurrentInvariants(t *testing.T) {
+	_, _, _, ipA := setup(t, fig3(), "r1", fig3Inputs())
+	_, _, _, ipB := setup(t, fig3(), "r2", fig3Inputs())
+	pc := NewSharedPlanCache(256)
+	ipA.UsePlanCache(pc, "tenantA")
+	ipB.UsePlanCache(pc, "tenantB")
+
+	const workers, perWorker, distinct = 8, 40, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ip := ipA
+			if w%2 == 1 {
+				ip = ipB
+			}
+			for i := 0; i < perWorker; i++ {
+				if _, err := ip.Compile("P", "Y", value.Ix(i%distinct), NewFocus("Q")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	calls := int64(workers * perWorker)
+	if pc.Hits()+pc.Misses() != calls {
+		t.Errorf("hits(%d) + misses(%d) != compile calls(%d)", pc.Hits(), pc.Misses(), calls)
+	}
+	if pc.Misses() < 2*distinct {
+		t.Errorf("misses = %d, want >= %d (each tenant compiles %d distinct keys)", pc.Misses(), 2*distinct, distinct)
+	}
+	if got := pc.Len(); got != 2*distinct {
+		t.Errorf("cache holds %d plans, want %d", got, 2*distinct)
+	}
+}
+
+// TestSharedPlanCacheEvictionChurn runs many distinct bindings through a
+// tiny cache: the size must respect the capacity, evictions must account for
+// the overflow exactly, and recency must decide who survives.
+func TestSharedPlanCacheEvictionChurn(t *testing.T) {
+	_, _, _, ip := setup(t, fig3(), "r1", fig3Inputs())
+	const capacity, distinct = 4, 20
+	pc := NewSharedPlanCache(capacity)
+	ip.UsePlanCache(pc, "t")
+
+	compileN(t, ip, distinct)
+	if got := pc.Len(); got != capacity {
+		t.Errorf("cache holds %d plans, want capacity %d", got, capacity)
+	}
+	if got := pc.Evictions(); got != distinct-capacity {
+		t.Errorf("evictions = %d, want %d", got, distinct-capacity)
+	}
+
+	// The most recent `capacity` bindings survive; older ones were evicted.
+	h0, m0 := pc.Hits(), pc.Misses()
+	for i := distinct - capacity; i < distinct; i++ {
+		if _, err := ip.Compile("P", "Y", value.Ix(i), NewFocus("Q", "R")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pc.Hits() - h0; got != capacity {
+		t.Errorf("recent bindings: %d hits, want %d", got, capacity)
+	}
+	if _, err := ip.Compile("P", "Y", value.Ix(0), NewFocus("Q", "R")); err != nil {
+		t.Fatal(err)
+	}
+	if got := pc.Misses() - m0; got != 1 {
+		t.Errorf("evicted binding: %d misses, want 1 (must recompile)", got)
+	}
+}
+
+// TestPlanCacheTopologyGeneration is the regression test for the plan-cache
+// key fix: the key now pins the store's topology generation, so an evaluator
+// over a store reopened with a different shard ring cannot be served plans
+// cached against the old ring — even under the same tenant scope. Before the
+// fix both evaluators keyed only on the binding, and the n=4 evaluator's
+// first compile hit the n=1 entry.
+func TestPlanCacheTopologyGeneration(t *testing.T) {
+	w := fig3()
+	open := func(n int) *shard.ShardedStore {
+		st, err := shard.OpenMemory(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+	pc := NewSharedPlanCache(64)
+	newIP := func(q store.LineageQuerier) *IndexProj {
+		ip, err := NewIndexProj(q, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip.UsePlanCache(pc, "tenantA") // same tenant: the store was "reopened"
+		return ip
+	}
+
+	ip1, ip4 := newIP(open(1)), newIP(open(4))
+	if g1, g4 := ip1.TopologyGen(), ip4.TopologyGen(); g1 == g4 {
+		t.Fatalf("1- and 4-shard stores report the same topology generation %q", g1)
+	}
+
+	compileN(t, ip1, 1)
+	if pc.Misses() != 1 {
+		t.Fatalf("first compile: misses = %d, want 1", pc.Misses())
+	}
+	compileN(t, ip4, 1) // the reopened-with-a-different-ring evaluator
+	if got := pc.Hits(); got != 0 {
+		t.Errorf("hits = %d, want 0: a 4-shard evaluator was served a plan cached under the 1-shard ring", got)
+	}
+	if got := pc.Misses(); got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+
+	// Same topology generation, same scope: sharing works. A second 4-shard
+	// evaluator (a true reopen with the identical ring) hits immediately.
+	compileN(t, newIP(open(4)), 1)
+	if got := pc.Hits(); got != 1 {
+		t.Errorf("identical-ring reopen: hits = %d, want 1", got)
+	}
+
+	// Single (unsharded) stores share one constant generation.
+	st, err := store.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if got := topologyGen(st); got != "single" {
+		t.Errorf("single-store topology generation = %q, want %q", got, "single")
+	}
+}
+
+// TestPrivatePlanCacheKeysTopology checks the fix also reaches the default
+// per-evaluator cache path: keys include the generation (harmless constant
+// prefix for a fixed store) and CacheSize still reports the private cache.
+func TestPrivatePlanCacheKeysTopology(t *testing.T) {
+	_, _, _, ip := setup(t, fig3(), "r1", fig3Inputs())
+	if ip.TopologyGen() != "single" {
+		t.Fatalf("TopologyGen = %q, want single", ip.TopologyGen())
+	}
+	for i := 0; i < 3; i++ {
+		compileN(t, ip, 2)
+	}
+	if got := ip.CacheSize(); got != 2 {
+		t.Errorf("CacheSize = %d, want 2", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package loadgen drives a provd server with open-loop load: requests fire
+// at a fixed offered rate regardless of how fast responses come back, so an
+// overloaded server shows up as queueing, shed load and tail latency rather
+// than as a politely slowed-down generator (closed-loop generators
+// coordinate with the system under test and hide saturation). The fig-serve
+// experiment and the cmd/loadgen CLI share this package.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures one open-loop run.
+type Options struct {
+	// URL is the full request URL, parameters included, e.g.
+	// "http://127.0.0.1:7468/v1/query?tenant=t0&run=r1&binding=...".
+	URL string
+
+	// QPS is the offered load in requests per second. Required, > 0.
+	QPS float64
+
+	// Duration is how long to keep offering load. Required, > 0.
+	Duration time.Duration
+
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+
+	// Client overrides the HTTP client (default: http.Client with Timeout).
+	Client *http.Client
+}
+
+// Result aggregates one run. Rejected counts explicit shed responses
+// (429 rate limit and 503 admission/drain); Errors counts everything else
+// that is not 200, transport failures included.
+type Result struct {
+	Offered  float64       // requested QPS
+	Sent     int           // requests fired
+	OK       int           // 200 responses
+	Rejected int           // 429 + 503 responses
+	Errors   int           // other failures
+	Elapsed  time.Duration // fire of first request to last response
+	lats     []time.Duration
+}
+
+// Throughput is the completed-OK rate in requests per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// Quantile returns the exact q-quantile (0 < q <= 1) of the OK-response
+// latencies, or 0 when none completed.
+func (r *Result) Quantile(q float64) time.Duration {
+	if len(r.lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.lats))
+	copy(sorted, r.lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("offered=%.1fqps sent=%d ok=%d rejected=%d errors=%d throughput=%.1fqps p50=%s p99=%s p999=%s",
+		r.Offered, r.Sent, r.OK, r.Rejected, r.Errors, r.Throughput(),
+		r.Quantile(0.50).Round(time.Microsecond),
+		r.Quantile(0.99).Round(time.Microsecond),
+		r.Quantile(0.999).Round(time.Microsecond))
+}
+
+// Run offers load until the duration elapses or ctx is cancelled, then waits
+// for stragglers and returns the aggregate.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	if opts.QPS <= 0 {
+		return nil, fmt.Errorf("loadgen: QPS must be > 0 (got %g)", opts.QPS)
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be > 0 (got %s)", opts.Duration)
+	}
+	if _, err := url.Parse(opts.URL); err != nil {
+		return nil, fmt.Errorf("loadgen: bad URL: %w", err)
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: timeout}
+	}
+
+	res := &Result{Offered: opts.QPS}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	record := func(lat time.Duration, status int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err != nil:
+			res.Errors++
+		case status == http.StatusOK:
+			res.OK++
+			res.lats = append(res.lats, lat)
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			res.Rejected++
+		default:
+			res.Errors++
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / opts.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+
+fire:
+	for now := start; now.Before(deadline); {
+		wg.Add(1)
+		res.Sent++
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, opts.URL, nil)
+			if err != nil {
+				record(0, 0, err)
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				record(0, 0, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			record(time.Since(t0), resp.StatusCode, nil)
+		}()
+		select {
+		case now = <-tick.C:
+		case <-ctx.Done():
+			break fire
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil && err != context.Canceled {
+		return res, err
+	}
+	return res, nil
+}

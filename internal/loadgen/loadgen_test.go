@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunClassifiesResponses: 200s count as OK with latencies, 429/503 as
+// rejected, 500 as errors, and the offered request count honours QPS ×
+// duration (open loop: every tick fires regardless of outcomes).
+func TestRunClassifiesResponses(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 4 {
+		case 0:
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+		case 1:
+			http.Error(w, "full", http.StatusServiceUnavailable)
+		case 2:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			w.Write([]byte("ok"))
+		}
+	}))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		URL:      ts.URL,
+		QPS:      200,
+		Duration: 250 * time.Millisecond,
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent < 20 {
+		t.Errorf("open loop at 200qps for 250ms sent only %d requests", res.Sent)
+	}
+	if res.OK == 0 || res.Rejected == 0 || res.Errors == 0 {
+		t.Errorf("classification missed a class: %+v", res)
+	}
+	if got := res.OK + res.Rejected + res.Errors; got != res.Sent {
+		t.Errorf("classes sum to %d, sent %d", got, res.Sent)
+	}
+	if res.Quantile(0.5) <= 0 || res.Quantile(0.999) < res.Quantile(0.5) {
+		t.Errorf("quantiles inconsistent: p50=%s p999=%s", res.Quantile(0.5), res.Quantile(0.999))
+	}
+	if res.Throughput() <= 0 {
+		t.Errorf("throughput %f with %d OK", res.Throughput(), res.OK)
+	}
+}
+
+// TestRunValidates pins the option errors.
+func TestRunValidates(t *testing.T) {
+	for _, opts := range []Options{
+		{URL: "http://x", QPS: 0, Duration: time.Second},
+		{URL: "http://x", QPS: 10, Duration: 0},
+		{URL: "://bad", QPS: 10, Duration: time.Second},
+	} {
+		if _, err := Run(context.Background(), opts); err == nil {
+			t.Errorf("Run(%+v) accepted invalid options", opts)
+		}
+	}
+}
+
+// TestRunCancel: cancelling the context stops the loop early and still
+// returns the partial aggregate.
+func TestRunCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	start := time.Now()
+	res, err := Run(ctx, Options{URL: ts.URL, QPS: 50, Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancel did not stop the loop (ran %s)", time.Since(start))
+	}
+	if res.Sent == 0 {
+		t.Error("no requests fired before cancel")
+	}
+}

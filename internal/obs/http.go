@@ -16,6 +16,14 @@ import (
 // linking obs never mutates global HTTP state.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
+	Mount(mux, r)
+	return mux
+}
+
+// Mount registers the observability endpoints (/metrics and /debug/pprof/*)
+// on an existing mux. Long-running servers (provd) mount the ops surface on
+// their own API mux instead of running a second listener.
+func Mount(mux *http.ServeMux, r *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := r.WriteJSON(w); err != nil {
@@ -27,7 +35,6 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Serve exposes the Default registry's Handler on addr (e.g. ":9090" or

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// errAdmission is returned when a request cannot get an execution slot
+// within its queue-wait budget; the handler maps it to 503.
+var errAdmission = errors.New("server: admission queue full")
+
+// admission is the global admission controller: a counting semaphore
+// bounding the queries executing concurrently, with a bounded queue wait.
+// Bounding in-flight work keeps a burst from convoying every tenant's
+// queries behind each other's store probes; the wait bound keeps the queue
+// from absorbing an open-loop overload silently (shed instead of buffer —
+// the rejected counter makes the overload observable).
+type admission struct {
+	slots    chan struct{}
+	maxWait  time.Duration
+}
+
+func newAdmission(inflight int, maxWait time.Duration) *admission {
+	if inflight < 1 {
+		inflight = 1
+	}
+	return &admission{slots: make(chan struct{}, inflight), maxWait: maxWait}
+}
+
+// acquire blocks until a slot is free, the queue-wait budget is spent, or
+// ctx is done. The wait (even for immediate grants) is recorded in
+// server.queue_wait_ns.
+func (a *admission) acquire(ctx context.Context) error {
+	sp := obs.Start(srvQueueWaitNs)
+	defer sp.End()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return errAdmission
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// tokenBucket is a per-tenant rate limiter: capacity `burst` tokens,
+// refilled continuously at `rate` tokens per second. A zero or negative
+// rate disables limiting.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// allow consumes one token if available.
+func (b *tokenBucket) allow(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

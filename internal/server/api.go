@@ -1,0 +1,361 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lineage"
+	"repro/internal/obs"
+	"repro/internal/queryfmt"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// queryRequest is one parsed /v1/query call.
+type queryRequest struct {
+	tenant   string
+	runID    string
+	runIDs   []string
+	method   core.Method
+	parallel int
+	batch    int
+	timeout  time.Duration
+	values   bool
+	format   string // "text" or "json"
+	q        queryfmt.Query
+}
+
+// parseQueryRequest decodes the request parameters (query string or form
+// body) into a queryRequest. Defaults mirror the provq CLI flags so that the
+// same logical query renders the same answer bytes through either front end.
+func (s *Server) parseQueryRequest(r *http.Request) (*queryRequest, error) {
+	if err := r.ParseForm(); err != nil {
+		return nil, fmt.Errorf("bad form: %w", err)
+	}
+	get := func(key, def string) string {
+		if v := r.Form.Get(key); v != "" {
+			return v
+		}
+		return def
+	}
+	req := &queryRequest{
+		tenant: r.Form.Get("tenant"),
+		runID:  r.Form.Get("run"),
+		format: get("format", "text"),
+	}
+	if !tenantName.MatchString(req.tenant) {
+		return nil, fmt.Errorf("invalid tenant %q", req.tenant)
+	}
+	if req.format != "text" && req.format != "json" {
+		return nil, fmt.Errorf("unknown format %q (want text or json)", req.format)
+	}
+	for _, id := range strings.Split(r.Form.Get("runs"), ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			req.runIDs = append(req.runIDs, id)
+		}
+	}
+	if req.runID == "" && len(req.runIDs) == 0 {
+		return nil, fmt.Errorf("query requires run (or runs) and binding")
+	}
+	binding := r.Form.Get("binding")
+	if binding == "" {
+		return nil, fmt.Errorf("query requires run (or runs) and binding")
+	}
+	var err error
+	if req.method, err = core.ParseMethod(get("method", "indexproj")); err != nil {
+		return nil, err
+	}
+	proc, port, idx, err := queryfmt.ParseBinding(binding)
+	if err != nil {
+		return nil, err
+	}
+	direction := get("direction", "back")
+	switch direction {
+	case "back", "backward", "forward", "fwd":
+	default:
+		return nil, fmt.Errorf("unknown direction %q (want back or forward)", direction)
+	}
+	if len(req.runIDs) > 0 && direction != "back" && direction != "backward" {
+		return nil, fmt.Errorf("multi-run queries only support direction back")
+	}
+	req.q = queryfmt.Query{
+		Direction: direction,
+		Proc:      proc,
+		Port:      port,
+		Idx:       idx,
+		Focus:     queryfmt.ParseFocus(r.Form.Get("focus")),
+		Method:    req.method,
+	}
+	if req.parallel, err = intParam(r, "parallel", 1); err != nil {
+		return nil, err
+	}
+	if req.batch, err = intParam(r, "batch", 0); err != nil {
+		return nil, err
+	}
+	if req.values, err = boolParam(r, "values", true); err != nil {
+		return nil, err
+	}
+	req.timeout = s.cfg.DefaultTimeout
+	if t := r.Form.Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil {
+			return nil, fmt.Errorf("bad timeout: %w", err)
+		}
+		if d > 0 {
+			req.timeout = d
+		}
+	}
+	if req.timeout > s.cfg.MaxTimeout {
+		req.timeout = s.cfg.MaxTimeout
+	}
+	return req, nil
+}
+
+func intParam(r *http.Request, key string, def int) (int, error) {
+	v := r.Form.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %w", key, err)
+	}
+	return n, nil
+}
+
+func boolParam(r *http.Request, key string, def bool) (bool, error) {
+	v := r.Form.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("bad %s: %w", key, err)
+	}
+	return b, nil
+}
+
+// reject writes an error response and bumps the rejection counters for one
+// of the three shed classes.
+func reject(w http.ResponseWriter, class *obs.Counter, code int, msg string) {
+	srvRejected.Add(1)
+	class.Add(1)
+	http.Error(w, msg, code)
+}
+
+// handleQuery answers lineage queries. The request walks the shed pipeline
+// in order — drain check, parse, per-tenant rate limit, global admission —
+// and only then touches the tenant's store. Text responses are rendered by
+// the same queryfmt code the provq CLI uses, so body bytes equal CLI stdout
+// for the same query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	srvRequests.Add(1)
+	end, ok := s.begin()
+	if !ok {
+		reject(w, srvRejDraining, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer end()
+	sp := obs.Start(srvRequestNs)
+	defer sp.End()
+
+	req, err := s.parseQueryRequest(r)
+	if err != nil {
+		srvErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.tenants.limiter(req.tenant).allow(time.Now()) {
+		reject(w, srvRejRatelimit, http.StatusTooManyRequests, "tenant rate limit exceeded")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		reject(w, srvRejAdmission, http.StatusServiceUnavailable, "server at capacity")
+		return
+	}
+	defer s.adm.release()
+	srvAdmitted.Add(1)
+
+	t, release, err := s.tenants.acquire(req.tenant)
+	if err != nil {
+		srvErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer release()
+
+	res, err := s.execute(ctx, t, req)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	if req.format == "json" {
+		writeJSONAnswer(w, req, res)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(req.runIDs) > 0 {
+		req.q.WriteMultiRunHeader(w, len(req.runIDs), req.parallel, res)
+	} else {
+		req.q.WriteHeader(w, res)
+	}
+	queryfmt.WriteEntries(w, res, req.values)
+}
+
+// testHookExecute, when non-nil, runs at the start of every admitted
+// query's execution — a seam the drain and admission tests use to hold a
+// request in flight deterministically.
+var testHookExecute func()
+
+// execute runs the parsed query against the tenant's system, mirroring
+// provq's dispatch: multi-run parallel, single-run backward by method, or
+// forward impact.
+func (s *Server) execute(ctx context.Context, t *tenant, req *queryRequest) (*lineage.Result, error) {
+	if testHookExecute != nil {
+		testHookExecute()
+	}
+	q := req.q
+	if len(req.runIDs) > 0 {
+		opt := lineage.MultiRunOptions{Parallelism: req.parallel, BatchSize: req.batch}
+		return t.sys.LineageMultiRunParallel(ctx, req.method, req.runIDs, q.Proc, q.Port, q.Idx, q.Focus, opt)
+	}
+	// Single-run paths have no context plumbing in core.System; the request
+	// deadline still bounds admission queue time, and these queries are the
+	// short ones.
+	switch q.Direction {
+	case "forward", "fwd":
+		return t.sys.Affected(req.runID, q.Proc, q.Port, q.Idx, q.Focus)
+	default:
+		return t.sys.Lineage(req.method, req.runID, q.Proc, q.Port, q.Idx, q.Focus)
+	}
+}
+
+// writeQueryError maps execution failures onto HTTP statuses: unknown run
+// 404, deadline 504, cancelled 499 (client gone), anything else 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	srvErrors.Add(1)
+	switch {
+	case errors.Is(err, store.ErrUnknownRun):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), 499)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// jsonAnswer is the format=json response shape.
+type jsonAnswer struct {
+	Direction string      `json:"direction"`
+	Binding   string      `json:"binding"`
+	Focus     []string    `json:"focus"`
+	Method    string      `json:"method"`
+	Runs      int         `json:"runs,omitempty"`
+	Bindings  int         `json:"bindings"`
+	Entries   []jsonEntry `json:"entries"`
+}
+
+type jsonEntry struct {
+	Binding string `json:"binding"`
+	Value   string `json:"value,omitempty"`
+}
+
+func writeJSONAnswer(w http.ResponseWriter, req *queryRequest, res *lineage.Result) {
+	ans := jsonAnswer{
+		Direction: req.q.Direction,
+		Binding:   fmt.Sprintf("%s:%s%s", queryfmt.DisplayProc(req.q.Proc), req.q.Port, req.q.Idx),
+		Focus:     req.q.Focus.Names(),
+		Method:    req.method.String(),
+		Runs:      len(req.runIDs),
+		Bindings:  res.Len(),
+	}
+	for _, e := range res.Entries() {
+		je := jsonEntry{Binding: e.String()}
+		if req.values {
+			if el, err := e.Element(); err == nil {
+				je.Value = value.Encode(el)
+			}
+		}
+		ans.Entries = append(ans.Entries, je)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ans)
+}
+
+// handleRuns lists a tenant's stored runs; text output matches `provq runs`.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	srvRequests.Add(1)
+	end, ok := s.begin()
+	if !ok {
+		reject(w, srvRejDraining, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer end()
+	sp := obs.Start(srvRequestNs)
+	defer sp.End()
+
+	tenantArg := r.URL.Query().Get("tenant")
+	if !tenantName.MatchString(tenantArg) {
+		srvErrors.Add(1)
+		http.Error(w, fmt.Sprintf("invalid tenant %q", tenantArg), http.StatusBadRequest)
+		return
+	}
+	srvAdmitted.Add(1)
+	t, release, err := s.tenants.acquire(tenantArg)
+	if err != nil {
+		srvErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer release()
+	runs, err := t.sys.Store().ListRuns()
+	if err != nil {
+		srvErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		ids := make([]string, 0, len(runs))
+		for _, run := range runs {
+			ids = append(ids, run.RunID)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"tenant": tenantArg, "runs": ids})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(runs) == 0 {
+		fmt.Fprintln(w, "no runs stored")
+		return
+	}
+	for _, run := range runs {
+		total, err := t.sys.Store().TotalRecords(run.RunID)
+		if err != nil {
+			srvErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "%-30s workflow=%-20s records=%d\n", run.RunID, run.Workflow, total)
+	}
+}
+
+// handleHealthz reports readiness: 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,31 @@
+package server
+
+import "repro/internal/obs"
+
+// Metric handles for the query server, resolved once at package init and
+// exposed on the server's own /metrics endpoint (obs.Mount). server.rejected
+// is always the sum of the three rejection classes, and every request is
+// accounted for exactly once:
+//
+//	requests = admitted + rejected + malformed  (malformed ⊆ errors)
+//
+// server.errors also counts execution failures of admitted requests. The two
+// histograms split a request's life: queue_wait_ns is time spent waiting for
+// an admission slot, request_ns is end-to-end handler time (queue wait
+// included).
+var (
+	srvRequests = obs.C("server.requests")
+	srvAdmitted = obs.C("server.admitted")
+
+	srvRejected      = obs.C("server.rejected")
+	srvRejRatelimit  = obs.C("server.rejected.ratelimit")
+	srvRejAdmission  = obs.C("server.rejected.admission")
+	srvRejDraining   = obs.C("server.rejected.draining")
+	srvErrors        = obs.C("server.errors")
+	srvDrained       = obs.C("server.drained")
+	srvTenantsOpened  = obs.C("server.tenants.opened")
+	srvTenantsEvicted = obs.C("server.tenants.evicted")
+
+	srvQueueWaitNs = obs.H("server.queue_wait_ns")
+	srvRequestNs   = obs.H("server.request_ns")
+)

@@ -327,6 +327,27 @@ func writeManifest(dir string, m Manifest) error {
 	return nil
 }
 
+// TopologyGen implements store.TopologyVersioner: a fingerprint of every
+// manifest parameter run routing depends on. Two opens of a sharded store
+// report the same generation exactly when they route every run identically,
+// so plan-cache keys carrying the generation can never serve entries cached
+// against a different ring.
+func (s *ShardedStore) TopologyGen() string {
+	return fmt.Sprintf("%s/n=%d/v=%d", s.manifest.Hash, s.manifest.Shards, s.manifest.Vnodes)
+}
+
+// Checkpoint implements store.Checkpointer: every durable shard snapshots
+// its own 1/Nth of the data and truncates its WAL; non-durable shards are
+// no-ops. provd's graceful drain calls this before closing a tenant.
+func (s *ShardedStore) Checkpoint() error {
+	for i, st := range s.shards {
+		if err := st.Checkpoint(); err != nil {
+			return fmt.Errorf("shard: checkpointing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // NumShards returns the shard count.
 func (s *ShardedStore) NumShards() int { return len(s.shards) }
 
