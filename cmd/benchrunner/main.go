@@ -19,6 +19,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 
 	"repro/internal/bench"
@@ -28,14 +30,26 @@ var experiments = map[string]func(bench.Options) (*bench.Report, error){
 	"fig4":      bench.Fig4,
 	"fig4par":   bench.Fig4Parallel,
 	"fig4shard": bench.Fig4Shard,
+	"fig4col":   bench.Fig4Col,
 	"serve":     bench.FigServe,
-	"table1":  bench.Table1,
-	"fig6":    bench.Fig6,
-	"fig7":    bench.Fig7,
-	"fig8":    bench.Fig8,
-	"fig9":    bench.Fig9,
-	"fig10":   bench.Fig10,
-	"ingest":  bench.Ingest,
+	"table1":    bench.Table1,
+	"fig6":      bench.Fig6,
+	"fig7":      bench.Fig7,
+	"fig8":      bench.Fig8,
+	"fig9":      bench.Fig9,
+	"fig10":     bench.Fig10,
+	"ingest":    bench.Ingest,
+}
+
+// experimentNames returns the registered experiment names, sorted, for the
+// -exp flag's help text and its unknown-name error.
+func experimentNames() []string {
+	names := make([]string, 0, len(experiments))
+	for name := range experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func main() {
@@ -53,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, fig4, fig4par, fig4shard, table1, fig6, fig7, fig8, fig9, fig10, ingest, serve")
+		exp     = fs.String("exp", "all", "experiment: all, "+strings.Join(experimentNames(), ", "))
 		quick   = fs.Bool("quick", false, "shrink every grid for a fast smoke run")
 		queries = fs.Int("queries", 5, "identical queries per measurement (best-of)")
 		csv     = fs.Bool("csv", false, "also write CSV files")
@@ -91,7 +105,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		fn, ok := experiments[*exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q", *exp)
+			return fmt.Errorf("unknown experiment %q (available: all, %s)",
+				*exp, strings.Join(experimentNames(), ", "))
 		}
 		rep, err := fn(opts)
 		if err != nil {

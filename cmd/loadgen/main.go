@@ -52,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	qps := fs.Float64("qps", 100, "offered load in requests/sec")
 	duration := fs.Duration("duration", 10*time.Second, "how long to offer load")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
-	csv := fs.Bool("csv", false, "emit a CSV row (offered,sent,ok,rejected,errors,throughput,p50_ms,p99_ms,p999_ms)")
+	csv := fs.Bool("csv", false, "emit a CSV row (offered,sent,ok,ratelimited,rejected,errors,throughput,p50_ms,p99_ms,p999_ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,8 +92,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *csv {
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-		fmt.Fprintf(stdout, "%.1f,%d,%d,%d,%d,%.1f,%.3f,%.3f,%.3f\n",
-			res.Offered, res.Sent, res.OK, res.Rejected, res.Errors, res.Throughput(),
+		fmt.Fprintf(stdout, "%.1f,%d,%d,%d,%d,%d,%.1f,%.3f,%.3f,%.3f\n",
+			res.Offered, res.Sent, res.OK, res.RateLimited, res.Rejected, res.Errors, res.Throughput(),
 			ms(res.Quantile(0.50)), ms(res.Quantile(0.99)), ms(res.Quantile(0.999)))
 		return nil
 	}

@@ -270,6 +270,7 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	runsArg := fs.String("runs", "", "comma-separated run IDs for a multi-run query (shares one compiled plan)")
 	parallel := fs.Int("parallel", 1, "worker parallelism for multi-run queries")
 	batch := fs.Int("batch", 0, "runs per batched store probe (0 = default)")
+	colscan := fs.String("colscan", "auto", "columnar probe stage for multi-run queries: auto, on or off (false = off)")
 	binding := fs.String("binding", "", "query binding, e.g. '2TO1_FINAL:product[3,7]' or 'workflow:out[]'")
 	focusArg := fs.String("focus", "", "comma-separated focus processors")
 	method := fs.String("method", "indexproj", "lineage algorithm: indexproj or naive")
@@ -308,6 +309,12 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		return err
 	}
 	focus := queryfmt.ParseFocus(*focusArg)
+	// Parsed up front so a bad value fails the command even on single-run
+	// queries, where the mode has nothing to select.
+	csMode, err := lineage.ParseColScanMode(*colscan)
+	if err != nil {
+		return err
+	}
 	q := queryfmt.Query{Direction: *direction, Proc: proc, Port: port, Idx: idx, Focus: focus, Method: m}
 
 	if *timeout > 0 {
@@ -326,7 +333,7 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		if *direction != "back" && *direction != "backward" {
 			return fmt.Errorf("multi-run queries only support -direction back")
 		}
-		opt := lineage.MultiRunOptions{Parallelism: *parallel, BatchSize: *batch}
+		opt := lineage.MultiRunOptions{Parallelism: *parallel, BatchSize: *batch, ColScan: csMode}
 		res, err = sys.LineageMultiRunParallel(ctx, m, runIDs, proc, port, idx, focus, opt)
 		if err != nil {
 			return err

@@ -145,6 +145,36 @@ func TestFig10Quick(t *testing.T) {
 	}
 }
 
+func TestFig4ColQuick(t *testing.T) {
+	rep, err := Fig4Col(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 queries x 2 topologies x 2 modes; Fig4Col itself fails if the
+	// colscan answer diverges from the row path.
+	if len(rep.Rows) != 8 {
+		t.Fatalf("rows = %d: %v", len(rep.Rows), rep.Rows)
+	}
+	for _, row := range rep.Rows {
+		segs, falls := row[7], row[10]
+		switch row[4] {
+		case "rows":
+			if segs != "0" {
+				t.Errorf("row path scanned %s segments: %v", segs, row)
+			}
+		case "colscan":
+			if segs == "0" {
+				t.Errorf("colscan scanned no segments: %v", row)
+			}
+			if falls != "0" {
+				t.Errorf("colscan fell back on %s runs after a checkpoint: %v", falls, row)
+			}
+		default:
+			t.Errorf("unexpected mode %q", row[4])
+		}
+	}
+}
+
 func TestAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
@@ -153,10 +183,10 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 11 {
+	if len(reps) != 12 {
 		t.Fatalf("reports = %d", len(reps))
 	}
-	ids := []string{"fig4", "fig4par", "fig4shard", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest", "serve"}
+	ids := []string{"fig4", "fig4par", "fig4shard", "fig4col", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest", "serve"}
 	for i, rep := range reps {
 		if rep.ID != ids[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, ids[i])
@@ -222,8 +252,8 @@ func TestFigServeQuick(t *testing.T) {
 		if ok == 0 {
 			t.Errorf("cell %v completed no requests", row)
 		}
-		p50, _ := strconv.ParseFloat(row[7], 64)
-		p999, _ := strconv.ParseFloat(row[9], 64)
+		p50, _ := strconv.ParseFloat(row[8], 64)
+		p999, _ := strconv.ParseFloat(row[10], 64)
 		if p50 <= 0 || p999 < p50 {
 			t.Errorf("cell %v has inconsistent quantiles", row)
 		}

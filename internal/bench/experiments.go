@@ -517,7 +517,7 @@ func All(o Options) ([]*Report, error) {
 		fn   func(Options) (*Report, error)
 	}
 	exps := []exp{
-		{"fig4", Fig4}, {"fig4par", Fig4Parallel}, {"fig4shard", Fig4Shard}, {"table1", Table1}, {"fig6", Fig6},
+		{"fig4", Fig4}, {"fig4par", Fig4Parallel}, {"fig4shard", Fig4Shard}, {"fig4col", Fig4Col}, {"table1", Table1}, {"fig6", Fig6},
 		{"fig7", Fig7}, {"fig8", Fig8}, {"fig9", Fig9}, {"fig10", Fig10},
 		{"ingest", Ingest}, {"serve", FigServe},
 	}

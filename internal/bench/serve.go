@@ -42,9 +42,10 @@ func FigServe(o Options) (*Report, error) {
 			"(workflow:paths_per_gene[0,0], focus get_pathways_by_genes) over %d\n"+
 			"runs via the parallel executor (parallelism 4), answered through the\n"+
 			"shared cross-request plan cache. Quantiles are client-side over OK\n"+
-			"responses; rejected counts explicit 429/503 sheds. %s offered load\n"+
+			"responses; ratelimited counts 429 sheds (per-tenant token bucket),\n"+
+			"rejected counts 503 sheds (admission control). %s offered load\n"+
 			"per cell.", gkRuns, duration),
-		Columns: []string{"shards", "offered_qps", "sent", "ok", "rejected", "errors",
+		Columns: []string{"shards", "offered_qps", "sent", "ok", "ratelimited", "rejected", "errors",
 			"throughput_qps", "p50_ms", "p99_ms", "p999_ms"},
 	}
 
@@ -99,12 +100,12 @@ func FigServe(o Options) (*Report, error) {
 				ts.Close()
 				srv.Drain()
 				os.RemoveAll(dir)
-				return nil, fmt.Errorf("bench: serve at %d shard(s), %.0f qps: no request succeeded (%d sent, %d rejected, %d errors)",
-					n, qps, res.Sent, res.Rejected, res.Errors)
+				return nil, fmt.Errorf("bench: serve at %d shard(s), %.0f qps: no request succeeded (%d sent, %d ratelimited, %d rejected, %d errors)",
+					n, qps, res.Sent, res.RateLimited, res.Rejected, res.Errors)
 			}
 			rep.Rows = append(rep.Rows, []string{
 				fmt.Sprint(n), fmt.Sprintf("%.0f", qps),
-				fmt.Sprint(res.Sent), fmt.Sprint(res.OK), fmt.Sprint(res.Rejected), fmt.Sprint(res.Errors),
+				fmt.Sprint(res.Sent), fmt.Sprint(res.OK), fmt.Sprint(res.RateLimited), fmt.Sprint(res.Rejected), fmt.Sprint(res.Errors),
 				fmt.Sprintf("%.1f", res.Throughput()),
 				msf(res.Quantile(0.50)), msf(res.Quantile(0.99)), msf(res.Quantile(0.999)),
 			})

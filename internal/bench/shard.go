@@ -201,7 +201,11 @@ func Fig4Shard(o Options) (*Report, error) {
 			ips[k], plans[k] = ip, plan
 		}
 		for _, p := range ps {
-			opt := lineage.MultiRunOptions{Parallelism: p}
+			// This experiment isolates the scatter-gather row-probe path;
+			// the ingest checkpoints above built column segments, so auto
+			// mode would silently switch the measurement to the columnar
+			// stage (fig4col covers that comparison explicitly).
+			opt := lineage.MultiRunOptions{Parallelism: p, ColScan: lineage.ColScanOff}
 			var baseRes *lineage.Result
 			var baseT time.Duration
 			for k, n := range shardGrid {

@@ -1,0 +1,277 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/reldb"
+)
+
+// segMagic versions the on-disk segment format. The layout after the magic:
+//
+//	runID, proc dictionary, port dictionary, value dictionary,
+//	group directory, nRows, keyW, key column bytes,
+//	ctx column (zigzag varints), valIdx column (uvarints)
+//
+// all varint-framed, followed by a 4-byte little-endian CRC32 (IEEE) of
+// everything before it. Dictionaries are strictly sorted and the group
+// directory strictly increasing, so Decode can validate the invariants the
+// scan code relies on and refuse anything else with reldb.ErrCorrupt.
+const segMagic = "RELDBCOLSEG\x01"
+
+// decode caps: a segment projects one run's bindings, so any header claiming
+// sizes beyond these is corruption, and rejecting early keeps a hostile
+// header from driving a huge allocation before the length checks run.
+const (
+	maxKeyWidth = 1 << 20
+	maxDictLen  = 1 << 24
+)
+
+// Encode serializes the segment.
+func (s *Segment) Encode() []byte {
+	buf := make([]byte, 0, len(segMagic)+len(s.keys)+8*s.nRows+64)
+	buf = append(buf, segMagic...)
+	buf = appendString(buf, s.runID)
+	buf = appendUvarint(buf, uint64(len(s.procs)))
+	for _, p := range s.procs {
+		buf = appendString(buf, p)
+	}
+	buf = appendUvarint(buf, uint64(len(s.ports)))
+	for _, p := range s.ports {
+		buf = appendString(buf, p)
+	}
+	buf = appendUvarint(buf, uint64(len(s.valDict)))
+	for _, v := range s.valDict {
+		buf = binary.AppendVarint(buf, v)
+	}
+	buf = appendUvarint(buf, uint64(len(s.groups)))
+	for _, g := range s.groups {
+		buf = appendUvarint(buf, uint64(g.proc))
+		buf = appendUvarint(buf, uint64(g.port))
+		buf = appendUvarint(buf, uint64(g.start))
+	}
+	buf = appendUvarint(buf, uint64(s.nRows))
+	buf = appendUvarint(buf, uint64(s.keyW))
+	buf = append(buf, s.keys...)
+	for _, c := range s.ctxs {
+		buf = binary.AppendVarint(buf, int64(c))
+	}
+	for _, v := range s.valIdx {
+		buf = appendUvarint(buf, uint64(v))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Decode parses an encoded segment, validating the checksum and every
+// structural invariant the scan paths rely on. Any truncation, bit flip, or
+// inconsistent header yields an error wrapping reldb.ErrCorrupt — never a
+// panic — so callers can treat a bad segment file as "absent" and fall back
+// to row scans.
+func Decode(data []byte) (*Segment, error) {
+	if len(data) < len(segMagic)+4 {
+		return nil, fmt.Errorf("%w: segment too short (%d bytes)", reldb.ErrCorrupt, len(data))
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("%w: bad segment magic", reldb.ErrCorrupt)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: segment checksum mismatch", reldb.ErrCorrupt)
+	}
+
+	r := &segReader{data: body, pos: len(segMagic)}
+	s := &Segment{}
+	var err error
+	if s.runID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if s.procs, err = r.dict("proc"); err != nil {
+		return nil, err
+	}
+	if s.ports, err = r.dict("port"); err != nil {
+		return nil, err
+	}
+	nVals, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nVals > maxDictLen {
+		return nil, fmt.Errorf("%w: value dictionary length %d", reldb.ErrCorrupt, nVals)
+	}
+	s.valDict = make([]int64, nVals)
+	for i := range s.valDict {
+		if s.valDict[i], err = r.varint(); err != nil {
+			return nil, err
+		}
+		if i > 0 && s.valDict[i] <= s.valDict[i-1] {
+			return nil, fmt.Errorf("%w: value dictionary not sorted", reldb.ErrCorrupt)
+		}
+	}
+
+	nGroups, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nGroups > maxDictLen {
+		return nil, fmt.Errorf("%w: group directory length %d", reldb.ErrCorrupt, nGroups)
+	}
+	s.groups = make([]group, nGroups)
+	for i := range s.groups {
+		g := &s.groups[i]
+		var p, q, st uint64
+		if p, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if q, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if st, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if p >= uint64(len(s.procs)) || q >= uint64(len(s.ports)) || st > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: group %d out of range", reldb.ErrCorrupt, i)
+		}
+		g.proc, g.port, g.start = uint32(p), uint32(q), uint32(st)
+		if i == 0 {
+			if g.start != 0 {
+				return nil, fmt.Errorf("%w: first group starts at %d", reldb.ErrCorrupt, g.start)
+			}
+		} else {
+			prev := s.groups[i-1]
+			if g.proc < prev.proc || (g.proc == prev.proc && g.port <= prev.port) {
+				return nil, fmt.Errorf("%w: group directory not sorted", reldb.ErrCorrupt)
+			}
+			if g.start <= prev.start {
+				return nil, fmt.Errorf("%w: group starts not increasing", reldb.ErrCorrupt)
+			}
+		}
+	}
+
+	nRows, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	keyW, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nRows > uint64(len(body)) || keyW > maxKeyWidth {
+		return nil, fmt.Errorf("%w: segment header claims %d rows, key width %d", reldb.ErrCorrupt, nRows, keyW)
+	}
+	s.nRows = int(nRows)
+	s.keyW = int(keyW)
+	if nGroups > 0 {
+		if nRows == 0 {
+			return nil, fmt.Errorf("%w: groups with zero rows", reldb.ErrCorrupt)
+		}
+		if last := s.groups[nGroups-1].start; uint64(last) >= nRows {
+			return nil, fmt.Errorf("%w: group start %d beyond %d rows", reldb.ErrCorrupt, last, nRows)
+		}
+	} else if nRows != 0 {
+		return nil, fmt.Errorf("%w: rows without groups", reldb.ErrCorrupt)
+	}
+	if s.keys, err = r.bytes(uint64(s.nRows) * uint64(s.keyW)); err != nil {
+		return nil, err
+	}
+	s.ctxs = make([]int32, s.nRows)
+	for i := range s.ctxs {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: ctx %d out of range", reldb.ErrCorrupt, v)
+		}
+		s.ctxs[i] = int32(v)
+	}
+	s.valIdx = make([]uint32, s.nRows)
+	for i := range s.valIdx {
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v >= nVals {
+			return nil, fmt.Errorf("%w: value index %d beyond dictionary", reldb.ErrCorrupt, v)
+		}
+		s.valIdx[i] = uint32(v)
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after segment", reldb.ErrCorrupt, len(body)-r.pos)
+	}
+	return s, nil
+}
+
+func appendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// segReader is a bounds-checked cursor over the segment body; every decode
+// failure maps to reldb.ErrCorrupt.
+type segReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *segReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", reldb.ErrCorrupt, r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *segReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", reldb.ErrCorrupt, r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *segReader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, fmt.Errorf("%w: segment needs %d bytes, %d remain", reldb.ErrCorrupt, n, len(r.data)-r.pos)
+	}
+	out := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
+func (r *segReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *segReader) dict(what string) ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxDictLen {
+		return nil, fmt.Errorf("%w: %s dictionary length %d", reldb.ErrCorrupt, what, n)
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = r.str(); err != nil {
+			return nil, err
+		}
+		if i > 0 && out[i] <= out[i-1] {
+			return nil, fmt.Errorf("%w: %s dictionary not sorted", reldb.ErrCorrupt, what)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/reldb"
+)
+
+// DiskStore persists encoded segments as one file per run inside Dir, doing
+// all I/O through a reldb.VFS so the fault-injection filesystem covers
+// segment writes exactly like the engine's own snapshot and WAL files.
+//
+// Writes follow the engine's atomic-replace discipline: write to a temp name,
+// sync, rename over the final name, sync the directory. A crash at any point
+// leaves either the old file, the new file, or a stray .tmp that Load
+// ignores — never a half-written segment visible under the final name (and
+// even a torn rename is caught by the CRC, surfacing as reldb.ErrCorrupt).
+type DiskStore struct {
+	FS  reldb.VFS
+	Dir string
+}
+
+// Path returns the file a run's segment lives at.
+func (d *DiskStore) Path(runID string) string {
+	return filepath.Join(d.Dir, encodeRunFile(runID))
+}
+
+// Write atomically persists the segment's encoding.
+func (d *DiskStore) Write(s *Segment) error {
+	if err := d.FS.MkdirAll(d.Dir); err != nil {
+		return err
+	}
+	final := d.Path(s.RunID())
+	tmp := final + ".tmp"
+	f, err := d.FS.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(s.Encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := d.FS.Rename(tmp, final); err != nil {
+		return err
+	}
+	return d.FS.SyncDir(d.Dir)
+}
+
+// Load reads and decodes a run's segment. A missing file returns
+// (nil, nil); a present but corrupt file returns an error wrapping
+// reldb.ErrCorrupt.
+func (d *DiskStore) Load(runID string) (*Segment, error) {
+	data, err := d.FS.ReadFile(d.Path(runID))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if s.RunID() != runID {
+		return nil, fmt.Errorf("%w: segment file for %q holds run %q", reldb.ErrCorrupt, runID, s.RunID())
+	}
+	return s, nil
+}
+
+// Remove deletes a run's segment file; a missing file is not an error.
+func (d *DiskStore) Remove(runID string) error {
+	err := d.FS.Remove(d.Path(runID))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// encodeRunFile maps a run ID to a safe file name: alphanumerics, '-', '_',
+// and '.' pass through, everything else is %XX-escaped (so distinct run IDs
+// never collide on disk), with the segment extension appended.
+func encodeRunFile(runID string) string {
+	out := make([]byte, 0, len(runID)+8)
+	for i := 0; i < len(runID); i++ {
+		c := runID[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-' || c == '_' || c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, fmt.Sprintf("%%%02X", c)...)
+		}
+	}
+	return string(out) + ".colseg"
+}

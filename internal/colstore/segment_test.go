@@ -1,0 +1,239 @@
+package colstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/reldb"
+)
+
+// refScan is the row-at-a-time oracle: filter rows in the segment's sorted
+// order with plain string compares.
+func refScan(rows []Row, proc, port, key string, exact bool) []Match {
+	var out []Match
+	for _, r := range rows {
+		if r.Proc != proc || r.Port != port {
+			continue
+		}
+		if exact {
+			if r.Key != key {
+				continue
+			}
+		} else if len(r.Key) < len(key) || r.Key[:len(key)] != key {
+			continue
+		}
+		out = append(out, Match{Key: []byte(r.Key), Ctx: r.Ctx, ValID: r.ValID})
+	}
+	return out
+}
+
+// sortRows applies Build's ordering so the oracle sees the same row order.
+func sortRows(rows []Row) []Row {
+	s := Build("oracle", rows)
+	var out []Row
+	var last Match
+	_ = last
+	for gi, g := range s.groups {
+		end := s.nRows
+		if gi+1 < len(s.groups) {
+			end = int(s.groups[gi+1].start)
+		}
+		for i := int(g.start); i < end; i++ {
+			out = append(out, Row{
+				Proc:  s.procs[g.proc],
+				Port:  s.ports[g.port],
+				Key:   string(trimCell0(s, i)),
+				Ctx:   s.ctxs[i],
+				ValID: s.valDict[s.valIdx[i]],
+			})
+		}
+	}
+	return out
+}
+
+func trimCell0(s *Segment, i int) []byte {
+	if s.keyW == 0 {
+		return nil
+	}
+	return trimCell(s.cell(i))
+}
+
+func randRows(rng *rand.Rand, n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		depth := rng.Intn(4)
+		key := ""
+		for d := 0; d < depth; d++ {
+			key += fmt.Sprintf("%06d.", rng.Intn(30))
+		}
+		rows[i] = Row{
+			Proc:  fmt.Sprintf("proc%02d", rng.Intn(6)),
+			Port:  fmt.Sprintf("port%d", rng.Intn(3)),
+			Key:   key,
+			Ctx:   int32(rng.Intn(5)),
+			ValID: int64(rng.Intn(40)),
+		}
+	}
+	return rows
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || a[i].Ctx != b[i].Ctx || a[i].ValID != b[i].ValID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScansMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		rows := randRows(rng, rng.Intn(200))
+		seg := Build("run1", rows)
+		sorted := sortRows(rows)
+		probes := []struct {
+			proc, port, key string
+		}{
+			{"proc00", "port0", ""},
+			{"proc01", "port1", "000001."},
+			{"proc05", "port2", "000002.000003."},
+			{"nosuch", "port0", ""},
+			{"proc02", "noport", "000001."},
+		}
+		for p := 0; p < 20; p++ {
+			key := ""
+			for d := 0; d < rng.Intn(4); d++ {
+				key += fmt.Sprintf("%06d.", rng.Intn(30))
+			}
+			probes = append(probes, struct{ proc, port, key string }{
+				fmt.Sprintf("proc%02d", rng.Intn(6)), fmt.Sprintf("port%d", rng.Intn(3)), key,
+			})
+		}
+		for _, pr := range probes {
+			got, _ := seg.ScanPrefix(pr.proc, pr.port, pr.key, nil)
+			want := refScan(sorted, pr.proc, pr.port, pr.key, false)
+			if !matchesEqual(got, want) {
+				t.Fatalf("trial %d ScanPrefix(%q,%q,%q): got %v want %v", trial, pr.proc, pr.port, pr.key, got, want)
+			}
+			got, _ = seg.ScanExact(pr.proc, pr.port, pr.key, nil)
+			want = refScan(sorted, pr.proc, pr.port, pr.key, true)
+			if !matchesEqual(got, want) {
+				t.Fatalf("trial %d ScanExact(%q,%q,%q): got %v want %v", trial, pr.proc, pr.port, pr.key, got, want)
+			}
+		}
+	}
+}
+
+func TestZoneMap(t *testing.T) {
+	seg := Build("r", []Row{
+		{Proc: "bb", Port: "p", Key: "000001.", ValID: 1},
+		{Proc: "dd", Port: "p", Key: "000002.", ValID: 2},
+	})
+	for proc, want := range map[string]bool{
+		"aa": false, "bb": true, "cc": true, "dd": true, "ee": false,
+	} {
+		if got := seg.MayContainProc(proc); got != want {
+			t.Errorf("MayContainProc(%q) = %v, want %v", proc, got, want)
+		}
+	}
+	empty := Build("e", nil)
+	if empty.MayContainProc("bb") {
+		t.Error("empty segment claims it may contain a proc")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		seg := Build(fmt.Sprintf("run-%d", trial), randRows(rng, rng.Intn(300)))
+		enc := seg.Encode()
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("trial %d: Decode: %v", trial, err)
+		}
+		if !bytes.Equal(dec.Encode(), enc) {
+			t.Fatalf("trial %d: re-encode differs", trial)
+		}
+		if dec.RunID() != seg.RunID() || dec.NumRows() != seg.NumRows() {
+			t.Fatalf("trial %d: header drift", trial)
+		}
+		a, _ := seg.ScanPrefix("proc01", "port0", "", nil)
+		b, _ := dec.ScanPrefix("proc01", "port0", "", nil)
+		if !matchesEqual(a, b) {
+			t.Fatalf("trial %d: decoded segment scans differently", trial)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seg := Build("run-c", randRows(rng, 120))
+	enc := seg.Encode()
+
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := Decode(enc[:cut]); !errors.Is(err, reldb.ErrCorrupt) {
+			t.Fatalf("truncated at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	for i := 0; i < len(enc); i += 3 {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); !errors.Is(err, reldb.ErrCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 0x00)); !errors.Is(err, reldb.ErrCorrupt) {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	d := &DiskStore{FS: reldb.OSFS{}, Dir: t.TempDir() + "/colseg"}
+	rng := rand.New(rand.NewSource(5))
+	seg := Build("run/odd id%", randRows(rng, 50))
+	if err := d.Write(seg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := d.Load("run/odd id%")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got == nil || !bytes.Equal(got.Encode(), seg.Encode()) {
+		t.Fatal("loaded segment differs")
+	}
+	if missing, err := d.Load("never-written"); err != nil || missing != nil {
+		t.Fatalf("missing segment: (%v, %v), want (nil, nil)", missing, err)
+	}
+	if err := d.Remove("run/odd id%"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if gone, err := d.Load("run/odd id%"); err != nil || gone != nil {
+		t.Fatalf("after Remove: (%v, %v), want (nil, nil)", gone, err)
+	}
+	if err := d.Remove("never-written"); err != nil {
+		t.Fatalf("Remove of missing file: %v", err)
+	}
+}
+
+func TestDiskStoreRejectsSwappedFile(t *testing.T) {
+	d := &DiskStore{FS: reldb.OSFS{}, Dir: t.TempDir()}
+	seg := Build("real-run", []Row{{Proc: "p", Port: "q", Key: "000001.", ValID: 9}})
+	if err := d.Write(seg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// A valid segment under the wrong file name (e.g. a botched restore)
+	// must not be served as another run's data.
+	if err := (reldb.OSFS{}).Rename(d.Path("real-run"), d.Path("other-run")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load("other-run"); !errors.Is(err, reldb.ErrCorrupt) {
+		t.Fatalf("Load of swapped file: %v, want ErrCorrupt", err)
+	}
+}

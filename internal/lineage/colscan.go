@@ -1,0 +1,137 @@
+package lineage
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// This file wires the store's columnar projection (internal/colstore, via
+// store.ColumnScanner) into the multi-run executor as a vectorized probe
+// stage: a chunk of runs is evaluated against their column segments in one
+// pass — zone-map filter per segment, then a tight loop over the fixed-width
+// IdxKey column — instead of one B-tree index-range scan per chunk. Runs
+// without a fresh segment fall back to the batched row probes inside the
+// same chunk, so the answer is byte-identical to the row path regardless of
+// which runs have segments.
+
+// ColScanMode selects the executor's probe stage.
+type ColScanMode int
+
+const (
+	// ColScanAuto (the zero value) applies the cost rule: use column
+	// segments when the store has them and the query spans at least
+	// DefaultColScanMinRuns runs.
+	ColScanAuto ColScanMode = iota
+	// ColScanOn always uses column segments when the store supports them
+	// (runs without a segment still fall back to row scans).
+	ColScanOn
+	// ColScanOff never touches column segments: the row-probe path of PR 6,
+	// unchanged.
+	ColScanOff
+)
+
+// String renders the mode as its flag spelling.
+func (m ColScanMode) String() string {
+	switch m {
+	case ColScanOn:
+		return "on"
+	case ColScanOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// ParseColScanMode parses a -colscan flag value. Boolean spellings are
+// accepted so `-colscan=false` reads naturally: false/0 disable, true/1
+// force-enable.
+func ParseColScanMode(s string) (ColScanMode, error) {
+	switch s {
+	case "", "auto":
+		return ColScanAuto, nil
+	case "on", "true", "1":
+		return ColScanOn, nil
+	case "off", "false", "0":
+		return ColScanOff, nil
+	}
+	return ColScanAuto, fmt.Errorf("lineage: bad colscan mode %q (want auto, on or off)", s)
+}
+
+// DefaultColScanMinRuns is the auto-mode run-count threshold. The batched
+// row probe scans the xin_ppi index across every stored run and filters,
+// so its cost tracks the store size; the columnar stage touches only the
+// queried runs' segments. Below a handful of runs the segment lookups and
+// the fallback bookkeeping wash out the savings, so auto mode stays on the
+// row path for small queries.
+const DefaultColScanMinRuns = 8
+
+var mrColScanChunks = obs.C("lineage.multirun.colscan_chunks")
+
+// colScanner resolves the ColScan option against the attached store: the
+// returned scanner is non-nil exactly when the vectorized stage should run.
+func (ip *IndexProj) colScanner(nRuns int, opt MultiRunOptions) store.ColumnScanner {
+	if opt.ColScan == ColScanOff {
+		return nil
+	}
+	cs, ok := ip.q.(store.ColumnScanner)
+	if !ok {
+		return nil
+	}
+	if opt.ColScan == ColScanOn {
+		return cs
+	}
+	// Auto: the cost rule. Selectivity of a multi-run probe is fixed by the
+	// plan, so the deciding factor is how many runs amortize the per-query
+	// segment bookkeeping — and whether there are any segments at all.
+	if nRuns < DefaultColScanMinRuns || !cs.ColScanAvailable() {
+		return nil
+	}
+	return cs
+}
+
+// executeColScanChunk is the vectorized probe stage: one probe against one
+// chunk of runs, answered from column segments where possible and from the
+// batched row probes for the rest, then one batched value fetch. Binding
+// order per run matches the row path exactly, so results are byte-identical.
+func (ip *IndexProj) executeColScanChunk(result *Result, pr Probe, runIDs []string, cs store.ColumnScanner) error {
+	mrColScanChunks.Add(1)
+	byRun, missing, err := cs.ColScanBindings(runIDs, pr.Proc, pr.Port, pr.Index)
+	if err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		sub, err := ip.q.InputBindingsBatch(missing, pr.Proc, pr.Port, pr.Index)
+		if err != nil {
+			return err
+		}
+		for r, bs := range sub {
+			byRun[r] = bs
+		}
+	}
+	var staged []Entry
+	var refs []store.ValueRef
+	for _, runID := range runIDs {
+		for _, b := range byRun[runID] {
+			staged = append(staged, Entry{RunID: b.RunID, Proc: b.Proc, Port: b.Port, Index: b.Index, Ctx: b.Ctx})
+			refs = append(refs, store.ValueRef{RunID: b.RunID, ValID: b.ValID})
+		}
+	}
+	if len(staged) == 0 {
+		return nil
+	}
+	vals, err := ip.q.ValuesBatch(refs)
+	if err != nil {
+		return err
+	}
+	for i := range staged {
+		v, ok := vals[refs[i]]
+		if !ok {
+			return fmt.Errorf("lineage: missing value %d in run %q", refs[i].ValID, refs[i].RunID)
+		}
+		staged[i].Value = v
+		result.Add(staged[i])
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package lineage
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Differential property test of the columnar probe stage: on randomized
+// workflows and multi-run traces, the parallel executor with -colscan=on must
+// return results identical to NI, sequential INDEXPROJ, and the parallel
+// row-probe path (-colscan=off) — byte for byte, whatever mix of segment hits
+// and row fallbacks answers the query. The store is checkpointed after the
+// initial runs so segments exist, then one more run is ingested without a
+// checkpoint so every query exercises the segment path and the row fallback
+// inside the same chunk. Scales with DIFF_TRIALS; run under -race it also
+// exercises the segment cache's locking against the executor's workers.
+func TestColScanDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long randomized differential test")
+	}
+	trials := diffTrials(15)
+	rng := rand.New(rand.NewSource(20260807))
+	reg := propertyRegistry()
+
+	s0 := obs.Default.Snapshot()
+	for trial := 0; trial < trials; trial++ {
+		w := buildRandomWorkflow(rng, fmt.Sprintf("cw%d", trial), 3+rng.Intn(6), true)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid workflow: %v", trial, err)
+		}
+		s, err := store.OpenMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identical inputs across runs, for the same reason as the executor
+		// differential test: NI answers extensionally per run, so strict
+		// equality needs every run to contain the queried index.
+		inputs := map[string]value.Value{}
+		for _, in := range w.Inputs {
+			inputs[in.Name] = randomInput(rng, in.DeclaredDepth, in.Name, false)
+		}
+		nRuns := 3 + rng.Intn(3)
+		var runIDs []string
+		storeRun := func(runID string) {
+			t.Helper()
+			_, tr, err := engine.New(reg).RunTrace(w, runID, inputs)
+			if err != nil {
+				t.Fatalf("trial %d: engine: %v", trial, err)
+			}
+			if err := s.StoreTrace(tr); err != nil {
+				t.Fatal(err)
+			}
+			runIDs = append(runIDs, runID)
+		}
+		for r := 0; r < nRuns; r++ {
+			storeRun(fmt.Sprintf("run%d", r))
+		}
+		// Checkpoint builds a column segment for every stored run; the run
+		// ingested after it has none and must be answered by the row
+		// fallback inside the colscan chunks.
+		if err := s.Checkpoint(); err != nil {
+			t.Fatalf("trial %d: checkpoint: %v", trial, err)
+		}
+		storeRun("late")
+
+		ni := NewNaive(s)
+		ip, err := NewIndexProj(s, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr0, err := s.LoadTrace(runIDs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		type q struct {
+			proc, port string
+			idx        value.Index
+		}
+		var queries []q
+		procSet := map[string]bool{}
+		for _, ev := range tr0.Xforms {
+			procSet[ev.Proc] = true
+			for _, out := range ev.Outputs {
+				queries = append(queries, q{out.Proc, out.Port, out.Index})
+			}
+		}
+		if len(queries) == 0 {
+			s.Close()
+			continue
+		}
+		var procs []string
+		for p := range procSet {
+			procs = append(procs, p)
+		}
+
+		for probe := 0; probe < 4; probe++ {
+			query := queries[rng.Intn(len(queries))]
+			focus := NewFocus()
+			for _, p := range procs {
+				if rng.Intn(3) == 0 {
+					focus[p] = true
+				}
+			}
+			a, err := ni.LineageMultiRun(runIDs, query.proc, query.port, query.idx, focus)
+			if err != nil {
+				t.Fatalf("trial %d: NI multi-run: %v", trial, err)
+			}
+			b, err := ip.LineageMultiRun(runIDs, query.proc, query.port, query.idx, focus)
+			if err != nil {
+				t.Fatalf("trial %d: INDEXPROJ multi-run: %v", trial, err)
+			}
+			opt := MultiRunOptions{
+				Parallelism: 1 + rng.Intn(4),
+				BatchSize:   rng.Intn(3), // 0 = default, 1 = per-run, 2 = pairs
+			}
+			optOff, optOn := opt, opt
+			optOff.ColScan = ColScanOff
+			optOn.ColScan = ColScanOn
+			c, err := ip.LineageMultiRunParallel(context.Background(), runIDs, query.proc, query.port, query.idx, focus, optOff)
+			if err != nil {
+				t.Fatalf("trial %d: parallel colscan=off: %v", trial, err)
+			}
+			d, err := ip.LineageMultiRunParallel(context.Background(), runIDs, query.proc, query.port, query.idx, focus, optOn)
+			if err != nil {
+				t.Fatalf("trial %d: parallel colscan=on: %v", trial, err)
+			}
+			for name, got := range map[string]*Result{"INDEXPROJ": b, "parallel colscan=off": c, "parallel colscan=on": d} {
+				if !a.Equal(got) {
+					t.Fatalf("trial %d: NI %v != %s %v\nquery %s:%s%v focus %v\nworkflow: %s",
+						trial, a, name, got, query.proc, query.port, query.idx, focus.Names(), mustJSON(w))
+				}
+			}
+		}
+		s.Close()
+	}
+
+	// The sweep must actually have exercised both halves of the colscan
+	// chunk: segments scanned for the checkpointed runs, row fallbacks for
+	// the post-checkpoint run.
+	delta := obs.Default.Snapshot().Sub(s0)
+	if got := delta.Counter("colscan.segments_scanned"); got == 0 {
+		t.Error("differential sweep never scanned a column segment")
+	}
+	if got := delta.Counter("colscan.fallbacks"); got == 0 {
+		t.Error("differential sweep never took the row fallback for the post-checkpoint run")
+	}
+	if got := delta.Counter("lineage.multirun.colscan_chunks"); got == 0 {
+		t.Error("differential sweep never entered the vectorized probe stage")
+	}
+}

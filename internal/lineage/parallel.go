@@ -41,6 +41,10 @@ type MultiRunOptions struct {
 	// 1 disables batching and probes run-by-run, exactly like the
 	// sequential single-run executor.
 	BatchSize int
+	// ColScan selects the vectorized columnar probe stage (see colscan.go).
+	// The zero value is ColScanAuto: use column segments when the store has
+	// them and the query is large enough to profit.
+	ColScan ColScanMode
 }
 
 func (o MultiRunOptions) normalize() MultiRunOptions {
@@ -116,6 +120,10 @@ func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, ru
 	if err := validateRuns(ip.q.HasRun, runIDs); err != nil {
 		return nil, err
 	}
+	// The columnar decision is made once per query, not per task: every
+	// chunk of the same query uses the same probe stage, so the answer is
+	// assembled from one consistent path plus the per-run row fallback.
+	cs := ip.colScanner(len(runIDs), opt)
 	chunks := partitionChunks(ip.q, runIDs, opt.BatchSize)
 	tasks := make([]probeChunk, 0, len(plan.Probes)*len(chunks))
 	for _, chunk := range chunks {
@@ -131,7 +139,7 @@ func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, ru
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := ip.executeProbeChunk(result, t.probe, t.runs); err != nil {
+			if err := ip.executeProbeChunk(result, t.probe, t.runs, cs); err != nil {
 				return nil, err
 			}
 		}
@@ -168,7 +176,7 @@ func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, ru
 					errs[w] = err
 					continue
 				}
-				if err := ip.executeProbeChunk(partial, t.probe, t.runs); err != nil {
+				if err := ip.executeProbeChunk(partial, t.probe, t.runs, cs); err != nil {
 					errs[w] = err
 					cancel() // first error stops the other workers
 				}
@@ -220,14 +228,19 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// executeProbeChunk answers one probe for one chunk of runs: run-by-run for
-// singleton chunks (exactly the sequential single-run executor's store
-// accesses), batched otherwise — one index-range scan stages the bindings of
-// every run, then one batched fetch materializes their values.
-func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string) error {
+// executeProbeChunk answers one probe for one chunk of runs. With a column
+// scanner selected (cs non-nil), the chunk goes through the vectorized stage
+// (see executeColScanChunk); otherwise run-by-run for singleton chunks
+// (exactly the sequential single-run executor's store accesses), batched
+// otherwise — one index-range scan stages the bindings of every run, then
+// one batched fetch materializes their values.
+func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string, cs store.ColumnScanner) error {
 	sp := obs.Start(ipProbeNs)
 	defer sp.End()
 	ipProbes.Add(1)
+	if cs != nil {
+		return ip.executeColScanChunk(result, pr, runIDs, cs)
+	}
 	if len(runIDs) == 1 {
 		bs, err := ip.q.InputBindings(runIDs[0], pr.Proc, pr.Port, pr.Index)
 		if err != nil {

@@ -36,17 +36,21 @@ type Options struct {
 	Client *http.Client
 }
 
-// Result aggregates one run. Rejected counts explicit shed responses
-// (429 rate limit and 503 admission/drain); Errors counts everything else
-// that is not 200, transport failures included.
+// Result aggregates one run. The server's two shed responses are tallied
+// apart — RateLimited (429, the per-tenant token bucket) and Rejected (503,
+// admission control and drain) point at different remedies — and both apart
+// from Errors, which counts transport failures and any other non-200 status:
+// a saturated-but-healthy server shows shed counts with zero errors, while
+// rising errors mean requests are not reaching the server at all.
 type Result struct {
-	Offered  float64       // requested QPS
-	Sent     int           // requests fired
-	OK       int           // 200 responses
-	Rejected int           // 429 + 503 responses
-	Errors   int           // other failures
-	Elapsed  time.Duration // fire of first request to last response
-	lats     []time.Duration
+	Offered     float64       // requested QPS
+	Sent        int           // requests fired
+	OK          int           // 200 responses
+	RateLimited int           // 429 responses (per-tenant rate limit)
+	Rejected    int           // 503 responses (admission control / drain)
+	Errors      int           // transport failures and other statuses
+	Elapsed     time.Duration // fire of first request to last response
+	lats        []time.Duration
 }
 
 // Throughput is the completed-OK rate in requests per second.
@@ -78,8 +82,8 @@ func (r *Result) Quantile(q float64) time.Duration {
 
 // String renders a one-line summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("offered=%.1fqps sent=%d ok=%d rejected=%d errors=%d throughput=%.1fqps p50=%s p99=%s p999=%s",
-		r.Offered, r.Sent, r.OK, r.Rejected, r.Errors, r.Throughput(),
+	return fmt.Sprintf("offered=%.1fqps sent=%d ok=%d ratelimited=%d rejected=%d errors=%d throughput=%.1fqps p50=%s p99=%s p999=%s",
+		r.Offered, r.Sent, r.OK, r.RateLimited, r.Rejected, r.Errors, r.Throughput(),
 		r.Quantile(0.50).Round(time.Microsecond),
 		r.Quantile(0.99).Round(time.Microsecond),
 		r.Quantile(0.999).Round(time.Microsecond))
@@ -118,7 +122,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		case status == http.StatusOK:
 			res.OK++
 			res.lats = append(res.lats, lat)
-		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		case status == http.StatusTooManyRequests:
+			res.RateLimited++
+		case status == http.StatusServiceUnavailable:
 			res.Rejected++
 		default:
 			res.Errors++

@@ -9,9 +9,10 @@ import (
 	"time"
 )
 
-// TestRunClassifiesResponses: 200s count as OK with latencies, 429/503 as
-// rejected, 500 as errors, and the offered request count honours QPS ×
-// duration (open loop: every tick fires regardless of outcomes).
+// TestRunClassifiesResponses: 200s count as OK with latencies, 429 as
+// rate-limited, 503 as rejected, 500 as errors, and the offered request
+// count honours QPS × duration (open loop: every tick fires regardless of
+// outcomes).
 func TestRunClassifiesResponses(t *testing.T) {
 	var n atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -40,10 +41,10 @@ func TestRunClassifiesResponses(t *testing.T) {
 	if res.Sent < 20 {
 		t.Errorf("open loop at 200qps for 250ms sent only %d requests", res.Sent)
 	}
-	if res.OK == 0 || res.Rejected == 0 || res.Errors == 0 {
+	if res.OK == 0 || res.RateLimited == 0 || res.Rejected == 0 || res.Errors == 0 {
 		t.Errorf("classification missed a class: %+v", res)
 	}
-	if got := res.OK + res.Rejected + res.Errors; got != res.Sent {
+	if got := res.OK + res.RateLimited + res.Rejected + res.Errors; got != res.Sent {
 		t.Errorf("classes sum to %d, sent %d", got, res.Sent)
 	}
 	if res.Quantile(0.5) <= 0 || res.Quantile(0.999) < res.Quantile(0.5) {

@@ -45,6 +45,16 @@ func (db *DB) fs() VFS {
 	return db.vfs
 }
 
+// FS exposes the filesystem the database's durability goes through, so
+// sidecar files maintained next to the snapshot and WAL (e.g. the store's
+// column segments) are written through the same VFS — and therefore see the
+// same injected faults and crashes under test as the engine's own files.
+func (db *DB) FS() VFS { return db.fs() }
+
+// DurableDir returns the directory holding the WAL and snapshot of a durable
+// database, or "" when the database is not durable.
+func (db *DB) DurableDir() string { return db.walDir }
+
 // Every logged mutation below is fault-atomic: the in-memory change is made
 // first, and if the WAL append then fails the change is rolled back before
 // the error is returned. A failed commit therefore leaves both the memory

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Columnar scatter-gather: each shard maintains its own column segments
+// (built by its own checkpoints), so the sharded store implements
+// store.ColumnScanner by scattering a columnar probe the same way it
+// scatters the batched row probes. The multi-run executor's chunks are
+// already partition-pruned (PartitionRuns), so in practice every
+// ColScanBindings call lands on exactly one shard and scans only that
+// shard's segments — the composition of PR 5's pruning with the columnar
+// projection.
+
+var _ store.ColumnScanner = (*ShardedStore)(nil)
+
+// ColScanBindings implements store.ColumnScanner by scatter-gather over the
+// owning shards; missing lists (runs that must use the row path) concatenate
+// across shards.
+func (s *ShardedStore) ColScanBindings(runIDs []string, proc, port string, idx value.Index) (map[string][]store.Binding, []string, error) {
+	out := make(map[string][]store.Binding, len(runIDs))
+	if len(runIDs) == 0 {
+		return out, nil, nil
+	}
+	groups := s.groupRuns(runIDs)
+	if len(groups) == 1 {
+		for i, runs := range groups {
+			s.noteScatter(1, []int{i})
+			return s.shards[i].ColScanBindings(runs, proc, port, idx)
+		}
+	}
+	parts := make([]map[string][]store.Binding, len(s.shards))
+	missParts := make([][]string, len(s.shards))
+	err := s.eachShard(groups, func(i int, runs []string) error {
+		m, miss, err := s.shards[i].ColScanBindings(runs, proc, port, idx)
+		if err != nil {
+			return err
+		}
+		parts[i], missParts[i] = m, miss
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var missing []string
+	for i := range parts {
+		for r, bs := range parts[i] {
+			out[r] = bs
+		}
+		missing = append(missing, missParts[i]...)
+	}
+	return out, missing, nil
+}
+
+// ColScanAvailable reports whether any shard has column segments.
+func (s *ShardedStore) ColScanAvailable() bool {
+	// Shards answer from in-memory state or one directory stat each; ask
+	// them concurrently and take the OR.
+	results := make([]bool, len(s.shards))
+	var wg sync.WaitGroup
+	for i, st := range s.shards {
+		wg.Add(1)
+		go func(i int, st *store.Store) {
+			defer wg.Done()
+			results[i] = st.ColScanAvailable()
+		}(i, st)
+	}
+	wg.Wait()
+	for _, ok := range results {
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,373 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/engine"
+	"repro/internal/faultfs"
+	"repro/internal/obs"
+	"repro/internal/reldb"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// colFixtureWorkflow is storeFig3's workflow, reusable across several runs.
+func colFixtureWorkflow() (*workflow.Workflow, *engine.Registry) {
+	w := workflow.New("fig3")
+	w.AddInput("v", 1).AddInput("w", 0).AddInput("c", 1)
+	w.AddOutput("y", 2)
+	w.AddProcessor("Q", "upper", []workflow.Port{workflow.In("X", 0)}, []workflow.Port{workflow.Out("Y", 0)})
+	w.AddProcessor("R", "tolist", []workflow.Port{workflow.In("X", 0)}, []workflow.Port{workflow.Out("Y", 1)})
+	w.AddProcessor("P", "combine",
+		[]workflow.Port{workflow.In("X1", 0), workflow.In("X2", 1), workflow.In("X3", 0)},
+		[]workflow.Port{workflow.Out("Y", 0)})
+	w.Connect("", "v", "Q", "X")
+	w.Connect("", "w", "R", "X")
+	w.Connect("", "c", "P", "X2")
+	w.Connect("Q", "Y", "P", "X1")
+	w.Connect("R", "Y", "P", "X3")
+	w.Connect("P", "Y", "", "y")
+
+	reg := engine.NewRegistry()
+	reg.Register("upper", func(args []value.Value) ([]value.Value, error) {
+		s, _ := args[0].StringVal()
+		return []value.Value{value.Str("U" + s)}, nil
+	})
+	reg.Register("tolist", func(args []value.Value) ([]value.Value, error) {
+		s, _ := args[0].StringVal()
+		return []value.Value{value.Strs(s+"a", s+"b")}, nil
+	})
+	reg.Register("combine", func(args []value.Value) ([]value.Value, error) {
+		return []value.Value{value.Str(value.Encode(args[0]) + "+" + value.Encode(args[2]))}, nil
+	})
+	return w, reg
+}
+
+// storeColRuns ingests n runs of the fixture workflow into s and returns the
+// run IDs.
+func storeColRuns(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	w, reg := colFixtureWorkflow()
+	e := engine.New(reg)
+	runs := make([]string, n)
+	for i := range runs {
+		runID := fmt.Sprintf("colrun-%03d", i)
+		_, tr, err := e.RunTrace(w, runID, map[string]value.Value{
+			"v": value.Strs(fmt.Sprintf("a%d", i), "b", fmt.Sprintf("c%d", i%3)),
+			"w": value.Str(fmt.Sprintf("w%d", i)),
+			"c": value.Strs("k"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.StoreTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = runID
+	}
+	return runs
+}
+
+// colProbes enumerates probe shapes covering the prefix path, the
+// granularity fallback, zone-map prunes, and absent ports.
+func colProbes() []struct {
+	proc, port string
+	idx        value.Index
+} {
+	return []struct {
+		proc, port string
+		idx        value.Index
+	}{
+		{"Q", "X", value.Index{0}},
+		{"Q", "X", value.Index{1}},
+		{"Q", "X", value.Index{}},
+		{"Q", "X", value.Index{0, 0}}, // finer than recorded: exact-prefix fallback
+		{"R", "X", value.Index{}},
+		{"P", "X1", value.Index{2}},
+		{"P", "X2", value.Index{0}},
+		{"P", "X3", value.Index{1}},
+		{"P", "X3", value.Index{9}},            // no match at any level
+		{"P", "nope", value.Index{0}},          // unknown port
+		{"A", "X", value.Index{0}},             // below the proc zone map
+		{"Z", "X", value.Index{0}},             // above the proc zone map
+		{trace.WorkflowProc, "v", value.Index{0, 0}}, // workflow-level bindings
+	}
+}
+
+// assertColEqualsRows checks that the columnar answer plus its row-path
+// fill-in for missing runs is deep-equal to InputBindingsBatch for every
+// probe shape.
+func assertColEqualsRows(t *testing.T, s *Store, runs []string, wantMissing int) {
+	t.Helper()
+	for _, p := range colProbes() {
+		want, err := s.InputBindingsBatch(runs, p.proc, p.port, p.idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, missing, err := s.ColScanBindings(runs, p.proc, p.port, p.idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantMissing >= 0 && len(missing) != wantMissing {
+			t.Fatalf("probe %s:%s%v: %d missing runs, want %d", p.proc, p.port, p.idx, len(missing), wantMissing)
+		}
+		sub, err := s.InputBindingsBatch(missing, p.proc, p.port, p.idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, bs := range sub {
+			got[r] = bs
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("probe %s:%s%v: colscan answer differs\n got: %v\nwant: %v", p.proc, p.port, p.idx, got, want)
+		}
+	}
+}
+
+func TestColScanMatchesRowBatch(t *testing.T) {
+	s, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	runs := storeColRuns(t, s, 8)
+
+	// Before any checkpoint there are no segments: everything falls back.
+	if s.ColScanAvailable() {
+		t.Fatal("segments available before the first checkpoint")
+	}
+	assertColEqualsRows(t, s, runs, len(runs))
+
+	s0 := obs.Default.Snapshot()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d := obs.Default.Snapshot().Sub(s0)
+	if got := d.Counter("colscan.builds"); got != int64(len(runs)) {
+		t.Fatalf("checkpoint built %d segments, want %d", got, len(runs))
+	}
+	if !s.ColScanAvailable() {
+		t.Fatal("segments not available after checkpoint")
+	}
+	assertColEqualsRows(t, s, runs, 0)
+
+	// Zone-map prunes must fire for out-of-range processors.
+	s0 = obs.Default.Snapshot()
+	if _, _, err := s.ColScanBindings(runs, "A", "X", value.Index{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.Snapshot().Sub(s0).Counter("colscan.zonemap_prunes"); got != int64(len(runs)) {
+		t.Fatalf("zone-map prunes = %d, want %d", got, len(runs))
+	}
+
+	// A run ingested after the checkpoint has no segment until the next
+	// checkpoint; the mixed answer must still agree with the row path.
+	w, reg := colFixtureWorkflow()
+	_, tr, err := engine.New(reg).RunTrace(w, "colrun-late", map[string]value.Value{
+		"v": value.Strs("x", "y", "z"), "w": value.Str("late"), "c": value.Strs("k"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StoreTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	assertColEqualsRows(t, s, append(append([]string(nil), runs...), "colrun-late"), 1)
+
+	// The second checkpoint is incremental: only the late run gets built.
+	s0 = obs.Default.Snapshot()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.Snapshot().Sub(s0).Counter("colscan.builds"); got != 1 {
+		t.Fatalf("incremental checkpoint built %d segments, want 1", got)
+	}
+	assertColEqualsRows(t, s, append(append([]string(nil), runs...), "colrun-late"), 0)
+}
+
+func TestColScanDeleteRunInvalidates(t *testing.T) {
+	s, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	runs := storeColRuns(t, s, 3)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeleteRun(runs[1]); err != nil {
+		t.Fatal(err)
+	}
+	got, missing, err := s.ColScanBindings(runs[1:2], "Q", "X", value.Index{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || len(got) != 0 {
+		t.Fatalf("deleted run still served from a segment: got=%v missing=%v", got, missing)
+	}
+}
+
+func TestColScanDurablePersistReopenAndCorruptFallback(t *testing.T) {
+	dir := t.TempDir()
+	dsn := "durable:" + filepath.Join(dir, "db")
+	s, err := Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := storeColRuns(t, s, 4)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	assertColEqualsRows(t, s, runs, 0)
+	segDir := s.segDisk.Dir
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: segments lazily load from disk, no rebuild needed.
+	s, err = Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ColScanAvailable() {
+		t.Fatal("persisted segments not visible after reopen")
+	}
+	s0 := obs.Default.Snapshot()
+	assertColEqualsRows(t, s, runs, 0)
+	if got := obs.Default.Snapshot().Sub(s0).Counter("colscan.builds"); got != 0 {
+		t.Fatalf("reopen rebuilt %d segments, want 0 (disk load)", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one segment file on disk: the store must serve that run from
+	// row scans (counted as a fallback), byte-identically.
+	disk := &colstore.DiskStore{FS: reldb.OSFS{}, Dir: segDir}
+	path := disk.Path(runs[2])
+	data, err := reldb.OSFS{}.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	f, err := reldb.OSFS{}.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s0 = obs.Default.Snapshot()
+	assertColEqualsRows(t, s, runs, 1)
+	if got := obs.Default.Snapshot().Sub(s0).Counter("colscan.fallbacks"); got == 0 {
+		t.Fatal("corrupt segment produced no fallback count")
+	}
+	// The next checkpoint repairs the corrupt segment from the row store.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	assertColEqualsRows(t, s, runs, 0)
+}
+
+// TestColSegPersistFaultSweep drives the segment build+persist path through
+// a fault-injecting VFS: for every injected one-shot error and every crash
+// point, the store must keep answering probes byte-identically to the row
+// path (falling back where the segment is unusable), and a segment file left
+// on disk after a simulated crash must decode to exactly the expected bytes
+// or be rejected as corrupt/absent — never load as wrong data.
+func TestColSegPersistFaultSweep(t *testing.T) {
+	// Baseline: build the expected segment encodings from an undisturbed
+	// store.
+	mem, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	runs := storeColRuns(t, mem, 3)
+	if err := mem.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	wantEnc := make(map[string][]byte, len(runs))
+	for _, r := range runs {
+		seg := mem.segmentFor(r)
+		if seg == nil {
+			t.Fatalf("baseline store has no segment for %s", r)
+		}
+		wantEnc[r] = seg.Encode()
+	}
+
+	// Learn the op count of a clean persist pass over a fresh directory.
+	countOps := func() int {
+		ffs := faultfs.New(reldb.OSFS{})
+		d := &colstore.DiskStore{FS: ffs, Dir: filepath.Join(t.TempDir(), "colseg")}
+		for _, r := range runs {
+			seg := mem.segmentFor(r)
+			if err := d.Write(seg); err != nil {
+				t.Fatalf("clean persist pass failed: %v", err)
+			}
+		}
+		return ffs.Ops()
+	}
+	total := countOps()
+	if total == 0 {
+		t.Fatal("persist pass performed no VFS operations")
+	}
+
+	for n := 1; n <= total; n++ {
+		for _, mode := range []string{"fail", "crash"} {
+			ffs := faultfs.New(reldb.OSFS{})
+			segDir := filepath.Join(t.TempDir(), "colseg")
+			injected := &colstore.DiskStore{FS: ffs, Dir: segDir}
+			if mode == "fail" {
+				ffs.FailAt(n)
+			} else {
+				ffs.CrashAt(n)
+			}
+			// Swap the fault-injecting disk store into a store whose rows
+			// live in memory, then run the checkpoint-time persist.
+			mem.segMu.Lock()
+			saved := mem.segDisk
+			mem.segDisk = injected
+			for r := range mem.segs {
+				delete(mem.segs, r) // force rebuild + persist
+			}
+			mem.segMu.Unlock()
+			if _, err := mem.BuildColumnSegments(); err != nil {
+				t.Fatalf("%s@%d: BuildColumnSegments: %v", mode, n, err)
+			}
+			// Queries must stay byte-identical to row scans regardless of
+			// what the persist did.
+			assertColEqualsRows(t, mem, runs, -1)
+			mem.segMu.Lock()
+			mem.segDisk = saved
+			mem.segMu.Unlock()
+
+			// Whatever the fault left on disk must read back as the right
+			// segment or as absent/corrupt — never as wrong data.
+			after := &colstore.DiskStore{FS: reldb.OSFS{}, Dir: segDir}
+			for _, r := range runs {
+				seg, err := after.Load(r)
+				if err != nil || seg == nil {
+					continue // absent or corrupt: the row path covers it
+				}
+				if !bytes.Equal(seg.Encode(), wantEnc[r]) {
+					t.Fatalf("%s@%d: run %s loaded a wrong segment from disk", mode, n, r)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/colstore"
 	"repro/internal/reldb"
 	"repro/internal/sqlike"
 )
@@ -56,6 +57,17 @@ type Store struct {
 	// alongside runsEst.
 	runSetMu sync.RWMutex
 	runSet   map[string]bool
+
+	// Columnar projection state (see colseg.go). segs caches one immutable
+	// colstore.Segment per checkpointed run; openWriters and segGen fence
+	// segment installs against concurrent ingest so a probe can never see a
+	// segment that lags the row store; segDisk (durable stores only)
+	// persists segments next to the WAL through the engine's VFS.
+	segMu       sync.RWMutex
+	segs        map[string]*colstore.Segment
+	openWriters map[string]int
+	segGen      map[string]uint64
+	segDisk     *colstore.DiskStore
 }
 
 // schema is the DDL of the provenance database, mirroring the relational
@@ -107,6 +119,7 @@ func Open(dsn string) (*Store, error) {
 		db.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	s.initColSegs()
 	return s, nil
 }
 
@@ -245,15 +258,21 @@ func (s *Store) Save(path string) error {
 // Checkpoint writes a fresh snapshot of a durable store and truncates its
 // write-ahead log, bounding both the WAL's disk footprint and the replay
 // work a later Open must do. On a non-durable (memory- or file-backed)
-// store there is no log to truncate and Checkpoint is a no-op.
+// store there is no log to truncate and that step is a no-op.
+//
+// Checkpoint is also when the store brings its columnar projection up to
+// date: every quiescent run without a fresh column segment gets one built
+// from the row store (and, on durable stores, persisted beside the WAL).
+// Segment maintenance is best-effort — a build failure leaves the affected
+// runs on the row-scan path, it never fails the checkpoint.
 func (s *Store) Checkpoint() error {
 	if err := s.rdb.Checkpoint(); err != nil {
-		if errors.Is(err, reldb.ErrNotDurable) {
-			return nil
+		if !errors.Is(err, reldb.ErrNotDurable) {
+			return err
 		}
-		return err
 	}
-	return nil
+	_, err := s.BuildColumnSegments()
+	return err
 }
 
 // TopologyGen implements TopologyVersioner: a single store is one undivided
@@ -400,6 +419,9 @@ func (s *Store) DeleteRun(runID string) (int, error) {
 	if n == 0 {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
 	}
+	// Drop the run's column segment before touching its rows (so no probe
+	// serves the run from a segment while rows disappear underneath it) …
+	s.invalidateSegment(runID)
 	removed := 0
 	for _, table := range []string{"xform_in", "xform_out", "xfer"} {
 		res, err := s.db.Exec(`DELETE FROM `+table+` WHERE run_id = ?`, runID)
@@ -416,6 +438,10 @@ func (s *Store) DeleteRun(runID string) (int, error) {
 	if _, err := s.db.Exec(`DELETE FROM runs WHERE run_id = ?`, runID); err != nil {
 		return removed, err
 	}
+	// … and again afterwards, bumping the generation a second time so a
+	// segment build that raced the deletes (reading a half-deleted run)
+	// can never install its result.
+	s.invalidateSegment(runID)
 	s.invalidateRunCaches()
 	return removed, nil
 }

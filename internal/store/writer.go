@@ -52,6 +52,11 @@ type RunWriter struct {
 	bufIn     []reldb.Row
 	bufOut    []reldb.Row
 	bufXfer   []reldb.Row
+
+	// closed guards the columnar-projection fence: the first Close lifts
+	// the run's write fence (making it eligible for segment builds), later
+	// Closes only re-flush.
+	closed bool
 }
 
 // arenaBase readies the batch arena and returns the offset the next row's
@@ -110,7 +115,12 @@ func (s *Store) newRunWriter(ctx context.Context, runID, workflowName string, ba
 	if n > 0 {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateRun, runID)
 	}
+	// Fence the columnar projection before the run becomes visible: any
+	// reader that can see this run's rows must also see it marked open, so
+	// no stale column segment can shadow rows still being written.
+	s.beginRunWrite(runID)
 	if _, err := s.db.Exec(`INSERT INTO runs (run_id, workflow) VALUES (?, ?)`, runID, workflowName); err != nil {
+		s.endRunWrite(runID)
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s.invalidateRunCaches()
@@ -195,9 +205,23 @@ func (w *RunWriter) maybeFlush() error {
 	return nil
 }
 
-// Close flushes any buffered rows. The store's prepared statements are
-// shared across writers and stay open.
-func (w *RunWriter) Close() error { return w.Flush() }
+// Close flushes any buffered rows and lifts the run's columnar-projection
+// write fence: from here on, a checkpoint may build a column segment for the
+// run. The store's prepared statements are shared across writers and stay
+// open.
+func (w *RunWriter) Close() error {
+	if err := w.Flush(); err != nil {
+		// The fence stays down: a run whose final flush failed keeps using
+		// row scans (whatever rows did land), it never gets a segment from
+		// a writer in an unknown state.
+		return err
+	}
+	if !w.closed {
+		w.closed = true
+		w.s.endRunWrite(w.runID)
+	}
+	return nil
+}
 
 // valID interns a port value within the run and returns its ID. Repeat
 // values hit one of the non-encoding caches; only first occurrences pay for
