@@ -39,6 +39,7 @@ var experiments = map[string]func(bench.Options) (*bench.Report, error){
 	"fig9":      bench.Fig9,
 	"fig10":     bench.Fig10,
 	"ingest":    bench.Ingest,
+	"failover":  bench.Failover,
 }
 
 // experimentNames returns the registered experiment names, sorted, for the

@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	qps := fs.Float64("qps", 100, "offered load in requests/sec")
 	duration := fs.Duration("duration", 10*time.Second, "how long to offer load")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	waitReady := fs.Duration("wait-ready", 10*time.Second, "poll the server's /readyz this long before offering load (0 disables)")
 	csv := fs.Bool("csv", false, "emit a CSV row (offered,sent,ok,ratelimited,rejected,errors,throughput,p50_ms,p99_ms,p999_ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +82,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *waitReady > 0 {
+		if err := loadgen.WaitReady(ctx, *base, *waitReady); err != nil {
+			return err
+		}
+	}
 	res, err := loadgen.Run(ctx, loadgen.Options{
 		URL:      full,
 		QPS:      *qps,

@@ -7,14 +7,16 @@
 // Usage:
 //
 //	provd -addr 127.0.0.1:7468 -store 'file:/var/prov/{tenant}.db'
-//	provd -addr :7468 -store 'shard:/var/prov/{tenant}?n=4' -tenant-rate 100
+//	provd -addr :7468 -store 'shard:/var/prov/{tenant}?n=4&r=2' -tenant-rate 100
 //
 // Endpoints:
 //
 //	GET /v1/query?tenant=T&run=R&binding=proc:port[i,j]&focus=P1,P2
 //	GET /v1/query?tenant=T&runs=R1,R2&parallel=4&binding=workflow:out[]
+//	GET /v1/query?tenant=T&runs=R1,R2&partial=1&...  degraded answers when a shard is down
 //	GET /v1/runs?tenant=T
-//	GET /healthz        200 while serving, 503 once draining
+//	GET /readyz         200 while serving, 503 once draining (readiness)
+//	GET /healthz        always 200 (liveness); JSON with per-shard replica and breaker state
 //	GET /metrics        engine + server counters and histograms (JSON)
 //	GET /debug/pprof/*  standard profiling endpoints
 package main
@@ -52,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7468", "listen address (host:port, port 0 picks one)")
 	storeTmpl := fs.String("store", "file:prov-{tenant}.db",
-		"store DSN template with a {tenant} placeholder (file:, durable:, memory:, shard:)")
+		"store DSN template with a {tenant} placeholder (file:, durable:, memory:, shard:<dir>?n=N&r=R)")
 	l := fs.Int("l", 10, "testbed chain length for the bundled testbed workflow")
 	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
 	maxTenants := fs.Int("max-tenants", 8, "open tenant store handles kept before LRU eviction")

@@ -147,7 +147,7 @@ func newSystem(dsn string, testbedL int, wfJSON string) (*core.System, error) {
 
 func cmdRun(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("run", stderr)
-	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N&r=R)")
 	wf := fs.String("wf", "testbed", "workflow: testbed, gk, pd")
 	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
 	l := fs.Int("l", 10, "testbed chain length")
@@ -235,7 +235,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 
 func cmdRuns(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("runs", stderr)
-	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N&r=R)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -264,13 +264,14 @@ func cmdRuns(args []string, stdout, stderr io.Writer) error {
 
 func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("query", stderr)
-	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N&r=R)")
 	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	runID := fs.String("run", "", "run ID (see provq runs)")
 	runsArg := fs.String("runs", "", "comma-separated run IDs for a multi-run query (shares one compiled plan)")
 	parallel := fs.Int("parallel", 1, "worker parallelism for multi-run queries")
 	batch := fs.Int("batch", 0, "runs per batched store probe (0 = default)")
 	colscan := fs.String("colscan", "auto", "columnar probe stage for multi-run queries: auto, on or off (false = off)")
+	partial := fs.Bool("partial", false, "degraded mode: answer multi-run queries from surviving shards when a replicated shard is fully unavailable")
 	binding := fs.String("binding", "", "query binding, e.g. '2TO1_FINAL:product[3,7]' or 'workflow:out[]'")
 	focusArg := fs.String("focus", "", "comma-separated focus processors")
 	method := fs.String("method", "indexproj", "lineage algorithm: indexproj or naive")
@@ -333,12 +334,16 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		if *direction != "back" && *direction != "backward" {
 			return fmt.Errorf("multi-run queries only support -direction back")
 		}
-		opt := lineage.MultiRunOptions{Parallelism: *parallel, BatchSize: *batch, ColScan: csMode}
+		if *partial && m != core.IndexProj {
+			return fmt.Errorf("-partial requires -method indexproj")
+		}
+		opt := lineage.MultiRunOptions{Parallelism: *parallel, BatchSize: *batch, ColScan: csMode, Partial: *partial}
 		res, err = sys.LineageMultiRunParallel(ctx, m, runIDs, proc, port, idx, focus, opt)
 		if err != nil {
 			return err
 		}
 		q.WriteMultiRunHeader(stdout, len(runIDs), *parallel, res)
+		queryfmt.WriteDegraded(stdout, res)
 	default:
 		switch *direction {
 		case "back", "backward":
@@ -359,7 +364,7 @@ func cmdQuery(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 
 func cmdStats(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("stats", stderr)
-	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N&r=R)")
 	runID := fs.String("run", "", "run ID ('' for all runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -384,7 +389,7 @@ func cmdStats(args []string, stdout, stderr io.Writer) error {
 
 func cmdGraph(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("graph", stderr)
-	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N&r=R)")
 	runID := fs.String("run", "", "run ID (see provq runs)")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -417,7 +422,7 @@ func cmdGraph(args []string, stdout, stderr io.Writer) error {
 
 func cmdVerify(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("verify", stderr)
-	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N)")
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N&r=R)")
 	runID := fs.String("run", "", "run ID ('' verifies every stored run)")
 	l := fs.Int("l", 10, "testbed chain length for testbed runs")
 	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")

@@ -54,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	runs := fs.Int("runs", 0, "execute the workflow this many times and ingest the traces")
 	d := fs.Int("d", 10, "input size per run (testbed list size, GK gene lists, PD abstracts)")
-	dsn := fs.String("store", "", "ingest target DSN (memory:<name>, file:<path>, durable:<dir>, shard:<dir>?n=N; default private memory)")
+	dsn := fs.String("store", "", "ingest target DSN (memory:<name>, file:<path>, durable:<dir>, shard:<dir>?n=N&r=R; default private memory)")
 	parallel := fs.Int("parallel", store.DefaultIngestParallelism, "runs ingested concurrently")
 	batch := fs.Int("batch", store.DefaultBatchRows, "buffered-writer flush threshold in rows (1 = per-row)")
 	timeout := fs.Duration("timeout", 0, "abort ingest after this long (0 = no limit)")

@@ -183,10 +183,10 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 12 {
+	if len(reps) != 13 {
 		t.Fatalf("reports = %d", len(reps))
 	}
-	ids := []string{"fig4", "fig4par", "fig4shard", "fig4col", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest", "serve"}
+	ids := []string{"fig4", "fig4par", "fig4shard", "fig4col", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest", "serve", "failover"}
 	for i, rep := range reps {
 		if rep.ID != ids[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, ids[i])
@@ -257,5 +257,45 @@ func TestFigServeQuick(t *testing.T) {
 		if p50 <= 0 || p999 < p50 {
 			t.Errorf("cell %v has inconsistent quantiles", row)
 		}
+	}
+}
+
+func TestFailoverQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed availability windows")
+	}
+	rep, err := Failover(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 { // {1,2} replicas x {healthy,kill}
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	cell := func(replicas, phase string) []string {
+		for _, row := range rep.Rows {
+			if row[0] == replicas && row[1] == phase {
+				return row
+			}
+		}
+		t.Fatalf("no cell for r=%s phase=%s in %v", replicas, phase, rep.Rows)
+		return nil
+	}
+	for _, r := range []string{"1", "2"} {
+		avail, _ := strconv.ParseFloat(cell(r, "healthy")[5], 64)
+		if avail < 99 {
+			t.Errorf("healthy availability at r=%s is %.1f%%, want >= 99%%", r, avail)
+		}
+	}
+	// The acceptance contract: the unreplicated store loses every query in
+	// the kill window; the replicated one keeps answering through failover.
+	if avail, _ := strconv.ParseFloat(cell("1", "kill")[5], 64); avail != 0 {
+		t.Errorf("kill-window availability at r=1 is %.1f%%, want 0%%", avail)
+	}
+	killR2 := cell("2", "kill")
+	if avail, _ := strconv.ParseFloat(killR2[5], 64); avail < 99 {
+		t.Errorf("kill-window availability at r=2 is %.1f%%, want >= 99%%", avail)
+	}
+	if failovers, _ := strconv.Atoi(killR2[8]); failovers == 0 {
+		t.Errorf("kill window at r=2 recorded no failovers: %v", killR2)
 	}
 }

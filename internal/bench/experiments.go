@@ -374,8 +374,8 @@ func Fig9(o Options) (*Report, error) {
 	ls := o.grid([]int{10, 28, 50, 75, 100, 150}, []int{5, 10})
 	ds := o.grid([]int{10, 150}, []int{5, 15})
 	rep := &Report{
-		ID:      "fig9",
-		Title:   "Lineage query response time across strategies as a function of l",
+		ID:    "fig9",
+		Title: "Lineage query response time across strategies as a function of l",
 		Caption: "strategies: NI, INDEXPROJ focused ({LISTGEN_1}), INDEXPROJ unfocused (all).\n" +
 			"Stage columns come from engine obs counters, per measured query: NI splits\n" +
 			"into traversal vs value materialization; INDEXPROJ into plan (t1, per\n" +
@@ -519,7 +519,7 @@ func All(o Options) ([]*Report, error) {
 	exps := []exp{
 		{"fig4", Fig4}, {"fig4par", Fig4Parallel}, {"fig4shard", Fig4Shard}, {"fig4col", Fig4Col}, {"table1", Table1}, {"fig6", Fig6},
 		{"fig7", Fig7}, {"fig8", Fig8}, {"fig9", Fig9}, {"fig10", Fig10},
-		{"ingest", Ingest}, {"serve", FigServe},
+		{"ingest", Ingest}, {"serve", FigServe}, {"failover", Failover},
 	}
 	out := make([]*Report, 0, len(exps))
 	for _, e := range exps {

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// Failover measures query availability and tail latency through a replica
+// failure window: the same multi-run workload runs closed-loop against a
+// 4-shard store at replication factors 1 and 2, first with every replica
+// healthy, then with each shard's primary killed for the whole window. The
+// unreplicated store loses every query the moment its only replica dies —
+// the R=1 kill cells are the 0%-availability baseline — while at R=2 the
+// read path fails over to the followers and availability stays at 100%,
+// at the cost of the failover/hedge/breaker work the counter columns show.
+func Failover(o Options) (*Report, error) {
+	l, d, nRuns := 4, 3, 12
+	window := 2 * time.Second
+	if o.Quick {
+		nRuns, window = 8, 400*time.Millisecond
+	}
+	const shards = 4
+
+	rep := &Report{
+		ID:    "failover",
+		Title: "replica failover: availability and latency through a replica-kill window",
+		Caption: fmt.Sprintf("Closed-loop multi-run lineage queries (INDEXPROJ, parallelism 2,\n"+
+			"%d runs) against a %d-shard in-memory store at replication factors\n"+
+			"1 and 2. In each kill window every shard's primary replica is down\n"+
+			"for the whole %s cell; at r=1 that is the shard's only replica, so\n"+
+			"availability collapses to 0%%, while at r=2 reads fail over to the\n"+
+			"followers. failover/hedge/breaker_open/degraded are the deltas of\n"+
+			"the shard.* counters across the cell.", nRuns, shards, window),
+		Columns: []string{"replicas", "phase", "queries", "ok", "failed", "availability_pct",
+			"p50_ms", "p99_ms", "failover", "hedge", "breaker_open", "degraded"},
+	}
+
+	traces, wf, runIDs, err := failoverTraces(l, d, nRuns)
+	if err != nil {
+		return nil, err
+	}
+	idx := value.Ix(1, 1)
+	focus := FocusedSet()
+	ctx := o.ctx()
+
+	cFailover := obs.C("shard.failover")
+	cHedge := obs.C("shard.hedge")
+	cBreaker := obs.C("shard.breaker_open")
+	cDegraded := obs.C("shard.degraded")
+
+	for _, r := range []int{1, 2} {
+		sh, err := shard.OpenMemoryReplicated(shards, r)
+		if err != nil {
+			return nil, err
+		}
+		// Fail over off a dead or stalled replica quickly; the breaker trips
+		// after two consecutive failures so repeat queries skip the corpse.
+		sh.SetPolicy(resilience.Policy{AttemptTimeout: 25 * time.Millisecond, Retries: 2, Backoff: time.Millisecond})
+		sh.SetBreakerConfig(resilience.BreakerConfig{FailureThreshold: 2, OpenFor: 50 * time.Millisecond})
+		if err := sh.IngestTraces(ctx, traces, store.IngestOptions{Parallelism: 2}); err != nil {
+			sh.Close()
+			return nil, err
+		}
+		ip, err := lineage.NewIndexProj(sh, wf)
+		if err != nil {
+			sh.Close()
+			return nil, err
+		}
+
+		for _, phase := range []string{"healthy", "kill"} {
+			if phase == "kill" {
+				for i := 0; i < shards; i++ {
+					sh.KillReplica(i, 0)
+				}
+			}
+			f0, h0, b0, d0 := cFailover.Load(), cHedge.Load(), cBreaker.Load(), cDegraded.Load()
+			var (
+				ok, failed int
+				lats       []time.Duration
+			)
+			for end := time.Now().Add(window); time.Now().Before(end); {
+				if err := ctx.Err(); err != nil {
+					sh.Close()
+					return nil, err
+				}
+				t0 := time.Now()
+				_, err := ip.LineageMultiRunParallel(ctx, runIDs, gen.FinalName, "product", idx, focus,
+					lineage.MultiRunOptions{Parallelism: 2})
+				if err != nil {
+					failed++
+					continue
+				}
+				ok++
+				lats = append(lats, time.Since(t0))
+			}
+			if phase == "kill" {
+				for i := 0; i < shards; i++ {
+					sh.ReviveReplica(i, 0)
+				}
+			}
+			total := ok + failed
+			avail := 0.0
+			if total > 0 {
+				avail = 100 * float64(ok) / float64(total)
+			}
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprint(r), phase, fmt.Sprint(total), fmt.Sprint(ok), fmt.Sprint(failed),
+				fmt.Sprintf("%.1f", avail),
+				fmt.Sprintf("%.3f", msOf(latQuantile(lats, 0.50))),
+				fmt.Sprintf("%.3f", msOf(latQuantile(lats, 0.99))),
+				fmt.Sprint(cFailover.Load() - f0), fmt.Sprint(cHedge.Load() - h0),
+				fmt.Sprint(cBreaker.Load() - b0), fmt.Sprint(cDegraded.Load() - d0),
+			})
+		}
+		if err := sh.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// failoverTraces executes Testbed(l) nRuns times with list size d and
+// returns the traces, the workflow and the run IDs.
+func failoverTraces(l, d, nRuns int) ([]*trace.Trace, *workflow.Workflow, []string, error) {
+	reg := engine.NewRegistry()
+	gen.RegisterTestbed(reg)
+	eng := engine.New(reg)
+	wf := gen.Testbed(l)
+	traces := make([]*trace.Trace, 0, nRuns)
+	runIDs := make([]string, 0, nRuns)
+	for r := 0; r < nRuns; r++ {
+		runID := fmt.Sprintf("fo%03d", r)
+		_, tr, err := eng.RunTrace(wf, runID, gen.TestbedInputs(d))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		traces = append(traces, tr)
+		runIDs = append(runIDs, runID)
+	}
+	return traces, wf, runIDs, nil
+}
+
+// latQuantile returns the exact q-quantile of the recorded latencies, or 0
+// when none were recorded (e.g. the 0%-availability cells).
+func latQuantile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func msOf(dur time.Duration) float64 { return float64(dur.Nanoseconds()) / 1e6 }

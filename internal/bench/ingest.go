@@ -77,7 +77,7 @@ func Ingest(o Options) (*Report, error) {
 		Caption: fmt.Sprintf("Testbed l=%d, d=%d, %d runs, pre-generated traces; batch = %d rows.\n"+
 			"rows = Table 1 event records stored; every mode loads an identical\n"+
 			"database. speedup is rows/sec over the per-row baseline. flushes and\n"+
-				"flush_ms come from the store's obs counters (per rep / per flush).",
+			"flush_ms come from the store's obs counters (per rep / per flush).",
 			l, d, runs, store.DefaultBatchRows),
 		Columns: []string{"mode", "runs", "rows", "elapsed_ms", "rows_per_sec", "speedup",
 			"flushes", "flush_ms"},

@@ -14,6 +14,12 @@
 //     data is lost, and a crash triggered by a Sync flushes only half of
 //     the pending bytes, producing a torn tail.
 //
+//   - StallAt(n): the n-th operation and every later one block inside the
+//     VFS until Release is called, then proceed normally — this models a
+//     hung disk or NFS mount: the call neither fails nor returns, so only
+//     callers with their own deadlines (replica failover, context-bounded
+//     executors) make progress.
+//
 // A crash-point sweep runs a deterministic workload once to learn the total
 // operation count, then replays it with CrashAt(n) (or FailAt(n)) for every
 // n, reopening the database afterwards and asserting the recovery
@@ -64,6 +70,9 @@ type FS struct {
 	failed  bool
 	crashAt int // 1-based op index from which nothing persists; 0 = disarmed
 	crashed bool
+	stallAt int           // 1-based op index from which ops block; 0 = disarmed
+	stalled int           // ops currently blocked on the gate
+	gate    chan struct{} // closed by Release; nil until armed
 }
 
 // New wraps base with fault injection disarmed.
@@ -85,6 +94,37 @@ func (f *FS) CrashAt(n int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.crashAt = n
+}
+
+// StallAt arms a stall at the n-th counted operation (1-based): that
+// operation and every later one block until Release. Zero disarms (already
+// blocked operations stay blocked until Release).
+func (f *FS) StallAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stallAt = n
+	if n > 0 && f.gate == nil {
+		f.gate = make(chan struct{})
+	}
+}
+
+// Release disarms the stall and unblocks every operation waiting on it.
+func (f *FS) Release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stallAt = 0
+	if f.gate != nil {
+		close(f.gate)
+		f.gate = nil
+	}
+}
+
+// Stalled returns how many operations are currently blocked on the stall
+// gate.
+func (f *FS) Stalled() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stalled
 }
 
 // Ops returns how many counted operations have run.
@@ -111,13 +151,22 @@ func (f *FS) Crashed() bool {
 }
 
 // tick advances the operation counter and resolves what the current
-// operation should do: return an injected error, behave as the first
-// crashed operation (justCrashed), continue in the crashed state, or
-// proceed normally.
+// operation should do: block on an armed stall gate (outside the lock, so
+// Release and other operations proceed), return an injected error, behave as
+// the first crashed operation (justCrashed), continue in the crashed state,
+// or proceed normally.
 func (f *FS) tick(op string) (err error, justCrashed, crashed bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.ops++
+	if f.stallAt > 0 && f.ops >= f.stallAt && f.gate != nil {
+		gate := f.gate
+		f.stalled++
+		f.mu.Unlock()
+		<-gate
+		f.mu.Lock()
+		f.stalled--
+	}
 	if f.failAt > 0 && !f.failed && f.ops >= f.failAt {
 		f.failed = true
 		return &injectedError{op: op, n: f.ops}, false, f.crashed

@@ -1,6 +1,7 @@
 package lineage
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/obs"
@@ -95,14 +96,25 @@ func (ip *IndexProj) colScanner(nRuns int, opt MultiRunOptions) store.ColumnScan
 // chunk of runs, answered from column segments where possible and from the
 // batched row probes for the rest, then one batched value fetch. Binding
 // order per run matches the row path exactly, so results are byte-identical.
-func (ip *IndexProj) executeColScanChunk(result *Result, pr Probe, runIDs []string, cs store.ColumnScanner) error {
+// Column segments load lazily from disk at query time, so threading ctx
+// through (store.ContextColumnScanner) is what bounds a stalled disk here.
+func (ip *IndexProj) executeColScanChunk(ctx context.Context, result *Result, pr Probe, runIDs []string, cs store.ColumnScanner) error {
 	mrColScanChunks.Add(1)
-	byRun, missing, err := cs.ColScanBindings(runIDs, pr.Proc, pr.Port, pr.Index)
+	var (
+		byRun   map[string][]store.Binding
+		missing []string
+		err     error
+	)
+	if ccs, ok := cs.(store.ContextColumnScanner); ok {
+		byRun, missing, err = ccs.ColScanBindingsCtx(ctx, runIDs, pr.Proc, pr.Port, pr.Index)
+	} else {
+		byRun, missing, err = cs.ColScanBindings(runIDs, pr.Proc, pr.Port, pr.Index)
+	}
 	if err != nil {
 		return err
 	}
 	if len(missing) > 0 {
-		sub, err := ip.q.InputBindingsBatch(missing, pr.Proc, pr.Port, pr.Index)
+		sub, err := ip.inputBindingsBatch(ctx, missing, pr.Proc, pr.Port, pr.Index)
 		if err != nil {
 			return err
 		}
@@ -121,7 +133,7 @@ func (ip *IndexProj) executeColScanChunk(result *Result, pr Probe, runIDs []stri
 	if len(staged) == 0 {
 		return nil
 	}
-	vals, err := ip.q.ValuesBatch(refs)
+	vals, err := ip.valuesBatch(ctx, refs)
 	if err != nil {
 		return err
 	}

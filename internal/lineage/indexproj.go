@@ -134,7 +134,7 @@ func (ip *IndexProj) LineageMultiRun(runIDs []string, proc, port string, idx val
 		return nil, err
 	}
 	runIDs = dedupRuns(runIDs)
-	if err := validateRuns(ip.q.HasRun, runIDs); err != nil {
+	if _, _, err := validateRuns(ip.q.HasRun, runIDs, false); err != nil {
 		total.End()
 		return nil, err
 	}

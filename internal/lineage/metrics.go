@@ -28,6 +28,12 @@ var (
 	mrQueryNs = obs.H("lineage.multirun.query_ns")
 	mrMergeNs = obs.H("lineage.multirun.merge_ns")
 	mrTasks   = obs.C("lineage.multirun.tasks")
+	// mrDegraded counts runs answered in degraded mode: a partial-mode
+	// multi-run query proceeded although every replica of the runs' shard was
+	// unavailable. Named in the shard.* family next to failover/hedge/
+	// breaker_open — one dashboard row tells the whole failover story — even
+	// though the executor is what detects the condition.
+	mrDegraded = obs.C("shard.degraded")
 
 	// Shared cross-request plan cache (plancache.go). The per-evaluator
 	// hit/miss counters above keep counting too: they account Compile calls,

@@ -63,7 +63,7 @@ func (n *Naive) Lineage(runID, proc, port string, idx value.Index, focus Focus) 
 func (n *Naive) LineageMultiRun(runIDs []string, proc, port string, idx value.Index, focus Focus) (*Result, error) {
 	total := obs.Start(niQueryNs)
 	runIDs = dedupRuns(runIDs)
-	if err := validateRuns(n.s.HasRun, runIDs); err != nil {
+	if _, _, err := validateRuns(n.s.HasRun, runIDs, false); err != nil {
 		total.End()
 		return nil, err
 	}

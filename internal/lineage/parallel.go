@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/value"
 )
@@ -45,6 +46,15 @@ type MultiRunOptions struct {
 	// The zero value is ColScanAuto: use column segments when the store has
 	// them and the query is large enough to profit.
 	ColScan ColScanMode
+	// Partial enables degraded-mode answers over a replicated sharded store:
+	// when every replica of some shard is unavailable (the failure matches
+	// resilience.ErrUnavailable), the query returns the surviving shards'
+	// entries with the unanswerable runs marked degraded on the Result,
+	// instead of failing whole. Semantic failures (unknown runs, corruption
+	// detected on a healthy replica) still fail the query. Off by default:
+	// a non-partial query over an unavailable shard fails with the joined,
+	// shard-attributed error.
+	Partial bool
 }
 
 func (o MultiRunOptions) normalize() MultiRunOptions {
@@ -115,16 +125,19 @@ func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, ru
 	// Duplicate run IDs would stage every matching binding once per
 	// occurrence (the chunk loop iterates byRun[runID] per occurrence) and
 	// waste probes; unknown runs would silently contribute nothing. Dedup
-	// first, then reject unknown runs with the store's sentinel.
+	// first, then reject unknown runs with the store's sentinel. In partial
+	// mode, runs whose existence cannot even be checked (their shard is
+	// unavailable) are set aside as degraded instead of failing the query.
 	runIDs = dedupRuns(runIDs)
-	if err := validateRuns(ip.q.HasRun, runIDs); err != nil {
+	live, degraded, err := validateRuns(ip.q.HasRun, runIDs, opt.Partial)
+	if err != nil {
 		return nil, err
 	}
 	// The columnar decision is made once per query, not per task: every
 	// chunk of the same query uses the same probe stage, so the answer is
 	// assembled from one consistent path plus the per-run row fallback.
-	cs := ip.colScanner(len(runIDs), opt)
-	chunks := partitionChunks(ip.q, runIDs, opt.BatchSize)
+	cs := ip.colScanner(len(live), opt)
+	chunks := partitionChunks(ip.q, live, opt.BatchSize)
 	tasks := make([]probeChunk, 0, len(plan.Probes)*len(chunks))
 	for _, chunk := range chunks {
 		for _, pr := range plan.Probes {
@@ -133,17 +146,38 @@ func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, ru
 	}
 	mrTasks.Add(int64(len(tasks)))
 
+	// degradeChunk reports whether a chunk failure is absorbable: partial
+	// mode is on and the failure is (only ever) shard unavailability. The
+	// chunk's runs are marked degraded and the query proceeds.
+	degradeChunk := func(res *Result, runs []string, err error) bool {
+		if !opt.Partial || !errors.Is(err, resilience.ErrUnavailable) {
+			return false
+		}
+		res.MarkDegraded(runs...)
+		return true
+	}
+	finish := func(result *Result) *Result {
+		result.MarkDegraded(degraded...)
+		if n := len(result.DegradedRuns()); n > 0 {
+			mrDegraded.Add(int64(n))
+		}
+		return result
+	}
+
 	if opt.Parallelism == 1 || len(tasks) <= 1 {
 		result := NewResult()
 		for _, t := range tasks {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := ip.executeProbeChunk(result, t.probe, t.runs, cs); err != nil {
+			if err := ip.executeProbeChunk(ctx, result, t.probe, t.runs, cs); err != nil {
+				if degradeChunk(result, t.runs, err) {
+					continue
+				}
 				return nil, err
 			}
 		}
-		return result, nil
+		return finish(result), nil
 	}
 
 	workers := opt.Parallelism
@@ -176,7 +210,10 @@ func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, ru
 					errs[w] = err
 					continue
 				}
-				if err := ip.executeProbeChunk(partial, t.probe, t.runs, cs); err != nil {
+				if err := ip.executeProbeChunk(wctx, partial, t.probe, t.runs, cs); err != nil {
+					if degradeChunk(partial, t.runs, err) {
+						continue
+					}
 					errs[w] = err
 					cancel() // first error stops the other workers
 				}
@@ -198,7 +235,7 @@ func (ip *IndexProj) executeMultiRun(ctx context.Context, plan *CompiledPlan, ru
 		result.Merge(partials[w])
 	}
 	msp.End()
-	return result, nil
+	return finish(result), nil
 }
 
 // firstError selects the error to surface from a pool run: a real failure
@@ -233,21 +270,24 @@ func isCancellation(err error) bool {
 // (see executeColScanChunk); otherwise run-by-run for singleton chunks
 // (exactly the sequential single-run executor's store accesses), batched
 // otherwise — one index-range scan stages the bindings of every run, then
-// one batched fetch materializes their values.
-func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string, cs store.ColumnScanner) error {
+// one batched fetch materializes their values. Stores that implement the
+// ctx-bounded querier variants (a replicated sharded store) get the caller's
+// deadline threaded through, so a stalled replica cannot hold the chunk past
+// it.
+func (ip *IndexProj) executeProbeChunk(ctx context.Context, result *Result, pr Probe, runIDs []string, cs store.ColumnScanner) error {
 	sp := obs.Start(ipProbeNs)
 	defer sp.End()
 	ipProbes.Add(1)
 	if cs != nil {
-		return ip.executeColScanChunk(result, pr, runIDs, cs)
+		return ip.executeColScanChunk(ctx, result, pr, runIDs, cs)
 	}
 	if len(runIDs) == 1 {
-		bs, err := ip.q.InputBindings(runIDs[0], pr.Proc, pr.Port, pr.Index)
+		bs, err := ip.inputBindings(ctx, runIDs[0], pr.Proc, pr.Port, pr.Index)
 		if err != nil {
 			return err
 		}
 		for _, b := range bs {
-			v, err := ip.q.Value(b.RunID, b.ValID)
+			v, err := ip.value(ctx, b.RunID, b.ValID)
 			if err != nil {
 				return err
 			}
@@ -256,7 +296,7 @@ func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string
 		return nil
 	}
 
-	byRun, err := ip.q.InputBindingsBatch(runIDs, pr.Proc, pr.Port, pr.Index)
+	byRun, err := ip.inputBindingsBatch(ctx, runIDs, pr.Proc, pr.Port, pr.Index)
 	if err != nil {
 		return err
 	}
@@ -271,7 +311,7 @@ func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string
 	if len(staged) == 0 {
 		return nil
 	}
-	vals, err := ip.q.ValuesBatch(refs)
+	vals, err := ip.valuesBatch(ctx, refs)
 	if err != nil {
 		return err
 	}
@@ -284,6 +324,37 @@ func (ip *IndexProj) executeProbeChunk(result *Result, pr Probe, runIDs []string
 		result.Add(staged[i])
 	}
 	return nil
+}
+
+// The ctx-threading querier helpers: each prefers the store's ctx-bounded
+// variant (store.ContextLineageQuerier) and falls back to the plain method.
+
+func (ip *IndexProj) inputBindings(ctx context.Context, runID, proc, port string, idx value.Index) ([]store.Binding, error) {
+	if cq, ok := ip.q.(store.ContextLineageQuerier); ok {
+		return cq.InputBindingsCtx(ctx, runID, proc, port, idx)
+	}
+	return ip.q.InputBindings(runID, proc, port, idx)
+}
+
+func (ip *IndexProj) inputBindingsBatch(ctx context.Context, runIDs []string, proc, port string, idx value.Index) (map[string][]store.Binding, error) {
+	if cq, ok := ip.q.(store.ContextLineageQuerier); ok {
+		return cq.InputBindingsBatchCtx(ctx, runIDs, proc, port, idx)
+	}
+	return ip.q.InputBindingsBatch(runIDs, proc, port, idx)
+}
+
+func (ip *IndexProj) value(ctx context.Context, runID string, valID int64) (value.Value, error) {
+	if cq, ok := ip.q.(store.ContextLineageQuerier); ok {
+		return cq.ValueCtx(ctx, runID, valID)
+	}
+	return ip.q.Value(runID, valID)
+}
+
+func (ip *IndexProj) valuesBatch(ctx context.Context, refs []store.ValueRef) (map[store.ValueRef]value.Value, error) {
+	if cq, ok := ip.q.(store.ContextLineageQuerier); ok {
+		return cq.ValuesBatchCtx(ctx, refs)
+	}
+	return ip.q.ValuesBatch(refs)
 }
 
 // dedupRuns returns runIDs with duplicates removed, preserving first-seen
@@ -312,18 +383,33 @@ func dedupRuns(runIDs []string) []string {
 // validateRuns rejects unknown runs up front so a multi-run query over a
 // nonexistent run surfaces store.ErrUnknownRun instead of silently returning
 // an empty result. Existence checks are point lookups on the runs table and
-// are not counted as probes.
-func validateRuns(hasRun func(string) (bool, error), runIDs []string) error {
-	for _, r := range runIDs {
+// are not counted as probes. In partial mode, a run whose existence cannot be
+// checked because its shard is unavailable is returned in degraded rather
+// than failing the query; any other check failure — including an unknown
+// run, which is a semantic answer from a healthy shard — still fails it.
+func validateRuns(hasRun func(string) (bool, error), runIDs []string, partial bool) (live, degraded []string, err error) {
+	live = runIDs
+	for i, r := range runIDs {
 		ok, err := hasRun(r)
 		if err != nil {
-			return err
+			if partial && errors.Is(err, resilience.ErrUnavailable) {
+				if len(degraded) == 0 {
+					// First degraded run: switch to a filtered copy.
+					live = append([]string(nil), runIDs[:i]...)
+				}
+				degraded = append(degraded, r)
+				continue
+			}
+			return nil, nil, err
 		}
 		if !ok {
-			return fmt.Errorf("lineage: %w: %q", store.ErrUnknownRun, r)
+			return nil, nil, fmt.Errorf("lineage: %w: %q", store.ErrUnknownRun, r)
+		}
+		if len(degraded) > 0 {
+			live = append(live, r)
 		}
 	}
-	return nil
+	return live, degraded, nil
 }
 
 // partitionChunks forms the executor's run chunks. When the querier

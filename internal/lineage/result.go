@@ -54,9 +54,14 @@ type entryKey struct {
 }
 
 // Result is a set of lineage entries, deduplicated by (run, proc, port,
-// index).
+// index). A partial-mode multi-run query additionally marks the runs it
+// could not answer (every replica of their shard unavailable) as degraded;
+// Equal compares entries only, so a degraded answer still compares equal to
+// the same entries computed healthily — the marker is delivery metadata, not
+// part of the lineage relation.
 type Result struct {
-	entries map[entryKey]Entry
+	entries  map[entryKey]Entry
+	degraded map[string]bool
 }
 
 // NewResult returns an empty result set.
@@ -122,11 +127,41 @@ func (r *Result) Equal(o *Result) bool {
 	return true
 }
 
-// Merge adds every entry of o into r.
+// Merge adds every entry of o into r, and unions the degraded-run sets.
 func (r *Result) Merge(o *Result) {
 	for _, e := range o.entries {
 		r.Add(e)
 	}
+	for run := range o.degraded {
+		r.MarkDegraded(run)
+	}
+}
+
+// MarkDegraded records runs whose answer is missing or incomplete because
+// their shard was unavailable (partial mode).
+func (r *Result) MarkDegraded(runIDs ...string) {
+	if r.degraded == nil {
+		r.degraded = make(map[string]bool)
+	}
+	for _, run := range runIDs {
+		r.degraded[run] = true
+	}
+}
+
+// Degraded reports whether any run's answer is missing or incomplete.
+func (r *Result) Degraded() bool { return len(r.degraded) > 0 }
+
+// DegradedRuns returns the degraded runs, sorted.
+func (r *Result) DegradedRuns() []string {
+	if len(r.degraded) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.degraded))
+	for run := range r.degraded {
+		out = append(out, run)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // String renders the result compactly for diagnostics.

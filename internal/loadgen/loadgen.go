@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -87,6 +88,49 @@ func (r *Result) String() string {
 		r.Quantile(0.50).Round(time.Microsecond),
 		r.Quantile(0.99).Round(time.Microsecond),
 		r.Quantile(0.999).Round(time.Microsecond))
+}
+
+// WaitReady polls baseURL's /readyz until it answers 200, patience runs out,
+// or ctx is cancelled. Connection refused — the server process is still
+// binding its listener — and non-200 readiness answers both count as "not
+// yet", so a generator started alongside a readiness-gated server waits for
+// it instead of erroring on the first request. Patience <= 0 defaults to 10s.
+func WaitReady(ctx context.Context, baseURL string, patience time.Duration) error {
+	if patience <= 0 {
+		patience = 10 * time.Second
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	readyz := strings.TrimRight(baseURL, "/") + "/readyz"
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(patience)
+	var last error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, readyz, nil)
+		if err != nil {
+			return fmt.Errorf("loadgen: bad base URL: %w", err)
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Errorf("readyz answered %d", resp.StatusCode)
+		} else {
+			last = err // connection refused while the listener binds, usually
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: server not ready after %s: %w", patience, last)
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // Run offers load until the duration elapses or ctx is cancelled, then waits

@@ -93,6 +93,17 @@ func (q Query) WriteMultiRunHeader(w io.Writer, runs, parallelism int, res *line
 		q.Direction, DisplayProc(q.Proc), q.Port, q.Idx, q.Focus.Names(), q.Method, runs, parallelism, res.Len())
 }
 
+// WriteDegraded prints the degraded-mode marker of a partial answer: one
+// line naming the runs whose shard was unavailable. Silent for healthy
+// answers, byte-identical between provq and provd.
+func WriteDegraded(w io.Writer, res *lineage.Result) {
+	if !res.Degraded() {
+		return
+	}
+	runs := res.DegradedRuns()
+	fmt.Fprintf(w, "DEGRADED: %d run(s) unavailable: %s\n", len(runs), strings.Join(runs, ", "))
+}
+
 // WriteEntries prints the answer's entries in their canonical order, one
 // indented line each, with the bound element value when values is set —
 // byte-identical to provq's query output.

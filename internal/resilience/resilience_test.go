@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPolicyDoRetries(t *testing.T) {
+	calls := 0
+	err := Policy{Retries: 3, Backoff: time.Microsecond}.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("Do made %d calls, want 3", calls)
+	}
+}
+
+func TestPolicyDoExhaustsBudget(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Policy{Retries: 2, Backoff: time.Microsecond}.Do(context.Background(), func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want %v", err, boom)
+	}
+	if calls != 3 {
+		t.Fatalf("Do made %d calls, want 3 (1 + 2 retries)", calls)
+	}
+}
+
+func TestPolicyDoRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	boom := errors.New("boom")
+	err := Policy{Retries: 100, Backoff: time.Millisecond}.Do(ctx, func() error {
+		calls++
+		cancel()
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want the op's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("Do kept retrying after cancellation: %d calls", calls)
+	}
+}
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.SetClock(c.now)
+	return b, c
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	b, clk := newFakeBreaker(BreakerConfig{FailureThreshold: 3, OpenFor: time.Second})
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker rejected call %d while closed", i)
+		}
+		b.Record(0, boom)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after %d failures = %s, want open", 3, got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call")
+	}
+	clk.advance(time.Second)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after OpenFor = %s, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(time.Millisecond, nil)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newFakeBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Second})
+	boom := errors.New("boom")
+	b.Allow()
+	b.Record(0, boom) // trips
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	b.Record(0, boom) // probe fails: reopen for another full interval
+	if b.Allow() {
+		t.Fatal("breaker allowed a call right after a failed probe")
+	}
+	clk.advance(time.Second / 2)
+	if b.Allow() {
+		t.Fatal("breaker allowed a call halfway through the reopened interval")
+	}
+	clk.advance(time.Second / 2)
+	if !b.Allow() {
+		t.Fatal("breaker never recovered to half-open after the failed probe")
+	}
+}
+
+func TestBreakerSlowCallCounts(t *testing.T) {
+	b, _ := newFakeBreaker(BreakerConfig{FailureThreshold: 2, OpenFor: time.Second, SlowCall: 10 * time.Millisecond})
+	b.Allow()
+	b.Record(20*time.Millisecond, nil) // slow success = failure for tripping
+	b.Allow()
+	b.Record(30*time.Millisecond, nil)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after two slow successes = %s, want open", got)
+	}
+	succ, fails, opens := b.Stats()
+	if succ != 0 || fails != 2 || opens != 1 {
+		t.Fatalf("Stats = (%d, %d, %d), want (0, 2, 1)", succ, fails, opens)
+	}
+}
+
+func TestBreakerAbandonedProbeSuperseded(t *testing.T) {
+	b, clk := newFakeBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Second})
+	b.Allow()
+	b.Record(0, errors.New("boom"))
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the first probe")
+	}
+	// The probe never reports back (stalled call). After another OpenFor the
+	// breaker presumes it lost and admits a replacement.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker never superseded an abandoned probe")
+	}
+}
+
+func TestHedgeTrackerColdAndWarm(t *testing.T) {
+	h := NewHedgeTracker(0)
+	if got := h.Delay(); got != DefaultHedgeDelay {
+		t.Fatalf("cold delay = %s, want default %s", got, DefaultHedgeDelay)
+	}
+	// Warm the window with 1ms latencies: delay converges to 2×p99 = 2ms.
+	for i := 0; i < hedgeWindow; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := h.Delay(); got != 2*time.Millisecond {
+		t.Fatalf("warm delay = %s, want 2ms (2×p99 of a 1ms window)", got)
+	}
+	// A far-outlier tail drags p99 up but the clamp bounds the delay.
+	for i := 0; i < hedgeWindow; i++ {
+		h.Observe(10 * time.Second)
+	}
+	if got := h.Delay(); got != MaxHedgeDelay {
+		t.Fatalf("outlier delay = %s, want clamp %s", got, MaxHedgeDelay)
+	}
+}
+
+func TestUnavailableWrapsMembers(t *testing.T) {
+	inner := errors.New("disk exploded")
+	err := Unavailable("shard 2: all 2 replicas failed",
+		fmt.Errorf("replica 0: %w", inner),
+		errors.New("replica 1: down"))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Unavailable error does not match ErrUnavailable: %v", err)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatalf("Unavailable error lost a member chain: %v", err)
+	}
+}

@@ -20,8 +20,8 @@ var errAdmission = errors.New("server: admission queue full")
 // from absorbing an open-loop overload silently (shed instead of buffer —
 // the rejected counter makes the overload observable).
 type admission struct {
-	slots    chan struct{}
-	maxWait  time.Duration
+	slots   chan struct{}
+	maxWait time.Duration
 }
 
 func newAdmission(inflight int, maxWait time.Duration) *admission {

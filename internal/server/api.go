@@ -14,6 +14,7 @@ import (
 	"repro/internal/lineage"
 	"repro/internal/obs"
 	"repro/internal/queryfmt"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/value"
 )
@@ -28,6 +29,7 @@ type queryRequest struct {
 	batch    int
 	timeout  time.Duration
 	values   bool
+	partial  bool
 	format   string // "text" or "json"
 	q        queryfmt.Query
 }
@@ -101,6 +103,12 @@ func (s *Server) parseQueryRequest(r *http.Request) (*queryRequest, error) {
 	}
 	if req.values, err = boolParam(r, "values", true); err != nil {
 		return nil, err
+	}
+	if req.partial, err = boolParam(r, "partial", false); err != nil {
+		return nil, err
+	}
+	if req.partial && len(req.runIDs) == 0 {
+		return nil, fmt.Errorf("partial answers require a multi-run query (runs=)")
 	}
 	req.timeout = s.cfg.DefaultTimeout
 	if t := r.Form.Get("timeout"); t != "" {
@@ -209,6 +217,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		req.q.WriteHeader(w, res)
 	}
+	queryfmt.WriteDegraded(w, res)
 	queryfmt.WriteEntries(w, res, req.values)
 }
 
@@ -226,7 +235,7 @@ func (s *Server) execute(ctx context.Context, t *tenant, req *queryRequest) (*li
 	}
 	q := req.q
 	if len(req.runIDs) > 0 {
-		opt := lineage.MultiRunOptions{Parallelism: req.parallel, BatchSize: req.batch}
+		opt := lineage.MultiRunOptions{Parallelism: req.parallel, BatchSize: req.batch, Partial: req.partial}
 		return t.sys.LineageMultiRunParallel(ctx, req.method, req.runIDs, q.Proc, q.Port, q.Idx, q.Focus, opt)
 	}
 	// Single-run paths have no context plumbing in core.System; the request
@@ -241,12 +250,17 @@ func (s *Server) execute(ctx context.Context, t *tenant, req *queryRequest) (*li
 }
 
 // writeQueryError maps execution failures onto HTTP statuses: unknown run
-// 404, deadline 504, cancelled 499 (client gone), anything else 500.
+// 404, shard unavailable (every replica down, non-partial query) 503,
+// deadline 504, cancelled 499 (client gone), anything else 500. Unknown-run
+// wins over unavailable when both appear in a joined scatter error — the
+// semantic answer is the more specific diagnosis.
 func writeQueryError(w http.ResponseWriter, err error) {
 	srvErrors.Add(1)
 	switch {
 	case errors.Is(err, store.ErrUnknownRun):
 		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, resilience.ErrUnavailable):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled):
@@ -258,13 +272,15 @@ func writeQueryError(w http.ResponseWriter, err error) {
 
 // jsonAnswer is the format=json response shape.
 type jsonAnswer struct {
-	Direction string      `json:"direction"`
-	Binding   string      `json:"binding"`
-	Focus     []string    `json:"focus"`
-	Method    string      `json:"method"`
-	Runs      int         `json:"runs,omitempty"`
-	Bindings  int         `json:"bindings"`
-	Entries   []jsonEntry `json:"entries"`
+	Direction    string      `json:"direction"`
+	Binding      string      `json:"binding"`
+	Focus        []string    `json:"focus"`
+	Method       string      `json:"method"`
+	Runs         int         `json:"runs,omitempty"`
+	Bindings     int         `json:"bindings"`
+	Degraded     bool        `json:"degraded,omitempty"`
+	DegradedRuns []string    `json:"degraded_runs,omitempty"`
+	Entries      []jsonEntry `json:"entries"`
 }
 
 type jsonEntry struct {
@@ -274,12 +290,14 @@ type jsonEntry struct {
 
 func writeJSONAnswer(w http.ResponseWriter, req *queryRequest, res *lineage.Result) {
 	ans := jsonAnswer{
-		Direction: req.q.Direction,
-		Binding:   fmt.Sprintf("%s:%s%s", queryfmt.DisplayProc(req.q.Proc), req.q.Port, req.q.Idx),
-		Focus:     req.q.Focus.Names(),
-		Method:    req.method.String(),
-		Runs:      len(req.runIDs),
-		Bindings:  res.Len(),
+		Direction:    req.q.Direction,
+		Binding:      fmt.Sprintf("%s:%s%s", queryfmt.DisplayProc(req.q.Proc), req.q.Port, req.q.Idx),
+		Focus:        req.q.Focus.Names(),
+		Method:       req.method.String(),
+		Runs:         len(req.runIDs),
+		Bindings:     res.Len(),
+		Degraded:     res.Degraded(),
+		DegradedRuns: res.DegradedRuns(),
 	}
 	for _, e := range res.Entries() {
 		je := jsonEntry{Binding: e.String()}
@@ -351,11 +369,34 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports readiness: 200 while serving, 503 once draining.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleReadyz reports readiness: 200 "ok" while accepting queries, 503 once
+// draining. Load balancers and loadgen's startup gate poll this; it is the
+// signal that flips during graceful shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ok")
+}
+
+// healthReport is the /healthz response body.
+type healthReport struct {
+	Status  string                           `json:"status"` // "ok" or "draining"
+	Tenants map[string][]store.ReplicaHealth `json:"tenants,omitempty"`
+}
+
+// handleHealthz reports liveness plus detail: always 200 while the process
+// serves HTTP, with a JSON body carrying the drain state and, for every open
+// tenant whose store tracks replicas (a replicated sharded store), the
+// per-replica health rows — role, breaker state, call accounting. Readiness
+// gating belongs to /readyz; this endpoint is for operators asking "which
+// replica is limping".
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rep := healthReport{Status: "ok", Tenants: s.tenants.healthSnapshot()}
+	if s.draining.Load() {
+		rep.Status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
 }

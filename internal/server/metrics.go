@@ -17,12 +17,12 @@ var (
 	srvRequests = obs.C("server.requests")
 	srvAdmitted = obs.C("server.admitted")
 
-	srvRejected      = obs.C("server.rejected")
-	srvRejRatelimit  = obs.C("server.rejected.ratelimit")
-	srvRejAdmission  = obs.C("server.rejected.admission")
-	srvRejDraining   = obs.C("server.rejected.draining")
-	srvErrors        = obs.C("server.errors")
-	srvDrained       = obs.C("server.drained")
+	srvRejected       = obs.C("server.rejected")
+	srvRejRatelimit   = obs.C("server.rejected.ratelimit")
+	srvRejAdmission   = obs.C("server.rejected.admission")
+	srvRejDraining    = obs.C("server.rejected.draining")
+	srvErrors         = obs.C("server.errors")
+	srvDrained        = obs.C("server.drained")
 	srvTenantsOpened  = obs.C("server.tenants.opened")
 	srvTenantsEvicted = obs.C("server.tenants.evicted")
 

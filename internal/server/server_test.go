@@ -163,6 +163,8 @@ func TestServeBadRequests(t *testing.T) {
 		"tenant=t0&runs=r1,r2&binding=workflow:out[]&direction=forward",
 		"tenant=t0&run=r1&binding=workflow:out[]&format=xml",
 		"tenant=t0&run=r1&binding=workflow:out[]&timeout=fast",
+		"tenant=t0&run=r1&binding=workflow:out[]&partial=1",      // partial needs runs=
+		"tenant=t0&runs=r1,r2&binding=workflow:out[]&partial=so", // bad bool
 	} {
 		if status, body := get(t, ts.URL+"/v1/query?"+q); status != http.StatusBadRequest {
 			t.Errorf("query?%s: status %d (want 400), body %q", q, status, body)
@@ -284,8 +286,12 @@ func TestServeDrainMidFlight(t *testing.T) {
 	if status, body := get(t, queryURL(ts.URL, "t0", "run", ids[0], nil)); status != http.StatusServiceUnavailable {
 		t.Errorf("query during drain: status %d, body %s", status, body)
 	}
-	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusServiceUnavailable {
-		t.Errorf("healthz during drain: status %d, want 503", status)
+	if status, _ := get(t, ts.URL+"/readyz"); status != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: status %d, want 503", status)
+	}
+	// Liveness stays 200 during drain; the body says draining.
+	if status, body := get(t, ts.URL+"/healthz"); status != http.StatusOK || !strings.Contains(body, `"draining"`) {
+		t.Errorf("healthz during drain: status %d, body %q, want 200 draining", status, body)
 	}
 	if d := srvRejDraining.Load() - drainingBefore; d < 1 {
 		t.Errorf("server.rejected.draining advanced by %d, want >= 1", d)
@@ -392,7 +398,10 @@ func TestServeRunsAndHealth(t *testing.T) {
 	ids := seedTenant(t, dir, "t0", 4, 2, 1)
 	srv, ts := newTestServer(t, dir, Config{})
 
-	if status, body := get(t, ts.URL+"/healthz"); status != http.StatusOK || body != "ok\n" {
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusOK || body != "ok\n" {
+		t.Errorf("readyz: %d %q", status, body)
+	}
+	if status, body := get(t, ts.URL+"/healthz"); status != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
 		t.Errorf("healthz: %d %q", status, body)
 	}
 	status, body := get(t, ts.URL+"/v1/runs?tenant=t0")
@@ -415,6 +424,39 @@ func TestServeRunsAndHealth(t *testing.T) {
 	}
 	if err := srv.Drain(); err != nil {
 		t.Errorf("second drain: %v", err)
+	}
+}
+
+// TestServePartialMultiRun: partial=1 over a healthy store answers exactly
+// like the non-partial query and carries no degraded marker in either
+// rendering — degradation only surfaces when a replicated shard is down,
+// which the chaos tests in internal/shard exercise at the lineage layer.
+func TestServePartialMultiRun(t *testing.T) {
+	dir := t.TempDir()
+	ids := seedTenant(t, dir, "t0", 4, 2, 2)
+	_, ts := newTestServer(t, dir, Config{})
+
+	runs := strings.Join(ids, ",")
+	status, full := get(t, queryURL(ts.URL, "t0", "runs", runs, nil))
+	if status != http.StatusOK {
+		t.Fatalf("multi-run query: %d %s", status, full)
+	}
+	status, partial := get(t, queryURL(ts.URL, "t0", "runs", runs, url.Values{"partial": {"1"}}))
+	if status != http.StatusOK {
+		t.Fatalf("partial multi-run query: %d %s", status, partial)
+	}
+	if partial != full {
+		t.Errorf("partial answer over a healthy store diverges:\n%s\nvs\n%s", partial, full)
+	}
+	if strings.Contains(partial, "DEGRADED") {
+		t.Errorf("healthy partial answer carries a degraded marker:\n%s", partial)
+	}
+	status, body := get(t, queryURL(ts.URL, "t0", "runs", runs, url.Values{"partial": {"1"}, "format": {"json"}}))
+	if status != http.StatusOK {
+		t.Fatalf("partial json query: %d %s", status, body)
+	}
+	if strings.Contains(body, `"degraded"`) {
+		t.Errorf("healthy json answer sets degraded fields:\n%s", body)
 	}
 }
 

@@ -152,6 +152,34 @@ func (m *tenantManager) openCount() int {
 	return len(m.tenants)
 }
 
+// healthSnapshot returns the per-replica health rows of every open tenant
+// whose store reports them (store.HealthReporter). Tenants on single-engine
+// stores are omitted — liveness is all there is to say about them.
+func (m *tenantManager) healthSnapshot() map[string][]store.ReplicaHealth {
+	m.mu.Lock()
+	type probe struct {
+		t  *tenant
+		hr store.HealthReporter
+	}
+	probes := make([]probe, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		if hr, ok := t.sys.Store().(store.HealthReporter); ok {
+			t.refs++ // hold the handle so eviction cannot close it mid-report
+			probes = append(probes, probe{t: t, hr: hr})
+		}
+	}
+	m.mu.Unlock()
+	if len(probes) == 0 {
+		return nil
+	}
+	out := make(map[string][]store.ReplicaHealth, len(probes))
+	for _, p := range probes {
+		out[p.t.name] = p.hr.ReplicaHealth()
+		m.release(p.t)
+	}
+	return out
+}
+
 // closeAll checkpoints and closes every open tenant and refuses further
 // acquires. The server calls it after the drain barrier, so no tenant has
 // in-flight references.

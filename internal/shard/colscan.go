@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/store"
@@ -14,33 +15,44 @@ import (
 // already partition-pruned (PartitionRuns), so in practice every
 // ColScanBindings call lands on exactly one shard and scans only that
 // shard's segments — the composition of PR 5's pruning with the columnar
-// projection.
+// projection. Like the row probes, columnar probes read through the shard's
+// replica set with hedging.
 
-var _ store.ColumnScanner = (*ShardedStore)(nil)
+var (
+	_ store.ColumnScanner        = (*ShardedStore)(nil)
+	_ store.ContextColumnScanner = (*ShardedStore)(nil)
+)
 
 // ColScanBindings implements store.ColumnScanner by scatter-gather over the
 // owning shards; missing lists (runs that must use the row path) concatenate
 // across shards.
 func (s *ShardedStore) ColScanBindings(runIDs []string, proc, port string, idx value.Index) (map[string][]store.Binding, []string, error) {
+	return s.ColScanBindingsCtx(context.Background(), runIDs, proc, port, idx)
+}
+
+// ColScanBindingsCtx is the ctx-bounded columnar probe; column-segment loads
+// go through the VFS at query time, so the ctx bound is what keeps a stalled
+// disk from holding a query past its deadline.
+func (s *ShardedStore) ColScanBindingsCtx(ctx context.Context, runIDs []string, proc, port string, idx value.Index) (map[string][]store.Binding, []string, error) {
 	out := make(map[string][]store.Binding, len(runIDs))
 	if len(runIDs) == 0 {
 		return out, nil, nil
 	}
 	groups := s.groupRuns(runIDs)
-	if len(groups) == 1 {
-		for i, runs := range groups {
-			s.noteScatter(1, []int{i})
-			return s.shards[i].ColScanBindings(runs, proc, port, idx)
-		}
+	type colRes struct {
+		m    map[string][]store.Binding
+		miss []string
 	}
-	parts := make([]map[string][]store.Binding, len(s.shards))
-	missParts := make([][]string, len(s.shards))
-	err := s.eachShard(groups, func(i int, runs []string) error {
-		m, miss, err := s.shards[i].ColScanBindings(runs, proc, port, idx)
+	parts := make([]colRes, len(s.replicaSets))
+	err := eachShard(s, ctx, groups, func(ctx context.Context, i int, runs []string) error {
+		r, err := replicaRead(ctx, s.replicaSets[i], true, func(st *store.Store) (colRes, error) {
+			m, miss, err := st.ColScanBindings(runs, proc, port, idx)
+			return colRes{m: m, miss: miss}, err
+		})
 		if err != nil {
 			return err
 		}
-		parts[i], missParts[i] = m, miss
+		parts[i] = r
 		return nil
 	})
 	if err != nil {
@@ -48,10 +60,10 @@ func (s *ShardedStore) ColScanBindings(runIDs []string, proc, port string, idx v
 	}
 	var missing []string
 	for i := range parts {
-		for r, bs := range parts[i] {
+		for r, bs := range parts[i].m {
 			out[r] = bs
 		}
-		missing = append(missing, missParts[i]...)
+		missing = append(missing, parts[i].miss...)
 	}
 	return out, missing, nil
 }
@@ -59,15 +71,15 @@ func (s *ShardedStore) ColScanBindings(runIDs []string, proc, port string, idx v
 // ColScanAvailable reports whether any shard has column segments.
 func (s *ShardedStore) ColScanAvailable() bool {
 	// Shards answer from in-memory state or one directory stat each; ask
-	// them concurrently and take the OR.
-	results := make([]bool, len(s.shards))
+	// the primaries concurrently and take the OR.
+	results := make([]bool, len(s.replicaSets))
 	var wg sync.WaitGroup
-	for i, st := range s.shards {
+	for i := range s.replicaSets {
 		wg.Add(1)
 		go func(i int, st *store.Store) {
 			defer wg.Done()
 			results[i] = st.ColScanAvailable()
-		}(i, st)
+		}(i, s.primary(i))
 	}
 	wg.Wait()
 	for _, ok := range results {

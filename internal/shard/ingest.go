@@ -2,6 +2,8 @@ package shard
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -11,44 +13,75 @@ import (
 
 // This file implements the sharded write path and the administrative
 // operations. Writers route to the owning shard; bulk ingest groups its
-// tasks by owning shard and runs one store-level Ingest per shard
-// concurrently. Because every shard is an independent engine with its own
-// lock, per-shard ingests never serialize against each other — this is the
-// sharded store's ingest win: N group-committing writers instead of one.
+// tasks by owning shard and runs one ingest pool per shard concurrently.
+// Because every shard is an independent engine with its own lock, per-shard
+// ingests never serialize against each other — this is the sharded store's
+// ingest win: N group-committing writers instead of one.
+//
+// With replication (R > 1) bulk ingest dual-writes: each run's events fan
+// out through a trace.MultiCollector to a buffered writer on every replica
+// of the owning shard, so followers are populated inline instead of waiting
+// for the next checkpoint's catch-up copy. Single-run writers
+// (NewRunWriter / NewBufferedRunWriter) hand the caller a live collector
+// bound to one engine, so they land on the primary only and followers
+// converge at the next Checkpoint.
 
-// NewRunWriter registers a run on its owning shard and returns an
-// unbuffered collector.
+// NewRunWriter registers a run on its owning shard's primary and returns an
+// unbuffered collector. With R > 1 the followers converge at the next
+// Checkpoint (or Open) via catch-up copy.
 func (s *ShardedStore) NewRunWriter(runID, workflowName string) (*store.RunWriter, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].NewRunWriter(runID, workflowName)
+	return s.primary(i).NewRunWriter(runID, workflowName)
 }
 
-// NewBufferedRunWriter registers a run on its owning shard and returns a
-// batching collector.
+// NewBufferedRunWriter registers a run on its owning shard's primary and
+// returns a batching collector; followers converge at the next Checkpoint.
 func (s *ShardedStore) NewBufferedRunWriter(ctx context.Context, runID, workflowName string, batchRows int) (*store.RunWriter, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].NewBufferedRunWriter(ctx, runID, workflowName, batchRows)
+	return s.primary(i).NewBufferedRunWriter(ctx, runID, workflowName, batchRows)
 }
 
-// StoreTrace persists one complete in-memory trace on its owning shard.
+// StoreTrace persists one complete in-memory trace on every replica of its
+// owning shard (primary first; follower writes retry per the resilience
+// policy). If any replica fails, the run is rolled back everywhere and the
+// joined, replica-attributed error is returned.
 func (s *ShardedStore) StoreTrace(t *trace.Trace) error {
 	i := s.ring.owner(t.RunID)
 	s.noteRouted(i)
-	return s.shards[i].StoreTrace(t)
+	rs := s.replicaSets[i]
+	if err := rs.reps[0].st.StoreTrace(t); err != nil {
+		return shardErr(i, err)
+	}
+	pol := s.policy
+	var errs []error
+	for j := 1; j < len(rs.reps); j++ {
+		f := rs.reps[j].st
+		if err := pol.Do(nil, func() error { return f.StoreTrace(t) }); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d replica %d: %w", i, j, err))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	for _, rep := range rs.reps {
+		rep.st.DeleteRun(t.RunID) // best-effort rollback; strays also fixed at checkpoint
+	}
+	return errors.Join(errs...)
 }
 
 // Ingest loads the tasks' runs concurrently, grouped by owning shard: each
-// shard ingests its group through its own store-level worker pool, and the
-// groups run concurrently against independent engines. The requested
-// parallelism is divided across the shards actually touched (at least one
-// worker per shard), so total in-flight writers stay close to the caller's
-// budget while every shard makes progress. CheckpointEveryRuns applies per
-// shard — each durable shard checkpoints after every N of its own completed
-// runs, so each shard's WAL (and its crash-replay work) stays bounded by N
-// runs of events, and each periodic snapshot covers one shard's ~1/Nth of
-// the data instead of the whole store.
+// shard ingests its group through its own worker pool, and the groups run
+// concurrently against independent engines. The requested parallelism is
+// divided across the shards actually touched (at least one worker per
+// shard), so total in-flight writers stay close to the caller's budget while
+// every shard makes progress. CheckpointEveryRuns applies per shard — each
+// durable shard checkpoints after every N of its own completed runs, so each
+// shard's WAL (and its crash-replay work) stays bounded by N runs of events,
+// and each periodic snapshot covers one shard's ~1/Nth of the data instead
+// of the whole store. With R > 1, each run dual-writes to every replica of
+// its shard and the checkpoint cadence checkpoints the whole replica set.
 func (s *ShardedStore) Ingest(ctx context.Context, tasks []store.IngestTask, opt store.IngestOptions) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -61,7 +94,7 @@ func (s *ShardedStore) Ingest(ctx context.Context, tasks []store.IngestTask, opt
 	if len(groups) <= 1 {
 		for i, g := range groups {
 			s.noteRouted(i)
-			return s.shards[i].Ingest(ctx, g, opt)
+			return shardErr(i, s.ingestShard(ctx, i, g, opt))
 		}
 		return nil
 	}
@@ -92,12 +125,139 @@ func (s *ShardedStore) Ingest(ctx context.Context, tasks []store.IngestTask, opt
 		wg.Add(1)
 		go func(k, i int) {
 			defer wg.Done()
-			if err := s.shards[i].Ingest(wctx, groups[i], perShard); err != nil {
-				errs[k] = err
+			if err := s.ingestShard(wctx, i, groups[i], perShard); err != nil {
+				errs[k] = shardErr(i, err)
 				cancel()
 			}
 		}(k, i)
 	}
+	wg.Wait()
+	return store.FirstError(ctx, errs)
+}
+
+// ingestShard ingests one shard's task group. Unreplicated shards delegate
+// to the store-level pool; replicated shards run the dual-writing pool.
+func (s *ShardedStore) ingestShard(ctx context.Context, i int, tasks []store.IngestTask, opt store.IngestOptions) error {
+	rs := s.replicaSets[i]
+	if len(rs.reps) == 1 {
+		return rs.reps[0].st.Ingest(ctx, tasks, opt)
+	}
+	return s.ingestReplicated(ctx, rs, tasks, opt)
+}
+
+// ingestReplicated is the R>1 ingest pool for one shard: every run's events
+// tee through a trace.MultiCollector into a buffered writer on each replica,
+// so all copies commit the run before the task counts as done. A failed run
+// is rolled back on every replica. The checkpoint cadence checkpoints the
+// whole replica set together.
+func (s *ShardedStore) ingestReplicated(ctx context.Context, rs *replicaSet, tasks []store.IngestTask, opt store.IngestOptions) error {
+	o := opt
+	if o.Parallelism == 0 {
+		o.Parallelism = store.DefaultIngestParallelism
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+
+	var (
+		ckptMu sync.Mutex
+		done   int
+	)
+	maybeCheckpoint := func() error {
+		if o.CheckpointEveryRuns <= 0 {
+			return nil
+		}
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		done++
+		if done%o.CheckpointEveryRuns != 0 {
+			return nil
+		}
+		var errs []error
+		for j, rep := range rs.reps {
+			if err := rep.st.Checkpoint(); err != nil {
+				errs = append(errs, fmt.Errorf("replica %d: %w", j, err))
+			}
+		}
+		return errors.Join(errs...)
+	}
+
+	ingestOne := func(t store.IngestTask) error {
+		ws := make([]*store.RunWriter, 0, len(rs.reps))
+		mc := make(trace.MultiCollector, 0, len(rs.reps))
+		rollback := func() {
+			for _, rep := range rs.reps {
+				rep.st.DeleteRun(t.RunID)
+			}
+		}
+		for j, rep := range rs.reps {
+			w, err := rep.st.NewBufferedRunWriter(ctx, t.RunID, t.Workflow, o.BatchRows)
+			if err != nil {
+				rollback()
+				return fmt.Errorf("replica %d: ingesting run %q: %w", j, t.RunID, err)
+			}
+			ws = append(ws, w)
+			mc = append(mc, w)
+		}
+		if err := t.Emit(mc); err != nil {
+			rollback()
+			return fmt.Errorf("ingesting run %q: %w", t.RunID, err)
+		}
+		var errs []error
+		for j, w := range ws {
+			if err := w.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("replica %d: ingesting run %q: %w", j, t.RunID, err))
+			}
+		}
+		if len(errs) > 0 {
+			rollback()
+			return errors.Join(errs...)
+		}
+		return maybeCheckpoint()
+	}
+
+	if o.Parallelism == 1 {
+		for _, t := range tasks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := ingestOne(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	taskC := make(chan store.IngestTask)
+	errs := make([]error, o.Parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for t := range taskC {
+				if wctx.Err() != nil {
+					return
+				}
+				if err := ingestOne(t); err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+feed:
+	for _, t := range tasks {
+		select {
+		case taskC <- t:
+		case <-wctx.Done():
+			break feed
+		}
+	}
+	close(taskC)
 	wg.Wait()
 	return store.FirstError(ctx, errs)
 }
@@ -108,13 +268,16 @@ func (s *ShardedStore) IngestTraces(ctx context.Context, traces []*trace.Trace, 
 }
 
 // ListRuns returns all stored runs across every shard, sorted by run ID so
-// the merged listing is deterministic regardless of shard layout.
+// the merged listing is deterministic regardless of shard layout. Each
+// shard's listing reads through its replica set (failover, no hedging).
 func (s *ShardedStore) ListRuns() ([]store.RunInfo, error) {
 	var out []store.RunInfo
-	for _, st := range s.shards {
-		runs, err := st.ListRuns()
+	for i, rs := range s.replicaSets {
+		runs, err := replicaRead(context.Background(), rs, false, func(st *store.Store) ([]store.RunInfo, error) {
+			return st.ListRuns()
+		})
 		if err != nil {
-			return nil, err
+			return nil, shardErr(i, err)
 		}
 		out = append(out, runs...)
 	}
@@ -126,10 +289,12 @@ func (s *ShardedStore) ListRuns() ([]store.RunInfo, error) {
 // sorted.
 func (s *ShardedStore) RunsOf(workflow string) ([]string, error) {
 	var out []string
-	for _, st := range s.shards {
-		runs, err := st.RunsOf(workflow)
+	for i, rs := range s.replicaSets {
+		runs, err := replicaRead(context.Background(), rs, false, func(st *store.Store) ([]string, error) {
+			return st.RunsOf(workflow)
+		})
 		if err != nil {
-			return nil, err
+			return nil, shardErr(i, err)
 		}
 		out = append(out, runs...)
 	}
@@ -140,17 +305,29 @@ func (s *ShardedStore) RunsOf(workflow string) ([]string, error) {
 // RecordCounts reports per-table event rows for a run — or, with runID "",
 // summed across every shard.
 func (s *ShardedStore) RecordCounts(runID string) (xformIn, xformOut, xfers int, err error) {
-	if runID != "" {
-		return s.shards[s.ring.owner(runID)].RecordCounts(runID)
+	type counts struct{ in, out, xf int }
+	count := func(i int, run string) (counts, error) {
+		return replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) (counts, error) {
+			in, out, xf, err := st.RecordCounts(run)
+			return counts{in, out, xf}, err
+		})
 	}
-	for _, st := range s.shards {
-		in, out, xf, err := st.RecordCounts("")
+	if runID != "" {
+		i := s.ring.owner(runID)
+		c, err := count(i, runID)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, shardErr(i, err)
 		}
-		xformIn += in
-		xformOut += out
-		xfers += xf
+		return c.in, c.out, c.xf, nil
+	}
+	for i := range s.replicaSets {
+		c, err := count(i, "")
+		if err != nil {
+			return 0, 0, 0, shardErr(i, err)
+		}
+		xformIn += c.in
+		xformOut += c.out
+		xfers += c.xf
 	}
 	return xformIn, xformOut, xfers, nil
 }
@@ -161,9 +338,23 @@ func (s *ShardedStore) TotalRecords(runID string) (int, error) {
 	return in + out + xf, err
 }
 
-// DeleteRun removes every record of a run from its owning shard.
+// DeleteRun removes every record of a run from every replica of its owning
+// shard; per-replica failures are joined. The returned count is the
+// primary's.
 func (s *ShardedStore) DeleteRun(runID string) (int, error) {
-	return s.shards[s.ring.owner(runID)].DeleteRun(runID)
+	i := s.ring.owner(runID)
+	rs := s.replicaSets[i]
+	n, err := rs.reps[0].st.DeleteRun(runID)
+	var errs []error
+	if err != nil {
+		errs = append(errs, fmt.Errorf("shard %d replica 0: %w", i, err))
+	}
+	for j := 1; j < len(rs.reps); j++ {
+		if _, err := rs.reps[j].st.DeleteRun(runID); err != nil && !errors.Is(err, store.ErrUnknownRun) {
+			errs = append(errs, fmt.Errorf("shard %d replica %d: %w", i, j, err))
+		}
+	}
+	return n, errors.Join(errs...)
 }
 
 var _ store.Backend = (*ShardedStore)(nil)

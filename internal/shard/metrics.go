@@ -22,6 +22,15 @@ var (
 	obsScatterOps = obs.C("shard.scatter_ops")
 	// obsRouted counts single-run operations routed directly to one shard.
 	obsRouted = obs.C("shard.routed_ops")
+	// obsFailover counts read attempts moved to another replica after a
+	// failure or a stalled attempt timeout.
+	obsFailover = obs.C("shard.failover")
+	// obsHedge counts hedged probes: redundant follower attempts fired on
+	// tail latency alone, before the primary attempt failed.
+	obsHedge = obs.C("shard.hedge")
+	// obsBreakerOpen counts replicas skipped in preference order because
+	// their circuit breaker was open.
+	obsBreakerOpen = obs.C("shard.breaker_open")
 )
 
 // counterHandle is a pre-resolved per-shard counter.

@@ -1,0 +1,364 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/store"
+)
+
+// This file implements the replica set: the R store.Store copies behind one
+// logical shard and the resilient read path over them. Reads are
+// primary-preferred — the primary holds the freshest data (single-run
+// writers land there first; followers catch up at checkpoints) — and fail
+// over to followers when the primary errors, its breaker is open, or an
+// attempt stalls past the policy's attempt timeout. Batched scatter probes
+// additionally hedge: a follower attempt fires after a p99-based delay even
+// without a failure, so one slow replica stops defining the query's tail.
+//
+// Store calls are synchronous and cannot be interrupted, so a stalled
+// attempt is abandoned, not cancelled: the caller moves on (next replica, or
+// the context's deadline) while the attempt finishes in a background
+// goroutine whose result lands in a buffered channel and whose latency and
+// error still feed the replica's breaker.
+
+// errReplicaKilled is what calls against a chaos-killed replica fail with.
+var errReplicaKilled = errors.New("shard: replica killed (chaos)")
+
+// replica is one physical copy of a logical shard.
+type replica struct {
+	st *store.Store
+	br *resilience.Breaker
+
+	// Chaos hooks, used by failure drills, the chaos harness and the
+	// failover experiment: down forces every call to fail fast; gate, when
+	// non-nil, blocks every call until the channel is closed.
+	down atomic.Bool
+	gate atomic.Pointer[chan struct{}]
+}
+
+// call runs fn against this replica, honoring the chaos hooks and feeding
+// the breaker. A store.ErrUnknownRun is a correct answer from a healthy
+// replica, not a fault — it feeds the breaker as a success.
+func (r *replica) call(fn func(*store.Store) (any, error)) (any, error) {
+	if gp := r.gate.Load(); gp != nil {
+		<-*gp
+	}
+	if r.down.Load() {
+		r.br.Record(0, errReplicaKilled)
+		return nil, errReplicaKilled
+	}
+	t0 := time.Now()
+	v, err := fn(r.st)
+	d := time.Since(t0)
+	if err != nil && errors.Is(err, store.ErrUnknownRun) {
+		r.br.Record(d, nil)
+	} else {
+		r.br.Record(d, err)
+	}
+	return v, err
+}
+
+// replicaSet is the resilient face of one logical shard.
+type replicaSet struct {
+	owner *ShardedStore
+	shard int
+	reps  []*replica // reps[0] is the primary
+	hedge *resilience.HedgeTracker
+}
+
+func (rs *replicaSet) primary() *store.Store { return rs.reps[0].st }
+
+// isSemantic reports whether an error is a correct per-run answer rather
+// than a replica fault; semantic errors from the primary surface immediately
+// instead of triggering failover (a follower cannot answer them better — at
+// best it is stale and wrong).
+func isSemantic(err error) bool {
+	return errors.Is(err, store.ErrUnknownRun) || errors.Is(err, store.ErrDuplicateRun)
+}
+
+// unavailable wraps the accumulated attempt errors into the shard's
+// "all replicas exhausted" failure.
+func (rs *replicaSet) unavailable(attempts []error) error {
+	return resilience.Unavailable(
+		fmt.Sprintf("shard %d: all %d replica(s) unavailable", rs.shard, len(rs.reps)),
+		attempts...)
+}
+
+type attemptRes struct {
+	i   int
+	v   any
+	err error
+}
+
+// read runs fn against the replica set: primary first, failover on
+// error/breaker-open/stall, optional hedging. The single-replica,
+// no-deadline case runs inline (no goroutine) — the common unreplicated
+// configuration pays nothing for the machinery.
+func (rs *replicaSet) read(ctx context.Context, hedged bool, fn func(*store.Store) (any, error)) (any, error) {
+	if len(rs.reps) == 1 && (ctx == nil || ctx.Done() == nil) {
+		v, err := rs.reps[0].call(fn)
+		if err == nil || isSemantic(err) {
+			return v, err
+		}
+		return nil, rs.unavailable([]error{fmt.Errorf("replica 0: %w", err)})
+	}
+	return rs.readEngine(ctx, hedged, fn)
+}
+
+func (rs *replicaSet) readEngine(ctx context.Context, hedged bool, fn func(*store.Store) (any, error)) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pol := rs.owner.policy
+	ch := make(chan attemptRes, len(rs.reps)) // buffered: abandoned attempts drain without a reader
+	var (
+		next     int   // next replica in preference order
+		skipped  []int // breaker-open replicas, kept as last resorts
+		launched int
+		pending  int
+		errs     []error
+	)
+	// candidate returns the next replica worth trying: preference order,
+	// breaker-open ones deferred to the end (total unavailability is worse
+	// than probing a tripped breaker).
+	candidate := func() int {
+		for next < len(rs.reps) {
+			i := next
+			next++
+			if rs.reps[i].br.Allow() {
+				return i
+			}
+			obsBreakerOpen.Add(1)
+			skipped = append(skipped, i)
+		}
+		if len(skipped) > 0 {
+			i := skipped[0]
+			skipped = skipped[1:]
+			return i
+		}
+		return -1
+	}
+	launch := func(i int) {
+		launched++
+		pending++
+		go func() {
+			v, err := rs.reps[i].call(fn)
+			ch <- attemptRes{i: i, v: v, err: err}
+		}()
+	}
+
+	launch(candidate()) // always >= 0: every replica is at worst a last resort
+
+	var hedgeC <-chan time.Time
+	if hedged && rs.owner.hedgeOn && len(rs.reps) > 1 {
+		ht := time.NewTimer(rs.hedge.Delay())
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	attemptT := time.NewTimer(pol.AttemptTimeout)
+	defer attemptT.Stop()
+	resetAttempt := func() {
+		if !attemptT.Stop() {
+			select {
+			case <-attemptT.C:
+			default:
+			}
+		}
+		attemptT.Reset(pol.AttemptTimeout)
+	}
+	var opC <-chan time.Time
+	if _, ok := ctx.Deadline(); !ok {
+		ot := time.NewTimer(pol.OpTimeout)
+		defer ot.Stop()
+		opC = ot.C
+	}
+
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return r.v, nil
+			}
+			if r.i == 0 && isSemantic(r.err) {
+				return nil, r.err
+			}
+			errs = append(errs, fmt.Errorf("replica %d: %w", r.i, r.err))
+			if i := candidate(); i >= 0 {
+				obsFailover.Add(1)
+				launch(i)
+				resetAttempt()
+			} else if pending == 0 {
+				return nil, rs.unavailable(errs)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if i := candidate(); i >= 0 {
+				obsHedge.Add(1)
+				launch(i)
+			}
+		case <-attemptT.C:
+			if i := candidate(); i >= 0 {
+				obsFailover.Add(1)
+				launch(i)
+				resetAttempt()
+			}
+			// Nothing left to try: wait for a pending attempt, the operation
+			// bound, or the caller's deadline.
+		case <-opC:
+			return nil, rs.unavailable(append(errs,
+				fmt.Errorf("shard %d: operation timeout after %s with %d attempt(s) in flight", rs.shard, pol.OpTimeout, pending)))
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// replicaRead is the typed wrapper every query path goes through.
+func replicaRead[T any](ctx context.Context, rs *replicaSet, hedged bool, fn func(*store.Store) (T, error)) (T, error) {
+	t0 := time.Now()
+	v, err := rs.read(ctx, hedged, func(st *store.Store) (any, error) { return fn(st) })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	rs.hedge.Observe(time.Since(t0))
+	return v.(T), nil
+}
+
+// syncFollowers brings every follower to the primary's run set by checkpoint
+// copy: runs missing on a follower are copied whole (LoadTrace from the
+// primary, StoreTrace into the follower); runs the primary no longer has are
+// deleted. It runs at open and at every Checkpoint, so single-run writers —
+// which land on the primary only, because they hand the engine a live
+// collector — converge by the next checkpoint.
+func (rs *replicaSet) syncFollowers() error {
+	if len(rs.reps) == 1 {
+		return nil
+	}
+	pri := rs.primary()
+	priRuns, err := pri.ListRuns()
+	if err != nil {
+		return fmt.Errorf("shard %d: listing primary runs: %w", rs.shard, err)
+	}
+	want := make(map[string]bool, len(priRuns))
+	for _, ri := range priRuns {
+		want[ri.RunID] = true
+	}
+	pol := rs.owner.policy
+	var errs []error
+	for j := 1; j < len(rs.reps); j++ {
+		f := rs.reps[j].st
+		fRuns, err := f.ListRuns()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %d replica %d: listing runs: %w", rs.shard, j, err))
+			continue
+		}
+		have := make(map[string]bool, len(fRuns))
+		for _, ri := range fRuns {
+			have[ri.RunID] = true
+			if !want[ri.RunID] {
+				if _, err := f.DeleteRun(ri.RunID); err != nil {
+					errs = append(errs, fmt.Errorf("shard %d replica %d: deleting stray run %q: %w", rs.shard, j, ri.RunID, err))
+				}
+			}
+		}
+		for _, ri := range priRuns {
+			if have[ri.RunID] {
+				continue
+			}
+			tr, err := pri.LoadTrace(ri.RunID)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: loading run %q for catch-up: %w", rs.shard, ri.RunID, err))
+				continue
+			}
+			if err := pol.Do(nil, func() error { return f.StoreTrace(tr) }); err != nil {
+				errs = append(errs, fmt.Errorf("shard %d replica %d: catching up run %q: %w", rs.shard, j, ri.RunID, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- chaos / failure-drill surface -----------------------------------------
+
+// KillReplica forces every call against one replica of one shard to fail
+// fast until ReviveReplica. The chaos harness and the failover experiment
+// use it to simulate a dead replica process.
+func (s *ShardedStore) KillReplica(shard, replica int) {
+	s.replicaSets[shard].reps[replica].down.Store(true)
+}
+
+// ReviveReplica undoes KillReplica. The replica's breaker recovers on its
+// own through a half-open probe.
+func (s *ShardedStore) ReviveReplica(shard, replica int) {
+	s.replicaSets[shard].reps[replica].down.Store(false)
+}
+
+// StallReplica blocks every call against one replica until the returned
+// release function runs (idempotent). It simulates a hung disk: the call
+// neither fails nor returns, so only deadlines and failover make progress.
+func (s *ShardedStore) StallReplica(shard, replica int) (release func()) {
+	gate := make(chan struct{})
+	rep := s.replicaSets[shard].reps[replica]
+	rep.gate.Store(&gate)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			rep.gate.CompareAndSwap(&gate, nil)
+			close(gate)
+		})
+	}
+}
+
+// SetPolicy replaces the resilience policy (attempt/operation timeouts,
+// write retries). Zero fields take the package defaults.
+func (s *ShardedStore) SetPolicy(p resilience.Policy) { s.policy = p.Normalized() }
+
+// SetHedging enables or disables hedged scatter probes.
+func (s *ShardedStore) SetHedging(on bool) { s.hedgeOn = on }
+
+// SetBreakerConfig replaces every replica's breaker with a fresh one built
+// from cfg. Intended for configuration before traffic (tests, drills):
+// accumulated breaker state is discarded.
+func (s *ShardedStore) SetBreakerConfig(cfg resilience.BreakerConfig) {
+	for _, rs := range s.replicaSets {
+		for _, rep := range rs.reps {
+			rep.br = resilience.NewBreaker(cfg)
+		}
+	}
+}
+
+// ReplicaHealth implements store.HealthReporter: one row per replica with
+// its role, breaker state and call accounting. provd's /healthz renders it.
+func (s *ShardedStore) ReplicaHealth() []store.ReplicaHealth {
+	out := make([]store.ReplicaHealth, 0, len(s.replicaSets)*s.manifest.Replicas)
+	for i, rs := range s.replicaSets {
+		for j, rep := range rs.reps {
+			role := "primary"
+			if j > 0 {
+				role = "follower"
+			}
+			succ, fail, opens := rep.br.Stats()
+			out = append(out, store.ReplicaHealth{
+				Shard:     i,
+				Replica:   j,
+				Role:      role,
+				Breaker:   rep.br.State(),
+				Down:      rep.down.Load(),
+				Successes: succ,
+				Failures:  fail,
+				Trips:     opens,
+			})
+		}
+	}
+	return out
+}
+
+var _ store.HealthReporter = (*ShardedStore)(nil)

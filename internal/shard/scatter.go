@@ -1,6 +1,9 @@
 package shard
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -21,12 +24,29 @@ import (
 // are oblivious — they talk to a store.LineageQuerier either way — so
 // ExecuteMultiRun's worker pool gets cross-shard parallelism inside every
 // single batched probe, on top of its own probe-level parallelism.
+//
+// Every read goes through the shard's replica set (replica.go): primary-
+// preferred with failover, scatter probes hedged. Per-shard failures are
+// annotated with their shard index and aggregated with errors.Join, so a
+// multi-shard failure reports every failing shard — and the sentinel chains
+// (reldb.ErrCorrupt, store.ErrUnknownRun, resilience.ErrUnavailable) stay
+// matchable through the join.
 
 // InputBindings answers the trace probe Q(P, X, p) for one run.
 func (s *ShardedStore) InputBindings(runID, proc, port string, idx value.Index) ([]store.Binding, error) {
+	return s.InputBindingsCtx(context.Background(), runID, proc, port, idx)
+}
+
+// InputBindingsCtx implements store.ContextLineageQuerier: like
+// InputBindings but bounded by ctx — a stalled replica cannot hold the
+// caller past its deadline.
+func (s *ShardedStore) InputBindingsCtx(ctx context.Context, runID, proc, port string, idx value.Index) ([]store.Binding, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].InputBindings(runID, proc, port, idx)
+	bs, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) ([]store.Binding, error) {
+		return st.InputBindings(runID, proc, port, idx)
+	})
+	return bs, shardErr(i, err)
 }
 
 // InputBindingsBatch answers the probe for a set of runs by scatter-gather:
@@ -34,20 +54,22 @@ func (s *ShardedStore) InputBindings(runID, proc, port string, idx value.Index) 
 // one batched probe, concurrently. The merged result has an entry for every
 // requested run, exactly like the single-store batch.
 func (s *ShardedStore) InputBindingsBatch(runIDs []string, proc, port string, idx value.Index) (map[string][]store.Binding, error) {
+	return s.InputBindingsBatchCtx(context.Background(), runIDs, proc, port, idx)
+}
+
+// InputBindingsBatchCtx is the ctx-bounded batched probe the multi-run
+// executor calls; the per-shard probes are hedged.
+func (s *ShardedStore) InputBindingsBatchCtx(ctx context.Context, runIDs []string, proc, port string, idx value.Index) (map[string][]store.Binding, error) {
 	out := make(map[string][]store.Binding, len(runIDs))
 	if len(runIDs) == 0 {
 		return out, nil
 	}
 	groups := s.groupRuns(runIDs)
-	if len(groups) == 1 {
-		for i, runs := range groups {
-			s.noteScatter(1, []int{i})
-			return s.shards[i].InputBindingsBatch(runs, proc, port, idx)
-		}
-	}
-	parts := make([]map[string][]store.Binding, len(s.shards))
-	err := s.eachShard(groups, func(i int, runs []string) error {
-		m, err := s.shards[i].InputBindingsBatch(runs, proc, port, idx)
+	parts := make([]map[string][]store.Binding, len(s.replicaSets))
+	err := eachShard(s, ctx, groups, func(ctx context.Context, i int, runs []string) error {
+		m, err := replicaRead(ctx, s.replicaSets[i], true, func(st *store.Store) (map[string][]store.Binding, error) {
+			return st.InputBindingsBatch(runs, proc, port, idx)
+		})
 		if err != nil {
 			return err
 		}
@@ -67,15 +89,29 @@ func (s *ShardedStore) InputBindingsBatch(runIDs []string, proc, port string, id
 
 // Value materializes one stored port value from the run's owning shard.
 func (s *ShardedStore) Value(runID string, valID int64) (value.Value, error) {
+	return s.ValueCtx(context.Background(), runID, valID)
+}
+
+// ValueCtx implements store.ContextLineageQuerier.
+func (s *ShardedStore) ValueCtx(ctx context.Context, runID string, valID int64) (value.Value, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].Value(runID, valID)
+	v, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) (value.Value, error) {
+		return st.Value(runID, valID)
+	})
+	return v, shardErr(i, err)
 }
 
 // ValuesBatch materializes a set of values by scatter-gather: refs group by
 // their run's owning shard, each shard answers its group with one batched
 // lookup, and the per-shard maps merge.
 func (s *ShardedStore) ValuesBatch(refs []store.ValueRef) (map[store.ValueRef]value.Value, error) {
+	return s.ValuesBatchCtx(context.Background(), refs)
+}
+
+// ValuesBatchCtx is the ctx-bounded batched value fetch; hedged like the
+// batched probes.
+func (s *ShardedStore) ValuesBatchCtx(ctx context.Context, refs []store.ValueRef) (map[store.ValueRef]value.Value, error) {
 	out := make(map[store.ValueRef]value.Value, len(refs))
 	if len(refs) == 0 {
 		return out, nil
@@ -85,38 +121,19 @@ func (s *ShardedStore) ValuesBatch(refs []store.ValueRef) (map[store.ValueRef]va
 		i := s.ring.owner(ref.RunID)
 		groups[i] = append(groups[i], ref)
 	}
-	if len(groups) == 1 {
-		for i, g := range groups {
-			s.noteScatter(1, []int{i})
-			return s.shards[i].ValuesBatch(g)
-		}
-	}
-	touched := make([]int, 0, len(groups))
-	for i := range groups {
-		touched = append(touched, i)
-	}
-	sort.Ints(touched)
-	s.noteScatter(len(groups), touched)
-
-	parts := make([]map[store.ValueRef]value.Value, len(s.shards))
-	var wg sync.WaitGroup
-	errs := make([]error, len(s.shards))
-	for _, i := range touched {
-		wg.Add(1)
-		go func(i int, g []store.ValueRef) {
-			defer wg.Done()
-			t0 := time.Now()
-			parts[i], errs[i] = s.shards[i].ValuesBatch(g)
-			if obs.Enabled() {
-				obsProbeNS.Observe(time.Since(t0).Nanoseconds())
-			}
-		}(i, groups[i])
-	}
-	wg.Wait()
-	for _, err := range errs {
+	parts := make([]map[store.ValueRef]value.Value, len(s.replicaSets))
+	err := eachShard(s, ctx, groups, func(ctx context.Context, i int, g []store.ValueRef) error {
+		m, err := replicaRead(ctx, s.replicaSets[i], true, func(st *store.Store) (map[store.ValueRef]value.Value, error) {
+			return st.ValuesBatch(g)
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		parts[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, m := range parts {
 		for ref, v := range m {
@@ -128,47 +145,70 @@ func (s *ShardedStore) ValuesBatch(refs []store.ValueRef) (map[store.ValueRef]va
 
 // HasRun reports whether the owning shard holds the run.
 func (s *ShardedStore) HasRun(runID string) (bool, error) {
-	return s.shards[s.ring.owner(runID)].HasRun(runID)
+	i := s.ring.owner(runID)
+	ok, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) (bool, error) {
+		return st.HasRun(runID)
+	})
+	return ok, shardErr(i, err)
 }
 
 // XformsByOutput routes the extensional probe to the owning shard.
 func (s *ShardedStore) XformsByOutput(runID, proc, port string, idx value.Index) ([]store.Xform, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].XformsByOutput(runID, proc, port, idx)
+	xs, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) ([]store.Xform, error) {
+		return st.XformsByOutput(runID, proc, port, idx)
+	})
+	return xs, shardErr(i, err)
 }
 
 // XformsByInput routes the forward extensional probe to the owning shard.
 func (s *ShardedStore) XformsByInput(runID, proc, port string, idx value.Index) ([]store.ForwardXform, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].XformsByInput(runID, proc, port, idx)
+	xs, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) ([]store.ForwardXform, error) {
+		return st.XformsByInput(runID, proc, port, idx)
+	})
+	return xs, shardErr(i, err)
 }
 
 // XfersTo routes to the owning shard.
 func (s *ShardedStore) XfersTo(runID, proc, port string) ([]store.Xfer, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].XfersTo(runID, proc, port)
+	xs, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) ([]store.Xfer, error) {
+		return st.XfersTo(runID, proc, port)
+	})
+	return xs, shardErr(i, err)
 }
 
 // XfersFrom routes to the owning shard.
 func (s *ShardedStore) XfersFrom(runID, proc, port string) ([]store.Xfer, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].XfersFrom(runID, proc, port)
+	xs, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) ([]store.Xfer, error) {
+		return st.XfersFrom(runID, proc, port)
+	})
+	return xs, shardErr(i, err)
 }
 
 // LoadTrace reconstructs a stored run's trace from its owning shard.
 func (s *ShardedStore) LoadTrace(runID string) (*trace.Trace, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	return s.shards[i].LoadTrace(runID)
+	tr, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) (*trace.Trace, error) {
+		return st.LoadTrace(runID)
+	})
+	return tr, shardErr(i, err)
 }
 
 // Verify checks one stored run's integrity on its owning shard.
 func (s *ShardedStore) Verify(runID string, wf *workflow.Workflow) (*store.VerifyReport, error) {
-	return s.shards[s.ring.owner(runID)].Verify(runID, wf)
+	i := s.ring.owner(runID)
+	rep, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) (*store.VerifyReport, error) {
+		return st.Verify(runID, wf)
+	})
+	return rep, shardErr(i, err)
 }
 
 // PartitionRuns implements store.RunPartitioner: runs grouped by owning
@@ -207,9 +247,21 @@ func (s *ShardedStore) groupRuns(runIDs []string) map[int][]string {
 	return groups
 }
 
-// eachShard runs fn(i, runs) for every shard group concurrently, records the
-// scatter metrics, and returns the first error.
-func (s *ShardedStore) eachShard(groups map[int][]string, fn func(i int, runs []string) error) error {
+// shardErr annotates a shard-level failure with its shard index (wrapping,
+// so sentinel matching survives). nil stays nil.
+func shardErr(i int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("shard %d: %w", i, err)
+}
+
+// eachShard runs fn for every shard group concurrently and records the
+// scatter metrics. Each shard's failure is annotated with its shard index
+// and all of them are aggregated with errors.Join — the first failing shard
+// does not mask the others, and errors.Is still matches every member's
+// chain.
+func eachShard[G any](s *ShardedStore, ctx context.Context, groups map[int]G, fn func(ctx context.Context, i int, g G) error) error {
 	touched := make([]int, 0, len(groups))
 	for i := range groups {
 		touched = append(touched, i)
@@ -220,11 +272,11 @@ func (s *ShardedStore) eachShard(groups map[int][]string, fn func(i int, runs []
 	if len(touched) == 1 {
 		i := touched[0]
 		t0 := time.Now()
-		err := fn(i, groups[i])
+		err := fn(ctx, i, groups[i])
 		if obs.Enabled() {
 			obsProbeNS.Observe(time.Since(t0).Nanoseconds())
 		}
-		return err
+		return shardErr(i, err)
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(touched))
@@ -233,17 +285,14 @@ func (s *ShardedStore) eachShard(groups map[int][]string, fn func(i int, runs []
 		go func(k, i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			errs[k] = fn(i, groups[i])
+			errs[k] = shardErr(i, fn(ctx, i, groups[i]))
 			if obs.Enabled() {
 				obsProbeNS.Observe(time.Since(t0).Nanoseconds())
 			}
 		}(k, i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
+
+var _ store.ContextLineageQuerier = (*ShardedStore)(nil)

@@ -20,6 +20,7 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -28,12 +29,17 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/resilience"
 	"repro/internal/sqlike"
 	"repro/internal/store"
 )
 
 // DefaultShards is the shard count used when a shard DSN names none.
 const DefaultShards = 4
+
+// DefaultReplicas is the replication factor used when a shard DSN names none:
+// unreplicated, matching every store created before replication existed.
+const DefaultReplicas = 1
 
 // vnodesPerShard is the number of virtual points each shard contributes to
 // the consistent-hash ring. 64 points keep the expected imbalance across
@@ -53,6 +59,11 @@ type Manifest struct {
 	Backend string `json:"backend"` // "file" or "durable"
 	Hash    string `json:"hash"`    // ring hash function identifier
 	Vnodes  int    `json:"vnodes"`  // virtual points per shard
+	// Replicas is the number of store copies behind each logical shard
+	// (primary + followers). Absent in pre-replication manifests, which
+	// load as 1. Replication does not affect run routing, so it is not
+	// part of the topology generation.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // hashName identifies the ring construction; changing the hash or the vnode
@@ -130,25 +141,35 @@ type ShardedStore struct {
 	backend  string // "file", "durable" or "memory"
 	manifest Manifest
 	ring     ring
-	shards   []*store.Store
+	// replicaSets holds the R replicas behind each logical shard; the
+	// resilient read path over them lives in replica.go.
+	replicaSets []*replicaSet
+	policy      resilience.Policy
+	hedgeOn     bool
 
 	// Per-shard probe counters (shard.probes.s<i>), resolved once at open.
 	probeCounters []counterHandle
 }
 
+// primary returns shard i's primary store — the single-store fast paths and
+// the write paths anchor here.
+func (s *ShardedStore) primary(i int) *store.Store { return s.replicaSets[i].primary() }
+
 // Open opens (and if necessary initializes) a sharded provenance store.
 //
 // DSN form:
 //
-//	shard:<dir>[?n=N][&backend=file|durable]
+//	shard:<dir>[?n=N][&r=R][&backend=file|durable]
 //
-// <dir> holds the topology manifest and one database per shard
+// <dir> holds the topology manifest and one database per shard replica
 // (shard-000.db snapshots for the file backend, shard-000/ WAL directories
-// for the durable backend). When the manifest already exists it defines the
-// topology; a conflicting ?n is an error. A fresh directory is initialized
-// with N shards (DefaultShards when ?n is absent).
+// for the durable backend; followers add a .r<j> suffix: shard-000.r1.db,
+// shard-000.r1/). When the manifest already exists it defines the topology;
+// a conflicting ?n or ?r is an error. A fresh directory is initialized with
+// N shards × R replicas (DefaultShards / DefaultReplicas when absent). With
+// R > 1, followers catch up to their primary by checkpoint copy on open.
 func Open(dsn string) (*ShardedStore, error) {
-	dir, n, backend, err := parseDSN(dsn)
+	dir, n, r, backend, err := parseDSN(dsn)
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +184,9 @@ func Open(dsn string) (*ShardedStore, error) {
 		if n != 0 && n != man.Shards {
 			return nil, fmt.Errorf("shard: DSN requests n=%d but manifest at %s pins %d shards", n, dir, man.Shards)
 		}
+		if r != 0 && r != man.Replicas {
+			return nil, fmt.Errorf("shard: DSN requests r=%d but manifest at %s pins %d replicas", r, dir, man.Replicas)
+		}
 		if backend != "" && backend != man.Backend {
 			return nil, fmt.Errorf("shard: DSN requests backend=%s but manifest at %s pins %s", backend, dir, man.Backend)
 		}
@@ -170,10 +194,13 @@ func Open(dsn string) (*ShardedStore, error) {
 		if n == 0 {
 			n = DefaultShards
 		}
+		if r == 0 {
+			r = DefaultReplicas
+		}
 		if backend == "" {
 			backend = "file"
 		}
-		man = Manifest{Version: 1, Shards: n, Backend: backend, Hash: hashName, Vnodes: vnodesPerShard}
+		man = Manifest{Version: 1, Shards: n, Backend: backend, Hash: hashName, Vnodes: vnodesPerShard, Replicas: r}
 		if err := writeManifest(dir, man); err != nil {
 			return nil, err
 		}
@@ -181,20 +208,38 @@ func Open(dsn string) (*ShardedStore, error) {
 	if man.Hash != hashName {
 		return nil, fmt.Errorf("shard: manifest at %s uses hash %q, this build implements %q", dir, man.Hash, hashName)
 	}
-	dsns := make([]string, man.Shards)
+	dsns := make([][]string, man.Shards)
 	for i := range dsns {
-		switch man.Backend {
-		case "file":
-			dsns[i] = "file:" + filepath.Join(dir, shardFileName(i))
-		case "durable":
-			dsns[i] = "durable:" + filepath.Join(dir, shardDirName(i))
-		default:
-			return nil, fmt.Errorf("shard: manifest at %s names unknown backend %q", dir, man.Backend)
+		dsns[i] = make([]string, man.Replicas)
+		for j := range dsns[i] {
+			switch man.Backend {
+			case "file":
+				dsns[i][j] = "file:" + filepath.Join(dir, replicaFileName(i, j))
+			case "durable":
+				dsns[i][j] = "durable:" + filepath.Join(dir, replicaDirName(i, j))
+			default:
+				return nil, fmt.Errorf("shard: manifest at %s names unknown backend %q", dir, man.Backend)
+			}
 		}
 	}
 	s, err := open(dsn, dir, man, dsns)
 	if err != nil {
 		return nil, err
+	}
+	if existing && man.Replicas > 1 {
+		// Catch-up via checkpoint copy on open: a follower that missed
+		// writes (opened fresh, or behind a primary that took single-run
+		// writers) converges before serving reads.
+		var errs []error
+		for _, rs := range s.replicaSets {
+			if err := rs.syncFollowers(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := errors.Join(errs...); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("shard: follower catch-up on open: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -202,53 +247,99 @@ func Open(dsn string) (*ShardedStore, error) {
 // OpenMemory opens a fresh sharded store over n private in-memory shards —
 // no directory, no manifest. Tests and benchmarks use it to compare shard
 // topologies without touching disk.
-func OpenMemory(n int) (*ShardedStore, error) {
+func OpenMemory(n int) (*ShardedStore, error) { return OpenMemoryReplicated(n, 1) }
+
+// OpenMemoryReplicated opens a fresh sharded store over n logical shards of
+// r private in-memory replicas each. The chaos harness and the failover
+// experiment use it to exercise failover without touching disk.
+func OpenMemoryReplicated(n, r int) (*ShardedStore, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: shard count must be positive, got %d", n)
 	}
-	man := Manifest{Version: 1, Shards: n, Backend: "memory", Hash: hashName, Vnodes: vnodesPerShard}
-	dsns := make([]string, n)
-	for i := range dsns {
-		dsns[i] = sqlike.MemoryDSN()
+	if r < 1 {
+		return nil, fmt.Errorf("shard: replica count must be positive, got %d", r)
 	}
-	return open(fmt.Sprintf("shard:mem?n=%d", n), "", man, dsns)
+	man := Manifest{Version: 1, Shards: n, Backend: "memory", Hash: hashName, Vnodes: vnodesPerShard, Replicas: r}
+	dsns := make([][]string, n)
+	for i := range dsns {
+		dsns[i] = make([]string, r)
+		for j := range dsns[i] {
+			dsns[i][j] = sqlike.MemoryDSN()
+		}
+	}
+	return open(fmt.Sprintf("shard:mem?n=%d&r=%d", n, r), "", man, dsns)
 }
 
-func open(dsn, dir string, man Manifest, shardDSNs []string) (*ShardedStore, error) {
+func open(dsn, dir string, man Manifest, replicaDSNs [][]string) (*ShardedStore, error) {
+	if man.Replicas < 1 {
+		man.Replicas = 1
+	}
 	s := &ShardedStore{
-		dsn:      dsn,
-		dir:      dir,
-		backend:  man.Backend,
-		manifest: man,
-		ring:     buildRing(man.Shards, man.Vnodes),
-		shards:   make([]*store.Store, len(shardDSNs)),
+		dsn:         dsn,
+		dir:         dir,
+		backend:     man.Backend,
+		manifest:    man,
+		ring:        buildRing(man.Shards, man.Vnodes),
+		replicaSets: make([]*replicaSet, len(replicaDSNs)),
+		policy:      resilience.Policy{Retries: 2}.Normalized(),
+		hedgeOn:     true,
 	}
-	for i, sd := range shardDSNs {
-		st, err := store.Open(sd)
-		if err != nil {
-			for j := 0; j < i; j++ {
-				s.shards[j].Close()
+	closeOpened := func() {
+		for _, rs := range s.replicaSets {
+			if rs == nil {
+				continue
 			}
-			return nil, fmt.Errorf("shard: opening shard %d: %w", i, err)
+			for _, rep := range rs.reps {
+				rep.st.Close()
+			}
 		}
-		s.shards[i] = st
 	}
-	s.probeCounters = perShardCounters(len(s.shards))
+	for i, sds := range replicaDSNs {
+		rs := &replicaSet{owner: s, shard: i, hedge: resilience.NewHedgeTracker(0)}
+		s.replicaSets[i] = rs
+		for j, sd := range sds {
+			st, err := store.Open(sd)
+			if err != nil {
+				closeOpened()
+				return nil, fmt.Errorf("shard: opening shard %d replica %d: %w", i, j, err)
+			}
+			rs.reps = append(rs.reps, &replica{st: st, br: resilience.NewBreaker(resilience.BreakerConfig{})})
+		}
+	}
+	s.probeCounters = perShardCounters(len(s.replicaSets))
 	return s, nil
 }
 
 func shardFileName(i int) string { return fmt.Sprintf("shard-%03d.db", i) }
 func shardDirName(i int) string  { return fmt.Sprintf("shard-%03d", i) }
 
-// parseDSN splits "shard:<dir>?n=N&backend=b". n == 0 means "not given".
-func parseDSN(dsn string) (dir string, n int, backend string, err error) {
+// replicaFileName and replicaDirName name replica j of shard i: the primary
+// keeps the pre-replication names (so r=1 stores are bit-compatible with
+// old ones), followers get a .r<j> suffix.
+func replicaFileName(i, j int) string {
+	if j == 0 {
+		return shardFileName(i)
+	}
+	return fmt.Sprintf("shard-%03d.r%d.db", i, j)
+}
+
+func replicaDirName(i, j int) string {
+	if j == 0 {
+		return shardDirName(i)
+	}
+	return fmt.Sprintf("shard-%03d.r%d", i, j)
+}
+
+// parseDSN splits "shard:<dir>?n=N&r=R&backend=b". n == 0 / r == 0 mean
+// "not given".
+func parseDSN(dsn string) (dir string, n, r int, backend string, err error) {
 	rest, ok := strings.CutPrefix(dsn, "shard:")
 	if !ok {
-		return "", 0, "", fmt.Errorf("shard: bad DSN %q (want shard:<dir>?n=N)", dsn)
+		return "", 0, 0, "", fmt.Errorf("shard: bad DSN %q (want shard:<dir>?n=N)", dsn)
 	}
 	rest, query, _ := strings.Cut(rest, "?")
 	if rest == "" {
-		return "", 0, "", fmt.Errorf("shard: bad DSN %q: empty directory", dsn)
+		return "", 0, 0, "", fmt.Errorf("shard: bad DSN %q: empty directory", dsn)
 	}
 	for _, kv := range strings.Split(query, "&") {
 		if kv == "" {
@@ -259,18 +350,23 @@ func parseDSN(dsn string) (dir string, n int, backend string, err error) {
 		case "n":
 			n, err = strconv.Atoi(v)
 			if err != nil || n < 1 {
-				return "", 0, "", fmt.Errorf("shard: bad DSN %q: n must be a positive integer", dsn)
+				return "", 0, 0, "", fmt.Errorf("shard: bad DSN %q: n must be a positive integer", dsn)
+			}
+		case "r":
+			r, err = strconv.Atoi(v)
+			if err != nil || r < 1 {
+				return "", 0, 0, "", fmt.Errorf("shard: bad DSN %q: r must be a positive integer", dsn)
 			}
 		case "backend":
 			if v != "file" && v != "durable" {
-				return "", 0, "", fmt.Errorf("shard: bad DSN %q: backend must be file or durable", dsn)
+				return "", 0, 0, "", fmt.Errorf("shard: bad DSN %q: backend must be file or durable", dsn)
 			}
 			backend = v
 		default:
-			return "", 0, "", fmt.Errorf("shard: bad DSN %q: unknown option %q", dsn, k)
+			return "", 0, 0, "", fmt.Errorf("shard: bad DSN %q: unknown option %q", dsn, k)
 		}
 	}
-	return rest, n, backend, nil
+	return rest, n, r, backend, nil
 }
 
 // IsShardDSN reports whether a DSN selects the sharded store.
@@ -281,7 +377,7 @@ func DirOf(dsn string) (string, bool) {
 	if !IsShardDSN(dsn) {
 		return "", false
 	}
-	dir, _, _, err := parseDSN(dsn)
+	dir, _, _, _, err := parseDSN(dsn)
 	if err != nil {
 		return "", false
 	}
@@ -305,6 +401,9 @@ func loadManifest(dir string) (Manifest, bool, error) {
 	}
 	if m.Vnodes < 1 {
 		m.Vnodes = vnodesPerShard
+	}
+	if m.Replicas < 1 {
+		m.Replicas = 1 // pre-replication manifests carry no replica count
 	}
 	return m, true, nil
 }
@@ -336,20 +435,32 @@ func (s *ShardedStore) TopologyGen() string {
 	return fmt.Sprintf("%s/n=%d/v=%d", s.manifest.Hash, s.manifest.Shards, s.manifest.Vnodes)
 }
 
-// Checkpoint implements store.Checkpointer: every durable shard snapshots
-// its own 1/Nth of the data and truncates its WAL; non-durable shards are
-// no-ops. provd's graceful drain calls this before closing a tenant.
+// Checkpoint implements store.Checkpointer: followers first catch up to
+// their primary (copying runs written through single-run writers since the
+// last checkpoint), then every durable replica snapshots its own data and
+// truncates its WAL; non-durable replicas are no-ops. Errors are aggregated
+// across shards and replicas — one failing replica does not hide another's.
+// provd's graceful drain calls this before closing a tenant.
 func (s *ShardedStore) Checkpoint() error {
-	for i, st := range s.shards {
-		if err := st.Checkpoint(); err != nil {
-			return fmt.Errorf("shard: checkpointing shard %d: %w", i, err)
+	var errs []error
+	for i, rs := range s.replicaSets {
+		if err := rs.syncFollowers(); err != nil {
+			errs = append(errs, err)
+		}
+		for j, rep := range rs.reps {
+			if err := rep.st.Checkpoint(); err != nil {
+				errs = append(errs, fmt.Errorf("shard: checkpointing shard %d replica %d: %w", i, j, err))
+			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // NumShards returns the shard count.
-func (s *ShardedStore) NumShards() int { return len(s.shards) }
+func (s *ShardedStore) NumShards() int { return len(s.replicaSets) }
+
+// NumReplicas returns the replication factor.
+func (s *ShardedStore) NumReplicas() int { return s.manifest.Replicas }
 
 // Manifest returns the persisted topology.
 func (s *ShardedStore) Manifest() Manifest { return s.manifest }
@@ -357,8 +468,13 @@ func (s *ShardedStore) Manifest() Manifest { return s.manifest }
 // ShardOf returns the index of the shard owning a run ID.
 func (s *ShardedStore) ShardOf(runID string) int { return s.ring.owner(runID) }
 
-// Shard exposes one underlying shard store (tests and the verifier use it).
-func (s *ShardedStore) Shard(i int) *store.Store { return s.shards[i] }
+// Shard exposes one underlying shard's primary store (tests and the
+// verifier use it).
+func (s *ShardedStore) Shard(i int) *store.Store { return s.primary(i) }
+
+// Replica exposes one physical replica store (tests and the chaos harness
+// use it).
+func (s *ShardedStore) Replica(i, j int) *store.Store { return s.replicaSets[i].reps[j].st }
 
 // DSN returns the sharded store's data source name.
 func (s *ShardedStore) DSN() string { return s.dsn }
@@ -366,15 +482,19 @@ func (s *ShardedStore) DSN() string { return s.dsn }
 // Dir returns the shard directory ("" for memory-backed stores).
 func (s *ShardedStore) Dir() string { return s.dir }
 
-// Close releases every shard, returning the first error.
+// Close releases every replica of every shard. Errors are annotated with
+// their shard and replica and aggregated with errors.Join — closing a
+// 4-shard store with two failing shards reports both, not just one.
 func (s *ShardedStore) Close() error {
-	var first error
-	for _, st := range s.shards {
-		if err := st.Close(); err != nil && first == nil {
-			first = err
+	var errs []error
+	for i, rs := range s.replicaSets {
+		for j, rep := range rs.reps {
+			if err := rep.st.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("shard: closing shard %d replica %d: %w", i, j, err))
+			}
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // Save snapshots every file- or memory-backed shard into dir (one
@@ -394,8 +514,10 @@ func (s *ShardedStore) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	for i, st := range s.shards {
-		if err := st.Save(filepath.Join(dir, shardFileName(i))); err != nil {
+	// Primaries are the source of truth; followers rebuild from them by
+	// catch-up copy when the saved store is reopened.
+	for i := range s.replicaSets {
+		if err := s.primary(i).Save(filepath.Join(dir, shardFileName(i))); err != nil {
 			return fmt.Errorf("shard: saving shard %d: %w", i, err)
 		}
 	}

@@ -214,28 +214,31 @@ func TestShardSmoke(t *testing.T) {
 func TestShardDSNParsing(t *testing.T) {
 	good := map[string]struct {
 		dir     string
-		n       int
+		n, r    int
 		backend string
 	}{
-		"shard:/tmp/x":                  {"/tmp/x", 0, ""},
-		"shard:dir?n=4":                 {"dir", 4, ""},
-		"shard:dir?n=2&backend=durable": {"dir", 2, "durable"},
-		"shard:a/b/c?backend=file":      {"a/b/c", 0, "file"},
+		"shard:/tmp/x":                  {"/tmp/x", 0, 0, ""},
+		"shard:dir?n=4":                 {"dir", 4, 0, ""},
+		"shard:dir?n=2&backend=durable": {"dir", 2, 0, "durable"},
+		"shard:a/b/c?backend=file":      {"a/b/c", 0, 0, "file"},
+		"shard:dir?n=2&r=2":             {"dir", 2, 2, ""},
+		"shard:dir?r=3&backend=durable": {"dir", 0, 3, "durable"},
 	}
 	for dsn, want := range good {
-		dir, n, backend, err := parseDSN(dsn)
+		dir, n, r, backend, err := parseDSN(dsn)
 		if err != nil {
 			t.Fatalf("parseDSN(%q): %v", dsn, err)
 		}
-		if dir != want.dir || n != want.n || backend != want.backend {
-			t.Fatalf("parseDSN(%q) = (%q, %d, %q), want %+v", dsn, dir, n, backend, want)
+		if dir != want.dir || n != want.n || r != want.r || backend != want.backend {
+			t.Fatalf("parseDSN(%q) = (%q, %d, %d, %q), want %+v", dsn, dir, n, r, backend, want)
 		}
 	}
 	for _, dsn := range []string{
 		"file:x", "shard:", "shard:dir?n=0", "shard:dir?n=-2", "shard:dir?n=x",
 		"shard:dir?backend=weird", "shard:dir?bogus=1",
+		"shard:dir?r=0", "shard:dir?r=-1", "shard:dir?r=x",
 	} {
-		if _, _, _, err := parseDSN(dsn); err == nil {
+		if _, _, _, _, err := parseDSN(dsn); err == nil {
 			t.Fatalf("parseDSN(%q) accepted a bad DSN", dsn)
 		}
 	}

@@ -24,13 +24,40 @@ const DriverName = "provsql"
 //	                  created empty otherwise; persist with SAVE TO.
 //	durable:<dir>   — write-ahead-logged database in <dir>: every mutation
 //	                  is synchronously logged and replayed on open.
+//	durablefs:<name>:<dir>
+//	                — like durable:, but all I/O goes through the VFS
+//	                  registered under <name> with RegisterVFS. Fault- and
+//	                  stall-injection tests use it to put a misbehaving
+//	                  filesystem under a fully assembled store.
 type Driver struct{}
 
 var (
 	registryMu sync.Mutex
 	registry   = make(map[string]*reldb.DB)
 	memCounter atomic.Int64
+
+	vfsMu       sync.Mutex
+	vfsRegistry = make(map[string]reldb.VFS)
 )
+
+// RegisterVFS makes a virtual filesystem addressable from a
+// durablefs:<name>:<dir> DSN. Registering nil deletes the name.
+func RegisterVFS(name string, fs reldb.VFS) {
+	vfsMu.Lock()
+	defer vfsMu.Unlock()
+	if fs == nil {
+		delete(vfsRegistry, name)
+		return
+	}
+	vfsRegistry[name] = fs
+}
+
+func vfsFor(name string) (reldb.VFS, bool) {
+	vfsMu.Lock()
+	defer vfsMu.Unlock()
+	fs, ok := vfsRegistry[name]
+	return fs, ok
+}
 
 // MemoryDSN returns a DSN naming a fresh, private in-memory database.
 func MemoryDSN() string {
@@ -62,6 +89,22 @@ func dbForLocked(dsn string) (*reldb.DB, error) {
 		}
 		registry[dsn] = db
 		return db, nil
+	case strings.HasPrefix(dsn, "durablefs:"):
+		rest := strings.TrimPrefix(dsn, "durablefs:")
+		name, dir, ok := strings.Cut(rest, ":")
+		if !ok || name == "" || dir == "" {
+			return nil, fmt.Errorf("sqlike: bad DSN %q (want durablefs:<vfs>:<dir>)", dsn)
+		}
+		fs, ok := vfsFor(name)
+		if !ok {
+			return nil, fmt.Errorf("sqlike: DSN %q names unregistered VFS %q", dsn, name)
+		}
+		db, err := reldb.OpenDurableVFS(fs, dir)
+		if err != nil {
+			return nil, err
+		}
+		registry[dsn] = db
+		return db, nil
 	case strings.HasPrefix(dsn, "file:"):
 		path := strings.TrimPrefix(dsn, "file:")
 		if _, err := os.Stat(path); err == nil {
@@ -86,7 +129,7 @@ func dbForLocked(dsn string) (*reldb.DB, error) {
 func Forget(dsn string) {
 	registryMu.Lock()
 	defer registryMu.Unlock()
-	if db, ok := registry[dsn]; ok && strings.HasPrefix(dsn, "durable:") {
+	if db, ok := registry[dsn]; ok && (strings.HasPrefix(dsn, "durable:") || strings.HasPrefix(dsn, "durablefs:")) {
 		db.CloseDurable()
 	}
 	delete(registry, dsn)

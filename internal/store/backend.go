@@ -92,6 +92,48 @@ type Checkpointer interface {
 	Checkpoint() error
 }
 
+// ContextLineageQuerier is an optional interface a LineageQuerier implements
+// when its probes can honor a caller deadline (shard.ShardedStore: a stalled
+// or dead replica must not hold a query past its context). The multi-run
+// executor prefers these ctx-bounded variants when the store offers them;
+// semantics otherwise match the LineageQuerier methods exactly.
+type ContextLineageQuerier interface {
+	LineageQuerier
+	InputBindingsCtx(ctx context.Context, runID, proc, port string, idx value.Index) ([]Binding, error)
+	InputBindingsBatchCtx(ctx context.Context, runIDs []string, proc, port string, idx value.Index) (map[string][]Binding, error)
+	ValueCtx(ctx context.Context, runID string, valID int64) (value.Value, error)
+	ValuesBatchCtx(ctx context.Context, refs []ValueRef) (map[ValueRef]value.Value, error)
+}
+
+// ContextColumnScanner is the ctx-bounded variant of ColumnScanner; column
+// segments load lazily from disk at query time, so the deadline genuinely
+// bounds I/O.
+type ContextColumnScanner interface {
+	ColumnScanner
+	ColScanBindingsCtx(ctx context.Context, runIDs []string, proc, port string, idx value.Index) (byRun map[string][]Binding, missing []string, err error)
+}
+
+// ReplicaHealth is one replica's health row as reported by a HealthReporter:
+// its role in the replica set, its circuit-breaker state, and the breaker's
+// lifetime call accounting. provd's /healthz renders these.
+type ReplicaHealth struct {
+	Shard     int    `json:"shard"`
+	Replica   int    `json:"replica"`
+	Role      string `json:"role"`    // "primary" or "follower"
+	Breaker   string `json:"breaker"` // "closed", "open" or "half-open"
+	Down      bool   `json:"down,omitempty"`
+	Successes int64  `json:"successes"`
+	Failures  int64  `json:"failures"`
+	Trips     int64  `json:"trips"`
+}
+
+// HealthReporter is an optional interface a store implements when it tracks
+// per-replica health (shard.ShardedStore with replication). Single-engine
+// stores do not implement it; a health endpoint then reports only liveness.
+type HealthReporter interface {
+	ReplicaHealth() []ReplicaHealth
+}
+
 // RunPartitioner is an optional interface a LineageQuerier implements when
 // its runs are physically partitioned (shard.ShardedStore: one independent
 // store per shard). PartitionRuns splits a run set into groups of

@@ -92,10 +92,10 @@ func colProbes() []struct {
 		{"P", "X1", value.Index{2}},
 		{"P", "X2", value.Index{0}},
 		{"P", "X3", value.Index{1}},
-		{"P", "X3", value.Index{9}},            // no match at any level
-		{"P", "nope", value.Index{0}},          // unknown port
-		{"A", "X", value.Index{0}},             // below the proc zone map
-		{"Z", "X", value.Index{0}},             // above the proc zone map
+		{"P", "X3", value.Index{9}},                  // no match at any level
+		{"P", "nope", value.Index{0}},                // unknown port
+		{"A", "X", value.Index{0}},                   // below the proc zone map
+		{"Z", "X", value.Index{0}},                   // above the proc zone map
 		{trace.WorkflowProc, "v", value.Index{0, 0}}, // workflow-level bindings
 	}
 }
