@@ -40,6 +40,7 @@ var experiments = map[string]func(bench.Options) (*bench.Report, error){
 	"fig10":     bench.Fig10,
 	"ingest":    bench.Ingest,
 	"failover":  bench.Failover,
+	"stream":    bench.Stream,
 }
 
 // experimentNames returns the registered experiment names, sorted, for the

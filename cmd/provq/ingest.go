@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// This file holds the streaming-ingest operator commands:
+//
+//	provq ingest -store DSN [-events feed.ndjson]   stream events into a store
+//	provq dlq    -store DSN [-retry]                inspect / replay the DLQ
+//
+// ingest reads an NDJSON feed (one trace.Event per line; "-" or no flag
+// reads stdin) and applies it through the store's streaming ingest path.
+// Invalid events land in the store's persistent dead-letter queue; dlq lists
+// them and -retry replays the queue through the same validation.
+
+func cmdIngest(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("ingest", stderr)
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N&r=R)")
+	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
+	l := fs.Int("l", 10, "testbed chain length (for spec validation)")
+	eventsPath := fs.String("events", "-", `NDJSON event feed ("-" = stdin)`)
+	batch := fs.Int("batch", 0, "writer batch rows (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if *eventsPath != "" && *eventsPath != "-" {
+		f, err := os.Open(*eventsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sys, err := newSystem(*dsn, *l, *wfJSON)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	events := make(chan trace.Event, 64)
+	feedErr := make(chan error, 1)
+	go func() {
+		defer close(events)
+		dec := json.NewDecoder(in)
+		for {
+			var ev trace.Event
+			if err := dec.Decode(&ev); err != nil {
+				if !errors.Is(err, io.EOF) {
+					feedErr <- fmt.Errorf("decoding feed: %w", err)
+				}
+				return
+			}
+			select {
+			case events <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	stats, err := sys.TailIngest(ctx, events, store.TailOptions{
+		Specs:     sys.Workflows(),
+		BatchRows: *batch,
+	})
+	fmt.Fprintf(stdout, "applied=%d dead_lettered=%d runs_started=%d runs_ended=%d\n",
+		stats.Applied, stats.DeadLettered, stats.RunsStarted, stats.RunsEnded)
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-feedErr:
+		return err
+	default:
+	}
+	return saveSnapshot(sys, *dsn)
+}
+
+func cmdDLQ(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("dlq", stderr)
+	dsn := fs.String("store", "file:prov.db", "store DSN (file:<path>, durable:<dir>, memory:<name>, shard:<dir>?n=N&r=R)")
+	wfJSON := fs.String("wfjson", "", "comma-separated extra workflow definition JSON files")
+	l := fs.Int("l", 10, "testbed chain length (for spec validation on retry)")
+	retry := fs.Bool("retry", false, "replay the queue through ingest validation")
+	asJSON := fs.Bool("json", false, "list entries as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := newSystem(*dsn, *l, *wfJSON)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	q, ok := sys.Store().(store.DeadLetterQueue)
+	if !ok {
+		return fmt.Errorf("store %q has no dead-letter queue", *dsn)
+	}
+	if *retry {
+		retried, failed, err := q.RetryDeadLetters(ctx, store.TailOptions{Specs: sys.Workflows()})
+		fmt.Fprintf(stdout, "retried=%d failed=%d\n", retried, failed)
+		if err != nil {
+			return err
+		}
+		return saveSnapshot(sys, *dsn)
+	}
+	letters, err := q.ListDeadLetters()
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(stdout).Encode(letters)
+	}
+	if len(letters) == 0 {
+		fmt.Fprintln(stdout, "dead-letter queue empty")
+		return nil
+	}
+	for _, dl := range letters {
+		fmt.Fprintf(stdout, "%6d  %-12s %-24s retries=%d  %s\n", dl.Seq, dl.Kind, truncate(dl.RunID, 24), dl.Retries, dl.Reason)
+	}
+	return nil
+}

@@ -73,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdGraph(args[1:], stdout, stderr)
 	case "verify":
 		return cmdVerify(args[1:], stdout, stderr)
+	case "ingest":
+		return cmdIngest(ctx, args[1:], stdout, stderr)
+	case "dlq":
+		return cmdDLQ(ctx, args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return nil
@@ -91,6 +95,8 @@ func usage(w io.Writer) {
   stats  report trace record counts
   graph  export a run's provenance graph in Graphviz DOT
   verify check a stored run's integrity (values, indices, Prop. 1)
+  ingest stream an NDJSON event feed into a store (live tail ingest)
+  dlq    inspect the ingest dead-letter queue (-retry replays it)
 
 Run "provq <command> -h" for command flags.`)
 }
@@ -101,6 +107,19 @@ func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	return fs
+}
+
+// saveSnapshot persists snapshot-backed stores: file: stores snapshot to
+// their path, file-backed sharded stores into their own directories
+// (durable-backed stores are WAL'd already; Save is a no-op for them).
+func saveSnapshot(sys *core.System, dsn string) error {
+	switch {
+	case strings.HasPrefix(dsn, "file:"):
+		return sys.Save(strings.TrimPrefix(dsn, "file:"))
+	case shard.IsShardDSN(dsn):
+		return sys.Save("")
+	}
+	return nil
 }
 
 // newSystem opens a system over the store DSN and registers the bundled
@@ -221,14 +240,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "  trace records: %d\n", total)
 	if *save {
-		switch {
-		case strings.HasPrefix(*dsn, "file:"):
-			return sys.Save(strings.TrimPrefix(*dsn, "file:"))
-		case shard.IsShardDSN(*dsn):
-			// A file-backed sharded store snapshots into its own directory;
-			// durable-backed shards are WAL'd already (Save is a no-op).
-			return sys.Save("")
-		}
+		return saveSnapshot(sys, *dsn)
 	}
 	return nil
 }

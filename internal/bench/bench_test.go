@@ -183,10 +183,10 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 13 {
+	if len(reps) != 14 {
 		t.Fatalf("reports = %d", len(reps))
 	}
-	ids := []string{"fig4", "fig4par", "fig4shard", "fig4col", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest", "serve", "failover"}
+	ids := []string{"fig4", "fig4par", "fig4shard", "fig4col", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "ingest", "serve", "failover", "stream"}
 	for i, rep := range reps {
 		if rep.ID != ids[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, ids[i])
@@ -297,5 +297,31 @@ func TestFailoverQuick(t *testing.T) {
 	}
 	if failovers, _ := strconv.Atoi(killR2[8]); failovers == 0 {
 		t.Errorf("kill window at r=2 recorded no failovers: %v", killR2)
+	}
+}
+
+func TestStreamQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed ingest windows")
+	}
+	rep, err := Stream(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 { // {row,colscan} x {idle,tail-ingest}
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		n, _ := strconv.Atoi(row[2])
+		if n == 0 {
+			t.Errorf("cell %s/%s completed no queries", row[0], row[1])
+		}
+		applied, _ := strconv.Atoi(row[6])
+		if row[1] == "tail-ingest" && applied == 0 {
+			t.Errorf("cell %s/%s streamed no events", row[0], row[1])
+		}
+		if row[1] == "idle" && applied != 0 {
+			t.Errorf("idle cell %s recorded ingest: %v", row[0], row)
+		}
 	}
 }

@@ -520,6 +520,7 @@ func All(o Options) ([]*Report, error) {
 		{"fig4", Fig4}, {"fig4par", Fig4Parallel}, {"fig4shard", Fig4Shard}, {"fig4col", Fig4Col}, {"table1", Table1}, {"fig6", Fig6},
 		{"fig7", Fig7}, {"fig8", Fig8}, {"fig9", Fig9}, {"fig10", Fig10},
 		{"ingest", Ingest}, {"serve", FigServe}, {"failover", Failover},
+		{"stream", Stream},
 	}
 	out := make([]*Report, 0, len(exps))
 	for _, e := range exps {

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// Stream measures query latency under live streaming ingest: a closed-loop
+// multi-run lineage query runs against a snapshot pinned before the
+// measurement, first on an idle store, then again while a background
+// TailIngest session streams freshly generated runs into the same store for
+// the whole window. Snapshot isolation means the pinned query never waits on
+// (or sees) the concurrent writers, so the ingest tax shows up only as CPU
+// and allocator contention — the p99_x_idle column is the contract the
+// streaming design is judged by (within 2x of idle).
+func Stream(o Options) (*Report, error) {
+	l, d, nBase := 6, 6, 6
+	window := 2 * time.Second
+	if o.Quick {
+		l, d, nBase = 4, 4, 4
+		window = 400 * time.Millisecond
+	}
+
+	traces, wf, runIDs, err := failoverTraces(l, d, nBase)
+	if err != nil {
+		return nil, err
+	}
+	ctx := o.ctx()
+	st, err := store.OpenMemory()
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	if err := st.IngestTraces(ctx, traces, store.IngestOptions{Parallelism: 2}); err != nil {
+		return nil, err
+	}
+	if _, err := st.BuildColumnSegments(); err != nil {
+		return nil, err
+	}
+
+	// Pin the snapshot every measured query runs against. Both executors
+	// read through this one view, so idle and ingest cells answer the exact
+	// same epoch.
+	v, err := st.View()
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	pinnedEpoch := v.Epoch()
+	ip, err := lineage.NewIndexProj(v, wf)
+	if err != nil {
+		return nil, err
+	}
+	idx := value.Ix(d/2, d/2)
+	focus := FocusedSet()
+	executors := []struct {
+		name string
+		scan lineage.ColScanMode
+	}{
+		{"row", lineage.ColScanOff},
+		{"colscan", lineage.ColScanOn},
+	}
+
+	rep := &Report{
+		ID:    "stream",
+		Title: "streaming ingest: pinned-snapshot query latency, idle vs. live tail",
+		Caption: fmt.Sprintf("Closed-loop focused multi-run lineage queries (INDEXPROJ,\n"+
+			"parallelism 2, %d runs, testbed l=%d d=%d) against a store.View pinned\n"+
+			"before measurement. In the tail-ingest cells a concurrent TailIngest\n"+
+			"session streams freshly generated runs into the same store for the\n"+
+			"whole %s window; the pinned snapshot never sees them, so p99_x_idle\n"+
+			"is pure ingest interference (the acceptance bar is 2x).",
+			nBase, l, d, window),
+		Columns: []string{"executor", "phase", "queries", "p50_ms", "p99_ms", "p99_x_idle",
+			"ingested_events", "ingest_events_per_sec", "dead_lettered"},
+	}
+
+	want, err := ip.LineageMultiRunParallel(ctx, runIDs, gen.FinalName, "product", idx, focus,
+		lineage.MultiRunOptions{Parallelism: 2})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, ex := range executors {
+		idleP99 := 0.0
+		for _, phase := range []string{"idle", "tail-ingest"} {
+			var stop func() (store.TailStats, error)
+			if phase == "tail-ingest" {
+				stop = streamFeeder(ctx, st, wf, d, fmt.Sprintf("live-%s-", ex.name))
+			}
+			var (
+				lats  []time.Duration
+				count int
+			)
+			start := time.Now()
+			for end := start.Add(window); time.Now().Before(end); {
+				if err := ctx.Err(); err != nil {
+					if stop != nil {
+						stop()
+					}
+					return nil, err
+				}
+				t0 := time.Now()
+				res, err := ip.LineageMultiRunParallel(ctx, runIDs, gen.FinalName, "product", idx, focus,
+					lineage.MultiRunOptions{Parallelism: 2, ColScan: ex.scan})
+				if err != nil {
+					if stop != nil {
+						stop()
+					}
+					return nil, fmt.Errorf("bench: stream %s/%s: %w", ex.name, phase, err)
+				}
+				if !res.Equal(want) {
+					if stop != nil {
+						stop()
+					}
+					return nil, fmt.Errorf("bench: stream %s/%s: pinned answer drifted under ingest", ex.name, phase)
+				}
+				lats = append(lats, time.Since(t0))
+				count++
+			}
+			elapsed := time.Since(start)
+
+			var stats store.TailStats
+			if stop != nil {
+				if stats, err = stop(); err != nil {
+					return nil, fmt.Errorf("bench: stream feeder: %w", err)
+				}
+				if stats.Applied == 0 {
+					return nil, fmt.Errorf("bench: stream %s: tail-ingest window applied no events", ex.name)
+				}
+			}
+			p50 := msOf(latQuantile(lats, 0.50))
+			p99 := msOf(latQuantile(lats, 0.99))
+			ratio := "1.00"
+			if phase == "idle" {
+				idleP99 = p99
+			} else if idleP99 > 0 {
+				ratio = fmt.Sprintf("%.2f", p99/idleP99)
+			}
+			rep.Rows = append(rep.Rows, []string{
+				ex.name, phase, fmt.Sprint(count),
+				fmt.Sprintf("%.3f", p50), fmt.Sprintf("%.3f", p99), ratio,
+				fmt.Sprint(stats.Applied),
+				fmt.Sprintf("%.0f", float64(stats.Applied)/elapsed.Seconds()),
+				fmt.Sprint(stats.DeadLettered),
+			})
+		}
+	}
+
+	if got := v.Epoch(); got != pinnedEpoch {
+		return nil, fmt.Errorf("bench: stream: pinned view epoch moved: %d -> %d", pinnedEpoch, got)
+	}
+	if st.Epoch() <= pinnedEpoch {
+		return nil, fmt.Errorf("bench: stream: store epoch never advanced past the pin (%d)", pinnedEpoch)
+	}
+	return rep, nil
+}
+
+// streamFeeder starts a background TailIngest session fed by freshly
+// generated testbed runs (unique run IDs, so every event validates) and
+// returns a stop function that cancels the feed, waits for the session to
+// flush, and reports its stats. Cancellation is the expected way the window
+// ends, so context errors from the session are not failures.
+func streamFeeder(ctx context.Context, st *store.Store, wf *workflow.Workflow, d int, tag string) func() (store.TailStats, error) {
+	fctx, cancel := context.WithCancel(ctx)
+	events := make(chan trace.Event, 64)
+	specs := map[string]*workflow.Workflow{wf.Name: wf}
+
+	var (
+		stats     store.TailStats
+		ingestErr error
+	)
+	sessionDone := make(chan struct{})
+	go func() {
+		defer close(sessionDone)
+		stats, ingestErr = st.TailIngest(fctx, events, store.TailOptions{Specs: specs})
+	}()
+
+	feedDone := make(chan struct{})
+	go func() {
+		defer close(feedDone)
+		defer close(events)
+		reg := engine.NewRegistry()
+		gen.RegisterTestbed(reg)
+		eng := engine.New(reg)
+		for k := 0; fctx.Err() == nil; k++ {
+			_, tr, err := eng.RunTrace(wf, fmt.Sprintf("%s%05d", tag, k), gen.TestbedInputs(d))
+			if err != nil {
+				return
+			}
+			for _, ev := range tr.Events() {
+				select {
+				case events <- ev:
+				case <-fctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	return func() (store.TailStats, error) {
+		cancel()
+		<-feedDone
+		<-sessionDone
+		if errors.Is(ingestErr, context.Canceled) {
+			ingestErr = nil
+		}
+		return stats, ingestErr
+	}
+}

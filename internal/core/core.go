@@ -21,6 +21,7 @@ import (
 	"repro/internal/lineage"
 	"repro/internal/shard"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/value"
 	"repro/internal/workflow"
 )
@@ -189,6 +190,49 @@ func (s *System) Workflow(name string) (*workflow.Workflow, bool) {
 	defer s.mu.Unlock()
 	w, ok := s.workflows[name]
 	return w, ok
+}
+
+// Workflows returns a snapshot of the registered workflow definitions keyed
+// by name — the spec map streaming ingest validates feeds against.
+func (s *System) Workflows() map[string]*workflow.Workflow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*workflow.Workflow, len(s.workflows))
+	for n, w := range s.workflows {
+		out[n] = w
+	}
+	return out
+}
+
+// TailIngest streams a live event feed into the provenance store and, when
+// the session ends, adopts the newly stored runs into the run-to-workflow
+// map so they are immediately queryable. The store backend must support
+// streaming ingest (both *store.Store and shard.ShardedStore do).
+func (s *System) TailIngest(ctx context.Context, events <-chan trace.Event, opt store.TailOptions) (store.TailStats, error) {
+	ti, ok := s.st.(store.TailIngester)
+	if !ok {
+		return store.TailStats{}, fmt.Errorf("core: store %T does not support streaming ingest", s.st)
+	}
+	stats, err := ti.TailIngest(ctx, events, opt)
+	if aerr := s.adoptRuns(); aerr != nil && err == nil {
+		err = aerr
+	}
+	return stats, err
+}
+
+// adoptRuns refreshes the run-to-workflow map from the store (runs can
+// appear outside Run — streaming ingest, bulk loads after open).
+func (s *System) adoptRuns() error {
+	runs, err := s.st.ListRuns()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range runs {
+		s.runWf[r.RunID] = r.Workflow
+	}
+	return nil
 }
 
 // RunResult reports one workflow execution.

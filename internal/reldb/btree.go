@@ -7,9 +7,21 @@ import (
 // btree is an in-memory B-tree mapping byte-string keys to row IDs. Index
 // entries are made unique by suffixing the encoded column key with the row
 // ID (see index.go), so the tree never stores duplicate keys. The tree is
-// not internally synchronized; the owning DB's lock guards it.
+// not internally synchronized; the owning DB's lock guards mutations.
+//
+// Nodes are copy-on-write: every node carries the ownership token of the
+// tree that created it, and a mutation first copies any node whose token
+// differs from the tree's (see mutable). clone() hands out a second root
+// over the same nodes and gives BOTH trees fresh tokens, so all shared
+// nodes become immutable from that point on — the snapshot side can be
+// read without locks while the live side keeps mutating, paying one node
+// copy per shared node it touches.
 
 const btreeDegree = 32 // max children per node = 2*degree
+
+// cowToken is a unique ownership marker; its identity (address) is all
+// that matters.
+type cowToken struct{ _ byte }
 
 type btreeItem struct {
 	key []byte
@@ -17,6 +29,7 @@ type btreeItem struct {
 }
 
 type btreeNode struct {
+	cow      *cowToken
 	items    []btreeItem
 	children []*btreeNode // nil for leaves
 }
@@ -41,9 +54,36 @@ func (n *btreeNode) find(k []byte) (int, bool) {
 type btree struct {
 	root *btreeNode
 	size int
+	cow  *cowToken
 }
 
-func newBTree() *btree { return &btree{root: &btreeNode{}} }
+func newBTree() *btree {
+	c := new(cowToken)
+	return &btree{root: &btreeNode{cow: c}, cow: c}
+}
+
+// clone returns a second tree over the same nodes. Both trees receive fresh
+// ownership tokens, so every currently shared node is immutable afterwards:
+// whichever side mutates first copies the nodes it touches. The clone is
+// O(1); the cost is paid lazily by later mutations.
+func (t *btree) clone() *btree {
+	t.cow = new(cowToken)
+	return &btree{root: t.root, size: t.size, cow: new(cowToken)}
+}
+
+// mutable returns a node owned by t, copying it first when it is shared
+// with a cloned tree. The caller must store the result back into the
+// parent's child slot (or the tree root).
+func (t *btree) mutable(n *btreeNode) *btreeNode {
+	if n.cow == t.cow {
+		return n
+	}
+	cp := &btreeNode{cow: t.cow, items: append([]btreeItem(nil), n.items...)}
+	if n.children != nil {
+		cp.children = append([]*btreeNode(nil), n.children...)
+	}
+	return cp
+}
 
 // Len returns the number of stored entries.
 func (t *btree) Len() int { return t.size }
@@ -51,24 +91,28 @@ func (t *btree) Len() int { return t.size }
 // Insert adds an entry; inserting an existing key replaces its row ID and
 // returns false.
 func (t *btree) Insert(key []byte, rid int64) bool {
-	if len(t.root.items) >= 2*btreeDegree-1 {
+	t.root = t.mutable(t.root)
+	if len(t.root.items) >= maxNodeItems {
 		old := t.root
-		t.root = &btreeNode{children: []*btreeNode{old}}
-		t.root.splitChild(0)
+		t.root = &btreeNode{cow: t.cow, children: []*btreeNode{old}}
+		t.splitChild(t.root, 0)
 	}
-	added := t.root.insert(btreeItem{key: key, rid: rid})
+	added := t.insert(t.root, btreeItem{key: key, rid: rid})
 	if added {
 		t.size++
 	}
 	return added
 }
 
-// splitChild splits the full child at position i, lifting its median item.
-func (n *btreeNode) splitChild(i int) {
-	child := n.children[i]
+// splitChild splits the full child at position i of n, lifting its median
+// item. n must already be mutable.
+func (t *btree) splitChild(n *btreeNode, i int) {
+	child := t.mutable(n.children[i])
+	n.children[i] = child
 	mid := btreeDegree - 1
 	median := child.items[mid]
 	right := &btreeNode{
+		cow:   t.cow,
 		items: append([]btreeItem(nil), child.items[mid+1:]...),
 	}
 	if !child.leaf() {
@@ -85,7 +129,8 @@ func (n *btreeNode) splitChild(i int) {
 	n.children[i+1] = right
 }
 
-func (n *btreeNode) insert(it btreeItem) bool {
+// insert adds it below n, which must already be mutable.
+func (t *btree) insert(n *btreeNode, it btreeItem) bool {
 	i, found := n.find(it.key)
 	if found {
 		n.items[i].rid = it.rid
@@ -97,8 +142,8 @@ func (n *btreeNode) insert(it btreeItem) bool {
 		n.items[i] = it
 		return true
 	}
-	if len(n.children[i].items) >= 2*btreeDegree-1 {
-		n.splitChild(i)
+	if len(n.children[i].items) >= maxNodeItems {
+		t.splitChild(n, i)
 		switch c := bytes.Compare(it.key, n.items[i].key); {
 		case c == 0:
 			n.items[i].rid = it.rid
@@ -107,7 +152,9 @@ func (n *btreeNode) insert(it btreeItem) bool {
 			i++
 		}
 	}
-	return n.children[i].insert(it)
+	child := t.mutable(n.children[i])
+	n.children[i] = child
+	return t.insert(child, it)
 }
 
 // Get returns the row ID stored under an exact key.
@@ -127,7 +174,8 @@ func (t *btree) Get(key []byte) (int64, bool) {
 
 // Delete removes the entry with the exact key, reporting whether it existed.
 func (t *btree) Delete(key []byte) bool {
-	if !t.root.delete(key) {
+	t.root = t.mutable(t.root)
+	if !t.delete(t.root, key) {
 		return false
 	}
 	t.size--
@@ -140,9 +188,10 @@ func (t *btree) Delete(key []byte) bool {
 const minItems = btreeDegree - 1
 
 // delete removes key from the subtree rooted at n, following the classic
-// CLRS structure. Invariant: when delete is called on a non-root node, the
-// node has at least minItems+1 items, so removing one cannot underflow it.
-func (n *btreeNode) delete(key []byte) bool {
+// CLRS structure; n must already be mutable. Invariant: when delete is
+// called on a non-root node, the node has at least minItems+1 items, so
+// removing one cannot underflow it.
+func (t *btree) delete(n *btreeNode, key []byte) bool {
 	i, found := n.find(key)
 	if n.leaf() {
 		if !found {
@@ -152,27 +201,32 @@ func (n *btreeNode) delete(key []byte) bool {
 		return true
 	}
 	if found {
-		switch {
-		case len(n.children[i].items) > minItems:
+		left := t.mutable(n.children[i])
+		n.children[i] = left
+		if len(left.items) > minItems {
 			// Replace with the in-order predecessor and delete it below.
-			pred := n.children[i].max()
+			pred := left.max()
 			n.items[i] = pred
-			return n.children[i].delete(pred.key)
-		case len(n.children[i+1].items) > minItems:
-			// Replace with the in-order successor and delete it below.
-			succ := n.children[i+1].min()
-			n.items[i] = succ
-			return n.children[i+1].delete(succ.key)
-		default:
-			// Both neighbours are minimal: merge them around the key and
-			// delete from the merged child.
-			n.mergeChildren(i)
-			return n.children[i].delete(key)
+			return t.delete(left, pred.key)
 		}
+		right := t.mutable(n.children[i+1])
+		n.children[i+1] = right
+		if len(right.items) > minItems {
+			// Replace with the in-order successor and delete it below.
+			succ := right.min()
+			n.items[i] = succ
+			return t.delete(right, succ.key)
+		}
+		// Both neighbours are minimal: merge them around the key and
+		// delete from the merged child.
+		t.mergeChildren(n, i)
+		return t.delete(n.children[i], key)
 	}
 	// Not here: ensure the child we descend into has room, then recurse.
-	i = n.growChild(i)
-	return n.children[i].delete(key)
+	i = t.growChild(n, i)
+	child := t.mutable(n.children[i])
+	n.children[i] = child
+	return t.delete(child, key)
 }
 
 // max returns the rightmost item of the subtree rooted at n.
@@ -191,10 +245,13 @@ func (n *btreeNode) min() btreeItem {
 	return n.items[0]
 }
 
-// mergeChildren merges child i, item i and child i+1 into a single child at
-// position i.
-func (n *btreeNode) mergeChildren(i int) {
-	child, right := n.children[i], n.children[i+1]
+// mergeChildren merges child i, item i and child i+1 of n into a single
+// child at position i. n must be mutable; the merged child is made mutable
+// here (the right sibling is only read).
+func (t *btree) mergeChildren(n *btreeNode, i int) {
+	child := t.mutable(n.children[i])
+	n.children[i] = child
+	right := n.children[i+1]
 	child.items = append(child.items, n.items[i])
 	child.items = append(child.items, right.items...)
 	child.children = append(child.children, right.children...)
@@ -202,17 +259,21 @@ func (n *btreeNode) mergeChildren(i int) {
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
 }
 
-// growChild ensures the child at position i has more than minItems items so
-// a delete can recurse into it, borrowing from a sibling or merging with
-// one. It returns the (possibly shifted) child position to descend into.
-func (n *btreeNode) growChild(i int) int {
+// growChild ensures the child at position i of n has more than minItems
+// items so a delete can recurse into it, borrowing from a sibling or merging
+// with one. It returns the (possibly shifted) child position to descend
+// into. n must be mutable.
+func (t *btree) growChild(n *btreeNode, i int) int {
 	if len(n.children[i].items) > minItems {
 		return i
 	}
 	switch {
 	case i > 0 && len(n.children[i-1].items) > minItems:
 		// Borrow through the parent from the left sibling.
-		child, left := n.children[i], n.children[i-1]
+		child := t.mutable(n.children[i])
+		n.children[i] = child
+		left := t.mutable(n.children[i-1])
+		n.children[i-1] = left
 		child.items = append(child.items, btreeItem{})
 		copy(child.items[1:], child.items)
 		child.items[0] = n.items[i-1]
@@ -227,7 +288,10 @@ func (n *btreeNode) growChild(i int) int {
 		}
 	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
 		// Borrow through the parent from the right sibling.
-		child, right := n.children[i], n.children[i+1]
+		child := t.mutable(n.children[i])
+		n.children[i] = child
+		right := t.mutable(n.children[i+1])
+		n.children[i+1] = right
 		child.items = append(child.items, n.items[i])
 		n.items[i] = right.items[0]
 		right.items = append(right.items[:0], right.items[1:]...)
@@ -241,7 +305,7 @@ func (n *btreeNode) growChild(i int) int {
 		if i >= len(n.children)-1 {
 			i--
 		}
-		n.mergeChildren(i)
+		t.mergeChildren(n, i)
 	}
 	return i
 }
@@ -258,10 +322,10 @@ const maxNodeItems = 2*btreeDegree - 1
 func (t *btree) bulkLoad(items []btreeItem) {
 	t.size = len(items)
 	if len(items) == 0 {
-		t.root = &btreeNode{}
+		t.root = &btreeNode{cow: t.cow}
 		return
 	}
-	t.root = bulkBuild(items, bulkHeight(len(items)))
+	t.root = bulkBuild(items, bulkHeight(len(items)), t.cow)
 }
 
 // bulkHeight returns the minimal height of a tree holding n items (0 = a
@@ -290,9 +354,9 @@ func bulkCapacity(height int) int {
 // the root call at minimal height — len(items) > bulkCapacity(height-1), so
 // the child count k is always at least 2 and the even split leaves every
 // child with at least bulkCapacity(height-1)/2 >= minItems items.
-func bulkBuild(items []btreeItem, height int) *btreeNode {
+func bulkBuild(items []btreeItem, height int, cow *cowToken) *btreeNode {
 	if height == 0 {
-		return &btreeNode{items: append([]btreeItem(nil), items...)}
+		return &btreeNode{cow: cow, items: append([]btreeItem(nil), items...)}
 	}
 	n := len(items)
 	capChild := bulkCapacity(height - 1)
@@ -300,6 +364,7 @@ func bulkBuild(items []btreeItem, height int) *btreeNode {
 	childTotal := n - (k - 1)
 	base, extra := childTotal/k, childTotal%k
 	node := &btreeNode{
+		cow:      cow,
 		items:    make([]btreeItem, 0, k-1),
 		children: make([]*btreeNode, 0, k),
 	}
@@ -309,7 +374,7 @@ func bulkBuild(items []btreeItem, height int) *btreeNode {
 		if c < extra {
 			take++
 		}
-		node.children = append(node.children, bulkBuild(items[pos:pos+take], height-1))
+		node.children = append(node.children, bulkBuild(items[pos:pos+take], height-1, cow))
 		pos += take
 		if c < k-1 {
 			node.items = append(node.items, items[pos])

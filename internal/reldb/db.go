@@ -9,7 +9,11 @@ import (
 )
 
 // DB is an embedded relational database: a set of named tables guarded by a
-// reader/writer lock.
+// reader/writer lock for mutations, with reads served lock-free from an
+// immutable published version (see dbVersion): every committed mutation
+// freezes the tables it touched and atomically publishes a new version
+// stamped with a monotonically increasing epoch. Readers — including
+// pinned Snapshots — therefore never contend with ingest.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -22,20 +26,88 @@ type DB struct {
 	// seq is the sequence number of the last committed WAL record; the
 	// snapshot records the value it covers so replay never re-applies.
 	seq uint64
+	// epoch stamps the currently committed state; it advances by exactly
+	// one per committed mutation, and on a durable database it is kept in
+	// lockstep with seq, so every committed WAL group is stamped with the
+	// epoch at which its effects became visible. Guarded by mu; the
+	// published value is read through version.
+	epoch uint64
+	// version is the latest published immutable state. Stored under mu,
+	// loaded lock-free by readers and Snapshot.
+	version atomic.Pointer[dbVersion]
 	// repairs records integrity repairs made while opening (rebuilt
 	// indexes); see RecoveryReport.
 	repairs []string
 	// stats counters, exported for benchmark instrumentation; atomic
-	// because read paths (which increment them) run under the read lock.
+	// because read paths increment them without any lock.
 	statIndexScans atomic.Int64
 	statFullScans  atomic.Int64
 	statRowsRead   atomic.Int64
 }
 
+// dbVersion is one immutable published state: the epoch it was committed
+// at and a frozen copy of every table. Readers holding a version (directly
+// or through a Snapshot) see exactly the data committed at or before its
+// epoch, regardless of concurrent mutations.
+type dbVersion struct {
+	epoch  uint64
+	tables map[string]*Table
+}
+
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	db := &DB{tables: make(map[string]*Table)}
+	db.version.Store(&dbVersion{tables: map[string]*Table{}})
+	return db
 }
+
+// publishLocked freezes the named dirty tables, reuses the previous frozen
+// copy of every clean one, and atomically publishes the result stamped with
+// the current epoch. The caller holds the write lock and has already
+// committed the mutation (memory + WAL).
+func (db *DB) publishLocked(dirty ...string) {
+	prev := db.version.Load()
+	tables := make(map[string]*Table, len(db.tables))
+next:
+	for name, t := range db.tables {
+		for _, d := range dirty {
+			if d == name {
+				tables[name] = t.freeze()
+				continue next
+			}
+		}
+		if prev != nil {
+			if ft, ok := prev.tables[name]; ok {
+				tables[name] = ft
+				continue
+			}
+		}
+		tables[name] = t.freeze()
+	}
+	db.version.Store(&dbVersion{epoch: db.epoch, tables: tables})
+}
+
+// publishAllLocked freezes every table and publishes; used after bulk state
+// replacement (open, replay, adopt, index repair) where per-table dirt
+// tracking does not apply.
+func (db *DB) publishAllLocked() {
+	tables := make(map[string]*Table, len(db.tables))
+	for name, t := range db.tables {
+		tables[name] = t.freeze()
+	}
+	db.version.Store(&dbVersion{epoch: db.epoch, tables: tables})
+}
+
+// commitLocked advances the epoch and publishes the named dirty tables; it
+// is the last step of every successful logged mutation.
+func (db *DB) commitLocked(dirty ...string) {
+	db.epoch++
+	db.publishLocked(dirty...)
+}
+
+// Epoch returns the epoch of the last committed mutation. A reader that
+// opens a Snapshot afterwards is guaranteed to see at least this epoch.
+func (db *DB) Epoch() uint64 { return db.version.Load().epoch }
 
 // fs returns the database's filesystem, defaulting to the OS.
 func (db *DB) fs() VFS {
@@ -87,6 +159,7 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 		delete(db.tables, name)
 		return nil, err
 	}
+	db.commitLocked(name)
 	return t, nil
 }
 
@@ -103,10 +176,13 @@ func (db *DB) DropTable(name string) error {
 		db.tables[name] = t
 		return err
 	}
+	db.commitLocked()
 	return nil
 }
 
-// Table returns the table with the given name.
+// Table returns the live table with the given name. Callers reading row
+// data concurrently with ingest should go through Select/Count or a
+// Snapshot instead; Table exists for schema lookups and white-box access.
 func (db *DB) Table(name string) (*Table, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -141,6 +217,7 @@ func (db *DB) CreateIndex(indexName, tableName string, cols ...string) error {
 		t.removeIndex(indexName)
 		return err
 	}
+	db.commitLocked(tableName)
 	return nil
 }
 
@@ -160,6 +237,7 @@ func (db *DB) Insert(tableName string, row Row) (int64, error) {
 		t.unInsertTail(rid, 1)
 		return 0, err
 	}
+	db.commitLocked(tableName)
 	return rid, nil
 }
 
@@ -199,6 +277,7 @@ func (db *DB) insertBatchMode(tableName string, rows []Row, owned bool) error {
 		t.unInsertTail(base, len(rows))
 		return err
 	}
+	db.commitLocked(tableName)
 	return nil
 }
 
@@ -252,31 +331,33 @@ func Ge(col string, val Datum) Pred { return Pred{Col: col, Val: val, Op: OpGe} 
 // uses the index covering the longest prefix of the predicate columns when
 // one exists, falling back to a heap scan. Rows are returned in index order
 // (or row-ID order for heap scans); limit < 0 means no limit.
+//
+// Select reads the last published version lock-free: it never blocks on —
+// and is never blocked by — concurrent ingest or checkpoints.
 func (db *DB) Select(tableName string, preds []Pred, limit int) ([]Row, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
+	v := db.version.Load()
+	t, ok := v.tables[tableName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	var out []Row
-	err := db.selectLocked(t, preds, func(_ int64, row Row) bool {
+	err := db.scanTable(t, preds, func(_ int64, row Row) bool {
 		out = append(out, row.Clone())
 		return limit < 0 || len(out) < limit
 	})
 	return out, err
 }
 
-// Count returns the number of rows matching the predicates.
+// Count returns the number of rows matching the predicates, lock-free
+// against the last published version.
 func (db *DB) Count(tableName string, preds []Pred) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
+	v := db.version.Load()
+	t, ok := v.tables[tableName]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	n := 0
-	err := db.selectLocked(t, preds, func(int64, Row) bool {
+	err := db.scanTable(t, preds, func(int64, Row) bool {
 		n++
 		return true
 	})
@@ -293,7 +374,7 @@ func (db *DB) Delete(tableName string, preds []Pred) (int, error) {
 	}
 	var rids []int64
 	var rows []Row
-	if err := db.selectLocked(t, preds, func(rid int64, row Row) bool {
+	if err := db.scanTable(t, preds, func(rid int64, row Row) bool {
 		rids = append(rids, rid)
 		rows = append(rows, row)
 		return true
@@ -309,11 +390,14 @@ func (db *DB) Delete(tableName string, preds []Pred) (int, error) {
 		t.reinsertAt(rids, rows)
 		return 0, err
 	}
+	db.commitLocked(tableName)
 	return len(rids), nil
 }
 
-// selectLocked runs the planned scan under the caller's lock.
-func (db *DB) selectLocked(t *Table, preds []Pred, fn func(rid int64, row Row) bool) error {
+// scanTable runs the planned scan over a table the caller may safely read:
+// either a frozen table out of a published version (no lock needed) or the
+// live table under the write lock (Delete's collection phase).
+func (db *DB) scanTable(t *Table, preds []Pred, fn func(rid int64, row Row) bool) error {
 	cols := make([]int, len(preds))
 	eqCols := make(map[int]bool, len(preds))
 	prefixCols := make(map[int]string, 1)
@@ -517,10 +601,15 @@ func (db *DB) Adopt(other *DB) {
 	defer other.mu.Unlock()
 	db.tables = other.tables
 	db.seq = other.seq
+	if other.epoch > db.epoch {
+		db.epoch = other.epoch
+	}
+	db.epoch++
 	if db.wal != nil {
 		db.wal.close()
 		db.wal = nil
 	}
+	db.publishAllLocked()
 }
 
 // Stats reports cumulative access-path counters (index scans, full scans,

@@ -47,6 +47,11 @@ func (db *DB) VerifyIndexes() []IndexProblem {
 			}
 		}
 	}
+	if len(problems) > 0 {
+		// Republish so lock-free readers see the quarantine flags. The
+		// logical content is unchanged, so the epoch does not advance.
+		db.publishAllLocked()
+	}
 	return problems
 }
 
@@ -85,6 +90,7 @@ func (db *DB) RebuildIndex(tableName, indexName string) error {
 	for _, ix := range t.indexes {
 		if ix.Name == indexName {
 			t.rebuildIndex(ix)
+			db.publishLocked(tableName)
 			return nil
 		}
 	}
@@ -104,6 +110,9 @@ func (db *DB) RebuildDamaged() int {
 				n++
 			}
 		}
+	}
+	if n > 0 {
+		db.publishAllLocked()
 	}
 	return n
 }
@@ -142,6 +151,9 @@ func (db *DB) repairIndexesOnOpen() {
 		}
 	}
 	sort.Strings(db.repairs)
+	// Publish the recovered state: the first version readers (and pinned
+	// snapshots) of a freshly opened durable database will see.
+	db.publishAllLocked()
 }
 
 // RecoveryReport lists the integrity repairs performed while opening the

@@ -262,6 +262,13 @@ func readSnapshot(data []byte) (*DB, error) {
 	if r.pos != len(r.data) {
 		return nil, fmt.Errorf("%w: snapshot has %d trailing bytes", ErrCorrupt, len(r.data)-r.pos)
 	}
+	// Rows and indexes were filled in behind the per-table CreateTable
+	// publishes; align the epoch clock with the covered WAL sequence and
+	// publish the complete state.
+	db.mu.Lock()
+	db.epoch = db.seq
+	db.publishAllLocked()
+	db.mu.Unlock()
 	return db, nil
 }
 

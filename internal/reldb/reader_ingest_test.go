@@ -1,0 +1,206 @@
+package reldb_test
+
+// Reader-during-ingest crash sweep: the crashpoint workload (see
+// crashpoint_test.go) runs again under fault injection, this time with a
+// snapshot reader interleaved with ingest. Two invariants extend the sweep:
+//
+//   - acked-commits-visible-at-their-epoch: immediately after a commit is
+//     acknowledged, a snapshot pinned at the then-current epoch sees every
+//     acknowledged key exactly once (and every acknowledged delete absent) —
+//     no matter what faults later operations hit;
+//   - pinned-snapshot stability: a snapshot pinned after commit N still
+//     answers with commit N's exact state after later commits, faults, and
+//     checkpoints have run — ingest never bleeds into a pinned reader.
+//
+// Reads go through the in-memory version chain, so they must stay correct
+// even while the injected filesystem is failing or silently dropping writes
+// underneath the ingest path. After recovery, a fresh snapshot must agree
+// with the live read path on the recovered state.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/reldb"
+)
+
+// readerExpect is the state an acknowledged prefix of the workload implies:
+// present keys and deleted keys, plus the epoch a snapshot of that state was
+// pinned at.
+type readerExpect struct {
+	epoch   uint64
+	present map[int]bool
+	removed map[int]bool
+}
+
+// checkSnapshot asserts a snapshot answers exactly exp.
+func checkSnapshot(label string, snap *reldb.Snapshot, exp readerExpect) error {
+	if got := snap.Epoch(); got != exp.epoch {
+		return fmt.Errorf("%s: snapshot epoch drifted: pinned %d, now reports %d", label, exp.epoch, got)
+	}
+	count := func(k int) (int, error) {
+		return snap.Count("t", []reldb.Pred{reldb.Eq("k", reldb.I(int64(k)))})
+	}
+	for k := range exp.present {
+		n, err := count(k)
+		if err != nil {
+			return fmt.Errorf("%s: count key %d: %w", label, k, err)
+		}
+		if n != 1 {
+			return fmt.Errorf("%s: acked key %d has %d copies at epoch %d, want 1", label, k, n, exp.epoch)
+		}
+	}
+	for k := range exp.removed {
+		n, err := count(k)
+		if err != nil {
+			return fmt.Errorf("%s: count deleted key %d: %w", label, k, err)
+		}
+		if n != 0 {
+			return fmt.Errorf("%s: acked delete of key %d not visible at epoch %d: %d copies", label, k, exp.epoch, n)
+		}
+	}
+	return nil
+}
+
+// applyCrashScriptWithReader runs the crash workload with the interleaved
+// reader checks. Snapshot checks only run for acknowledged commits — once
+// crashed() reports true the epoch bookkeeping of later commits is
+// indeterminate by design.
+func applyCrashScriptWithReader(fs reldb.VFS, dir string, crashed func() bool) (acked []crashStep, readerErr, err error) {
+	db, err := reldb.OpenDurableVFS(fs, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer db.CloseDurable()
+
+	present := map[int]bool{}
+	removed := map[int]bool{}
+	var (
+		pinned    *reldb.Snapshot
+		pinnedExp readerExpect
+		lastEpoch uint64
+	)
+	for stepNo, s := range crashScript() {
+		if err := s.run(db); err != nil {
+			return acked, readerErr, nil
+		}
+		if crashed != nil && crashed() {
+			continue
+		}
+		acked = append(acked, s)
+		for _, k := range s.added {
+			present[k] = true
+			delete(removed, k)
+		}
+		for _, k := range s.deleted {
+			delete(present, k)
+			removed[k] = true
+		}
+
+		// The pinned snapshot from an earlier commit must be byte-stable.
+		if pinned != nil {
+			if err := checkSnapshot(fmt.Sprintf("stability@step%d", stepNo), pinned, pinnedExp); err != nil && readerErr == nil {
+				readerErr = err
+			}
+			pinned.Release()
+		}
+
+		// A fresh snapshot must see exactly the acknowledged state, at a
+		// non-decreasing epoch.
+		snap := db.Snapshot()
+		if snap.Epoch() < lastEpoch {
+			if readerErr == nil {
+				readerErr = fmt.Errorf("epoch went backwards after %s: %d -> %d", s.desc, lastEpoch, snap.Epoch())
+			}
+		}
+		lastEpoch = snap.Epoch()
+		exp := readerExpect{epoch: snap.Epoch(), present: copyKeys(present), removed: copyKeys(removed)}
+		if err := checkSnapshot(fmt.Sprintf("visible@%s", s.desc), snap, exp); err != nil && readerErr == nil {
+			readerErr = err
+		}
+		pinned, pinnedExp = snap, exp
+	}
+	if pinned != nil {
+		pinned.Release()
+	}
+	return acked, readerErr, nil
+}
+
+func copyKeys(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func TestCrashSweepReaderDuringIngest(t *testing.T) {
+	// Probe run: fault-free, every reader invariant must hold, and it counts
+	// the injection points.
+	probeDir := t.TempDir()
+	probe := faultfs.New(reldb.OSFS{})
+	acked, readerErr, err := applyCrashScriptWithReader(probe, probeDir, probe.Crashed)
+	if err != nil {
+		t.Fatalf("probe open: %v", err)
+	}
+	if readerErr != nil {
+		t.Fatalf("probe reader invariant: %v", readerErr)
+	}
+	if len(acked) != len(crashScript()) {
+		t.Fatalf("clean probe acked %d of %d steps", len(acked), len(crashScript()))
+	}
+	total := probe.Ops()
+	stride := crashPointStride(total)
+	t.Logf("sweeping %d injection points (stride %d) per mode", total, stride)
+
+	for _, mode := range []string{"fail", "crash"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			for n := 1; n <= total; n += stride {
+				dir := t.TempDir()
+				fs := faultfs.New(reldb.OSFS{})
+				if mode == "crash" {
+					fs.CrashAt(n)
+				} else {
+					fs.FailAt(n)
+				}
+				label := fmt.Sprintf("%s@%d", mode, n)
+				acked, readerErr, openErr := applyCrashScriptWithReader(fs, dir, fs.Crashed)
+				if openErr != nil {
+					continue // injection hit the open; nothing was read
+				}
+				if readerErr != nil {
+					t.Fatalf("%s: reader invariant violated: %v", label, readerErr)
+				}
+
+				// Recovery: a fresh snapshot of the reopened directory must
+				// agree with the live read path (same epoch-pinned machinery
+				// the sweep exercised under faults).
+				db, err := reldb.OpenDurable(dir)
+				if err != nil {
+					t.Fatalf("%s: reopen: %v", label, err)
+				}
+				snap := db.Snapshot()
+				for _, s := range acked {
+					for _, k := range s.added {
+						live, err := db.Count("t", []reldb.Pred{reldb.Eq("k", reldb.I(int64(k)))})
+						if err != nil {
+							t.Fatalf("%s: live count after reopen: %v", label, err)
+						}
+						pinnedN, err := snap.Count("t", []reldb.Pred{reldb.Eq("k", reldb.I(int64(k)))})
+						if err != nil {
+							t.Fatalf("%s: snapshot count after reopen: %v", label, err)
+						}
+						if live != pinnedN {
+							t.Fatalf("%s: post-recovery snapshot disagrees with live reads for key %d: %d vs %d",
+								label, k, pinnedN, live)
+						}
+					}
+				}
+				snap.Release()
+				db.CloseDurable()
+			}
+		})
+	}
+}

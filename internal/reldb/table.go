@@ -72,6 +72,33 @@ type Table struct {
 	rows    []Row // nil entries are tombstones
 	live    int
 	indexes []*Index
+	// rowsShared marks the row heap as shared with a frozen copy (see
+	// freeze): appends remain safe (a frozen copy's slice header has the
+	// frozen length, so rows past it are invisible), but in-place
+	// tombstoning must copy the slice first.
+	rowsShared bool
+}
+
+// freeze returns an immutable copy of the table sharing its storage: the
+// row heap is shared up to the current length (the live table only ever
+// appends, and delete copies-on-write while the heap is marked shared), and
+// each index B-tree is cloned copy-on-write. The frozen copy is safe to
+// read without any lock while the live table keeps mutating; the caller
+// must hold the DB write lock for the freeze itself.
+func (t *Table) freeze() *Table {
+	t.rowsShared = true
+	idx := make([]*Index, len(t.indexes))
+	for i, ix := range t.indexes {
+		idx[i] = &Index{Name: ix.Name, Cols: ix.Cols, tree: ix.tree.clone(), damaged: ix.damaged}
+	}
+	return &Table{
+		Name:       t.Name,
+		Schema:     t.Schema,
+		rows:       t.rows[:len(t.rows):len(t.rows)],
+		live:       t.live,
+		indexes:    idx,
+		rowsShared: true,
+	}
 }
 
 // NumRows returns the number of live rows.
@@ -197,10 +224,16 @@ func (t *Table) removeIndex(name string) {
 	}
 }
 
-// delete removes the row with the given ID, maintaining indexes.
+// delete removes the row with the given ID, maintaining indexes. When the
+// row heap is shared with a frozen copy, it is copied first so the
+// tombstone never shows through a pinned snapshot.
 func (t *Table) delete(rid int64) error {
 	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
 		return fmt.Errorf("reldb: table %q: no row %d", t.Name, rid)
+	}
+	if t.rowsShared {
+		t.rows = append([]Row(nil), t.rows...)
+		t.rowsShared = false
 	}
 	row := t.rows[rid]
 	for _, ix := range t.indexes {

@@ -189,10 +189,17 @@ func OpenDurableVFS(fs VFS, dir string) (*DB, error) {
 	db.mu.Lock()
 	db.wal = &walWriter{fs: fs, path: walPath, f: f, w: bufio.NewWriter(f), good: goodOff}
 	db.walDir = dir
+	// Epochs track WAL sequence numbers on a durable database: every
+	// committed record's seq is the epoch at which its effects became
+	// visible, and recovery resumes the epoch clock from the last durable
+	// record — an acked commit is visible at its epoch across a crash.
+	db.epoch = db.seq
 	db.mu.Unlock()
 	// Secondary indexes are rebuilt from table contents by load/replay, but
 	// verify their shape anyway: any index that disagrees with its table is
 	// rebuilt before the database is shared, and the repair is reported.
+	// repairIndexesOnOpen publishes the recovered state as the first
+	// readable version.
 	db.repairIndexesOnOpen()
 	return db, nil
 }

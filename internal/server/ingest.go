@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+var (
+	srvIngests      = obs.C("server.ingest_requests")
+	srvIngestEvents = obs.C("server.ingest_events")
+)
+
+// ingestResponse is the POST /v1/ingest response body.
+type ingestResponse struct {
+	store.TailStats
+	// DecodeError reports a malformed NDJSON line that terminated the feed;
+	// events decoded before it were still applied (or dead-lettered).
+	DecodeError string `json:"decode_error,omitempty"`
+}
+
+// handleIngest accepts a streamed provenance feed: POST /v1/ingest?tenant=T
+// with an NDJSON body, one trace.Event per line. Events flow through the
+// tenant store's streaming ingest while queries keep answering from pinned
+// snapshots — this is the live half of the snapshot-isolation story. Events
+// that fail validation land in the tenant's dead-letter queue (inspect with
+// provq -dlq) and do not fail the request; only a line that is not valid
+// JSON terminates the feed early, reported in the response alongside the
+// stats for everything before it.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	srvRequests.Add(1)
+	srvIngests.Add(1)
+	end, ok := s.begin()
+	if !ok {
+		reject(w, srvRejDraining, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer end()
+
+	if r.Method != http.MethodPost {
+		srvErrors.Add(1)
+		http.Error(w, "ingest requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	tenantArg := r.URL.Query().Get("tenant")
+	if !tenantName.MatchString(tenantArg) {
+		srvErrors.Add(1)
+		http.Error(w, fmt.Sprintf("invalid tenant %q", tenantArg), http.StatusBadRequest)
+		return
+	}
+	t, release, err := s.tenants.acquire(tenantArg)
+	if err != nil {
+		srvErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer release()
+
+	// Decode in this goroutine, ingest in another: the feed channel gives the
+	// store's session its natural streaming shape, and a client disconnect
+	// (ctx cancel) flushes the open runs rather than dropping them.
+	events := make(chan trace.Event, 64)
+	type result struct {
+		stats store.TailStats
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		stats, err := t.sys.TailIngest(r.Context(), events, store.TailOptions{Specs: t.sys.Workflows()})
+		done <- result{stats, err}
+	}()
+
+	var decodeErr string
+	dec := json.NewDecoder(r.Body)
+	for {
+		var ev trace.Event
+		if err := dec.Decode(&ev); err != nil {
+			if !errors.Is(err, io.EOF) {
+				decodeErr = err.Error()
+			}
+			break
+		}
+		srvIngestEvents.Add(1)
+		select {
+		case events <- ev:
+		case <-r.Context().Done():
+		}
+		if r.Context().Err() != nil {
+			break
+		}
+	}
+	close(events)
+	res := <-done
+
+	if res.err != nil && !errors.Is(res.err, r.Context().Err()) {
+		srvErrors.Add(1)
+		http.Error(w, res.err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ingestResponse{TailStats: res.stats, DecodeError: decodeErr})
+}

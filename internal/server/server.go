@@ -124,14 +124,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/runs", s.handleRuns)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	obs.Mount(s.mux, obs.Default)
 	return s, nil
 }
 
-// Handler returns the server's HTTP surface: /v1/query, /v1/runs, /healthz,
-// /readyz, /metrics and /debug/pprof/*.
+// Handler returns the server's HTTP surface: /v1/query, /v1/runs,
+// /v1/ingest, /healthz, /readyz, /metrics and /debug/pprof/*.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // PlanCache exposes the shared cross-tenant plan cache (for tests and

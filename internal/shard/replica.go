@@ -238,11 +238,22 @@ func replicaRead[T any](ctx context.Context, rs *replicaSet, hedged bool, fn fun
 // deleted. It runs at open and at every Checkpoint, so single-run writers —
 // which land on the primary only, because they hand the engine a live
 // collector — converge by the next checkpoint.
+//
+// The whole pass reads the primary through one pinned snapshot View: the run
+// list and every trace copied come from the same committed epoch. Without
+// the pin, a DeleteRun or a concurrent ingest racing the catch-up could make
+// the pass copy a run it also decided was absent (or load a half-visible
+// run); with it, followers converge to a state the primary actually held.
+// Runs the primary deletes after the pin are removed on the next sync.
 func (rs *replicaSet) syncFollowers() error {
 	if len(rs.reps) == 1 {
 		return nil
 	}
-	pri := rs.primary()
+	pri, err := rs.primary().View()
+	if err != nil {
+		return fmt.Errorf("shard %d: pinning primary snapshot: %w", rs.shard, err)
+	}
+	defer pri.Close()
 	priRuns, err := pri.ListRuns()
 	if err != nil {
 		return fmt.Errorf("shard %d: listing primary runs: %w", rs.shard, err)
@@ -336,7 +347,9 @@ func (s *ShardedStore) SetBreakerConfig(cfg resilience.BreakerConfig) {
 }
 
 // ReplicaHealth implements store.HealthReporter: one row per replica with
-// its role, breaker state and call accounting. provd's /healthz renders it.
+// its role, breaker state, call accounting and committed epoch (a follower
+// whose epoch trails its primary's is still catching up). provd's /healthz
+// renders it.
 func (s *ShardedStore) ReplicaHealth() []store.ReplicaHealth {
 	out := make([]store.ReplicaHealth, 0, len(s.replicaSets)*s.manifest.Replicas)
 	for i, rs := range s.replicaSets {
@@ -355,6 +368,7 @@ func (s *ShardedStore) ReplicaHealth() []store.ReplicaHealth {
 				Successes: succ,
 				Failures:  fail,
 				Trips:     opens,
+				Epoch:     rep.st.Epoch(),
 			})
 		}
 	}

@@ -145,8 +145,13 @@ func (s *ShardedStore) ValuesBatchCtx(ctx context.Context, refs []store.ValueRef
 
 // HasRun reports whether the owning shard holds the run.
 func (s *ShardedStore) HasRun(runID string) (bool, error) {
+	return s.HasRunCtx(context.Background(), runID)
+}
+
+// HasRunCtx implements store.ContextTraceQuerier.
+func (s *ShardedStore) HasRunCtx(ctx context.Context, runID string) (bool, error) {
 	i := s.ring.owner(runID)
-	ok, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) (bool, error) {
+	ok, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) (bool, error) {
 		return st.HasRun(runID)
 	})
 	return ok, shardErr(i, err)
@@ -154,9 +159,16 @@ func (s *ShardedStore) HasRun(runID string) (bool, error) {
 
 // XformsByOutput routes the extensional probe to the owning shard.
 func (s *ShardedStore) XformsByOutput(runID, proc, port string, idx value.Index) ([]store.Xform, error) {
+	return s.XformsByOutputCtx(context.Background(), runID, proc, port, idx)
+}
+
+// XformsByOutputCtx implements store.ContextTraceQuerier: the probe is
+// bounded by ctx, so a stalled replica cannot hold a naive-method query past
+// its request deadline.
+func (s *ShardedStore) XformsByOutputCtx(ctx context.Context, runID, proc, port string, idx value.Index) ([]store.Xform, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	xs, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) ([]store.Xform, error) {
+	xs, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) ([]store.Xform, error) {
 		return st.XformsByOutput(runID, proc, port, idx)
 	})
 	return xs, shardErr(i, err)
@@ -164,9 +176,14 @@ func (s *ShardedStore) XformsByOutput(runID, proc, port string, idx value.Index)
 
 // XformsByInput routes the forward extensional probe to the owning shard.
 func (s *ShardedStore) XformsByInput(runID, proc, port string, idx value.Index) ([]store.ForwardXform, error) {
+	return s.XformsByInputCtx(context.Background(), runID, proc, port, idx)
+}
+
+// XformsByInputCtx implements store.ContextTraceQuerier.
+func (s *ShardedStore) XformsByInputCtx(ctx context.Context, runID, proc, port string, idx value.Index) ([]store.ForwardXform, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	xs, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) ([]store.ForwardXform, error) {
+	xs, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) ([]store.ForwardXform, error) {
 		return st.XformsByInput(runID, proc, port, idx)
 	})
 	return xs, shardErr(i, err)
@@ -174,9 +191,14 @@ func (s *ShardedStore) XformsByInput(runID, proc, port string, idx value.Index) 
 
 // XfersTo routes to the owning shard.
 func (s *ShardedStore) XfersTo(runID, proc, port string) ([]store.Xfer, error) {
+	return s.XfersToCtx(context.Background(), runID, proc, port)
+}
+
+// XfersToCtx implements store.ContextTraceQuerier.
+func (s *ShardedStore) XfersToCtx(ctx context.Context, runID, proc, port string) ([]store.Xfer, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	xs, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) ([]store.Xfer, error) {
+	xs, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) ([]store.Xfer, error) {
 		return st.XfersTo(runID, proc, port)
 	})
 	return xs, shardErr(i, err)
@@ -184,9 +206,14 @@ func (s *ShardedStore) XfersTo(runID, proc, port string) ([]store.Xfer, error) {
 
 // XfersFrom routes to the owning shard.
 func (s *ShardedStore) XfersFrom(runID, proc, port string) ([]store.Xfer, error) {
+	return s.XfersFromCtx(context.Background(), runID, proc, port)
+}
+
+// XfersFromCtx implements store.ContextTraceQuerier.
+func (s *ShardedStore) XfersFromCtx(ctx context.Context, runID, proc, port string) ([]store.Xfer, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	xs, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) ([]store.Xfer, error) {
+	xs, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) ([]store.Xfer, error) {
 		return st.XfersFrom(runID, proc, port)
 	})
 	return xs, shardErr(i, err)
@@ -194,9 +221,14 @@ func (s *ShardedStore) XfersFrom(runID, proc, port string) ([]store.Xfer, error)
 
 // LoadTrace reconstructs a stored run's trace from its owning shard.
 func (s *ShardedStore) LoadTrace(runID string) (*trace.Trace, error) {
+	return s.LoadTraceCtx(context.Background(), runID)
+}
+
+// LoadTraceCtx implements store.ContextTraceQuerier.
+func (s *ShardedStore) LoadTraceCtx(ctx context.Context, runID string) (*trace.Trace, error) {
 	i := s.ring.owner(runID)
 	s.noteRouted(i)
-	tr, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) (*trace.Trace, error) {
+	tr, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) (*trace.Trace, error) {
 		return st.LoadTrace(runID)
 	})
 	return tr, shardErr(i, err)
@@ -204,8 +236,13 @@ func (s *ShardedStore) LoadTrace(runID string) (*trace.Trace, error) {
 
 // Verify checks one stored run's integrity on its owning shard.
 func (s *ShardedStore) Verify(runID string, wf *workflow.Workflow) (*store.VerifyReport, error) {
+	return s.VerifyCtx(context.Background(), runID, wf)
+}
+
+// VerifyCtx implements store.ContextTraceQuerier.
+func (s *ShardedStore) VerifyCtx(ctx context.Context, runID string, wf *workflow.Workflow) (*store.VerifyReport, error) {
 	i := s.ring.owner(runID)
-	rep, err := replicaRead(context.Background(), s.replicaSets[i], false, func(st *store.Store) (*store.VerifyReport, error) {
+	rep, err := replicaRead(ctx, s.replicaSets[i], false, func(st *store.Store) (*store.VerifyReport, error) {
 		return st.Verify(runID, wf)
 	})
 	return rep, shardErr(i, err)
@@ -295,4 +332,7 @@ func eachShard[G any](s *ShardedStore, ctx context.Context, groups map[int]G, fn
 	return errors.Join(errs...)
 }
 
-var _ store.ContextLineageQuerier = (*ShardedStore)(nil)
+var (
+	_ store.ContextLineageQuerier = (*ShardedStore)(nil)
+	_ store.ContextTraceQuerier   = (*ShardedStore)(nil)
+)

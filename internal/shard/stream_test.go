@@ -1,0 +1,495 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/lineage"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/workflow"
+)
+
+// This file tests the streaming-ingest and snapshot story at the shard
+// layer: demuxed tail ingest, context-bounded topology reads (the scatter.go
+// replicaRead(context.Background()) regression), the snapshot-fenced
+// follower catch-up racing DeleteRun, and the epoch-pinned differential —
+// a query pinned at epoch E answers byte-identically before, during and
+// after a concurrent ingest burst, across the row, colscan and sharded
+// executors.
+
+// interleaveEvents merges per-run feeds round-robin, the worst case for the
+// demux (every consecutive event lands on a potentially different shard).
+func interleaveEvents(traces []*trace.Trace) []trace.Event {
+	streams := make([][]trace.Event, len(traces))
+	for i, tr := range traces {
+		streams[i] = tr.Events()
+	}
+	var out []trace.Event
+	for progress := true; progress; {
+		progress = false
+		for i := range streams {
+			if len(streams[i]) > 0 {
+				out = append(out, streams[i][0])
+				streams[i] = streams[i][1:]
+				progress = true
+			}
+		}
+	}
+	return out
+}
+
+// streamInto feeds events through a channel into a TailIngester.
+func streamInto(ti store.TailIngester, specs map[string]*workflow.Workflow, events []trace.Event) (store.TailStats, error) {
+	ch := make(chan trace.Event)
+	go func() {
+		defer close(ch)
+		for _, ev := range events {
+			ch <- ev
+		}
+	}()
+	return ti.TailIngest(context.Background(), ch, store.TailOptions{Specs: specs})
+}
+
+func TestShardedTailIngest(t *testing.T) {
+	const l, d, nRuns = 3, 3, 8
+	traces := testbedTraces(t, l, d, nRuns)
+	wf := gen.Testbed(l)
+	specs := map[string]*workflow.Workflow{wf.Name: wf}
+	runIDs := make([]string, len(traces))
+	for i, tr := range traces {
+		runIDs[i] = tr.RunID
+	}
+
+	single, err := store.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if err := single.IngestTraces(context.Background(), traces, store.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ipSingle, err := lineage.NewIndexProj(single, wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := value.Ix(1, 1)
+	focus := lineage.NewFocus(gen.ListGenName)
+	want, err := ipSingle.LineageMultiRun(runIDs, gen.FinalName, "product", idx, focus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sh, err := OpenMemory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	events := interleaveEvents(traces)
+	stats, err := streamInto(sh, specs, events)
+	if err != nil {
+		t.Fatalf("sharded TailIngest: %v", err)
+	}
+	if stats.Applied != len(events) || stats.DeadLettered != 0 {
+		t.Fatalf("stats = %+v, want %d applied", stats, len(events))
+	}
+	if stats.RunsStarted != nRuns || stats.RunsEnded != nRuns {
+		t.Fatalf("stats = %+v, want %d runs", stats, nRuns)
+	}
+
+	ip, err := lineage.NewIndexProj(sh, wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.LineageMultiRun(runIDs, gen.FinalName, "product", idx, focus)
+	if err != nil {
+		t.Fatalf("query after demuxed ingest: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("demuxed tail ingest diverged from the bulk-loaded baseline")
+	}
+
+	// A stray event dead-letters into its owning shard's queue; the
+	// aggregated DLQ surfaces it and a retry without its run_start re-fails.
+	stray := trace.Event{Kind: trace.EventXform, RunID: "stray", Seq: 7}
+	if _, err := streamInto(sh, specs, []trace.Event{stray}); err != nil {
+		t.Fatal(err)
+	}
+	letters, err := sh.ListDeadLetters()
+	if err != nil || len(letters) != 1 {
+		t.Fatalf("aggregated DLQ = %v (%v), want 1 letter", letters, err)
+	}
+	retried, failed, err := sh.RetryDeadLetters(context.Background(), store.TailOptions{Specs: specs})
+	if err != nil || retried != 0 || failed != 1 {
+		t.Fatalf("retry: retried=%d failed=%d err=%v, want 0/1", retried, failed, err)
+	}
+	letters, _ = sh.ListDeadLetters()
+	if len(letters) != 1 || letters[0].Retries != 1 {
+		t.Fatalf("after retry: %+v, want one letter with retries=1", letters)
+	}
+}
+
+// TestTopologyReadsHonorDeadline pins the scatter.go regression: the
+// topology and metadata reads must honor the caller's context. With every
+// replica of the owning shard stalled (a hung disk), each Ctx read must
+// return once its deadline expires — before the stall releases — instead of
+// hanging on replicaRead(context.Background()).
+func TestTopologyReadsHonorDeadline(t *testing.T) {
+	const shards, r = 2, 2
+	traces := testbedTraces(t, 3, 3, 4)
+	wf := gen.Testbed(3)
+
+	sh, err := OpenMemoryReplicated(shards, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if err := sh.IngestTraces(context.Background(), traces, store.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	runID := traces[0].RunID
+	victim := sh.ShardOf(runID)
+	releases := make([]func(), 0, r)
+	for j := 0; j < r; j++ {
+		releases = append(releases, sh.StallReplica(victim, j))
+	}
+
+	calls := []struct {
+		name string
+		call func(ctx context.Context) error
+	}{
+		{"HasRunCtx", func(ctx context.Context) error { _, err := sh.HasRunCtx(ctx, runID); return err }},
+		{"XformsByOutputCtx", func(ctx context.Context) error {
+			_, err := sh.XformsByOutputCtx(ctx, runID, gen.FinalName, "product", value.Ix(0, 0))
+			return err
+		}},
+		{"XformsByInputCtx", func(ctx context.Context) error {
+			_, err := sh.XformsByInputCtx(ctx, runID, gen.FinalName, "product", value.Ix(0, 0))
+			return err
+		}},
+		{"XfersToCtx", func(ctx context.Context) error {
+			_, err := sh.XfersToCtx(ctx, runID, gen.FinalName, "product")
+			return err
+		}},
+		{"XfersFromCtx", func(ctx context.Context) error {
+			_, err := sh.XfersFromCtx(ctx, runID, gen.FinalName, "product")
+			return err
+		}},
+		{"LoadTraceCtx", func(ctx context.Context) error { _, err := sh.LoadTraceCtx(ctx, runID); return err }},
+		{"VerifyCtx", func(ctx context.Context) error { _, err := sh.VerifyCtx(ctx, runID, wf); return err }},
+	}
+	for _, c := range calls {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		t0 := time.Now()
+		err := c.call(ctx)
+		elapsed := time.Since(t0)
+		cancel()
+		if err == nil {
+			t.Errorf("%s: succeeded against a fully stalled shard", c.name)
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want deadline exceeded", c.name, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("%s: took %v, the deadline did not bound the stalled read", c.name, elapsed)
+		}
+	}
+	for _, release := range releases {
+		release()
+	}
+	// Reads recover once the stall lifts.
+	ok, err := sh.HasRunCtx(context.Background(), runID)
+	if err != nil || !ok {
+		t.Fatalf("HasRun after release = %v, %v", ok, err)
+	}
+	shardWaitNoLeaks(t, baseline)
+}
+
+// TestSyncFollowersDeleteRace races DeleteRun against the snapshot-fenced
+// follower catch-up: runs land primary-only via streaming ingest, then
+// checkpoints (each pinning a primary View for its catch-up pass) run
+// concurrently with deletions. The pass must never error, and once quiescent
+// a final checkpoint converges every follower to exactly the primary's runs.
+func TestSyncFollowersDeleteRace(t *testing.T) {
+	const l, d, nRuns = 3, 3, 12
+	traces := testbedTraces(t, l, d, nRuns)
+	wf := gen.Testbed(l)
+	specs := map[string]*workflow.Workflow{wf.Name: wf}
+
+	sh, err := OpenMemoryReplicated(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	// Streamed runs land on primaries only — followers must converge through
+	// the fenced catch-up under test.
+	if _, err := streamInto(sh, specs, interleaveEvents(traces)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errCh := make(chan error, nRuns+8)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if err := sh.Checkpoint(); err != nil {
+				errCh <- fmt.Errorf("checkpoint %d during deletes: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nRuns/2; i++ {
+			if _, err := sh.DeleteRun(traces[i].RunID); err != nil {
+				errCh <- fmt.Errorf("delete %s: %w", traces[i].RunID, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Quiescent convergence: one more checkpoint, then every follower's run
+	// set must equal its primary's, and every surviving run must verify.
+	if err := sh.Checkpoint(); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	for i, rs := range sh.replicaSets {
+		priRuns, err := rs.primary().ListRuns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < len(rs.reps); j++ {
+			fRuns, err := rs.reps[j].st.ListRuns()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(runSet(priRuns), runSet(fRuns)) {
+				t.Fatalf("shard %d replica %d diverged after quiescent checkpoint:\nprimary %v\nfollower %v",
+					i, j, runSet(priRuns), runSet(fRuns))
+			}
+		}
+	}
+	for i := nRuns / 2; i < nRuns; i++ {
+		rep, err := sh.Verify(traces[i].RunID, wf)
+		if err != nil {
+			t.Fatalf("verify %s: %v", traces[i].RunID, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("run %s failed verification after catch-up race: %+v", traces[i].RunID, rep)
+		}
+	}
+}
+
+func runSet(runs []store.RunInfo) map[string]bool {
+	out := make(map[string]bool, len(runs))
+	for _, ri := range runs {
+		out[ri.RunID] = true
+	}
+	return out
+}
+
+// TestEpochPinnedDifferential is the satellite differential: a query pinned
+// at epoch E — a store.View for the row and colscan executors, and
+// base-run-only queries against the live sharded store — must answer
+// byte-identically before, during and after a concurrent TailIngest burst.
+// DIFF_TRIALS scales the sweep for nightly CI; run under -race the during-
+// burst queries genuinely race the ingest goroutine.
+func TestEpochPinnedDifferential(t *testing.T) {
+	trials := diffTrials(4)
+	rng := rand.New(rand.NewSource(20260808))
+	reg := engine.NewRegistry()
+	gen.RegisterTestbed(reg)
+	eng := engine.New(reg)
+
+	for trial := 0; trial < trials; trial++ {
+		l := 2 + rng.Intn(4)
+		d := 2 + rng.Intn(3)
+		wf := gen.Testbed(l)
+		specs := map[string]*workflow.Workflow{wf.Name: wf}
+		mkRuns := func(tag string, n int) ([]*trace.Trace, []string) {
+			traces := make([]*trace.Trace, n)
+			ids := make([]string, n)
+			for r := 0; r < n; r++ {
+				ids[r] = fmt.Sprintf("t%d-%s%03d", trial, tag, r)
+				_, tr, err := eng.RunTrace(wf, ids[r], gen.TestbedInputs(d))
+				if err != nil {
+					t.Fatalf("trial %d: engine: %v", trial, err)
+				}
+				traces[r] = tr
+			}
+			return traces, ids
+		}
+		base, baseIDs := mkRuns("base", 3)
+		burst, _ := mkRuns("burst", 3)
+		idx := value.Ix(rng.Intn(d), rng.Intn(d))
+		focus := lineage.NewFocus(gen.ListGenName)
+
+		single, err := store.OpenMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := single.IngestTraces(context.Background(), base, store.IngestOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := single.BuildColumnSegments(); err != nil {
+			t.Fatal(err)
+		}
+		sh, err := OpenMemory(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.IngestTraces(context.Background(), base, store.IngestOptions{}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Pin the view at epoch E, build the executors under test.
+		v, err := single.View()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipView, err := lineage.NewIndexProj(v, wf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		niView := lineage.NewNaive(v)
+		ipShard, err := lineage.NewIndexProj(sh, wf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type executor struct {
+			name string
+			run  func() (*lineage.Result, error)
+		}
+		executors := []executor{
+			{"view-row", func() (*lineage.Result, error) {
+				return ipView.LineageMultiRunParallel(context.Background(), baseIDs,
+					gen.FinalName, "product", idx, focus, lineage.MultiRunOptions{Parallelism: 2, ColScan: lineage.ColScanOff})
+			}},
+			{"view-colscan", func() (*lineage.Result, error) {
+				return ipView.LineageMultiRunParallel(context.Background(), baseIDs,
+					gen.FinalName, "product", idx, focus, lineage.MultiRunOptions{Parallelism: 2, ColScan: lineage.ColScanOn})
+			}},
+			{"view-naive", func() (*lineage.Result, error) {
+				return niView.LineageMultiRun(baseIDs, gen.FinalName, "product", idx, focus)
+			}},
+			{"sharded", func() (*lineage.Result, error) {
+				return ipShard.LineageMultiRunParallel(context.Background(), baseIDs,
+					gen.FinalName, "product", idx, focus, lineage.MultiRunOptions{Parallelism: 2})
+			}},
+		}
+
+		// Before the burst: every executor agrees; these are the pinned
+		// answers everything later must match byte for byte.
+		want := make([]*lineage.Result, len(executors))
+		for i, ex := range executors {
+			res, err := ex.run()
+			if err != nil {
+				t.Fatalf("trial %d %s before burst: %v", trial, ex.name, err)
+			}
+			want[i] = res
+			if !res.Equal(want[0]) {
+				t.Fatalf("trial %d: executors disagree before burst (%s vs %s)", trial, ex.name, executors[0].name)
+			}
+		}
+		pinnedBindings, err := v.InputBindingsBatch(baseIDs, gen.FinalName, "product", idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// During the burst: stream the burst runs into both stores while the
+		// executors re-answer concurrently.
+		var ingestWG sync.WaitGroup
+		ingestErr := make(chan error, 2)
+		ingestWG.Add(2)
+		go func() {
+			defer ingestWG.Done()
+			if _, err := streamInto(single, specs, interleaveEvents(burst)); err != nil {
+				ingestErr <- fmt.Errorf("single burst: %w", err)
+			}
+		}()
+		go func() {
+			defer ingestWG.Done()
+			if _, err := streamInto(sh, specs, interleaveEvents(burst)); err != nil {
+				ingestErr <- fmt.Errorf("sharded burst: %w", err)
+			}
+		}()
+		queryErr := make(chan error, len(executors))
+		var queryWG sync.WaitGroup
+		for i, ex := range executors {
+			queryWG.Add(1)
+			go func(i int, ex executor) {
+				defer queryWG.Done()
+				for iter := 0; iter < 4; iter++ {
+					res, err := ex.run()
+					if err != nil {
+						queryErr <- fmt.Errorf("%s during burst: %w", ex.name, err)
+						return
+					}
+					if !res.Equal(want[i]) {
+						queryErr <- fmt.Errorf("%s: answer changed during burst (iter %d)", ex.name, iter)
+						return
+					}
+				}
+			}(i, ex)
+		}
+		queryWG.Wait()
+		ingestWG.Wait()
+		close(ingestErr)
+		close(queryErr)
+		for err := range ingestErr {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for err := range queryErr {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// After the burst: the pinned answers are unchanged, down to the raw
+		// bindings the view serves.
+		for i, ex := range executors {
+			res, err := ex.run()
+			if err != nil {
+				t.Fatalf("trial %d %s after burst: %v", trial, ex.name, err)
+			}
+			if !res.Equal(want[i]) {
+				t.Fatalf("trial %d: %s answer changed after burst", trial, ex.name)
+			}
+		}
+		after, err := v.InputBindingsBatch(baseIDs, gen.FinalName, "product", idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(after, pinnedBindings) {
+			t.Fatalf("trial %d: pinned view bindings drifted across the burst", trial)
+		}
+		if ok, _ := v.HasRun(burst[0].RunID); ok {
+			t.Fatalf("trial %d: pinned view sees a burst run", trial)
+		}
+		ok, err := single.HasRun(burst[0].RunID)
+		if err != nil || !ok {
+			t.Fatalf("trial %d: live store missing burst run (%v, %v)", trial, ok, err)
+		}
+
+		v.Close()
+		single.Close()
+		sh.Close()
+	}
+}

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// This file implements streaming ingest over the sharded store: one inbound
+// feed demultiplexes by run ownership into a per-shard session running
+// store.TailIngest against the shard's primary. Each shard's session is an
+// independent engine with its own group-committing writer, so the feed
+// ingests on N engines concurrently — the same win the bulk path gets.
+// Followers converge at the next Checkpoint via the snapshot-fenced catch-up
+// copy, exactly like single-run writers.
+//
+// Dead letters land in the owning shard's primary DLQ; ListDeadLetters and
+// RetryDeadLetters aggregate across the shards so the operator surface
+// (provq -dlq) is the same either way.
+
+// tailFeedBuf is the per-shard channel depth: deep enough that one shard's
+// group-commit pause does not stall demux for the others.
+const tailFeedBuf = 256
+
+// TailIngest implements store.TailIngester by demultiplexing the feed across
+// the shards' primaries. Stats are summed over the per-shard sessions;
+// per-shard infrastructure failures are joined and shard-annotated.
+func (s *ShardedStore) TailIngest(ctx context.Context, events <-chan trace.Event, opt store.TailOptions) (store.TailStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		total  store.TailStats
+		errs   []error
+		feeds  = make(map[int]chan trace.Event)
+		feedOf = func(i int) chan trace.Event {
+			ch, ok := feeds[i]
+			if !ok {
+				ch = make(chan trace.Event, tailFeedBuf)
+				feeds[i] = ch
+				s.noteRouted(i)
+				wg.Add(1)
+				go func(i int, ch <-chan trace.Event) {
+					defer wg.Done()
+					st, err := s.primary(i).TailIngest(ctx, ch, opt)
+					mu.Lock()
+					defer mu.Unlock()
+					total.Applied += st.Applied
+					total.DeadLettered += st.DeadLettered
+					total.RunsStarted += st.RunsStarted
+					total.RunsEnded += st.RunsEnded
+					if err != nil && !errors.Is(err, ctx.Err()) {
+						errs = append(errs, shardErr(i, err))
+					}
+				}(i, ch)
+			}
+			return ch
+		}
+	)
+	drain := func() (store.TailStats, []error) {
+		for _, ch := range feeds {
+			close(ch)
+		}
+		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		return total, errs
+	}
+feed:
+	for {
+		select {
+		case <-ctx.Done():
+			break feed
+		case ev, ok := <-events:
+			if !ok {
+				break feed
+			}
+			select {
+			case feedOf(s.ring.owner(ev.RunID)) <- ev:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+	}
+	st, errList := drain()
+	if err := ctx.Err(); err != nil {
+		errList = append(errList, err)
+	}
+	return st, errors.Join(errList...)
+}
+
+// ListDeadLetters aggregates every shard's primary dead-letter queue, in
+// shard order (arrival order within each shard).
+func (s *ShardedStore) ListDeadLetters() ([]store.DeadLetter, error) {
+	var out []store.DeadLetter
+	for i := range s.replicaSets {
+		ls, err := s.primary(i).ListDeadLetters()
+		if err != nil {
+			return nil, shardErr(i, err)
+		}
+		out = append(out, ls...)
+	}
+	return out, nil
+}
+
+// RetryDeadLetters drains and replays every shard's primary DLQ; counts sum
+// and per-shard failures join. Shards are replayed in index order.
+func (s *ShardedStore) RetryDeadLetters(ctx context.Context, opt store.TailOptions) (retried, failed int, err error) {
+	var errs []error
+	shards := make([]int, 0, len(s.replicaSets))
+	for i := range s.replicaSets {
+		shards = append(shards, i)
+	}
+	sort.Ints(shards)
+	for _, i := range shards {
+		r, f, err := s.primary(i).RetryDeadLetters(ctx, opt)
+		retried += r
+		failed += f
+		if err != nil {
+			errs = append(errs, shardErr(i, err))
+		}
+	}
+	return retried, failed, errors.Join(errs...)
+}
+
+var _ store.TailIngester = (*ShardedStore)(nil)

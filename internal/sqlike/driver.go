@@ -150,32 +150,87 @@ func init() { sql.Register(DriverName, Driver{}) }
 
 type conn struct {
 	db *reldb.DB
+	// snap is the snapshot pinned by an open transaction: while set, every
+	// SELECT through this connection reads the pinned epoch. database/sql
+	// serializes access to a driver connection, so no further locking is
+	// needed.
+	snap *reldb.Snapshot
+}
+
+// EpochQuery is the statement that reports the epoch reads through the
+// connection observe: the pinned snapshot's epoch inside a transaction, the
+// latest committed epoch outside one. It returns a single row with a single
+// integer column named "epoch".
+const EpochQuery = "SELECT EPOCH()"
+
+func isEpochQuery(q string) bool {
+	q = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(q), ";"))
+	return strings.EqualFold(q, EpochQuery)
 }
 
 // Prepare implements driver.Conn.
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	if isEpochQuery(query) {
+		return &epochStmt{c: c}, nil
+	}
 	st, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return &stmt{db: c.db, st: st, numInput: NumPlaceholders(st)}, nil
+	return &stmt{c: c, st: st, numInput: NumPlaceholders(st)}, nil
 }
 
 // Close implements driver.Conn. The shared database outlives connections.
 func (c *conn) Close() error { return nil }
 
-// Begin implements driver.Conn. The engine serializes statements internally;
-// transactions are accepted for interface compatibility and commit/rollback
-// are no-ops (the provenance workload is append-only).
-func (c *conn) Begin() (driver.Tx, error) { return noopTx{}, nil }
+// Begin implements driver.Conn. A transaction pins a snapshot of the
+// current committed epoch: every read through the transaction sees exactly
+// the data committed at or before that epoch, regardless of concurrent
+// ingest. Writes inside a transaction are NOT buffered — they commit to the
+// live database immediately (and stay invisible to the transaction's own
+// reads); both Commit and Rollback simply release the pinned snapshot.
+func (c *conn) Begin() (driver.Tx, error) {
+	if c.snap != nil {
+		return nil, fmt.Errorf("sqlike: nested transactions are not supported")
+	}
+	c.snap = c.db.Snapshot()
+	return &snapTx{c: c}, nil
+}
 
-type noopTx struct{}
+type snapTx struct{ c *conn }
 
-func (noopTx) Commit() error   { return nil }
-func (noopTx) Rollback() error { return nil }
+func (tx *snapTx) Commit() error   { tx.c.endTx(); return nil }
+func (tx *snapTx) Rollback() error { tx.c.endTx(); return nil }
+
+func (c *conn) endTx() {
+	if c.snap != nil {
+		c.snap.Release()
+		c.snap = nil
+	}
+}
+
+// epochStmt serves EpochQuery without going through the SQL parser.
+type epochStmt struct{ c *conn }
+
+func (s *epochStmt) Close() error  { return nil }
+func (s *epochStmt) NumInput() int { return 0 }
+
+func (s *epochStmt) Exec(args []driver.Value) (driver.Result, error) {
+	return nil, fmt.Errorf("sqlike: %s is a query", EpochQuery)
+}
+
+func (s *epochStmt) Query(args []driver.Value) (driver.Rows, error) {
+	var epoch uint64
+	if s.c.snap != nil {
+		epoch = s.c.snap.Epoch()
+	} else {
+		epoch = s.c.db.Epoch()
+	}
+	return &rows{cols: []string{"epoch"}, data: [][]reldb.Datum{{reldb.I(int64(epoch))}}}, nil
+}
 
 type stmt struct {
-	db       *reldb.DB
+	c        *conn
 	st       Stmt
 	numInput int
 }
@@ -208,7 +263,10 @@ func (s *stmt) run(args []driver.Value) (*Result, error) {
 		}
 		datums[i] = d
 	}
-	return Exec(s.db, s.st, datums)
+	if snap := s.c.snap; snap != nil {
+		return ExecOn(s.c.db, snap, s.st, datums)
+	}
+	return Exec(s.c.db, s.st, datums)
 }
 
 func toDatum(v driver.Value) (reldb.Datum, error) {

@@ -16,9 +16,30 @@ type Result struct {
 	Affected int64
 }
 
+// Queryer is the read surface a SELECT executes against: either the live
+// database (latest committed state) or a pinned reldb.Snapshot (the state
+// at one epoch). Both *reldb.DB and *reldb.Snapshot satisfy it.
+type Queryer interface {
+	Table(name string) (*reldb.Table, bool)
+	Select(table string, preds []reldb.Pred, limit int) ([]reldb.Row, error)
+	Count(table string, preds []reldb.Pred) (int, error)
+}
+
+var (
+	_ Queryer = (*reldb.DB)(nil)
+	_ Queryer = (*reldb.Snapshot)(nil)
+)
+
 // Exec runs a parsed statement against a database with the given placeholder
-// bindings.
+// bindings; reads go against the latest committed state.
 func Exec(db *reldb.DB, st Stmt, args []reldb.Datum) (*Result, error) {
+	return ExecOn(db, db, st, args)
+}
+
+// ExecOn is Exec with reads routed through q: a pinned snapshot makes every
+// SELECT see one epoch, while mutations still commit to the live database
+// (the engine's transactions isolate reads, not writes).
+func ExecOn(db *reldb.DB, q Queryer, st Stmt, args []reldb.Datum) (*Result, error) {
 	if want := NumPlaceholders(st); want != len(args) {
 		return nil, fmt.Errorf("sqlike: statement has %d placeholders, got %d arguments", want, len(args))
 	}
@@ -75,7 +96,7 @@ func Exec(db *reldb.DB, st Stmt, args []reldb.Datum) (*Result, error) {
 		return &Result{Affected: int64(len(rows))}, nil
 
 	case *SelectStmt:
-		return execSelect(db, s, bind)
+		return execSelect(q, s, bind)
 
 	case *DeleteStmt:
 		preds, err := conds(s.Where, bind)
@@ -143,23 +164,23 @@ func conds(ws []Cond, bind func(Expr) reldb.Datum) ([]reldb.Pred, error) {
 	return out, nil
 }
 
-func execSelect(db *reldb.DB, s *SelectStmt, bind func(Expr) reldb.Datum) (*Result, error) {
+func execSelect(q Queryer, s *SelectStmt, bind func(Expr) reldb.Datum) (*Result, error) {
 	preds, err := conds(s.Where, bind)
 	if err != nil {
 		return nil, err
 	}
 	if s.CountAll {
-		n, err := db.Count(s.Table, preds)
+		n, err := q.Count(s.Table, preds)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Cols: []string{"count"}, Rows: [][]reldb.Datum{{reldb.I(int64(n))}}}, nil
 	}
 	if len(s.Aggs) > 0 {
-		return execAggregates(db, s, preds)
+		return execAggregates(q, s, preds)
 	}
 
-	tab, ok := db.Table(s.Table)
+	tab, ok := q.Table(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("sqlike: no table %q", s.Table)
 	}
@@ -168,7 +189,7 @@ func execSelect(db *reldb.DB, s *SelectStmt, bind func(Expr) reldb.Datum) (*Resu
 	if len(s.OrderBy) > 0 {
 		fetchLimit = -1
 	}
-	rows, err := db.Select(s.Table, preds, fetchLimit)
+	rows, err := q.Select(s.Table, preds, fetchLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -233,8 +254,8 @@ func execSelect(db *reldb.DB, s *SelectStmt, bind func(Expr) reldb.Datum) (*Resu
 }
 
 // execAggregates evaluates a SELECT of aggregate functions in one scan.
-func execAggregates(db *reldb.DB, s *SelectStmt, preds []reldb.Pred) (*Result, error) {
-	tab, ok := db.Table(s.Table)
+func execAggregates(q Queryer, s *SelectStmt, preds []reldb.Pred) (*Result, error) {
+	tab, ok := q.Table(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("sqlike: no table %q", s.Table)
 	}
@@ -266,7 +287,7 @@ func execAggregates(db *reldb.DB, s *SelectStmt, preds []reldb.Pred) (*Result, e
 		accums[i].isInt = ct == reldb.TInt
 		cols[i] = strings.ToLower(a.Fn) + "_" + a.Col
 	}
-	rows, err := db.Select(s.Table, preds, -1)
+	rows, err := q.Select(s.Table, preds, -1)
 	if err != nil {
 		return nil, err
 	}

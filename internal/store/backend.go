@@ -105,6 +105,23 @@ type ContextLineageQuerier interface {
 	ValuesBatchCtx(ctx context.Context, refs []ValueRef) (map[ValueRef]value.Value, error)
 }
 
+// ContextTraceQuerier is an optional interface a TraceQuerier implements
+// when its extensional probes and run-metadata reads can honor a caller
+// deadline (shard.ShardedStore: every one of these routes through a replica
+// set whose members may be stalled or dead). Callers holding a request
+// context — the provd query path, provq with -timeout — prefer these
+// variants; semantics otherwise match the plain methods exactly.
+type ContextTraceQuerier interface {
+	TraceQuerier
+	XformsByOutputCtx(ctx context.Context, runID, proc, port string, idx value.Index) ([]Xform, error)
+	XformsByInputCtx(ctx context.Context, runID, proc, port string, idx value.Index) ([]ForwardXform, error)
+	XfersToCtx(ctx context.Context, runID, proc, port string) ([]Xfer, error)
+	XfersFromCtx(ctx context.Context, runID, proc, port string) ([]Xfer, error)
+	HasRunCtx(ctx context.Context, runID string) (bool, error)
+	LoadTraceCtx(ctx context.Context, runID string) (*trace.Trace, error)
+	VerifyCtx(ctx context.Context, runID string, wf *workflow.Workflow) (*VerifyReport, error)
+}
+
 // ContextColumnScanner is the ctx-bounded variant of ColumnScanner; column
 // segments load lazily from disk at query time, so the deadline genuinely
 // bounds I/O.
@@ -125,6 +142,9 @@ type ReplicaHealth struct {
 	Successes int64  `json:"successes"`
 	Failures  int64  `json:"failures"`
 	Trips     int64  `json:"trips"`
+	// Epoch is the replica's committed snapshot epoch; a follower whose epoch
+	// trails its primary's is still catching up.
+	Epoch uint64 `json:"epoch"`
 }
 
 // HealthReporter is an optional interface a store implements when it tracks

@@ -54,12 +54,16 @@ type ValueRef struct {
 // not requested are filtered out, so the answer is exactly the union of the
 // per-run InputBindings answers.
 func (s *Store) InputBindingsBatch(runIDs []string, proc, port string, idx value.Index) (map[string][]Binding, error) {
+	return s.inputBindingsBatchOn(s, runIDs, proc, port, idx)
+}
+
+func (s *Store) inputBindingsBatchOn(r runner, runIDs []string, proc, port string, idx value.Index) (map[string][]Binding, error) {
 	out := make(map[string][]Binding, len(runIDs))
 	if len(runIDs) == 0 {
 		return out, nil
 	}
 	if len(runIDs) == 1 {
-		bs, err := s.InputBindings(runIDs[0], proc, port, idx)
+		bs, err := s.inputBindingsOn(r, runIDs[0], proc, port, idx)
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +84,7 @@ func (s *Store) InputBindingsBatch(runIDs []string, proc, port string, idx value
 		return nil, err
 	}
 	countQuery(1)
-	rows, err := s.qInsBatchPrefix.Query(proc, port, key+"%")
+	rows, err := r.stmt(s.qInsBatchPrefix).Query(proc, port, key+"%")
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +103,7 @@ func (s *Store) InputBindingsBatch(runIDs []string, proc, port string, idx value
 	}
 	for n := len(idx) - 1; n >= 0 && len(empty) > 0; n-- {
 		countQuery(1)
-		rows, err := s.qInsBatchExact.Query(proc, port, MustIdxKey(idx.Truncate(n)))
+		rows, err := r.stmt(s.qInsBatchExact).Query(proc, port, MustIdxKey(idx.Truncate(n)))
 		if err != nil {
 			return nil, err
 		}
@@ -164,6 +168,10 @@ const valsCrossRunOverscan = 24
 // enough, falling back to point lookups for sparse or singleton sets.
 // Missing values are reported as an error, matching Value.
 func (s *Store) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
+	return s.valuesBatchOn(s, refs)
+}
+
+func (s *Store) valuesBatchOn(r runner, refs []ValueRef) (map[ValueRef]value.Value, error) {
 	out := make(map[ValueRef]value.Value, len(refs))
 	byRun := make(map[string][]int64)
 	for _, ref := range refs {
@@ -211,7 +219,7 @@ func (s *Store) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
 		span := maxID - minID + 1
 		if s.runsEstimate()*span <= int64(valsCrossRunOverscan*len(out)+64) {
 			countQuery(1)
-			rows, err := s.qValsRangeAll.Query(minID, maxID)
+			rows, err := r.stmt(s.qValsRangeAll).Query(minID, maxID)
 			if err != nil {
 				return nil, err
 			}
@@ -264,7 +272,7 @@ func (s *Store) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
 			for id := range wanted {
 				countQuery(1)
 				var payload string
-				err := s.qValue.QueryRow(runID, id).Scan(&payload)
+				err := r.stmt(s.qValue).QueryRow(runID, id).Scan(&payload)
 				if err == sql.ErrNoRows {
 					return nil, fmt.Errorf("store: no value %d in run %q", id, runID)
 				}
@@ -280,7 +288,7 @@ func (s *Store) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
 			continue
 		}
 		countQuery(1)
-		rows, err := s.qValsRange.Query(runID, minID, maxID)
+		rows, err := r.stmt(s.qValsRange).Query(runID, minID, maxID)
 		if err != nil {
 			return nil, err
 		}

@@ -61,6 +61,7 @@ func (s *Store) initColSegs() {
 	s.segs = make(map[string]*colstore.Segment)
 	s.openWriters = make(map[string]int)
 	s.segGen = make(map[string]uint64)
+	s.segEpoch = make(map[string]uint64)
 	if dir := s.rdb.DurableDir(); dir != "" {
 		s.segDisk = &colstore.DiskStore{FS: s.rdb.FS(), Dir: filepath.Join(dir, "colseg")}
 	}
@@ -77,6 +78,7 @@ func (s *Store) beginRunWrite(runID string) {
 	s.openWriters[runID]++
 	s.segGen[runID]++
 	delete(s.segs, runID)
+	delete(s.segEpoch, runID)
 	s.removeSegFileLocked(runID)
 }
 
@@ -96,6 +98,7 @@ func (s *Store) invalidateSegment(runID string) {
 	defer s.segMu.Unlock()
 	s.segGen[runID]++
 	delete(s.segs, runID)
+	delete(s.segEpoch, runID)
 	s.removeSegFileLocked(runID)
 }
 
@@ -134,6 +137,7 @@ func (s *Store) BuildColumnSegments() (int, error) {
 			// reads as absent and is replaced by the rebuild below.
 			if seg, err := s.segDisk.Load(runID); err == nil && seg != nil {
 				s.segs[runID] = seg
+				s.segEpoch[runID] = s.rdb.Epoch()
 				have = true
 			}
 		}
@@ -160,6 +164,17 @@ func (s *Store) BuildColumnSegments() (int, error) {
 // set and the store is durable) unless the run was written to or deleted
 // since gen was observed — the fence that keeps a stale segment from ever
 // shadowing newer rows.
+//
+// The install also stamps the segment with the engine epoch current at
+// install time (segEpoch). The stamp is what lets a pinned View at epoch E
+// use a cached segment when segEpoch ≤ E: every row in the segment was
+// committed at or before segEpoch (the build read finished before the
+// stamp), and the segment is complete as of the stamp (any row of the run
+// committed between the build read and the install would have bumped the
+// generation through beginRunWrite, failing the check below). Because a run
+// mutation always drops the cached segment, a segment still cached when the
+// View probes is fresh-or-absent: fresh for every epoch from segEpoch to
+// now, absent otherwise.
 func (s *Store) installSegment(runID string, gen uint64, seg *colstore.Segment, persist bool) bool {
 	s.segMu.Lock()
 	defer s.segMu.Unlock()
@@ -167,6 +182,7 @@ func (s *Store) installSegment(runID string, gen uint64, seg *colstore.Segment, 
 		return false
 	}
 	s.segs[runID] = seg
+	s.segEpoch[runID] = s.rdb.Epoch()
 	if persist && s.segDisk != nil {
 		if err := s.segDisk.Write(seg); err != nil {
 			obsColPersistErrs.Add(1)
@@ -244,6 +260,7 @@ func (s *Store) segmentFor(runID string) *colstore.Segment {
 		return nil // absent, or corrupt: Checkpoint will rebuild it
 	}
 	s.segs[runID] = loaded
+	s.segEpoch[runID] = s.rdb.Epoch()
 	return loaded
 }
 
@@ -275,6 +292,14 @@ func (s *Store) ColScanAvailable() bool {
 // path. Per-run answers are byte-identical to InputBindingsBatch: same
 // bindings, same order.
 func (s *Store) ColScanBindings(runIDs []string, proc, port string, idx value.Index) (map[string][]Binding, []string, error) {
+	return colScanBindings(s.segmentFor, runIDs, proc, port, idx)
+}
+
+// colScanBindings is the scan core shared by the live store and pinned
+// Views; segFor decides which runs have a usable segment (and under what
+// visibility rules — latest state for the store, the pinned epoch for a
+// View).
+func colScanBindings(segFor func(string) *colstore.Segment, runIDs []string, proc, port string, idx value.Index) (map[string][]Binding, []string, error) {
 	key, err := IdxKey(idx)
 	if err != nil {
 		return nil, nil, err
@@ -284,7 +309,7 @@ func (s *Store) ColScanBindings(runIDs []string, proc, port string, idx value.In
 	var scratch []colstore.Match
 	var examined, scanned int64
 	for _, runID := range runIDs {
-		seg := s.segmentFor(runID)
+		seg := segFor(runID)
 		if seg == nil {
 			missing = append(missing, runID)
 			continue

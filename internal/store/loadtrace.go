@@ -15,8 +15,12 @@ import (
 // Event grouping is recovered from the stored event IDs; xform inputs come
 // back in port-declaration order.
 func (s *Store) LoadTrace(runID string) (*trace.Trace, error) {
+	return s.loadTraceOn(s, runID)
+}
+
+func (s *Store) loadTraceOn(r runner, runID string) (*trace.Trace, error) {
 	var wfName string
-	err := s.db.QueryRow(`SELECT workflow FROM runs WHERE run_id = ?`, runID).Scan(&wfName)
+	err := r.queryRow(`SELECT workflow FROM runs WHERE run_id = ?`, runID).Scan(&wfName)
 	if errors.Is(err, sql.ErrNoRows) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
 	}
@@ -27,7 +31,7 @@ func (s *Store) LoadTrace(runID string) (*trace.Trace, error) {
 
 	// Values, interned by ID.
 	vals := make(map[int64]value.Value)
-	rows, err := s.db.Query(`SELECT val_id, payload FROM vals WHERE run_id = ?`, runID)
+	rows, err := r.query(`SELECT val_id, payload FROM vals WHERE run_id = ?`, runID)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +63,7 @@ func (s *Store) LoadTrace(runID string) (*trace.Trace, error) {
 	// Xform events, rebuilt by event ID.
 	events := make(map[int64]*trace.XformEvent)
 	order := []int64{}
-	rows, err = s.db.Query(
+	rows, err = r.query(
 		`SELECT event_id, proc, port, idx, ctx, val_id FROM xform_in WHERE run_id = ? ORDER BY event_id, pos`, runID)
 	if err != nil {
 		return nil, err
@@ -87,7 +91,7 @@ func (s *Store) LoadTrace(runID string) (*trace.Trace, error) {
 	if err := closeRows(rows); err != nil {
 		return nil, err
 	}
-	rows, err = s.db.Query(
+	rows, err = r.query(
 		`SELECT event_id, proc, port, idx, ctx, val_id FROM xform_out WHERE run_id = ? ORDER BY event_id`, runID)
 	if err != nil {
 		return nil, err
@@ -122,7 +126,7 @@ func (s *Store) LoadTrace(runID string) (*trace.Trace, error) {
 	}
 
 	// Xfer events.
-	rows, err = s.db.Query(
+	rows, err = r.query(
 		`SELECT from_proc, from_port, from_idx, from_ctx, to_proc, to_port, to_idx, to_ctx, val_id FROM xfer WHERE run_id = ?`, runID)
 	if err != nil {
 		return nil, err

@@ -66,18 +66,22 @@ func ResetQueryCount() int64 { return queryCount.Swap(0) }
 //
 // Each returned event carries its full ordered input bindings.
 func (s *Store) XformsByOutput(runID, proc, port string, idx value.Index) ([]Xform, error) {
+	return s.xformsByOutputOn(s, runID, proc, port, idx)
+}
+
+func (s *Store) xformsByOutputOn(r runner, runID, proc, port string, idx value.Index) ([]Xform, error) {
 	key, err := IdxKey(idx)
 	if err != nil {
 		return nil, err
 	}
-	events, err := s.outsByPrefix(runID, proc, port, key)
+	events, err := s.outsByPrefix(r, runID, proc, port, key)
 	if err != nil {
 		return nil, err
 	}
 	if len(events) == 0 {
 		// Coarser events: probe successively shorter exact prefixes.
 		for n := len(idx) - 1; n >= 0 && len(events) == 0; n-- {
-			events, err = s.outsExact(runID, proc, port, MustIdxKey(idx.Truncate(n)))
+			events, err = s.outsExact(r, runID, proc, port, MustIdxKey(idx.Truncate(n)))
 			if err != nil {
 				return nil, err
 			}
@@ -85,7 +89,7 @@ func (s *Store) XformsByOutput(runID, proc, port string, idx value.Index) ([]Xfo
 	}
 	out := make([]Xform, 0, len(events))
 	for _, ev := range events {
-		inputs, err := s.eventInputs(runID, ev.eventID)
+		inputs, err := s.eventInputs(r, runID, ev.eventID)
 		if err != nil {
 			return nil, err
 		}
@@ -100,18 +104,18 @@ type outRow struct {
 	eventID int64
 }
 
-func (s *Store) outsByPrefix(runID, proc, port, keyPrefix string) ([]outRow, error) {
+func (s *Store) outsByPrefix(r runner, runID, proc, port, keyPrefix string) ([]outRow, error) {
 	countQuery(1)
-	rows, err := s.qOutsPrefix.Query(runID, proc, port, keyPrefix+"%")
+	rows, err := r.stmt(s.qOutsPrefix).Query(runID, proc, port, keyPrefix+"%")
 	if err != nil {
 		return nil, err
 	}
 	return s.scanOuts(rows, runID, proc, port)
 }
 
-func (s *Store) outsExact(runID, proc, port, key string) ([]outRow, error) {
+func (s *Store) outsExact(r runner, runID, proc, port, key string) ([]outRow, error) {
 	countQuery(1)
-	rows, err := s.qOutsExact.Query(runID, proc, port, key)
+	rows, err := r.stmt(s.qOutsExact).Query(runID, proc, port, key)
 	if err != nil {
 		return nil, err
 	}
@@ -139,9 +143,9 @@ func (s *Store) scanOuts(rows *sql.Rows, runID, proc, port string) ([]outRow, er
 	return out, rows.Err()
 }
 
-func (s *Store) eventInputs(runID string, eventID int64) ([]Binding, error) {
+func (s *Store) eventInputs(r runner, runID string, eventID int64) ([]Binding, error) {
 	countQuery(1)
-	rows, err := s.qEventIns.Query(runID, eventID)
+	rows, err := r.stmt(s.qEventIns).Query(runID, eventID)
 	if err != nil {
 		return nil, err
 	}
@@ -167,16 +171,20 @@ func (s *Store) eventInputs(runID string, eventID int64) ([]Binding, error) {
 // applying the same granularity rules as XformsByOutput (exact or finer
 // first, else the longest coarser prefix).
 func (s *Store) InputBindings(runID, proc, port string, idx value.Index) ([]Binding, error) {
+	return s.inputBindingsOn(s, runID, proc, port, idx)
+}
+
+func (s *Store) inputBindingsOn(r runner, runID, proc, port string, idx value.Index) ([]Binding, error) {
 	key, err := IdxKey(idx)
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.insByPrefix(runID, proc, port, key)
+	out, err := s.insByPrefix(r, runID, proc, port, key)
 	if err != nil {
 		return nil, err
 	}
 	for n := len(idx) - 1; n >= 0 && len(out) == 0; n-- {
-		out, err = s.insExact(runID, proc, port, MustIdxKey(idx.Truncate(n)))
+		out, err = s.insExact(r, runID, proc, port, MustIdxKey(idx.Truncate(n)))
 		if err != nil {
 			return nil, err
 		}
@@ -184,18 +192,18 @@ func (s *Store) InputBindings(runID, proc, port string, idx value.Index) ([]Bind
 	return out, nil
 }
 
-func (s *Store) insByPrefix(runID, proc, port, keyPrefix string) ([]Binding, error) {
+func (s *Store) insByPrefix(r runner, runID, proc, port, keyPrefix string) ([]Binding, error) {
 	countQuery(1)
-	rows, err := s.qInsPrefix.Query(runID, proc, port, keyPrefix+"%")
+	rows, err := r.stmt(s.qInsPrefix).Query(runID, proc, port, keyPrefix+"%")
 	if err != nil {
 		return nil, err
 	}
 	return s.scanIns(rows, runID, proc, port)
 }
 
-func (s *Store) insExact(runID, proc, port, key string) ([]Binding, error) {
+func (s *Store) insExact(r runner, runID, proc, port, key string) ([]Binding, error) {
 	countQuery(1)
-	rows, err := s.qInsExact.Query(runID, proc, port, key)
+	rows, err := r.stmt(s.qInsExact).Query(runID, proc, port, key)
 	if err != nil {
 		return nil, err
 	}
@@ -222,8 +230,12 @@ func (s *Store) scanIns(rows *sql.Rows, runID, proc, port string) ([]Binding, er
 
 // XfersTo returns the xfer events whose sink is the given port.
 func (s *Store) XfersTo(runID, proc, port string) ([]Xfer, error) {
+	return s.xfersToOn(s, runID, proc, port)
+}
+
+func (s *Store) xfersToOn(r runner, runID, proc, port string) ([]Xfer, error) {
 	countQuery(1)
-	rows, err := s.qXfersTo.Query(runID, proc, port)
+	rows, err := r.stmt(s.qXfersTo).Query(runID, proc, port)
 	if err != nil {
 		return nil, err
 	}
@@ -253,9 +265,13 @@ func (s *Store) XfersTo(runID, proc, port string) ([]Xfer, error) {
 
 // Value materializes a stored port value.
 func (s *Store) Value(runID string, valID int64) (value.Value, error) {
+	return s.valueOn(s, runID, valID)
+}
+
+func (s *Store) valueOn(r runner, runID string, valID int64) (value.Value, error) {
 	countQuery(1)
 	var payload string
-	err := s.qValue.QueryRow(runID, valID).Scan(&payload)
+	err := r.stmt(s.qValue).QueryRow(runID, valID).Scan(&payload)
 	if err == sql.ErrNoRows {
 		return value.Value{}, fmt.Errorf("store: no value %d in run %q", valID, runID)
 	}
@@ -272,12 +288,16 @@ func (s *Store) Value(runID string, valID int64) (value.Value, error) {
 // the given port matching idx (same granularity rules as XformsByOutput),
 // each carrying its full output bindings.
 func (s *Store) XformsByInput(runID, proc, port string, idx value.Index) ([]ForwardXform, error) {
+	return s.xformsByInputOn(s, runID, proc, port, idx)
+}
+
+func (s *Store) xformsByInputOn(r runner, runID, proc, port string, idx value.Index) ([]ForwardXform, error) {
 	key, err := IdxKey(idx)
 	if err != nil {
 		return nil, err
 	}
 	countQuery(1)
-	rows, err := s.db.Query(
+	rows, err := r.query(
 		`SELECT event_id, idx, ctx, val_id FROM xform_in WHERE run_id = ? AND proc = ? AND port = ? AND idx LIKE ?`,
 		runID, proc, port, key+"%")
 	if err != nil {
@@ -290,7 +310,7 @@ func (s *Store) XformsByInput(runID, proc, port string, idx value.Index) ([]Forw
 	if len(matched) == 0 {
 		for n := len(idx) - 1; n >= 0 && len(matched) == 0; n-- {
 			countQuery(1)
-			rows, err := s.db.Query(
+			rows, err := r.query(
 				`SELECT event_id, idx, ctx, val_id FROM xform_in WHERE run_id = ? AND proc = ? AND port = ? AND idx = ?`,
 				runID, proc, port, MustIdxKey(idx.Truncate(n)))
 			if err != nil {
@@ -309,7 +329,7 @@ func (s *Store) XformsByInput(runID, proc, port string, idx value.Index) ([]Forw
 			continue
 		}
 		seen[m.eventID] = true
-		outs, err := s.eventOutputs(runID, m.eventID)
+		outs, err := s.eventOutputs(r, runID, m.eventID)
 		if err != nil {
 			return nil, err
 		}
@@ -327,9 +347,9 @@ type ForwardXform struct {
 	Outputs []Binding
 }
 
-func (s *Store) eventOutputs(runID string, eventID int64) ([]Binding, error) {
+func (s *Store) eventOutputs(r runner, runID string, eventID int64) ([]Binding, error) {
 	countQuery(1)
-	rows, err := s.db.Query(
+	rows, err := r.query(
 		`SELECT proc, port, idx, ctx, val_id FROM xform_out WHERE run_id = ? AND event_id = ?`,
 		runID, eventID)
 	if err != nil {
@@ -354,8 +374,12 @@ func (s *Store) eventOutputs(runID string, eventID int64) ([]Binding, error) {
 
 // XfersFrom returns the xfer events whose source is the given port.
 func (s *Store) XfersFrom(runID, proc, port string) ([]Xfer, error) {
+	return s.xfersFromOn(s, runID, proc, port)
+}
+
+func (s *Store) xfersFromOn(r runner, runID, proc, port string) ([]Xfer, error) {
 	countQuery(1)
-	rows, err := s.db.Query(
+	rows, err := r.query(
 		`SELECT from_idx, from_ctx, to_proc, to_port, to_idx, to_ctx, val_id FROM xfer WHERE run_id = ? AND from_proc = ? AND from_port = ?`,
 		runID, proc, port)
 	if err != nil {

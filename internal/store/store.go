@@ -61,13 +61,19 @@ type Store struct {
 	// Columnar projection state (see colseg.go). segs caches one immutable
 	// colstore.Segment per checkpointed run; openWriters and segGen fence
 	// segment installs against concurrent ingest so a probe can never see a
-	// segment that lags the row store; segDisk (durable stores only)
-	// persists segments next to the WAL through the engine's VFS.
+	// segment that lags the row store; segEpoch records the engine epoch each
+	// cached segment became current at, so pinned Views can tell which
+	// segments their epoch covers; segDisk (durable stores only) persists
+	// segments next to the WAL through the engine's VFS.
 	segMu       sync.RWMutex
 	segs        map[string]*colstore.Segment
 	openWriters map[string]int
 	segGen      map[string]uint64
+	segEpoch    map[string]uint64
 	segDisk     *colstore.DiskStore
+
+	// Dead-letter queue sequencing (see tail.go).
+	dlqState
 }
 
 // schema is the DDL of the provenance database, mirroring the relational
@@ -96,6 +102,11 @@ var schema = []string{
 	                    to_proc TEXT, to_port TEXT, to_idx TEXT, to_ctx INT, val_id INT)`,
 	`CREATE INDEX xfer_to ON xfer (run_id, to_proc, to_port)`,
 	`CREATE INDEX xfer_from ON xfer (run_id, from_proc, from_port)`,
+
+	// The streaming-ingest dead-letter queue (see tail.go): events TailIngest
+	// rejects, kept durably for inspection and replay.
+	`CREATE TABLE dlq (seq INT, run_id TEXT, kind TEXT, reason TEXT, event TEXT, retries INT)`,
+	`CREATE INDEX dlq_seq ON dlq (seq)`,
 }
 
 // Open opens (and if necessary initializes) a provenance store at the given
@@ -209,18 +220,19 @@ func (s *Store) ensureSchema() error {
 	return nil
 }
 
-// migrateIndexes backfills indexes added to the schema after a store was
-// created (e.g. xin_ppi, which the batched multi-run probes rely on).
+// migrateIndexes backfills schema objects added after a store was created:
+// indexes (e.g. xin_ppi, which the batched multi-run probes rely on) and
+// whole tables (e.g. dlq, the streaming-ingest dead-letter queue).
 func (s *Store) migrateIndexes() error {
 	for _, stmt := range schema {
-		if !strings.HasPrefix(stmt, "CREATE INDEX") {
+		if !strings.HasPrefix(stmt, "CREATE INDEX") && !strings.HasPrefix(stmt, "CREATE TABLE") {
 			continue
 		}
 		if _, err := s.db.Exec(stmt); err != nil {
-			if errors.Is(err, reldb.ErrIndexExists) {
+			if errors.Is(err, reldb.ErrIndexExists) || errors.Is(err, reldb.ErrTableExists) {
 				continue
 			}
-			return fmt.Errorf("store: migrating indexes: %w", err)
+			return fmt.Errorf("store: migrating schema: %w", err)
 		}
 	}
 	return nil
@@ -313,8 +325,10 @@ type RunInfo struct {
 }
 
 // ListRuns returns all stored runs.
-func (s *Store) ListRuns() ([]RunInfo, error) {
-	rows, err := s.db.Query(`SELECT run_id, workflow FROM runs`)
+func (s *Store) ListRuns() ([]RunInfo, error) { return s.listRunsOn(s) }
+
+func (s *Store) listRunsOn(r runner) ([]RunInfo, error) {
+	rows, err := r.query(`SELECT run_id, workflow FROM runs`)
 	if err != nil {
 		return nil, err
 	}
@@ -383,13 +397,17 @@ func (s *Store) RunsOf(workflow string) ([]string, error) {
 // (pass "" for all runs). This is the metric of Table 1 of the paper: xform
 // input rows + xform output rows + xfer rows.
 func (s *Store) RecordCounts(runID string) (xformIn, xformOut, xfers int, err error) {
+	return s.recordCountsOn(s, runID)
+}
+
+func (s *Store) recordCountsOn(r runner, runID string) (xformIn, xformOut, xfers int, err error) {
 	count := func(table string) (int, error) {
 		var n int
 		var err error
 		if runID == "" {
-			err = s.db.QueryRow(`SELECT COUNT(*) FROM ` + table).Scan(&n)
+			err = r.queryRow(`SELECT COUNT(*) FROM ` + table).Scan(&n)
 		} else {
-			err = s.db.QueryRow(`SELECT COUNT(*) FROM `+table+` WHERE run_id = ?`, runID).Scan(&n)
+			err = r.queryRow(`SELECT COUNT(*) FROM `+table+` WHERE run_id = ?`, runID).Scan(&n)
 		}
 		return n, err
 	}

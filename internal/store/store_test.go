@@ -60,8 +60,9 @@ func TestIdxKeyPrefixProperty(t *testing.T) {
 	}
 }
 
-// storeFig3 runs the Fig. 3 workflow and persists its trace.
-func storeFig3(t *testing.T) (*Store, *trace.Trace) {
+// fig3Trace runs the Fig. 3 workflow and returns its definition and trace
+// under the given run ID.
+func fig3Trace(t *testing.T, runID string) (*workflow.Workflow, *trace.Trace) {
 	t.Helper()
 	w := workflow.New("fig3")
 	w.AddInput("v", 1).AddInput("w", 0).AddInput("c", 1)
@@ -91,7 +92,7 @@ func storeFig3(t *testing.T) (*Store, *trace.Trace) {
 		return []value.Value{value.Str(value.Encode(args[0]) + "+" + value.Encode(args[2]))}, nil
 	})
 	e := engine.New(reg)
-	_, tr, err := e.RunTrace(w, "run1", map[string]value.Value{
+	_, tr, err := e.RunTrace(w, runID, map[string]value.Value{
 		"v": value.Strs("a", "b", "c"),
 		"w": value.Str("w"),
 		"c": value.Strs("k"),
@@ -99,6 +100,13 @@ func storeFig3(t *testing.T) (*Store, *trace.Trace) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return w, tr
+}
+
+// storeFig3 runs the Fig. 3 workflow and persists its trace.
+func storeFig3(t *testing.T) (*Store, *trace.Trace) {
+	t.Helper()
+	_, tr := fig3Trace(t, "run1")
 	s, err := OpenMemory()
 	if err != nil {
 		t.Fatal(err)

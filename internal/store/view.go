@@ -1,0 +1,227 @@
+package store
+
+import (
+	"database/sql"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/colstore"
+	"repro/internal/sqlike"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// A View is a snapshot-isolated read handle on a store: it pins the engine
+// epoch current at View() time, and every query through it — single-run
+// probes, batched probes, column scans, full trace loads — answers from
+// exactly the data committed at or before that epoch, no matter how much
+// concurrent ingest lands while the view is open. Views are what keep
+// long-running reads (checkpointing a replica, a differential comparison, a
+// follower catch-up) coherent under live TailIngest traffic.
+//
+// A View holds one engine transaction; database/sql serializes access to it,
+// so a View is safe for concurrent use but probes through one View do not
+// parallelize. Close it promptly — a pinned epoch holds the frozen tables it
+// references alive.
+type View struct {
+	s     *Store
+	tx    *sql.Tx
+	epoch uint64
+
+	mu     sync.Mutex
+	stmts  map[*sql.Stmt]*sql.Stmt // store-prepared → tx-bound, built on demand
+	runSet map[string]bool         // lazily built; immutable once built (the data is pinned)
+
+	closed atomic.Bool
+}
+
+// runner is the execution seam between the live store and a pinned View:
+// every read helper in this package executes through one. The Store itself
+// runs statements on the connection pool (latest committed state); a View
+// rebinds them to its snapshot transaction.
+type runner interface {
+	// stmt rebinds a store-prepared statement for this runner.
+	stmt(st *sql.Stmt) *sql.Stmt
+	// query runs an ad-hoc query.
+	query(query string, args ...any) (*sql.Rows, error)
+	// queryRow runs an ad-hoc single-row query.
+	queryRow(query string, args ...any) *sql.Row
+}
+
+func (s *Store) stmt(st *sql.Stmt) *sql.Stmt { return st }
+func (s *Store) query(query string, args ...any) (*sql.Rows, error) {
+	return s.db.Query(query, args...)
+}
+func (s *Store) queryRow(query string, args ...any) *sql.Row {
+	return s.db.QueryRow(query, args...)
+}
+
+// Epoch returns the latest committed engine epoch: the epoch a View opened
+// now would pin.
+func (s *Store) Epoch() uint64 { return s.rdb.Epoch() }
+
+// View opens a snapshot-isolated read handle pinned at the latest committed
+// epoch. The caller must Close it.
+func (s *Store) View() (*View, error) {
+	tx, err := s.db.Begin()
+	if err != nil {
+		return nil, fmt.Errorf("store: opening view: %w", err)
+	}
+	var epoch uint64
+	if err := tx.QueryRow(sqlike.EpochQuery).Scan(&epoch); err != nil {
+		tx.Rollback()
+		return nil, fmt.Errorf("store: reading view epoch: %w", err)
+	}
+	return &View{s: s, tx: tx, epoch: epoch, stmts: make(map[*sql.Stmt]*sql.Stmt)}, nil
+}
+
+// Epoch returns the epoch this view is pinned at.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Close releases the view's transaction (idempotent).
+func (v *View) Close() error {
+	if v.closed.Swap(true) {
+		return nil
+	}
+	return v.tx.Rollback()
+}
+
+func (v *View) stmt(st *sql.Stmt) *sql.Stmt {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ts, ok := v.stmts[st]; ok {
+		return ts
+	}
+	ts := v.tx.Stmt(st)
+	v.stmts[st] = ts
+	return ts
+}
+
+func (v *View) query(query string, args ...any) (*sql.Rows, error) {
+	return v.tx.Query(query, args...)
+}
+
+func (v *View) queryRow(query string, args ...any) *sql.Row {
+	return v.tx.QueryRow(query, args...)
+}
+
+// The read surface, mirroring Store's: every method answers at the pinned
+// epoch. *View satisfies the same read interfaces as *Store.
+var (
+	_ LineageQuerier = (*View)(nil)
+	_ TraceQuerier   = (*View)(nil)
+	_ ColumnScanner  = (*View)(nil)
+)
+
+// XformsByOutput is Store.XformsByOutput at the pinned epoch.
+func (v *View) XformsByOutput(runID, proc, port string, idx value.Index) ([]Xform, error) {
+	return v.s.xformsByOutputOn(v, runID, proc, port, idx)
+}
+
+// XformsByInput is Store.XformsByInput at the pinned epoch.
+func (v *View) XformsByInput(runID, proc, port string, idx value.Index) ([]ForwardXform, error) {
+	return v.s.xformsByInputOn(v, runID, proc, port, idx)
+}
+
+// XfersTo is Store.XfersTo at the pinned epoch.
+func (v *View) XfersTo(runID, proc, port string) ([]Xfer, error) {
+	return v.s.xfersToOn(v, runID, proc, port)
+}
+
+// XfersFrom is Store.XfersFrom at the pinned epoch.
+func (v *View) XfersFrom(runID, proc, port string) ([]Xfer, error) {
+	return v.s.xfersFromOn(v, runID, proc, port)
+}
+
+// InputBindings is Store.InputBindings at the pinned epoch.
+func (v *View) InputBindings(runID, proc, port string, idx value.Index) ([]Binding, error) {
+	return v.s.inputBindingsOn(v, runID, proc, port, idx)
+}
+
+// InputBindingsBatch is Store.InputBindingsBatch at the pinned epoch.
+func (v *View) InputBindingsBatch(runIDs []string, proc, port string, idx value.Index) (map[string][]Binding, error) {
+	return v.s.inputBindingsBatchOn(v, runIDs, proc, port, idx)
+}
+
+// Value is Store.Value at the pinned epoch.
+func (v *View) Value(runID string, valID int64) (value.Value, error) {
+	return v.s.valueOn(v, runID, valID)
+}
+
+// ValuesBatch is Store.ValuesBatch at the pinned epoch.
+func (v *View) ValuesBatch(refs []ValueRef) (map[ValueRef]value.Value, error) {
+	return v.s.valuesBatchOn(v, refs)
+}
+
+// HasRun reports whether the pinned epoch holds the given run. The run set
+// is built once per view (the pinned data cannot change), so multi-run
+// validation costs one map lookup per run.
+func (v *View) HasRun(runID string) (bool, error) {
+	v.mu.Lock()
+	set := v.runSet
+	v.mu.Unlock()
+	if set == nil {
+		runs, err := v.ListRuns()
+		if err != nil {
+			return false, err
+		}
+		set = make(map[string]bool, len(runs))
+		for _, ri := range runs {
+			set[ri.RunID] = true
+		}
+		v.mu.Lock()
+		v.runSet = set
+		v.mu.Unlock()
+	}
+	return set[runID], nil
+}
+
+// ListRuns is Store.ListRuns at the pinned epoch.
+func (v *View) ListRuns() ([]RunInfo, error) { return v.s.listRunsOn(v) }
+
+// RecordCounts is Store.RecordCounts at the pinned epoch.
+func (v *View) RecordCounts(runID string) (xformIn, xformOut, xfers int, err error) {
+	return v.s.recordCountsOn(v, runID)
+}
+
+// LoadTrace is Store.LoadTrace at the pinned epoch: the trace as of the
+// view's epoch, even while later events for the same run are streaming in.
+func (v *View) LoadTrace(runID string) (*trace.Trace, error) {
+	return v.s.loadTraceOn(v, runID)
+}
+
+// pinnedSegment returns the run's column segment only when it is provably
+// usable at the pinned epoch: cached, and installed at an epoch the view
+// covers (see colseg.go's fencing notes). Unlike Store.segmentFor it never
+// lazily loads from disk — a segment loaded now would carry the current
+// epoch, which a pinned view cannot use.
+func (v *View) pinnedSegment(runID string) *colstore.Segment {
+	v.s.segMu.RLock()
+	defer v.s.segMu.RUnlock()
+	seg := v.s.segs[runID]
+	if seg == nil || v.s.segEpoch[runID] > v.epoch {
+		return nil
+	}
+	return seg
+}
+
+// ColScanAvailable implements ColumnScanner for the pinned view: true when
+// any cached segment is usable at the view's epoch.
+func (v *View) ColScanAvailable() bool {
+	v.s.segMu.RLock()
+	defer v.s.segMu.RUnlock()
+	for runID, e := range v.s.segEpoch {
+		if _, ok := v.s.segs[runID]; ok && e <= v.epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// ColScanBindings implements ColumnScanner at the pinned epoch: runs whose
+// segment is not usable at the view's epoch land in missing and resolve
+// through the view's row path, so answers never leak past the pin.
+func (v *View) ColScanBindings(runIDs []string, proc, port string, idx value.Index) (map[string][]Binding, []string, error) {
+	return colScanBindings(v.pinnedSegment, runIDs, proc, port, idx)
+}

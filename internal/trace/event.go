@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// This file defines the streaming event feed: the wire form in which a
+// workflow engine ships provenance to a store while the run is still
+// executing, instead of handing over a complete Trace afterwards. A feed is
+// a sequence of Events per run — run_start, then the run's xform and xfer
+// events in engine order, then run_end — each stamped with a per-run
+// sequence number so the consumer can detect reordering and loss.
+//
+// Events marshal to JSON (one object per line in the NDJSON transport used
+// by provd's ingest endpoint). Bindings travel in the same canonical textual
+// encodings the relational store persists: value.Index strings for indices
+// and value.Encode payloads for port values, so a feed round-trips through
+// JSON without loss.
+
+// EventKind discriminates the event types of a streamed provenance feed.
+type EventKind string
+
+const (
+	// EventRunStart opens a run: it names the run and its workflow, and must
+	// precede every other event of the run.
+	EventRunStart EventKind = "run_start"
+	// EventXform carries one xform (processor activation) event.
+	EventXform EventKind = "xform"
+	// EventXfer carries one xfer (value transfer) event.
+	EventXfer EventKind = "xfer"
+	// EventRunEnd closes a run; events for the run arriving after it are
+	// rejected.
+	EventRunEnd EventKind = "run_end"
+)
+
+// Event is one element of a streamed provenance feed.
+type Event struct {
+	Kind  EventKind `json:"kind"`
+	RunID string    `json:"run_id"`
+	// Workflow names the run's workflow; run_start only.
+	Workflow string `json:"workflow,omitempty"`
+	// Seq orders the events of one run: every event must carry a sequence
+	// number strictly greater than the previous event of its run.
+	Seq   int64       `json:"seq"`
+	Xform *XformEvent `json:"xform,omitempty"`
+	Xfer  *XferEvent  `json:"xfer,omitempty"`
+}
+
+// wireBinding is the JSON form of a Binding: canonical index and payload
+// strings rather than structured values.
+type wireBinding struct {
+	Proc  string `json:"proc"`
+	Port  string `json:"port"`
+	Index string `json:"idx"`
+	Ctx   int    `json:"ctx,omitempty"`
+	Value string `json:"val"`
+}
+
+// MarshalJSON implements json.Marshaler using the canonical textual
+// encodings for the index and the port value.
+func (b Binding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireBinding{
+		Proc:  b.Proc,
+		Port:  b.Port,
+		Index: b.Index.String(),
+		Ctx:   b.Ctx,
+		Value: value.Encode(b.Value),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, the inverse of MarshalJSON.
+func (b *Binding) UnmarshalJSON(data []byte) error {
+	var w wireBinding
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	idx, err := value.ParseIndex(w.Index)
+	if err != nil {
+		return fmt.Errorf("trace: binding index: %w", err)
+	}
+	v, err := value.Decode(w.Value)
+	if err != nil {
+		return fmt.Errorf("trace: binding value: %w", err)
+	}
+	*b = Binding{Proc: w.Proc, Port: w.Port, Index: idx, Ctx: w.Ctx, Value: v}
+	return nil
+}
+
+// Events renders a complete trace as a streamed feed: run_start, the xform
+// and xfer events in recorded order, run_end, with consecutive sequence
+// numbers. It is the bridge from batch-recorded traces to the streaming
+// ingest path (and what the retry path replays dead letters through).
+func (t *Trace) Events() []Event {
+	out := make([]Event, 0, t.NumEvents()+2)
+	seq := int64(0)
+	next := func() int64 { seq++; return seq - 1 }
+	out = append(out, Event{Kind: EventRunStart, RunID: t.RunID, Workflow: t.Workflow, Seq: next()})
+	for i := range t.Xforms {
+		out = append(out, Event{Kind: EventXform, RunID: t.RunID, Seq: next(), Xform: &t.Xforms[i]})
+	}
+	for i := range t.Xfers {
+		out = append(out, Event{Kind: EventXfer, RunID: t.RunID, Seq: next(), Xfer: &t.Xfers[i]})
+	}
+	return append(out, Event{Kind: EventRunEnd, RunID: t.RunID, Seq: next()})
+}

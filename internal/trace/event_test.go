@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func eventFixture() *Trace {
+	b := func(proc, port string, idx value.Index, v value.Value) Binding {
+		return Binding{Proc: proc, Port: port, Index: idx, Value: v}
+	}
+	t := &Trace{RunID: "r1", Workflow: "wf"}
+	t.Xform(XformEvent{
+		Proc:    "P",
+		Inputs:  []Binding{b("P", "X", value.Ix(0), value.Str("a")), b("P", "X2", value.Ix(1, 2), value.Strs("x", "y"))},
+		Outputs: []Binding{b("P", "Y", value.Ix(0), value.Str("A"))},
+	})
+	t.Xfer(XferEvent{
+		From: b("P", "Y", value.Ix(0), value.Str("A")),
+		To:   Binding{Proc: "Q", Port: "X", Index: value.Ix(0), Ctx: 1, Value: value.Str("A")},
+	})
+	return t
+}
+
+func TestEventsRendersFeed(t *testing.T) {
+	tr := eventFixture()
+	evs := tr.Events()
+	if len(evs) != tr.NumEvents()+2 {
+		t.Fatalf("Events() = %d events, want %d", len(evs), tr.NumEvents()+2)
+	}
+	if evs[0].Kind != EventRunStart || evs[0].Workflow != "wf" {
+		t.Fatalf("first event = %+v, want run_start with workflow", evs[0])
+	}
+	if last := evs[len(evs)-1]; last.Kind != EventRunEnd {
+		t.Fatalf("last event = %+v, want run_end", last)
+	}
+	for i, ev := range evs {
+		if ev.RunID != "r1" {
+			t.Fatalf("event %d run_id = %q", i, ev.RunID)
+		}
+		if ev.Seq != int64(i) {
+			t.Fatalf("event %d seq = %d, want consecutive", i, ev.Seq)
+		}
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	for i, ev := range eventFixture().Events() {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("event %d: marshal: %v", i, err)
+		}
+		var back Event
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("event %d: unmarshal %s: %v", i, data, err)
+		}
+		if back.Kind != ev.Kind || back.RunID != ev.RunID || back.Seq != ev.Seq || back.Workflow != ev.Workflow {
+			t.Fatalf("event %d header round-trip: %+v vs %+v", i, back, ev)
+		}
+		switch {
+		case ev.Xform != nil:
+			if back.Xform == nil || !reflect.DeepEqual(*back.Xform, *ev.Xform) {
+				t.Fatalf("event %d xform round-trip:\n got %+v\nwant %+v", i, back.Xform, ev.Xform)
+			}
+		case ev.Xfer != nil:
+			if back.Xfer == nil || !reflect.DeepEqual(*back.Xfer, *ev.Xfer) {
+				t.Fatalf("event %d xfer round-trip:\n got %+v\nwant %+v", i, back.Xfer, ev.Xfer)
+			}
+		}
+	}
+}
+
+func TestBindingJSONRejectsBadFields(t *testing.T) {
+	var b Binding
+	if err := json.Unmarshal([]byte(`{"proc":"P","port":"X","idx":"not an index","val":"s:a"}`), &b); err == nil {
+		t.Error("malformed index accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"proc":"P","port":"X","idx":"[0]","val":"???"}`), &b); err == nil {
+		t.Error("malformed value accepted")
+	}
+}
